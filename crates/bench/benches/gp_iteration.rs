@@ -1,0 +1,68 @@
+//! End-to-end per-iteration benchmark (the quantity of Table 3): one full
+//! gradient evaluation + optimizer step under each operator configuration,
+//! measured in wall-clock with the emulated kernel-launch latency so the
+//! operator-reduction effect is physically visible, not just modeled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xplace_core::{Framework, GradientEngine, NesterovOptimizer, OperatorConfig, Parameters, ScheduleConfig};
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_device::{Device, DeviceConfig};
+use xplace_ops::PlacementModel;
+
+fn setup(cells: usize) -> PlacementModel {
+    let design = synthesize(
+        &SynthesisSpec::new("gpiter", cells, cells + cells / 20).with_seed(7),
+    )
+    .expect("synthesis succeeds");
+    PlacementModel::from_design(&design).expect("model builds")
+}
+
+fn bench_gp_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_iteration_4k_cells");
+    group.sample_size(20);
+    let configs: Vec<(&str, Framework, OperatorConfig)> = vec![
+        ("xplace_all", Framework::Xplace, OperatorConfig::all()),
+        (
+            "xplace_no_skipping",
+            Framework::Xplace,
+            OperatorConfig { skipping: false, ..OperatorConfig::all() },
+        ),
+        ("xplace_none", Framework::Xplace, OperatorConfig::none()),
+        ("dreamplace_like", Framework::DreamplaceLike, OperatorConfig::none()),
+    ];
+    for (name, fw, ops) in configs {
+        group.bench_function(name, |b| {
+            let mut model = setup(4000);
+            let device =
+                Device::new(DeviceConfig::rtx3090().with_emulated_latency(true));
+            let mut engine =
+                GradientEngine::new(fw, ops, &model).expect("engine builds");
+            let schedule = ScheduleConfig::default();
+            let bin = 0.5 * (model.bin_w() + model.bin_h());
+            let mut params = Parameters::new(&schedule, bin);
+            // Warm up: initialize lambda from real norms.
+            let warm = engine
+                .evaluate(&device, &model, &params, 0.0)
+                .expect("warm-up evaluation");
+            params.initialize_lambda(&schedule, warm.wl_grad_l1, warm.density_grad_l1);
+            let mut opt = NesterovOptimizer::new(&model, 0.1, 5.0 * bin);
+            let fused = ops.reduction;
+            b.iter(|| {
+                let eval = engine
+                    .evaluate(&device, &model, &params, 0.0)
+                    .expect("evaluation succeeds");
+                let (gx, gy) = {
+                    let (a, b) = engine.grads();
+                    (a.to_vec(), b.to_vec())
+                };
+                opt.step(&device, &mut model, &gx, &gy, fused);
+                params.advance();
+                eval.hpwl
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp_iteration);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the post-GP pipeline (the DP/s column of Tables 2 and 4):
+//! legalization and detailed placement across design sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_db::{Design, Point};
+use xplace_legal::{detailed_place, legalize, DpConfig};
+
+/// A spread (GP-like) placement without running the placer, so the bench
+/// isolates LG/DP cost.
+fn spread_design(cells: usize) -> Design {
+    let mut d = synthesize(
+        &SynthesisSpec::new("lgbench", cells, cells + cells / 20).with_seed(42),
+    )
+    .expect("synthesis succeeds");
+    let r = d.region();
+    let nl = d.netlist();
+    let mut pos = d.positions().to_vec();
+    for (k, id) in nl.cell_ids().enumerate() {
+        if nl.cell(id).is_movable() {
+            pos[id.index()] = Point::new(
+                r.lx + ((k as f64) * 0.7548).fract() * r.width(),
+                r.ly + ((k as f64) * 0.5698).fract() * r.height(),
+            );
+        }
+    }
+    d.set_positions(pos);
+    d
+}
+
+fn bench_legalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legalize");
+    group.sample_size(10);
+    for &cells in &[1_000usize, 4_000] {
+        let design = spread_design(cells);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter_batched(
+                || design.clone(),
+                |mut d| legalize(&mut d).expect("legalization succeeds"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_detailed_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detailed_place");
+    group.sample_size(10);
+    for &cells in &[1_000usize, 4_000] {
+        let mut design = spread_design(cells);
+        legalize(&mut design).expect("legalization succeeds");
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter_batched(
+                || design.clone(),
+                |mut d| detailed_place(&mut d, &DpConfig::default()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_legalize, bench_detailed_place);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Operator-level micro-benchmarks backing Tables 2-3: the fused vs split
+//! wirelength kernels (operator combination), the extracted vs direct
+//! density paths (operator extraction), and the launch-latency effect
+//! (operator reduction) measured in real wall-clock time with the
+//! device's emulated kernel-launch latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_device::{Device, DeviceConfig};
+use xplace_ops::{density::DensityOp, wirelength, PlacementModel};
+
+fn model(cells: usize) -> PlacementModel {
+    let design = synthesize(
+        &SynthesisSpec::new("bench", cells, cells + cells / 20).with_seed(77),
+    )
+    .expect("synthesis succeeds");
+    let mut m = PlacementModel::from_design(&design).expect("model builds");
+    let r = m.region();
+    let ranges = m.ranges();
+    for i in ranges.movable.chain(ranges.filler) {
+        m.x[i] = r.lx + ((i as f64) * 0.7548).fract() * r.width();
+        m.y[i] = r.ly + ((i as f64) * 0.5698).fract() * r.height();
+    }
+    m.clamp_to_region();
+    m
+}
+
+/// Operator combination: one fused kernel vs merged-WA + separate HPWL vs
+/// the autograd pair (§3.1.1 / §3.1.3).
+fn bench_wirelength(c: &mut Criterion) {
+    let m = model(5000);
+    let device = Device::new(DeviceConfig::instant());
+    let n = m.num_nodes();
+    let gamma = 10.0;
+    let mut group = c.benchmark_group("wirelength_5k_cells");
+    group.bench_function("fused_wa_grad_hpwl", |b| {
+        let (mut gx, mut gy) = (vec![0.0; n], vec![0.0; n]);
+        b.iter(|| {
+            gx.fill(0.0);
+            gy.fill(0.0);
+            wirelength::wa_fused(&device, &m, gamma, &mut gx, &mut gy)
+        })
+    });
+    group.bench_function("split_wa_grad_plus_hpwl", |b| {
+        let (mut gx, mut gy) = (vec![0.0; n], vec![0.0; n]);
+        b.iter(|| {
+            gx.fill(0.0);
+            gy.fill(0.0);
+            let wa = wirelength::wa_with_grad(&device, &m, gamma, &mut gx, &mut gy);
+            let h = wirelength::hpwl(&device, &m);
+            (wa, h)
+        })
+    });
+    group.bench_function("autograd_forward_backward_hpwl", |b| {
+        let (mut gx, mut gy) = (vec![0.0; n], vec![0.0; n]);
+        b.iter(|| {
+            gx.fill(0.0);
+            gy.fill(0.0);
+            let wa = wirelength::wa_forward(&device, &m, gamma);
+            wirelength::wa_backward(&device, &m, gamma, &mut gx, &mut gy);
+            let h = wirelength::hpwl(&device, &m);
+            (wa, h)
+        })
+    });
+    group.finish();
+}
+
+/// Operator extraction: D + D_fl + add vs direct total + second movable
+/// pass (§3.1.2).
+fn bench_density(c: &mut Criterion) {
+    let m = model(5000);
+    let device = Device::new(DeviceConfig::instant());
+    let mut group = c.benchmark_group("density_5k_cells");
+    group.bench_function("extracted_movable_fillers_combine", |b| {
+        let mut op = DensityOp::new(&m).expect("density op builds");
+        b.iter(|| {
+            op.accumulate_movable(&device, &m);
+            op.accumulate_fillers(&device, &m);
+            op.combine_total(&device);
+            op.overflow(&device, &m)
+        })
+    });
+    group.bench_function("direct_all_plus_movable", |b| {
+        let mut op = DensityOp::new(&m).expect("density op builds");
+        b.iter(|| {
+            op.accumulate_all(&device, &m);
+            op.accumulate_movable(&device, &m);
+            op.overflow(&device, &m)
+        })
+    });
+    group.bench_function("field_solve", |b| {
+        let mut op = DensityOp::new(&m).expect("density op builds");
+        op.accumulate_all(&device, &m);
+        b.iter(|| op.solve_field(&device).expect("solve succeeds"))
+    });
+    group.finish();
+}
+
+/// Operator reduction: the same fused wirelength kernel under zero vs
+/// emulated CUDA-like launch latency shows what launch overhead does to
+/// small-kernel streams (§3.1.3).
+fn bench_launch_latency(c: &mut Criterion) {
+    // Small kernels make the launch overhead a visible fraction of the
+    // wall time: a 150-cell wirelength pass costs ~10-30 us on a CPU
+    // core, comparable to the 5 us CUDA-like launch cost being emulated —
+    // the regime §3.1.3's operator reduction attacks.
+    let m = model(150);
+    let n = m.num_nodes();
+    let gamma = 10.0;
+    let mut group = c.benchmark_group("launch_latency_150_cells");
+    for (name, cfg) in [
+        ("no_latency_16_kernels", DeviceConfig::instant()),
+        (
+            "emulated_5us_16_kernels",
+            DeviceConfig::rtx3090().with_emulated_latency(true),
+        ),
+    ] {
+        let device = Device::new(cfg);
+        group.bench_function(name, |b| {
+            let (mut gx, mut gy) = (vec![0.0; n], vec![0.0; n]);
+            b.iter(|| {
+                for _ in 0..8 {
+                    gx.fill(0.0);
+                    gy.fill(0.0);
+                    wirelength::wa_with_grad(&device, &m, gamma, &mut gx, &mut gy);
+                    wirelength::hpwl(&device, &m);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wirelength, bench_density, bench_launch_latency);
+criterion_main!(benches);

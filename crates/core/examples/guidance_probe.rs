@@ -1,0 +1,48 @@
+//! Developer probe: compare plain Xplace, Xplace guided by a *perfect*
+//! predictor (the exact solver), and Xplace guided by a zero predictor.
+use xplace_core::{DensityGuidance, GlobalPlacer, XplaceConfig};
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_fft::{ElectrostaticSolver, Grid2};
+
+#[derive(Debug)]
+struct PerfectGuidance;
+impl DensityGuidance for PerfectGuidance {
+    fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2) {
+        let (nx, ny) = density.dims();
+        let mut solver = ElectrostaticSolver::new(nx, ny).unwrap();
+        let sol = solver.solve(density).unwrap();
+        (sol.field_x, sol.field_y)
+    }
+}
+
+#[derive(Debug)]
+struct ZeroGuidance;
+impl DensityGuidance for ZeroGuidance {
+    fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2) {
+        (Grid2::new(density.nx(), density.ny()), Grid2::new(density.nx(), density.ny()))
+    }
+}
+
+fn main() {
+    let spec = SynthesisSpec::new("probe", 400, 420).with_seed(9);
+    let mut cfg = XplaceConfig::xplace();
+    cfg.schedule.max_iterations = 700;
+
+    let mut d = synthesize(&spec).unwrap();
+    let plain = GlobalPlacer::new(cfg.clone()).place(&mut d).unwrap();
+    println!("plain  : hpwl {:.0} ovfl {:.3} iters {}", plain.final_hpwl, plain.final_overflow, plain.iterations);
+
+    let mut d = synthesize(&spec).unwrap();
+    let perfect = GlobalPlacer::new(cfg.clone())
+        .with_guidance(Box::new(PerfectGuidance))
+        .place(&mut d)
+        .unwrap();
+    println!("perfect: hpwl {:.0} ovfl {:.3} iters {}", perfect.final_hpwl, perfect.final_overflow, perfect.iterations);
+
+    let mut d = synthesize(&spec).unwrap();
+    let zero = GlobalPlacer::new(cfg)
+        .with_guidance(Box::new(ZeroGuidance))
+        .place(&mut d)
+        .unwrap();
+    println!("zero   : hpwl {:.0} ovfl {:.3} iters {}", zero.final_hpwl, zero.final_overflow, zero.iterations);
+}

@@ -1,0 +1,15 @@
+//! Developer check: GP convergence across the ISPD 2005-like suite.
+use xplace_core::{GlobalPlacer, XplaceConfig};
+use xplace_db::suites::ispd2005_like;
+use xplace_db::synthesis::synthesize;
+
+fn main() {
+    for entry in &ispd2005_like(0.004) {
+        let mut d = synthesize(&entry.spec).unwrap();
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 1500;
+        let r = GlobalPlacer::new(cfg).place(&mut d).unwrap();
+        println!("{:>10}: iters={:4} converged={} ovfl={:.3} hpwl={:.0}",
+            entry.name(), r.iterations, r.converged, r.final_overflow, r.final_hpwl);
+    }
+}

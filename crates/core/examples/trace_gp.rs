@@ -1,0 +1,67 @@
+//! Developer trace: replicate the placer loop with extra diagnostics.
+use xplace_core::{GradientEngine, NesterovOptimizer, Parameters, XplaceConfig};
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_device::Device;
+use xplace_ops::{precond, PlacementModel};
+
+fn main() {
+    let design = synthesize(&SynthesisSpec::new("gp", 400, 420).with_seed(7)).unwrap();
+    let cfg = XplaceConfig::xplace();
+    let device = Device::new(cfg.device);
+    let mut model = PlacementModel::from_design_with(&design, None, true, cfg.seed).unwrap();
+    model.clamp_to_region();
+    let mut engine = GradientEngine::new(cfg.framework, cfg.operators, &model).unwrap();
+    let schedule = cfg.schedule;
+    let bin = 0.5 * (model.bin_w() + model.bin_h());
+    let mut params = Parameters::new(&schedule, bin);
+    let mut opt: Option<NesterovOptimizer> = None;
+    let mut omega = 0.0;
+    println!("region {} bin {bin}", model.region());
+    for iter in 0..700 {
+        let eval = engine.evaluate(&device, &model, &params, omega).unwrap();
+        if iter == 0 {
+            params.initialize_lambda(&schedule, eval.wl_grad_l1, eval.density_grad_l1);
+            params.update(&schedule, bin, eval.overflow, eval.hpwl);
+        }
+        let o = match opt.as_mut() {
+            Some(o) => o,
+            None => {
+                let (gx, gy) = engine.grads();
+                let mut max_g: f64 = 0.0;
+                for i in model.optimizable_indices() {
+                    max_g = max_g.max(gx[i].abs()).max(gy[i].abs());
+                }
+                opt.insert(NesterovOptimizer::new(&model, 0.5 * bin / max_g, 5.0 * bin))
+            }
+        };
+        let (gx, gy) = {
+            let (a, b) = engine.grads();
+            (a.to_vec(), b.to_vec())
+        };
+        let before: Vec<f64> = model.x.clone();
+        o.step(&device, &mut model, &gx, &gy, true);
+        let mut max_disp: f64 = 0.0;
+        let mut mean_disp = 0.0;
+        let mut cnt = 0;
+        for i in model.optimizable_indices() {
+            let d = (model.x[i] - before[i]).abs();
+            max_disp = max_disp.max(d);
+            mean_disp += d;
+            cnt += 1;
+        }
+        mean_disp /= cnt as f64;
+        omega = precond::omega(&model, params.lambda);
+        params.advance();
+        let period = if schedule.stage_aware && omega > 0.5 && omega < 0.95 { 3 } else { 1 };
+        if params.iteration.is_multiple_of(period) {
+            params.update(&schedule, bin, eval.overflow, eval.hpwl);
+        }
+        if iter % 25 == 0 {
+            println!(
+                "it={iter:4} ovfl={:.4} hpwl={:9.1} lam={:.2e} r={:.2e} step={:.3e} maxd={:.3} meand={:.4} wlg={:.2e} dg={:.2e}",
+                eval.overflow, eval.hpwl, params.lambda, eval.r_ratio,
+                o.last_step(), max_disp, mean_disp, eval.wl_grad_l1, eval.density_grad_l1
+            );
+        }
+    }
+}

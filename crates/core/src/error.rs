@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+use xplace_ops::OpsError;
+
+/// Errors produced by the global placer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The design could not be turned into a placement model, or an
+    /// operator failed.
+    Ops(OpsError),
+    /// The optimization diverged (non-finite objective or positions).
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+    },
+    /// The configuration is inconsistent; describes the problem.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Ops(e) => write!(f, "operator failure: {e}"),
+            PlaceError::Diverged { iteration } => {
+                write!(f, "optimization diverged at iteration {iteration}")
+            }
+            PlaceError::InvalidConfig(msg) => write!(f, "invalid placer configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for PlaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlaceError::Ops(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OpsError> for PlaceError {
+    fn from(e: OpsError) -> Self {
+        PlaceError::Ops(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PlaceError::Diverged { iteration: 12 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.source().is_none());
+        let e: PlaceError = OpsError::InvalidModel("x".into()).into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<PlaceError>();
+    }
+}

@@ -1,0 +1,95 @@
+//! The neural-enhancement extension point (§3.3 of the paper).
+//!
+//! Xplace-NN plugs a Fourier neural operator into the placer: the network
+//! predicts the electric-field maps from the density map, and the
+//! predicted gradient is blended with the numerical one by a smooth
+//! stage-dependent weight `sigma(omega)` (Eq. 14):
+//!
+//! ```text
+//!   grad'D = (1 - sigma) * gradD + sigma * grad_nn D
+//! ```
+//!
+//! The core crate only defines the [`DensityGuidance`] trait and the
+//! blending schedule; the `xplace-nn` crate provides the trained FNO
+//! implementation. This keeps the placer free of any neural-network
+//! dependency — exactly the extensibility claim the paper makes.
+
+use xplace_fft::Grid2;
+
+/// A model that predicts the electric-field maps `(Ex, Ey)` from a total
+/// density map (in bin units, same conventions as
+/// [`xplace_fft::ElectrostaticSolver`]).
+pub trait DensityGuidance: std::fmt::Debug + Send {
+    /// Predicts `(field_x, field_y)` for the given density map.
+    fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2);
+
+    /// A short display name for reports.
+    fn name(&self) -> &str {
+        "guidance"
+    }
+}
+
+/// The blending weight `sigma(omega)` of Eq. (14).
+///
+/// The paper describes sigma as ~1 in the early (wirelength-dominated)
+/// stage so the neural prediction provides global guidance, decaying to 0
+/// as `omega` grows so the numerical field takes over for fine-grained
+/// spreading. (The formula as typeset in the paper is non-monotone for
+/// `omega > 0.05`; we use the standard smooth-decay reading with the same
+/// constants, as documented in `DESIGN.md`.)
+///
+/// ```
+/// let early = xplace_core::sigma_blend(0.0);
+/// let late = xplace_core::sigma_blend(0.9);
+/// assert!(early > 0.9 && late < 0.01);
+/// ```
+pub fn sigma_blend(omega: f64) -> f64 {
+    1.0 - 1.0 / (1.0 + 5.0 * (-(omega - 0.05) / 0.05).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_is_monotone_decreasing_and_bounded() {
+        let mut prev = f64::INFINITY;
+        for k in 0..=100 {
+            let omega = k as f64 / 100.0;
+            let s = sigma_blend(omega);
+            assert!((0.0..=1.0).contains(&s), "sigma({omega}) = {s}");
+            assert!(s <= prev + 1e-12, "sigma must decrease");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sigma_matches_the_described_stages() {
+        // Early stage: neural guidance dominates.
+        assert!(sigma_blend(0.0) > 0.9);
+        assert!(sigma_blend(0.05) > 0.8);
+        // Spreading stage: numerical field takes over.
+        assert!(sigma_blend(0.3) < 0.05);
+        assert!(sigma_blend(0.95) < 1e-6);
+    }
+
+    /// A trivial guidance used by engine tests: returns zero fields.
+    #[derive(Debug)]
+    pub struct ZeroGuidance;
+
+    impl DensityGuidance for ZeroGuidance {
+        fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2) {
+            (Grid2::new(density.nx(), density.ny()), Grid2::new(density.nx(), density.ny()))
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut g: Box<dyn DensityGuidance> = Box::new(ZeroGuidance);
+        let d = Grid2::new(4, 4);
+        let (ex, ey) = g.predict(&d);
+        assert_eq!(ex.dims(), (4, 4));
+        assert_eq!(ey.dims(), (4, 4));
+        assert_eq!(g.name(), "guidance");
+    }
+}

@@ -1,0 +1,207 @@
+use crate::ScheduleConfig;
+
+/// The live placement parameters the scheduler evolves (γ, λ) together
+/// with the bookkeeping needed for their updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Parameters {
+    /// WA smoothing parameter γ (Eq. 4/6); smaller = closer to HPWL.
+    pub gamma: f64,
+    /// Density penalty weight λ (Eq. 3).
+    pub lambda: f64,
+    /// Current iteration index.
+    pub iteration: usize,
+    /// HPWL observed at the previous parameter update.
+    last_hpwl: f64,
+    /// Overflow observed at the previous parameter update.
+    last_overflow: f64,
+    /// Whether λ has been initialized from the first gradient norms.
+    lambda_initialized: bool,
+}
+
+impl Parameters {
+    /// Fresh parameters: γ for a fully-overflowed design, λ uninitialized
+    /// (set after the first gradient evaluation).
+    pub fn new(schedule: &ScheduleConfig, bin_size: f64) -> Self {
+        Parameters {
+            gamma: gamma_for(schedule, bin_size, 1.0),
+            lambda: 0.0,
+            iteration: 0,
+            last_hpwl: f64::INFINITY,
+            last_overflow: f64::INFINITY,
+            lambda_initialized: false,
+        }
+    }
+
+    /// Whether λ has been initialized from gradient norms.
+    pub fn lambda_initialized(&self) -> bool {
+        self.lambda_initialized
+    }
+
+    /// Initializes λ from the L1 norms of the wirelength and density
+    /// gradients: `λ0 = factor * |∇WL| / |∇D|` (the DREAMPlace rule; the
+    /// small factor is why the ratio `r` of §3.1.4 starts ultra-small).
+    pub fn initialize_lambda(
+        &mut self,
+        schedule: &ScheduleConfig,
+        wl_grad_norm: f64,
+        density_grad_norm: f64,
+    ) {
+        let ratio = if density_grad_norm > 0.0 {
+            // Floor the ratio: a degenerate start (all cells coincident,
+            // wirelength gradient ~ 0) must still seed a usable lambda.
+            (wl_grad_norm / density_grad_norm).max(1e-6)
+        } else {
+            1.0
+        };
+        self.lambda = (schedule.lambda_init_factor * ratio).max(f64::MIN_POSITIVE);
+        self.lambda_initialized = true;
+    }
+
+    /// One scheduler update (ePlace rules, called at the cadence chosen by
+    /// the stage-aware logic): γ follows the overflow, λ is multiplied by
+    /// a factor driven by the relative HPWL change since the last update.
+    pub fn update(&mut self, schedule: &ScheduleConfig, bin_size: f64, overflow: f64, hpwl: f64) {
+        self.gamma = gamma_for(schedule, bin_size, overflow);
+        if self.lambda_initialized {
+            let mut mu = if self.last_hpwl.is_finite() && self.last_hpwl > 0.0 {
+                let rel = (hpwl - self.last_hpwl) / self.last_hpwl;
+                // HPWL stable or improving -> grow λ at the cap; HPWL
+                // blowing up -> slow the growth (ePlace's μ schedule, made
+                // scale-free by using the relative change). λ never
+                // shrinks: spreading must eventually win.
+                (schedule.lambda_mu_max * 10f64.powf(-rel * 10.0))
+                    .clamp(schedule.lambda_mu_min, schedule.lambda_mu_max)
+            } else {
+                schedule.lambda_mu_max
+            };
+            // Once the density force has saturated (overflow actively
+            // worsening under more pressure), pushing λ harder only
+            // oscillates the system — the runaway DREAMPlace's divergence
+            // check also guards against.
+            if overflow > self.last_overflow + 1e-3 && overflow < 0.5 {
+                mu = mu.min(1.02).max(schedule.lambda_mu_min.min(1.02));
+            }
+            self.lambda *= mu;
+        }
+        self.last_hpwl = hpwl;
+        self.last_overflow = overflow;
+    }
+
+    /// Advances the iteration counter.
+    pub fn advance(&mut self) {
+        self.iteration += 1;
+    }
+}
+
+/// The ePlace γ schedule: `gamma_scale * bin_size * 10^(k * ovfl + b)`.
+pub fn gamma_for(schedule: &ScheduleConfig, bin_size: f64, overflow: f64) -> f64 {
+    let ovfl = overflow.clamp(0.0, 1.0);
+    schedule.gamma_scale * bin_size * 10f64.powf(schedule.gamma_k * ovfl + schedule.gamma_b)
+}
+
+/// Stage classification by the precondition weighted ratio ω (§3.2):
+/// returns the parameter-update period for the current stage.
+pub fn update_period(schedule: &ScheduleConfig, omega: f64) -> usize {
+    if schedule.stage_aware && omega > 0.5 && omega < 0.95 {
+        schedule.intermediate_update_period.max(1)
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> ScheduleConfig {
+        ScheduleConfig::default()
+    }
+
+    #[test]
+    fn gamma_shrinks_with_overflow() {
+        let s = sched();
+        let g1 = gamma_for(&s, 10.0, 1.0);
+        let g05 = gamma_for(&s, 10.0, 0.5);
+        let g01 = gamma_for(&s, 10.0, 0.1);
+        assert!(g1 > g05 && g05 > g01);
+        // At full overflow: 8 * 10 * 10^(20/9 - 11/9) = 80 * 10 = 800.
+        assert!((g1 - 800.0).abs() < 1e-9);
+        // At 10% overflow: 8 * 10 * 10^(2/9 - 11/9) = 80 * 0.1 = 8.
+        assert!((g01 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_clamps_overflow_to_unit_range() {
+        let s = sched();
+        assert_eq!(gamma_for(&s, 1.0, 5.0), gamma_for(&s, 1.0, 1.0));
+        assert_eq!(gamma_for(&s, 1.0, -1.0), gamma_for(&s, 1.0, 0.0));
+    }
+
+    #[test]
+    fn lambda_initialization_uses_gradient_ratio() {
+        let s = sched();
+        let mut p = Parameters::new(&s, 1.0);
+        assert!(!p.lambda_initialized());
+        p.initialize_lambda(&s, 1000.0, 10.0);
+        assert!(p.lambda_initialized());
+        assert!((p.lambda - 8e-5 * 100.0).abs() < 1e-12);
+        // r = λ|∇D|/|∇WL| = 8e-5: "ultra-small" as the paper observes.
+        let r = p.lambda * 10.0 / 1000.0;
+        assert!((r - 8e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_grows_when_hpwl_is_stable() {
+        let s = sched();
+        let mut p = Parameters::new(&s, 1.0);
+        p.initialize_lambda(&s, 100.0, 100.0);
+        let l0 = p.lambda;
+        p.update(&s, 1.0, 0.9, 1000.0);
+        p.update(&s, 1.0, 0.8, 1000.0); // overflow improving, HPWL stable
+        assert!((p.lambda - l0 * s.lambda_mu_max * s.lambda_mu_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_growth_damps_when_overflow_stagnates() {
+        let s = sched();
+        let mut p = Parameters::new(&s, 1.0);
+        p.initialize_lambda(&s, 100.0, 100.0);
+        p.update(&s, 1.0, 0.3, 1000.0);
+        let l_before = p.lambda;
+        p.update(&s, 1.0, 0.32, 1000.0); // overflow worsening mid-spread
+        let mu = p.lambda / l_before;
+        assert!(mu <= 1.02 + 1e-12, "regression must damp growth, mu {mu}");
+    }
+
+    #[test]
+    fn lambda_growth_slows_when_hpwl_explodes() {
+        let s = sched();
+        let mut p = Parameters::new(&s, 1.0);
+        p.initialize_lambda(&s, 100.0, 100.0);
+        p.update(&s, 1.0, 0.9, 1000.0);
+        let l_before = p.lambda;
+        p.update(&s, 1.0, 0.9, 1500.0); // +50% HPWL
+        let mu = p.lambda / l_before;
+        assert!(mu <= s.lambda_mu_min + 1e-12, "mu {mu} should hit the floor");
+    }
+
+    #[test]
+    fn update_period_follows_stage() {
+        let s = sched();
+        assert_eq!(update_period(&s, 0.01), 1);
+        assert_eq!(update_period(&s, 0.7), 3);
+        assert_eq!(update_period(&s, 0.97), 1);
+        let mut s2 = s;
+        s2.stage_aware = false;
+        assert_eq!(update_period(&s2, 0.7), 1);
+    }
+
+    #[test]
+    fn advance_counts_iterations() {
+        let s = sched();
+        let mut p = Parameters::new(&s, 1.0);
+        p.advance();
+        p.advance();
+        assert_eq!(p.iteration, 2);
+    }
+}

@@ -1,0 +1,448 @@
+//! The global-placement driver: wires the gradient engine, optimizer,
+//! scheduler and recorder together (Figure 1 of the paper).
+
+use crate::params::{gamma_for, update_period};
+use crate::{
+    DensityGuidance, Framework, GradientEngine, IterationRecord, NesterovOptimizer, Parameters,
+    PlaceError, Recorder, XplaceConfig,
+};
+use std::time::Instant;
+use xplace_db::Design;
+use xplace_device::{Device, ProfileSnapshot};
+use xplace_ops::{precond, PlacementModel};
+
+/// Outcome of a global-placement run.
+#[derive(Debug)]
+pub struct PlacementReport {
+    /// Design name.
+    pub design: String,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// HPWL at the initial (clustered) state.
+    pub initial_hpwl: f64,
+    /// HPWL of the final placement (exact, recomputed on the design).
+    pub final_hpwl: f64,
+    /// Overflow ratio at the initial state.
+    pub initial_overflow: f64,
+    /// Overflow ratio at the final state.
+    pub final_overflow: f64,
+    /// Whether the overflow target was reached (vs hitting the iteration
+    /// cap or the plateau window).
+    pub converged: bool,
+    /// Best overflow seen during the run (the reported placement is the
+    /// snapshot at this point when the run did not converge).
+    pub best_overflow: f64,
+    /// Cumulative modeled-GPU profile of the whole run.
+    pub profile: ProfileSnapshot,
+    /// Wall-clock CPU time of the run in seconds.
+    pub wall_seconds: f64,
+    /// Per-iteration metrics (empty when recording is disabled).
+    pub recorder: Recorder,
+}
+
+impl PlacementReport {
+    /// Modeled GPU time of the whole run in seconds (the paper's "GP/s"
+    /// column, under the device model).
+    pub fn modeled_gp_seconds(&self) -> f64 {
+        self.profile.modeled_ns() as f64 / 1e9
+    }
+
+    /// Mean modeled time per iteration in milliseconds (Table 3's
+    /// "GP / Iter Time").
+    pub fn modeled_ms_per_iter(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.profile.modeled_ns() as f64 / 1e6 / self.iterations as f64
+        }
+    }
+}
+
+/// The Xplace global placer.
+///
+/// See the crate-level example. Construct with a [`XplaceConfig`] preset,
+/// optionally install a [`DensityGuidance`], then call
+/// [`GlobalPlacer::place`] on a design.
+#[derive(Debug)]
+pub struct GlobalPlacer {
+    config: XplaceConfig,
+    guidance: Option<Box<dyn DensityGuidance>>,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer from a configuration.
+    pub fn new(config: XplaceConfig) -> Self {
+        GlobalPlacer { config, guidance: None }
+    }
+
+    /// Installs a neural density guidance (the Xplace-NN extension of
+    /// §3.3). The guidance is consumed by the next [`GlobalPlacer::place`]
+    /// call.
+    pub fn with_guidance(mut self, guidance: Box<dyn DensityGuidance>) -> Self {
+        self.guidance = Some(guidance);
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &XplaceConfig {
+        &self.config
+    }
+
+    /// Runs global placement, updating the design's movable-cell positions
+    /// in place and returning the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::InvalidConfig`] for inconsistent
+    /// configurations, [`PlaceError::Ops`] when the design cannot be
+    /// modeled, and [`PlaceError::Diverged`] if the optimization produces
+    /// non-finite values.
+    pub fn place(&mut self, design: &mut Design) -> Result<PlacementReport, PlaceError> {
+        self.config.validate()?;
+        let start = Instant::now();
+        let device = Device::new(self.config.device);
+        let mut model = PlacementModel::from_design_with(
+            design,
+            self.config.grid,
+            true,
+            self.config.seed,
+        )?;
+        model.clamp_to_region();
+
+        // Symmetry breaking (DREAMPlace adds init noise for the same
+        // reason): cells at exactly coincident positions receive identical
+        // gradients and would move in lockstep forever. A deterministic,
+        // sub-bin jitter separates them without perturbing real starts.
+        {
+            let bin = 0.5 * (model.bin_w() + model.bin_h());
+            // Degenerate inputs (everything in a couple of bins) need a
+            // jitter large enough that cells land in *different* bins and
+            // see different field samples; healthy inputs only need noise.
+            let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+            for i in 0..model.num_movable() {
+                min_x = min_x.min(model.x[i]);
+                max_x = max_x.max(model.x[i]);
+                min_y = min_y.min(model.y[i]);
+                max_y = max_y.max(model.y[i]);
+            }
+            let spread = (max_x - min_x).max(max_y - min_y);
+            let amp = if spread < 4.0 * bin { 4.0 * bin } else { 0.02 * bin };
+            let hash = |i: usize, salt: u64| -> f64 {
+                let mut h = (i as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            for i in 0..model.num_movable() {
+                model.x[i] += amp * hash(i, self.config.seed);
+                model.y[i] += amp * hash(i, self.config.seed ^ 0xabcd);
+            }
+            model.clamp_to_region();
+            model.clamp_to_fences();
+        }
+
+        let mut engine =
+            GradientEngine::new(self.config.framework, self.config.operators, &model)?;
+        engine.set_threads(self.config.threads);
+        if let Some(g) = self.guidance.take() {
+            engine.set_guidance(g);
+        }
+
+        let schedule = self.config.schedule;
+        let bin_size = 0.5 * (model.bin_w() + model.bin_h());
+        let mut params = Parameters::new(&schedule, bin_size);
+        let mut recorder = Recorder::new(self.config.record);
+        let fused_optimizer =
+            self.config.framework == Framework::Xplace && self.config.operators.reduction;
+
+        let mut optimizer: Option<NesterovOptimizer> = None;
+        let mut omega = 0.0;
+        let mut initial_hpwl = 0.0;
+        let mut initial_overflow = 0.0;
+        let mut last_eval = None;
+        let mut converged = false;
+        let mut iterations = 0;
+        // Best-solution snapshot (DREAMPlace-style divergence guard): the
+        // density system can oscillate once lambda saturates, so track the
+        // best overflow seen and roll back if the run does not converge.
+        let mut best_overflow = f64::INFINITY;
+        let mut best_iter = 0usize;
+        let mut best_u: Option<(Vec<f64>, Vec<f64>)> = None;
+
+        for iter in 0..schedule.max_iterations {
+            let (eval, prof) = {
+                let (res, prof) =
+                    device.scoped(|| engine.evaluate(&device, &model, &params, omega));
+                (res?, prof)
+            };
+            if iter == 0 {
+                initial_hpwl = eval.hpwl;
+                initial_overflow = eval.overflow;
+                params.initialize_lambda(&schedule, eval.wl_grad_l1, eval.density_grad_l1);
+                // γ starts from the observed overflow.
+                params.update(&schedule, bin_size, eval.overflow, eval.hpwl);
+            }
+            recorder.push(IterationRecord {
+                iteration: iter,
+                hpwl: eval.hpwl,
+                wa: eval.wa,
+                overflow: eval.overflow,
+                lambda: params.lambda,
+                gamma: params.gamma,
+                omega,
+                r_ratio: eval.r_ratio,
+                density_skipped: eval.density_skipped,
+                modeled_ns: prof.modeled_ns(),
+                launches: prof.launches,
+            });
+            iterations = iter + 1;
+            last_eval = Some(eval);
+
+            if eval.overflow < schedule.stop_overflow && iter >= schedule.min_iterations {
+                converged = true;
+                break;
+            }
+            // The plateau guard only applies once spreading is underway
+            // (early WL-dominated iterations legitimately re-compact the
+            // cells and raise overflow).
+            if best_overflow < 0.5 && iter.saturating_sub(best_iter) > schedule.plateau_window
+            {
+                break; // no overflow progress in a long time: roll back
+            }
+
+            // Gradient step at the reference solution.
+            let opt = match optimizer.as_mut() {
+                Some(o) => o,
+                None => {
+                    let (gx, gy) = engine.grads();
+                    let mut max_g: f64 = 0.0;
+                    for i in model.optimizable_indices() {
+                        max_g = max_g.max(gx[i].abs()).max(gy[i].abs());
+                    }
+                    let step0 = if max_g > 0.0 { 0.5 * bin_size / max_g } else { 1.0 };
+                    optimizer.insert(NesterovOptimizer::new(&model, step0, 5.0 * bin_size))
+                }
+            };
+            // Split borrows: the optimizer reads gradients owned by the
+            // engine while mutating the model.
+            let (gx, gy) = {
+                let (a, b) = engine.grads();
+                (a.to_vec(), b.to_vec())
+            };
+            opt.step(&device, &mut model, &gx, &gy, fused_optimizer);
+            model.clamp_to_fences();
+            if eval.overflow < best_overflow {
+                best_overflow = eval.overflow;
+                best_iter = iter;
+                best_u = Some(opt.u_clone());
+            }
+
+            // Scheduler (Algorithm 1): stage-aware parameter cadence.
+            omega = precond::omega(&model, params.lambda);
+            let period = update_period(&schedule, omega);
+            params.advance();
+            if params.iteration.is_multiple_of(period) {
+                params.update(&schedule, bin_size, eval.overflow, eval.hpwl);
+            } else {
+                // γ still tracks overflow even when λ is frozen.
+                params.gamma = gamma_for(&schedule, bin_size, eval.overflow);
+            }
+        }
+
+        if let Some(opt) = optimizer.as_mut() {
+            // If the run ended worse than its best point, restore the
+            // snapshot instead of the final oscillating state.
+            let final_overflow =
+                last_eval.map(|e: crate::EvalResult| e.overflow).unwrap_or(1.0);
+            if !converged && final_overflow > best_overflow {
+                if let Some((ux, uy)) = best_u.as_ref() {
+                    opt.set_u(ux, uy);
+                }
+            }
+            opt.write_u(&mut model);
+            model.clamp_to_fences();
+        }
+        model.apply_to(design);
+        let final_hpwl = design.total_hpwl();
+        let final_overflow =
+            last_eval.map(|e| e.overflow).unwrap_or(1.0).min(best_overflow);
+
+        Ok(PlacementReport {
+            design: design.name().to_string(),
+            iterations,
+            initial_hpwl,
+            final_hpwl,
+            initial_overflow,
+            final_overflow,
+            converged,
+            best_overflow,
+            profile: device.profile(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            recorder,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplace_db::synthesis::{synthesize, SynthesisSpec};
+
+    fn small_design(seed: u64) -> Design {
+        synthesize(&SynthesisSpec::new("gp", 400, 420).with_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn xplace_spreads_cells_and_reduces_overflow() {
+        let mut design = small_design(7);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 700;
+        let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
+        assert!(report.final_overflow < 0.25, "overflow {}", report.final_overflow);
+        assert!(
+            report.final_overflow < report.initial_overflow * 0.5,
+            "overflow {} -> {}",
+            report.initial_overflow,
+            report.final_overflow
+        );
+        assert!(report.final_hpwl.is_finite() && report.final_hpwl > 0.0);
+        // The cells must actually have left the center cluster.
+        let r = design.region();
+        let nl = design.netlist();
+        let spread = nl
+            .cell_ids()
+            .filter(|&c| nl.cell(c).is_movable())
+            .filter(|&c| {
+                let p = design.position(c);
+                (p.x - r.center().x).abs() > r.width() * 0.1
+                    || (p.y - r.center().y).abs() > r.height() * 0.1
+            })
+            .count();
+        assert!(spread > 100, "only {spread} cells left the center");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mut d1 = small_design(9);
+        let mut d2 = small_design(9);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 120;
+        let r1 = GlobalPlacer::new(cfg.clone()).place(&mut d1).unwrap();
+        let r2 = GlobalPlacer::new(cfg).place(&mut d2).unwrap();
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.final_hpwl, r2.final_hpwl);
+        assert_eq!(d1.positions(), d2.positions());
+    }
+
+    #[test]
+    fn baseline_and_xplace_reach_similar_quality() {
+        let mut cfg_x = XplaceConfig::xplace();
+        cfg_x.schedule.max_iterations = 700;
+        let mut cfg_d = XplaceConfig::dreamplace_like();
+        cfg_d.schedule.max_iterations = 700;
+        let mut dx = small_design(11);
+        let mut dd = small_design(11);
+        let rx = GlobalPlacer::new(cfg_x).place(&mut dx).unwrap();
+        let rd = GlobalPlacer::new(cfg_d).place(&mut dd).unwrap();
+        let ratio = rx.final_hpwl / rd.final_hpwl;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "HPWL ratio {ratio}: xplace {} vs baseline {}",
+            rx.final_hpwl,
+            rd.final_hpwl
+        );
+        // Xplace must be faster per modeled iteration.
+        assert!(
+            rx.modeled_ms_per_iter() < rd.modeled_ms_per_iter(),
+            "xplace {} ms vs baseline {} ms",
+            rx.modeled_ms_per_iter(),
+            rd.modeled_ms_per_iter()
+        );
+    }
+
+    #[test]
+    fn recorder_captures_every_iteration() {
+        let mut design = small_design(13);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 50;
+        let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
+        assert_eq!(report.recorder.len(), report.iterations);
+        // r starts ultra-small (§3.1.4 observation).
+        let first = &report.recorder.records()[1];
+        assert!(first.r_ratio < 0.01, "early r = {}", first.r_ratio);
+        // Early iterations skip density under full optimization.
+        assert!(report.recorder.records().iter().take(20).any(|r| r.density_skipped));
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let mut design = small_design(15);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 10;
+        cfg.record = false;
+        let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
+        assert!(report.recorder.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_work() {
+        let mut design = small_design(17);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 0;
+        let err = GlobalPlacer::new(cfg).place(&mut design).unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn plateau_rollback_reports_the_best_solution() {
+        // Force an aggressive plateau window so the run stops early and
+        // must roll back to its best snapshot.
+        let mut design = small_design(21);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 1000;
+        cfg.schedule.stop_overflow = 1e-6; // unreachable: forces plateau/cap path
+        cfg.schedule.plateau_window = 40;
+        let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
+        assert!(!report.converged);
+        // The reported overflow is the best seen, not the last (possibly
+        // worse) state.
+        assert!(report.final_overflow <= report.best_overflow + 1e-12);
+        assert!(report.final_hpwl.is_finite());
+        // The design's positions are the rolled-back snapshot: finite and
+        // inside the region.
+        let r = design.region();
+        for p in design.positions() {
+            assert!(p.x.is_finite() && p.y.is_finite());
+            assert!(p.x >= r.lx - 1e-6 && p.x <= r.ux + 1e-6);
+        }
+    }
+
+    #[test]
+    fn best_overflow_never_exceeds_final_overflow_on_converged_runs() {
+        let mut design = small_design(23);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 900;
+        let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
+        assert!(report.converged);
+        assert!(report.best_overflow >= report.final_overflow - 0.05);
+    }
+
+    #[test]
+    fn hpwl_grows_from_cluster_but_stays_reasonable() {
+        // Spreading necessarily increases HPWL from the degenerate
+        // all-at-center start; it must not explode.
+        let mut design = small_design(19);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 700;
+        let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
+        let region_half_perimeter =
+            design.region().width() + design.region().height();
+        let nets = design.netlist().num_nets() as f64;
+        assert!(
+            report.final_hpwl < nets * region_half_perimeter * 0.5,
+            "HPWL {} implausibly large",
+            report.final_hpwl
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! A complete placement instance: netlist + floorplan + cell positions.
+
+use crate::fence::{validate_fences, FenceRegion};
+use crate::{CellId, CellKind, DbError, Netlist, NetId, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A placement row (as in the Bookshelf `.scl` / DEF `ROW` records).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Lower y coordinate of the row.
+    pub y: f64,
+    /// Row (site) height.
+    pub height: f64,
+    /// Leftmost x coordinate.
+    pub x_min: f64,
+    /// Rightmost x coordinate.
+    pub x_max: f64,
+    /// Width of one placement site.
+    pub site_width: f64,
+}
+
+impl Row {
+    /// Number of whole sites in the row.
+    pub fn num_sites(&self) -> usize {
+        ((self.x_max - self.x_min) / self.site_width).floor() as usize
+    }
+
+    /// The row's bounding rectangle.
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x_min, self.y, self.x_max, self.y + self.height)
+    }
+}
+
+/// A placement design: the netlist plus everything the placer needs to run.
+///
+/// Cell positions are stored as **centers** (the natural coordinate for the
+/// analytic formulation); conversions to lower-left corners happen at the
+/// file-format boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    name: String,
+    netlist: Netlist,
+    region: Rect,
+    rows: Vec<Row>,
+    target_density: f64,
+    /// Cell center positions, indexed by `CellId`.
+    positions: Vec<Point>,
+    /// Fence regions (empty for unconstrained designs).
+    #[serde(default)]
+    fences: Vec<FenceRegion>,
+}
+
+impl Design {
+    /// Assembles a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::InvalidDesign`] if `positions.len()` differs from
+    /// the cell count, the region is degenerate, or `target_density` is not
+    /// in `(0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        netlist: Netlist,
+        region: Rect,
+        rows: Vec<Row>,
+        target_density: f64,
+        positions: Vec<Point>,
+    ) -> Result<Self, DbError> {
+        if positions.len() != netlist.num_cells() {
+            return Err(DbError::InvalidDesign(format!(
+                "{} positions supplied for {} cells",
+                positions.len(),
+                netlist.num_cells()
+            )));
+        }
+        if region.width() <= 0.0 || region.height() <= 0.0 {
+            return Err(DbError::InvalidDesign(format!("degenerate region {region}")));
+        }
+        if !(target_density > 0.0 && target_density <= 1.0) {
+            return Err(DbError::InvalidDesign(format!(
+                "target density {target_density} outside (0, 1]"
+            )));
+        }
+        Ok(Design {
+            name: name.into(),
+            netlist,
+            region,
+            rows,
+            target_density,
+            positions,
+            fences: Vec::new(),
+        })
+    }
+
+    /// Installs fence regions, replacing any existing ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::InvalidDesign`] when a fence references an
+    /// unknown or non-movable cell, a cell belongs to two fences, or a
+    /// fence rect leaves the region (see [`crate::fence::validate_fences`]).
+    pub fn set_fences(&mut self, fences: Vec<FenceRegion>) -> Result<(), DbError> {
+        let old = std::mem::replace(&mut self.fences, fences);
+        if let Err(e) = validate_fences(self) {
+            self.fences = old;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The design's fence regions.
+    pub fn fences(&self) -> &[FenceRegion] {
+        &self.fences
+    }
+
+    /// The index (into [`Design::fences`]) of the fence owning `cell`,
+    /// if any.
+    pub fn fence_of(&self, cell: CellId) -> Option<usize> {
+        self.fences.iter().position(|f| f.members().contains(&cell))
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The placeable die region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Placement rows (may be empty for purely analytic experiments).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The benchmark-given target density `D_t`.
+    pub fn target_density(&self) -> f64 {
+        self.target_density
+    }
+
+    /// All cell center positions, indexed by cell id.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Mutable cell positions (the placer writes these).
+    pub fn positions_mut(&mut self) -> &mut [Point] {
+        &mut self.positions
+    }
+
+    /// Replaces all cell positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the cell count.
+    pub fn set_positions(&mut self, positions: Vec<Point>) {
+        assert_eq!(positions.len(), self.netlist.num_cells(), "position count mismatch");
+        self.positions = positions;
+    }
+
+    /// The center position of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn position(&self, cell: CellId) -> Point {
+        self.positions[cell.index()]
+    }
+
+    /// The bounding rectangle of one cell at its current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        let c = self.netlist.cell(cell);
+        Rect::from_center(self.positions[cell.index()], c.width(), c.height())
+    }
+
+    /// Absolute position of a pin (owning cell center + offset).
+    pub fn pin_position(&self, pin: crate::PinId) -> Point {
+        let p = self.netlist.pin(pin);
+        self.positions[p.cell.index()] + p.offset
+    }
+
+    /// Half-perimeter wirelength of one net at the current positions.
+    ///
+    /// Returns 0 for single-pin nets.
+    pub fn net_hpwl(&self, net: NetId) -> f64 {
+        let net = self.netlist.net(net);
+        if net.degree() < 2 {
+            return 0.0;
+        }
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for &pid in net.pins() {
+            let p = self.pin_position(pid);
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Total weighted HPWL over all nets (Eq. (1a)/(2) of the paper).
+    pub fn total_hpwl(&self) -> f64 {
+        self.netlist
+            .net_ids()
+            .map(|n| self.netlist.net(n).weight() * self.net_hpwl(n))
+            .sum()
+    }
+
+    /// Area of the die region.
+    pub fn region_area(&self) -> f64 {
+        self.region.area()
+    }
+
+    /// Total area of fixed, non-terminal cells that lies inside the region.
+    pub fn fixed_area_in_region(&self) -> f64 {
+        self.netlist
+            .cell_ids()
+            .filter(|&c| self.netlist.cell(c).kind() == CellKind::Fixed)
+            .map(|c| self.cell_rect(c).overlap_area(&self.region))
+            .sum()
+    }
+
+    /// Design utilization: movable area over free (non-fixed) region area.
+    pub fn utilization(&self) -> f64 {
+        let free = self.region_area() - self.fixed_area_in_region();
+        if free <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.netlist.movable_area() / free
+        }
+    }
+
+    /// Whitespace area available to movable cells.
+    pub fn whitespace_area(&self) -> f64 {
+        (self.region_area() - self.fixed_area_in_region() - self.netlist.movable_area()).max(0.0)
+    }
+
+    /// Checks the structural invariants of the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::InvalidDesign`] when a movable cell is larger
+    /// than the region, utilization exceeds 1, or the target density is
+    /// below the utilization (the density constraint would be infeasible).
+    pub fn validate(&self) -> Result<(), DbError> {
+        for c in self.netlist.cell_ids() {
+            let cell = self.netlist.cell(c);
+            if cell.is_movable()
+                && (cell.width() > self.region.width() || cell.height() > self.region.height())
+            {
+                return Err(DbError::InvalidDesign(format!(
+                    "movable cell `{}` ({}x{}) exceeds the region",
+                    cell.name(),
+                    cell.width(),
+                    cell.height()
+                )));
+            }
+        }
+        let util = self.utilization();
+        if util > 1.0 {
+            return Err(DbError::InvalidDesign(format!("utilization {util:.3} exceeds 1")));
+        }
+        if self.target_density < util {
+            return Err(DbError::InvalidDesign(format!(
+                "target density {:.3} below utilization {util:.3}",
+                self.target_density
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn tiny_design() -> Design {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 2.0, 2.0, CellKind::Movable);
+        let c = b.add_cell("c", 2.0, 2.0, CellKind::Movable);
+        let f = b.add_cell("f", 4.0, 4.0, CellKind::Fixed);
+        b.add_net("n0", vec![(a, Point::default()), (c, Point::default())]).unwrap();
+        b.add_net("n1", vec![(a, Point::new(0.5, 0.5)), (f, Point::default())]).unwrap();
+        let nl = b.finish().unwrap();
+        Design::new(
+            "tiny",
+            nl,
+            Rect::new(0.0, 0.0, 20.0, 20.0),
+            vec![Row { y: 0.0, height: 2.0, x_min: 0.0, x_max: 20.0, site_width: 1.0 }],
+            0.9,
+            vec![Point::new(5.0, 5.0), Point::new(8.0, 9.0), Point::new(15.0, 15.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hpwl_of_two_pin_net() {
+        let d = tiny_design();
+        // a at (5,5), c at (8,9): HPWL = 3 + 4.
+        assert_eq!(d.net_hpwl(NetId(0)), 7.0);
+        // n1: pin at (5.5,5.5), f at (15,15): 9.5 + 9.5.
+        assert_eq!(d.net_hpwl(NetId(1)), 19.0);
+        assert_eq!(d.total_hpwl(), 26.0);
+    }
+
+    #[test]
+    fn cell_rect_uses_center_convention() {
+        let d = tiny_design();
+        let r = d.cell_rect(CellId(0));
+        assert_eq!(r, Rect::new(4.0, 4.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn utilization_and_whitespace() {
+        let d = tiny_design();
+        // region 400, fixed 16, movable 8.
+        assert!((d.utilization() - 8.0 / 384.0).abs() < 1e-12);
+        assert!((d.whitespace_area() - 376.0).abs() < 1e-12);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn position_count_mismatch_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let nl = b.finish().unwrap();
+        let err =
+            Design::new("bad", nl, Rect::new(0.0, 0.0, 10.0, 10.0), vec![], 0.9, vec![])
+                .unwrap_err();
+        assert!(matches!(err, DbError::InvalidDesign(_)));
+    }
+
+    #[test]
+    fn bad_target_density_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let nl = b.finish().unwrap();
+        let err = Design::new(
+            "bad",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            vec![],
+            1.5,
+            vec![Point::default()],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::InvalidDesign(_)));
+    }
+
+    #[test]
+    fn oversized_movable_cell_fails_validation() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("huge", 50.0, 1.0, CellKind::Movable);
+        let nl = b.finish().unwrap();
+        let d = Design::new(
+            "bad",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            vec![],
+            0.9,
+            vec![Point::new(5.0, 5.0)],
+        )
+        .unwrap();
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn single_pin_net_has_zero_hpwl() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        b.add_net("n", vec![(a, Point::default())]).unwrap();
+        let nl = b.finish().unwrap();
+        let d = Design::new(
+            "one",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            vec![],
+            0.9,
+            vec![Point::new(3.0, 3.0)],
+        )
+        .unwrap();
+        assert_eq!(d.total_hpwl(), 0.0);
+    }
+
+    #[test]
+    fn row_sites() {
+        let row = Row { y: 0.0, height: 12.0, x_min: 10.0, x_max: 110.0, site_width: 4.0 };
+        assert_eq!(row.num_sites(), 25);
+        assert_eq!(row.rect().height(), 12.0);
+    }
+
+    #[test]
+    fn set_positions_replaces() {
+        let mut d = tiny_design();
+        let mut ps = d.positions().to_vec();
+        ps[0] = Point::new(1.0, 1.0);
+        d.set_positions(ps);
+        assert_eq!(d.position(CellId(0)), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,540 @@
+//! The logical netlist: cells, pins and nets with typed ids.
+//!
+//! A [`Netlist`] is an immutable, index-based structure built once through
+//! [`NetlistBuilder`] and then shared by every stage of the flow. Pin
+//! connectivity is stored both net-major (each [`Net`] lists its pins) and
+//! cell-major (a CSR adjacency from cells to pins) because the wirelength
+//! operators walk nets while the preconditioner and legalizer walk cells.
+
+use crate::{DbError, Point};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! typed_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Identifier of a cell within a [`Netlist`].
+    CellId
+);
+typed_id!(
+    /// Identifier of a net within a [`Netlist`].
+    NetId
+);
+typed_id!(
+    /// Identifier of a pin within a [`Netlist`].
+    PinId
+);
+
+/// How a cell participates in placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// A standard cell the placer may move.
+    Movable,
+    /// A fixed block (macro or pre-placed cell); contributes density but
+    /// never moves.
+    Fixed,
+    /// An I/O terminal: fixed, and excluded from the density system
+    /// (zero effective area), but its pins still pull wirelength.
+    Terminal,
+}
+
+impl CellKind {
+    /// Whether the placer may move this cell.
+    pub fn is_movable(self) -> bool {
+        matches!(self, CellKind::Movable)
+    }
+}
+
+/// A placeable or fixed circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    name: String,
+    width: f64,
+    height: f64,
+    kind: CellKind,
+}
+
+impl Cell {
+    /// Creates a cell description.
+    pub fn new(name: impl Into<String>, width: f64, height: f64, kind: CellKind) -> Self {
+        Cell { name: name.into(), width, height, kind }
+    }
+
+    /// The cell's instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell width in database units.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Cell height in database units.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Cell area.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The cell's placement role.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Whether the placer may move this cell.
+    pub fn is_movable(&self) -> bool {
+        self.kind.is_movable()
+    }
+}
+
+/// A pin: the connection point of a cell on a net.
+///
+/// `offset` is measured from the owning cell's **center**; the pin's
+/// absolute location is `cell_center + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Owning cell.
+    pub cell: CellId,
+    /// Net the pin belongs to.
+    pub net: NetId,
+    /// Offset from the owning cell's center.
+    pub offset: Point,
+}
+
+/// A net: a set of electrically connected pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    name: String,
+    pins: Vec<PinId>,
+    weight: f64,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pins on this net.
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+
+    /// Number of pins (the net degree).
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The net weight (1.0 unless the benchmark specifies otherwise).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+/// An immutable netlist. Construct with [`NetlistBuilder`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    /// CSR start offsets: pins of cell `c` are
+    /// `cell_pin_list[cell_pin_start[c]..cell_pin_start[c+1]]`.
+    cell_pin_start: Vec<u32>,
+    cell_pin_list: Vec<PinId>,
+    name_to_cell: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    /// Number of cells (movable + fixed + terminals).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of pins.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Number of movable cells.
+    pub fn num_movable(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_movable()).count()
+    }
+
+    /// Borrow a cell by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Borrow a net by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Borrow a pin by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// All cells in id order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All nets in id order.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All pins in id order.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Iterator over cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Iterator over net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// The pins attached to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn pins_of_cell(&self, id: CellId) -> &[PinId] {
+        let s = self.cell_pin_start[id.index()] as usize;
+        let e = self.cell_pin_start[id.index() + 1] as usize;
+        &self.cell_pin_list[s..e]
+    }
+
+    /// The number of nets incident to a cell (the `|S_i|` of the
+    /// wirelength preconditioner; pins of the same cell on one net are
+    /// counted once per pin, matching DREAMPlace's convention).
+    pub fn cell_degree(&self, id: CellId) -> usize {
+        self.pins_of_cell(id).len()
+    }
+
+    /// Looks up a cell id by instance name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.name_to_cell.get(name).copied()
+    }
+
+    /// Total area of movable cells.
+    pub fn movable_area(&self) -> f64 {
+        self.cells.iter().filter(|c| c.is_movable()).map(Cell::area).sum()
+    }
+
+    /// Average degree over all nets.
+    pub fn average_net_degree(&self) -> f64 {
+        if self.nets.is_empty() {
+            0.0
+        } else {
+            self.pins.len() as f64 / self.nets.len() as f64
+        }
+    }
+}
+
+/// Incrementally builds a [`Netlist`].
+///
+/// ```
+/// use xplace_db::netlist::{CellKind, NetlistBuilder};
+/// use xplace_db::Point;
+///
+/// # fn main() -> Result<(), xplace_db::DbError> {
+/// let mut b = NetlistBuilder::new();
+/// let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable);
+/// let c = b.add_cell("c", 3.0, 1.0, CellKind::Fixed);
+/// b.add_net("n1", vec![(a, Point::default()), (c, Point::new(0.5, 0.0))])?;
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.num_cells(), 2);
+/// assert_eq!(netlist.net(xplace_db::NetId(0)).degree(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    name_to_cell: HashMap<String, CellId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity hints.
+    pub fn with_capacity(cells: usize, nets: usize, pins: usize) -> Self {
+        NetlistBuilder {
+            cells: Vec::with_capacity(cells),
+            nets: Vec::with_capacity(nets),
+            pins: Vec::with_capacity(pins),
+            name_to_cell: HashMap::with_capacity(cells),
+        }
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Adds a cell and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell with the same name already exists.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        kind: CellKind,
+    ) -> CellId {
+        let name = name.into();
+        let id = CellId(self.cells.len() as u32);
+        let prev = self.name_to_cell.insert(name.clone(), id);
+        assert!(prev.is_none(), "duplicate cell name `{name}`");
+        self.cells.push(Cell { name, width, height, kind });
+        id
+    }
+
+    /// Adds a weighted net connecting `(cell, pin_offset)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownCell`] if any cell id is out of range and
+    /// [`DbError::InvalidDesign`] for a net with no pins.
+    pub fn add_net_weighted(
+        &mut self,
+        name: impl Into<String>,
+        pins: Vec<(CellId, Point)>,
+        weight: f64,
+    ) -> Result<NetId, DbError> {
+        let name = name.into();
+        if pins.is_empty() {
+            return Err(DbError::InvalidDesign(format!("net `{name}` has no pins")));
+        }
+        let net_id = NetId(self.nets.len() as u32);
+        let mut pin_ids = Vec::with_capacity(pins.len());
+        for (cell, offset) in pins {
+            if cell.index() >= self.cells.len() {
+                return Err(DbError::UnknownCell(format!("cell id {cell} in net `{name}`")));
+            }
+            let pin_id = PinId(self.pins.len() as u32);
+            self.pins.push(Pin { cell, net: net_id, offset });
+            pin_ids.push(pin_id);
+        }
+        self.nets.push(Net { name, pins: pin_ids, weight });
+        Ok(net_id)
+    }
+
+    /// Adds a unit-weight net.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistBuilder::add_net_weighted`].
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        pins: Vec<(CellId, Point)>,
+    ) -> Result<NetId, DbError> {
+        self.add_net_weighted(name, pins, 1.0)
+    }
+
+    /// Finalizes the netlist, building the cell-to-pin adjacency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::InvalidDesign`] if any cell has a non-positive
+    /// dimension (terminals may have zero size).
+    pub fn finish(self) -> Result<Netlist, DbError> {
+        for cell in &self.cells {
+            let ok = match cell.kind {
+                CellKind::Terminal => cell.width >= 0.0 && cell.height >= 0.0,
+                _ => cell.width > 0.0 && cell.height > 0.0,
+            };
+            if !ok {
+                return Err(DbError::InvalidDesign(format!(
+                    "cell `{}` has non-positive dimensions {}x{}",
+                    cell.name, cell.width, cell.height
+                )));
+            }
+        }
+        let mut counts = vec![0u32; self.cells.len() + 1];
+        for pin in &self.pins {
+            counts[pin.cell.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let cell_pin_start = counts.clone();
+        let mut cursor = counts;
+        let mut cell_pin_list = vec![PinId(0); self.pins.len()];
+        for (i, pin) in self.pins.iter().enumerate() {
+            let slot = cursor[pin.cell.index()] as usize;
+            cell_pin_list[slot] = PinId(i as u32);
+            cursor[pin.cell.index()] += 1;
+        }
+        Ok(Netlist {
+            cells: self.cells,
+            nets: self.nets,
+            pins: self.pins,
+            cell_pin_start,
+            cell_pin_list,
+            name_to_cell: self.name_to_cell,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let c = b.add_cell("c", 2.0, 1.0, CellKind::Movable);
+        let t = b.add_cell("t", 0.0, 0.0, CellKind::Terminal);
+        b.add_net("n0", vec![(a, Point::default()), (c, Point::new(0.5, 0.0))]).unwrap();
+        b.add_net("n1", vec![(a, Point::new(-0.25, 0.0)), (t, Point::default())]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let nl = tiny();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 2);
+        assert_eq!(nl.num_pins(), 4);
+        assert_eq!(nl.num_movable(), 2);
+        assert_eq!(nl.cell_by_name("c"), Some(CellId(1)));
+        assert_eq!(nl.cell_by_name("zz"), None);
+    }
+
+    #[test]
+    fn cell_pin_adjacency_is_consistent() {
+        let nl = tiny();
+        let a_pins = nl.pins_of_cell(CellId(0));
+        assert_eq!(a_pins.len(), 2);
+        for &p in a_pins {
+            assert_eq!(nl.pin(p).cell, CellId(0));
+        }
+        assert_eq!(nl.cell_degree(CellId(2)), 1);
+    }
+
+    #[test]
+    fn net_major_and_cell_major_views_agree() {
+        let nl = tiny();
+        let from_nets: usize = nl.nets().iter().map(Net::degree).sum();
+        let from_cells: usize = nl.cell_ids().map(|c| nl.pins_of_cell(c).len()).sum();
+        assert_eq!(from_nets, from_cells);
+        assert_eq!(from_nets, nl.num_pins());
+    }
+
+    #[test]
+    fn empty_net_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        assert!(matches!(b.add_net("bad", vec![]), Err(DbError::InvalidDesign(_))));
+    }
+
+    #[test]
+    fn unknown_cell_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let err = b.add_net("n", vec![(CellId(5), Point::default())]).unwrap_err();
+        assert!(matches!(err, DbError::UnknownCell(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_names_panic() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+    }
+
+    #[test]
+    fn zero_area_movable_cell_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("a", 0.0, 1.0, CellKind::Movable);
+        assert!(matches!(b.finish(), Err(DbError::InvalidDesign(_))));
+    }
+
+    #[test]
+    fn zero_area_terminal_is_allowed() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("pad", 0.0, 0.0, CellKind::Terminal);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn areas_and_degrees() {
+        let nl = tiny();
+        assert_eq!(nl.movable_area(), 3.0);
+        assert_eq!(nl.average_net_degree(), 2.0);
+        assert_eq!(nl.net(NetId(0)).weight(), 1.0);
+    }
+
+    #[test]
+    fn typed_ids_display_and_convert() {
+        let id = CellId::from(7u32);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "CellId(7)");
+    }
+}

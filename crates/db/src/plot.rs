@@ -1,0 +1,178 @@
+//! SVG rendering of placements (debugging and documentation aid).
+
+use crate::{CellKind, DbError, Design};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlotConfig {
+    /// Output image width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Draw net bounding boxes for the `longest_nets` longest nets.
+    pub longest_nets: usize,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig { width_px: 800.0, longest_nets: 0 }
+    }
+}
+
+/// Renders the design as an SVG string: die outline, rows, fixed macros,
+/// movable cells, fence regions, and optionally the longest nets' bounding
+/// boxes.
+pub fn to_svg(design: &Design, config: &PlotConfig) -> String {
+    let region = design.region();
+    let scale = config.width_px / region.width();
+    let height_px = region.height() * scale;
+    let px = |x: f64| (x - region.lx) * scale;
+    // SVG y grows downward; flip so the plot matches die coordinates.
+    let py = |y: f64| height_px - (y - region.ly) * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
+        config.width_px, height_px, config.width_px, height_px
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect x="0" y="0" width="{:.1}" height="{:.1}" fill="#ffffff" stroke="#222222"/>"##,
+        config.width_px, height_px
+    );
+
+    // Rows (light guides).
+    for row in design.rows() {
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#eeeeee" stroke-width="0.5"/>"##,
+            px(row.x_min),
+            py(row.y),
+            px(row.x_max),
+            py(row.y)
+        );
+    }
+
+    // Fences.
+    for fence in design.fences() {
+        for r in fence.rects() {
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#fff3c4" stroke="#c89b00" stroke-dasharray="4 2"/>"##,
+                px(r.lx),
+                py(r.uy),
+                r.width() * scale,
+                r.height() * scale
+            );
+        }
+    }
+
+    // Cells.
+    let nl = design.netlist();
+    for id in nl.cell_ids() {
+        let c = nl.cell(id);
+        if c.width() <= 0.0 || c.height() <= 0.0 {
+            continue;
+        }
+        let r = design.cell_rect(id);
+        let fill = match c.kind() {
+            CellKind::Fixed => "#9aa7b1",
+            CellKind::Movable if design.fence_of(id).is_some() => "#e3873e",
+            CellKind::Movable => "#4d8fd1",
+            CellKind::Terminal => "#444444",
+        };
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="0.8" stroke="#333333" stroke-width="0.2"/>"##,
+            px(r.lx),
+            py(r.uy),
+            r.width() * scale,
+            r.height() * scale
+        );
+    }
+
+    // Longest nets' bounding boxes.
+    if config.longest_nets > 0 {
+        let mut nets: Vec<(f64, crate::NetId)> =
+            nl.net_ids().map(|n| (design.net_hpwl(n), n)).collect();
+        nets.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite HPWL"));
+        for &(_, net) in nets.iter().take(config.longest_nets) {
+            let mut min_x = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            for &pid in nl.net(net).pins() {
+                let p = design.pin_position(pid);
+                min_x = min_x.min(p.x);
+                max_x = max_x.max(p.x);
+                min_y = min_y.min(p.y);
+                max_y = max_y.max(p.y);
+            }
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#d14d4d" stroke-width="0.8"/>"##,
+                px(min_x),
+                py(max_y),
+                (max_x - min_x) * scale,
+                (max_y - min_y) * scale
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes the SVG rendering to a file.
+///
+/// # Errors
+///
+/// Returns [`DbError::Io`] on file-system problems.
+pub fn write_svg(design: &Design, config: &PlotConfig, path: &Path) -> Result<(), DbError> {
+    std::fs::write(path, to_svg(design, config))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{synthesize, SynthesisSpec};
+
+    #[test]
+    fn svg_contains_the_expected_elements() {
+        let design = synthesize(
+            &SynthesisSpec::new("plot", 80, 90).with_seed(2).with_macro_count(2).with_fences(1),
+        )
+        .unwrap();
+        let svg = to_svg(&design, &PlotConfig { width_px: 400.0, longest_nets: 3 });
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // movable cells, macros, fences, and net boxes all present.
+        assert!(svg.contains("#4d8fd1"), "movable cells missing");
+        assert!(svg.contains("#9aa7b1"), "macros missing");
+        assert!(svg.contains("#fff3c4"), "fence missing");
+        assert!(svg.contains("#e3873e"), "fenced members missing");
+        assert!(svg.contains("#d14d4d"), "net boxes missing");
+        // One rect per drawable cell plus chrome.
+        let rects = svg.matches("<rect").count();
+        assert!(rects > 80, "only {rects} rects");
+    }
+
+    #[test]
+    fn write_svg_round_trips_to_disk() {
+        let design = synthesize(&SynthesisSpec::new("plotio", 30, 40).with_seed(3)).unwrap();
+        let path = std::env::temp_dir().join(format!("xplace_plot_{}.svg", std::process::id()));
+        write_svg(&design, &PlotConfig::default(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("</svg>"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn aspect_ratio_is_preserved() {
+        let design = synthesize(&SynthesisSpec::new("plotar", 50, 60).with_seed(4)).unwrap();
+        let svg = to_svg(&design, &PlotConfig { width_px: 500.0, longest_nets: 0 });
+        let expect_h = 500.0 * design.region().height() / design.region().width();
+        assert!(svg.contains(&format!(r#"height="{expect_h:.0}""#)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of geometry, synthesis and the Bookshelf
+//! round trip.
+
+use proptest::prelude::*;
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_db::{bookshelf, DesignStats, Point, Rect};
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (-100.0..100.0f64, -100.0..100.0f64, 0.0..50.0f64, 0.0..50.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Overlap is symmetric, non-negative and bounded by both areas.
+    #[test]
+    fn overlap_properties(a in rect_strategy(), b in rect_strategy()) {
+        let ab = a.overlap_area(&b);
+        let ba = b.overlap_area(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= a.area() + 1e-9);
+        prop_assert!(ab <= b.area() + 1e-9);
+        // Intersection consistency.
+        prop_assert_eq!(ab > 1e-12, a.intersects(&b));
+    }
+
+    /// Union contains both inputs and has at least their max area.
+    #[test]
+    fn union_contains(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() >= a.area().max(b.area()) - 1e-9);
+    }
+
+    /// Clamping always lands inside (or on the boundary).
+    #[test]
+    fn clamp_lands_inside(r in rect_strategy(), x in -500.0..500.0f64, y in -500.0..500.0f64) {
+        let p = r.clamp_point(Point::new(x, y));
+        prop_assert!(p.x >= r.lx - 1e-12 && p.x <= r.ux + 1e-12);
+        prop_assert!(p.y >= r.ly - 1e-12 && p.y <= r.uy + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid spec synthesizes a design that validates, with the
+    /// requested movable count and every movable cell connected.
+    #[test]
+    fn synthesis_invariants(
+        cells in 50usize..400,
+        seed in 0u64..1_000_000,
+        util in 0.3..0.8f64,
+        macros in 0usize..5,
+    ) {
+        let spec = SynthesisSpec::new("prop", cells, cells + cells / 10)
+            .with_seed(seed)
+            .with_utilization(util)
+            .with_target_density((util + 0.15).min(0.95))
+            .with_macro_count(macros);
+        let design = synthesize(&spec).expect("valid spec synthesizes");
+        design.validate().expect("synthesized design validates");
+        let stats = DesignStats::of(&design);
+        prop_assert_eq!(stats.num_movable, cells);
+        prop_assert_eq!(stats.num_fixed, macros);
+        let nl = design.netlist();
+        for c in nl.cell_ids() {
+            if nl.cell(c).is_movable() {
+                prop_assert!(!nl.pins_of_cell(c).is_empty());
+            }
+        }
+    }
+
+    /// Bookshelf write -> read preserves counts, kinds and HPWL.
+    #[test]
+    fn bookshelf_round_trip(cells in 30usize..150, seed in 0u64..10_000) {
+        let spec = SynthesisSpec::new("bsprop", cells, cells + 10).with_seed(seed);
+        let design = synthesize(&spec).expect("synthesis");
+        let dir = std::env::temp_dir()
+            .join(format!("xplace_prop_bs_{}_{seed}", std::process::id()));
+        let aux = bookshelf::write_design(&design, &dir).expect("write");
+        let back = bookshelf::read_aux(&aux, design.target_density()).expect("read");
+        prop_assert_eq!(back.netlist().num_cells(), design.netlist().num_cells());
+        prop_assert_eq!(back.netlist().num_nets(), design.netlist().num_nets());
+        prop_assert_eq!(back.netlist().num_pins(), design.netlist().num_pins());
+        let (a, b) = (design.total_hpwl(), back.total_hpwl());
+        prop_assert!((a - b).abs() < 1e-6 * a.max(1.0), "hpwl {} vs {}", a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

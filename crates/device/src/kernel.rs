@@ -1,0 +1,89 @@
+/// Workload description of one kernel launch.
+///
+/// The declared traffic and flop counts drive the analytic execution-time
+/// model; they should describe what the equivalent CUDA kernel would touch
+/// (each operand read once, each output written once).
+///
+/// ```
+/// use xplace_device::KernelInfo;
+///
+/// let k = KernelInfo::new("wa_wirelength").bytes(1 << 20).flops(500_000);
+/// assert_eq!(k.name(), "wa_wirelength");
+/// assert_eq!(k.bytes_accessed(), 1 << 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelInfo {
+    name: &'static str,
+    bytes_accessed: u64,
+    flops: u64,
+    in_place: bool,
+}
+
+impl KernelInfo {
+    /// Creates a kernel description with zero declared workload.
+    pub const fn new(name: &'static str) -> Self {
+        KernelInfo { name, bytes_accessed: 0, flops: 0, in_place: true }
+    }
+
+    /// Sets the bytes of memory traffic the kernel generates.
+    pub const fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes_accessed = bytes;
+        self
+    }
+
+    /// Sets the floating-point operation count.
+    pub const fn flops(mut self, flops: u64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Marks the kernel as writing a freshly allocated output tensor
+    /// instead of updating in place; the device model charges extra
+    /// traffic for it (PyTorch's default behaviour that §3.1.3 removes
+    /// with in-place operators).
+    pub const fn out_of_place(mut self) -> Self {
+        self.in_place = false;
+        self
+    }
+
+    /// The kernel name (shown in profiles).
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Declared memory traffic in bytes.
+    pub const fn bytes_accessed(&self) -> u64 {
+        self.bytes_accessed
+    }
+
+    /// Declared flop count.
+    pub const fn flop_count(&self) -> u64 {
+        self.flops
+    }
+
+    /// Whether the kernel updates its output in place.
+    pub const fn is_in_place(&self) -> bool {
+        self.in_place
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let k = KernelInfo::new("k").bytes(10).flops(20).out_of_place();
+        assert_eq!(k.bytes_accessed(), 10);
+        assert_eq!(k.flop_count(), 20);
+        assert!(!k.is_in_place());
+    }
+
+    #[test]
+    fn defaults_are_in_place_and_zero_cost() {
+        let k = KernelInfo::new("k");
+        assert!(k.is_in_place());
+        assert_eq!(k.bytes_accessed(), 0);
+        assert_eq!(k.flop_count(), 0);
+    }
+}

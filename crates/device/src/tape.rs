@@ -1,0 +1,122 @@
+use crate::{Device, KernelInfo};
+
+/// A minimal autograd tape mirroring PyTorch's backward pass.
+///
+/// Forward operators that participate in automatic differentiation record
+/// themselves with [`Tape::record`]: the kernel description of their
+/// backward operator plus a closure computing the actual gradient math.
+/// Calling [`Tape::backward`] replays the entries in reverse order, each as
+/// a kernel launch on the device — so a taped iteration launches roughly
+/// twice the operators of a hand-derived one, which is precisely the
+/// overhead Xplace's operator-reduction technique removes (§3.1.3).
+///
+/// ```
+/// use xplace_device::{Device, DeviceConfig, KernelInfo, Tape};
+///
+/// let device = Device::new(DeviceConfig::rtx3090());
+/// let mut grad = 0.0f64;
+/// {
+///     let mut tape = Tape::new(&device);
+///     // Forward: y = x^2 at x = 3.
+///     let x = 3.0f64;
+///     let _y = device.launch(KernelInfo::new("square"), || x * x);
+///     tape.record(KernelInfo::new("square_backward"), move |g: &mut f64| *g += 2.0 * x);
+///     tape.backward(&mut grad);
+/// }
+/// assert_eq!(grad, 6.0);
+/// assert_eq!(device.profile().launches, 2); // forward + backward
+/// ```
+pub struct Tape<'d, G> {
+    device: &'d Device,
+    entries: Vec<(KernelInfo, Box<dyn FnOnce(&mut G) + 'd>)>,
+}
+
+impl<'d, G> std::fmt::Debug for Tape<'d, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape").field("entries", &self.entries.len()).finish()
+    }
+}
+
+impl<'d, G> Tape<'d, G> {
+    /// Creates an empty tape bound to a device.
+    pub fn new(device: &'d Device) -> Self {
+        Tape { device, entries: Vec::new() }
+    }
+
+    /// Number of recorded backward operators.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records the backward operator of a forward computation.
+    pub fn record(&mut self, kernel: KernelInfo, backward: impl FnOnce(&mut G) + 'd) {
+        self.entries.push((kernel, Box::new(backward)));
+    }
+
+    /// Replays all recorded backward operators in reverse order, launching
+    /// each on the device and accumulating into `grad`. Consumes the
+    /// recorded entries (the tape can be reused afterwards).
+    pub fn backward(&mut self, grad: &mut G) {
+        for (kernel, body) in self.entries.drain(..).rev() {
+            self.device.launch(kernel, || body(grad));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    #[test]
+    fn backward_runs_in_reverse_order() {
+        let device = Device::new(DeviceConfig::instant());
+        let mut tape: Tape<'_, Vec<u32>> = Tape::new(&device);
+        tape.record(KernelInfo::new("first"), |g| g.push(1));
+        tape.record(KernelInfo::new("second"), |g| g.push(2));
+        let mut order = Vec::new();
+        tape.backward(&mut order);
+        assert_eq!(order, vec![2, 1]);
+        assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn backward_launches_one_kernel_per_entry() {
+        let device = Device::new(DeviceConfig::rtx3090());
+        let mut tape: Tape<'_, f64> = Tape::new(&device);
+        for _ in 0..5 {
+            tape.record(KernelInfo::new("bwd").bytes(100), |g| *g += 1.0);
+        }
+        assert_eq!(tape.len(), 5);
+        let mut g = 0.0;
+        tape.backward(&mut g);
+        assert_eq!(g, 5.0);
+        assert_eq!(device.profile().launches, 5);
+    }
+
+    #[test]
+    fn tape_is_reusable_after_backward() {
+        let device = Device::new(DeviceConfig::instant());
+        let mut tape: Tape<'_, f64> = Tape::new(&device);
+        let mut g = 0.0;
+        tape.record(KernelInfo::new("a"), |g| *g += 1.0);
+        tape.backward(&mut g);
+        tape.record(KernelInfo::new("b"), |g| *g += 10.0);
+        tape.backward(&mut g);
+        assert_eq!(g, 11.0);
+    }
+
+    #[test]
+    fn empty_backward_is_a_no_op() {
+        let device = Device::new(DeviceConfig::rtx3090());
+        let mut tape: Tape<'_, f64> = Tape::new(&device);
+        let mut g = 0.0;
+        tape.backward(&mut g);
+        assert_eq!(device.profile().launches, 0);
+    }
+}

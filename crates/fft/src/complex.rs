@@ -1,0 +1,237 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A minimal double-precision complex number used by the FFT kernels.
+///
+/// Only the operations needed by the spectral transforms are provided; this
+/// is intentionally not a general-purpose complex arithmetic library.
+///
+/// ```
+/// use xplace_fft::Complex;
+///
+/// let i = Complex::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number on the unit circle, `e^{i theta}`.
+    ///
+    /// ```
+    /// use xplace_fft::Complex;
+    /// let w = Complex::from_angle(std::f64::consts::PI);
+    /// assert!((w.re + 1.0).abs() < 1e-12 && w.im.abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// The squared magnitude `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `sqrt(re^2 + im^2)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.0, 4.0);
+        assert_eq!(a + b, Complex::new(2.0, 2.0));
+        assert_eq!(a - b, Complex::new(4.0, -6.0));
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(-a, Complex::new(-3.0, 2.0));
+    }
+
+    #[test]
+    fn multiplication_matches_manual_expansion() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(4.0, -5.0);
+        // (2+3i)(4-5i) = 8 - 10i + 12i + 15 = 23 + 2i
+        assert_eq!(a * b, Complex::new(23.0, 2.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a * a.conj()).re, a.norm_sqr());
+    }
+
+    #[test]
+    fn from_angle_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::TAU / 16.0;
+            let w = Complex::from_angle(theta);
+            assert!((w.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_and_assign_ops() {
+        let xs = [Complex::new(1.0, 1.0), Complex::new(2.0, -1.0)];
+        let s: Complex = xs.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, 0.0));
+        let mut a = Complex::new(1.0, 0.0);
+        a += Complex::I;
+        a -= Complex::ONE;
+        a *= Complex::new(0.0, -1.0);
+        assert_eq!(a, Complex::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn scale_and_div() {
+        let a = Complex::new(2.0, -4.0);
+        assert_eq!(a * 0.5, Complex::new(1.0, -2.0));
+        assert_eq!(a / 2.0, Complex::new(1.0, -2.0));
+    }
+}

@@ -1,0 +1,374 @@
+//! FFT-backed discrete cosine/sine transforms.
+//!
+//! The electrostatic solver needs three 1-D building blocks, all defined on
+//! the half-sample grid `theta_k(n) = pi * k * (2n + 1) / (2N)`:
+//!
+//! * **analysis** (DCT-II): `C[k] = sum_n x[n] cos(theta_k(n))`
+//! * **cosine synthesis**:  `f[n] = sum_k c[k] cos(theta_k(n))`
+//! * **sine synthesis** (a.k.a. `idxst`): `f[n] = sum_k c[k] sin(theta_k(n))`
+//!
+//! All three are computed through a single length-`2N` complex FFT plan.
+
+use crate::{Complex, FftError, FftPlan};
+
+/// A reusable plan for the DCT/DST family of a fixed power-of-two length.
+///
+/// All transforms are `O(N log N)` and allocation-free after construction.
+/// Methods take `&mut self` because the plan owns scratch buffers.
+///
+/// ```
+/// use xplace_fft::DctPlan;
+///
+/// # fn main() -> Result<(), xplace_fft::FftError> {
+/// let mut plan = DctPlan::new(8)?;
+/// let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let mut coeffs = vec![0.0; 8];
+/// plan.analyze(&x, &mut coeffs)?;
+/// // Scale to synthesis coefficients and reconstruct.
+/// let mut c = coeffs.clone();
+/// for (k, v) in c.iter_mut().enumerate() {
+///     *v *= 2.0 / 8.0;
+///     if k == 0 { *v *= 0.5; }
+/// }
+/// let mut back = vec![0.0; 8];
+/// plan.cosine_synthesis(&c, &mut back)?;
+/// for (a, b) in back.iter().zip(&x) {
+///     assert!((a - b).abs() < 1e-10);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    len: usize,
+    fft: FftPlan,
+    /// e^{-i pi k / (2N)} for k in 0..2N.
+    phase_fwd: Vec<Complex>,
+    /// e^{+i pi k / (2N)} for k in 0..N.
+    phase_inv: Vec<Complex>,
+    scratch: Vec<Complex>,
+}
+
+impl DctPlan {
+    /// Creates a plan of length `len` (must be a nonzero power of two).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FftError::EmptyLength`] / [`FftError::NotPowerOfTwo`]
+    /// from the underlying FFT plan.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if len == 0 {
+            return Err(FftError::EmptyLength);
+        }
+        if !crate::is_power_of_two(len) {
+            return Err(FftError::NotPowerOfTwo(len));
+        }
+        let fft = FftPlan::new(2 * len)?;
+        let phase_fwd = (0..2 * len)
+            .map(|k| Complex::from_angle(-std::f64::consts::PI * k as f64 / (2.0 * len as f64)))
+            .collect();
+        let phase_inv = (0..len)
+            .map(|k| Complex::from_angle(std::f64::consts::PI * k as f64 / (2.0 * len as f64)))
+            .collect();
+        Ok(DctPlan { len, fft, phase_fwd, phase_inv, scratch: vec![Complex::ZERO; 2 * len] })
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn check(&self, input: &[f64], output: &[f64]) -> Result<(), FftError> {
+        if input.len() != self.len {
+            return Err(FftError::LengthMismatch { expected: self.len, actual: input.len() });
+        }
+        if output.len() != self.len {
+            return Err(FftError::LengthMismatch { expected: self.len, actual: output.len() });
+        }
+        Ok(())
+    }
+
+    /// Unnormalized DCT-II analysis:
+    /// `output[k] = sum_n input[n] * cos(pi k (2n+1) / (2N))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either slice length differs
+    /// from the plan length.
+    pub fn analyze(&mut self, input: &[f64], output: &mut [f64]) -> Result<(), FftError> {
+        self.check(input, output)?;
+        let n = self.len;
+        // Even extension: y[n] = x[n], y[2N-1-n] = x[n].
+        for (i, &x) in input.iter().enumerate() {
+            self.scratch[i] = Complex::new(x, 0.0);
+            self.scratch[2 * n - 1 - i] = Complex::new(x, 0.0);
+        }
+        self.fft.forward(&mut self.scratch)?;
+        // C[k] = Re(Y[k] * e^{-i pi k / 2N}) / 2
+        for k in 0..n {
+            output[k] = 0.5 * (self.scratch[k] * self.phase_fwd[k]).re;
+        }
+        Ok(())
+    }
+
+    /// Cosine synthesis:
+    /// `output[n] = sum_{k=0}^{N-1} coeffs[k] * cos(pi k (2n+1) / (2N))`.
+    ///
+    /// Note the `k = 0` term enters with full weight `coeffs[0]`; any DCT
+    /// normalization convention is the caller's responsibility (see the
+    /// type-level example).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on slice-length mismatch.
+    pub fn cosine_synthesis(&mut self, coeffs: &[f64], output: &mut [f64]) -> Result<(), FftError> {
+        self.check(coeffs, output)?;
+        let n = self.len;
+        // Build the Hermitian length-2N spectrum Z with Z[k] = c[k] e^{i pi k/2N}.
+        self.scratch[0] = Complex::new(coeffs[0], 0.0);
+        self.scratch[n] = Complex::ZERO;
+        for k in 1..n {
+            let z = self.phase_inv[k].scale(coeffs[k]);
+            self.scratch[k] = z;
+            self.scratch[2 * n - k] = z.conj();
+        }
+        self.fft.inverse_unscaled(&mut self.scratch)?;
+        // z_unscaled[n] = c[0] + 2 sum_{k>=1} c[k] cos(theta) ; recover the sum.
+        let c0 = coeffs[0];
+        for i in 0..n {
+            output[i] = 0.5 * (self.scratch[i].re + c0);
+        }
+        Ok(())
+    }
+
+    /// Sine synthesis (the `idxst` transform of ePlace/DREAMPlace):
+    /// `output[n] = sum_{k=0}^{N-1} coeffs[k] * sin(pi k (2n+1) / (2N))`.
+    ///
+    /// The `k = 0` coefficient is irrelevant (its basis function is zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on slice-length mismatch.
+    pub fn sine_synthesis(&mut self, coeffs: &[f64], output: &mut [f64]) -> Result<(), FftError> {
+        self.check(coeffs, output)?;
+        let n = self.len;
+        // Identity: sum_k c[k] sin(pi k (2n+1)/(2N))
+        //         = (-1)^n * sum_m c'[m] cos(pi m (2n+1)/(2N))
+        // with c'[0] = 0, c'[m] = c[N-m].
+        // Build the Hermitian spectrum for c' directly.
+        self.scratch[0] = Complex::ZERO;
+        self.scratch[n] = Complex::ZERO;
+        for m in 1..n {
+            let z = self.phase_inv[m].scale(coeffs[n - m]);
+            self.scratch[m] = z;
+            self.scratch[2 * n - m] = z.conj();
+        }
+        self.fft.inverse_unscaled(&mut self.scratch)?;
+        for i in 0..n {
+            let cos_sum = 0.5 * self.scratch[i].re;
+            output[i] = if i % 2 == 0 { cos_sum } else { -cos_sum };
+        }
+        Ok(())
+    }
+}
+
+/// Reference `O(N^2)` implementations used to validate the FFT-backed path.
+#[cfg(test)]
+pub(crate) mod naive {
+    /// Unnormalized DCT-II.
+    pub fn analyze(input: &[f64]) -> Vec<f64> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                input
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        x * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64
+                            / (2.0 * n as f64))
+                            .cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Plain cosine synthesis.
+    pub fn cosine_synthesis(coeffs: &[f64]) -> Vec<f64> {
+        let n = coeffs.len();
+        (0..n)
+            .map(|i| {
+                coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| {
+                        c * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64
+                            / (2.0 * n as f64))
+                            .cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Plain sine synthesis.
+    pub fn sine_synthesis(coeffs: &[f64]) -> Vec<f64> {
+        let n = coeffs.len();
+        (0..n)
+            .map(|i| {
+                coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| {
+                        c * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64
+                            / (2.0 * n as f64))
+                            .sin()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos()).collect()
+    }
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        assert!(matches!(DctPlan::new(0), Err(FftError::EmptyLength)));
+        assert!(matches!(DctPlan::new(10), Err(FftError::NotPowerOfTwo(10))));
+    }
+
+    #[test]
+    fn analyze_matches_naive() {
+        for &n in &[2usize, 4, 8, 32, 128] {
+            let mut plan = DctPlan::new(n).unwrap();
+            let x = sample_signal(n);
+            let mut fast = vec![0.0; n];
+            plan.analyze(&x, &mut fast).unwrap();
+            let slow = naive::analyze(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_synthesis_matches_naive() {
+        for &n in &[2usize, 8, 64] {
+            let mut plan = DctPlan::new(n).unwrap();
+            let c = sample_signal(n);
+            let mut fast = vec![0.0; n];
+            plan.cosine_synthesis(&c, &mut fast).unwrap();
+            let slow = naive::cosine_synthesis(&c);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sine_synthesis_matches_naive() {
+        for &n in &[2usize, 8, 64, 256] {
+            let mut plan = DctPlan::new(n).unwrap();
+            let c = sample_signal(n);
+            let mut fast = vec![0.0; n];
+            plan.sine_synthesis(&c, &mut fast).unwrap();
+            let slow = naive::sine_synthesis(&c);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_then_scaled_synthesis_round_trips() {
+        let n = 64;
+        let mut plan = DctPlan::new(n).unwrap();
+        let x = sample_signal(n);
+        let mut c = vec![0.0; n];
+        plan.analyze(&x, &mut c).unwrap();
+        for (k, v) in c.iter_mut().enumerate() {
+            *v *= 2.0 / n as f64;
+            if k == 0 {
+                *v *= 0.5;
+            }
+        }
+        let mut back = vec![0.0; n];
+        plan.cosine_synthesis(&c, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pure_cosine_mode_concentrates_in_one_coefficient() {
+        let n = 32;
+        let mut plan = DctPlan::new(n).unwrap();
+        let k0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                (std::f64::consts::PI * k0 as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos()
+            })
+            .collect();
+        let mut c = vec![0.0; n];
+        plan.analyze(&x, &mut c).unwrap();
+        for (k, &v) in c.iter().enumerate() {
+            if k == k0 {
+                assert!((v - n as f64 / 2.0).abs() < 1e-9, "peak coefficient wrong: {v}");
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at k={k}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sine_synthesis_ignores_k0() {
+        let n = 16;
+        let mut plan = DctPlan::new(n).unwrap();
+        let mut c = vec![0.0; n];
+        c[0] = 123.0;
+        let mut out = vec![0.0; n];
+        plan.sine_synthesis(&c, &mut out).unwrap();
+        for v in &out {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let mut plan = DctPlan::new(8).unwrap();
+        let x = vec![0.0; 8];
+        let mut out = vec![0.0; 4];
+        assert!(matches!(
+            plan.analyze(&x, &mut out),
+            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn linearity_of_analysis() {
+        let n = 32;
+        let mut plan = DctPlan::new(n).unwrap();
+        let x = sample_signal(n);
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + 3.0 * b).collect();
+        let (mut cx, mut cy, mut cs) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        plan.analyze(&x, &mut cx).unwrap();
+        plan.analyze(&y, &mut cy).unwrap();
+        plan.analyze(&sum, &mut cs).unwrap();
+        for k in 0..n {
+            assert!((cs[k] - (2.0 * cx[k] + 3.0 * cy[k])).abs() < 1e-9);
+        }
+    }
+}

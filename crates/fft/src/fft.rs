@@ -1,0 +1,318 @@
+use crate::{Complex, FftError};
+
+/// A radix-2 decimation-in-time FFT plan with precomputed twiddle factors
+/// and bit-reversal permutation for a fixed power-of-two length.
+///
+/// Creating a plan is `O(n)`; every transform is `O(n log n)` with no
+/// allocation. The same plan serves both forward and inverse transforms.
+///
+/// ```
+/// use xplace_fft::{Complex, FftPlan};
+///
+/// # fn main() -> Result<(), xplace_fft::FftError> {
+/// let plan = FftPlan::new(8)?;
+/// let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+/// let original = data.clone();
+/// plan.forward(&mut data)?;
+/// plan.inverse(&mut data)?;
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((a.re - b.re).abs() < 1e-12 && a.im.abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    len: usize,
+    /// Twiddles for the forward transform, laid out stage by stage.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation indices.
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::EmptyLength`] for `len == 0` and
+    /// [`FftError::NotPowerOfTwo`] when `len` is not a power of two.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if len == 0 {
+            return Err(FftError::EmptyLength);
+        }
+        if !crate::is_power_of_two(len) {
+            return Err(FftError::NotPowerOfTwo(len));
+        }
+        let stages = len.trailing_zeros() as usize;
+        // Twiddles: for each stage s (half-size m = 2^s), the m roots
+        // e^{-i pi k / m}, k = 0..m. Total = len - 1 entries.
+        let mut twiddles = Vec::with_capacity(len.saturating_sub(1));
+        for s in 0..stages {
+            let half = 1usize << s;
+            for k in 0..half {
+                let theta = -std::f64::consts::PI * k as f64 / half as f64;
+                twiddles.push(Complex::from_angle(theta));
+            }
+        }
+        let mut bitrev = vec![0u32; len];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            let rev = (i as u32).reverse_bits() >> (32 - stages.max(1) as u32);
+            *slot = if stages == 0 { 0 } else { rev };
+        }
+        Ok(FftPlan { len, twiddles, bitrev })
+    }
+
+    /// The transform length this plan was created for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn check(&self, data: &[Complex]) -> Result<(), FftError> {
+        if data.len() != self.len {
+            return Err(FftError::LengthMismatch { expected: self.len, actual: data.len() });
+        }
+        Ok(())
+    }
+
+    /// In-place forward transform: `X[k] = sum_n x[n] e^{-2 pi i n k / N}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from the
+    /// plan length.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.check(data)?;
+        self.permute(data);
+        self.butterflies(data, false);
+        Ok(())
+    }
+
+    /// In-place inverse transform, including the `1/N` normalization:
+    /// `x[n] = (1/N) sum_k X[k] e^{+2 pi i n k / N}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from the
+    /// plan length.
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.check(data)?;
+        self.permute(data);
+        self.butterflies(data, true);
+        let scale = 1.0 / self.len as f64;
+        for c in data.iter_mut() {
+            *c = c.scale(scale);
+        }
+        Ok(())
+    }
+
+    /// In-place inverse transform without the `1/N` normalization.
+    ///
+    /// Useful when the normalization is folded into a caller-side scale
+    /// factor (as the DCT synthesis transforms do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from the
+    /// plan length.
+    pub fn inverse_unscaled(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.check(data)?;
+        self.permute(data);
+        self.butterflies(data, true);
+        Ok(())
+    }
+
+    #[inline]
+    fn permute(&self, data: &mut [Complex]) {
+        for i in 0..self.len {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex], inverse: bool) {
+        let stages = self.len.trailing_zeros() as usize;
+        let mut tw_base = 0usize;
+        for s in 0..stages {
+            let half = 1usize << s;
+            let step = half << 1;
+            let tw = &self.twiddles[tw_base..tw_base + half];
+            let mut start = 0;
+            while start < self.len {
+                for k in 0..half {
+                    let w = if inverse { tw[k].conj() } else { tw[k] };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+                start += step;
+            }
+            tw_base += half;
+        }
+    }
+}
+
+/// Reference `O(n^2)` DFT, used for validating the fast path in tests.
+#[cfg(test)]
+pub(crate) fn naive_dft(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (i, &x) in input.iter().enumerate() {
+            let theta = sign * std::f64::consts::TAU * (k * i) as f64 / n as f64;
+            acc += x * Complex::from_angle(theta);
+        }
+        if inverse {
+            acc = acc / n as f64;
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol
+    }
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::EmptyLength);
+        assert_eq!(FftPlan::new(12).unwrap_err(), FftError::NotPowerOfTwo(12));
+        assert!(FftPlan::new(1).is_ok());
+    }
+
+    #[test]
+    fn rejects_mismatched_buffer() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut data = vec![Complex::ZERO; 4];
+        assert!(matches!(
+            plan.forward(&mut data),
+            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut data = vec![Complex::new(3.5, -1.25)];
+        plan.forward(&mut data).unwrap();
+        assert_eq!(data[0], Complex::new(3.5, -1.25));
+        plan.inverse(&mut data).unwrap();
+        assert_eq!(data[0], Complex::new(3.5, -1.25));
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64, 128] {
+            let plan = FftPlan::new(n).unwrap();
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let expected = naive_dft(&input, false);
+            let mut data = input.clone();
+            plan.forward(&mut data).unwrap();
+            for (a, b) in data.iter().zip(&expected) {
+                assert!(close(*a, *b, 1e-9), "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_inverse() {
+        let n = 32;
+        let plan = FftPlan::new(n).unwrap();
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let expected = naive_dft(&input, true);
+        let mut data = input.clone();
+        plan.inverse(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&expected) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 256;
+        let plan = FftPlan::new(n).unwrap();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin() * 10.0, (i as f64 * 0.1).cos()))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data).unwrap();
+        plan.inverse(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&input) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant_spectrum() {
+        let n = 16;
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = vec![Complex::ZERO; n];
+        data[0] = Complex::ONE;
+        plan.forward(&mut data).unwrap();
+        for c in &data {
+            assert!(close(*c, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let plan = FftPlan::new(n).unwrap();
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+        let mut data = input;
+        plan.forward(&mut data).unwrap();
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let plan = FftPlan::new(n).unwrap();
+        let xs: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let ys: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let mut sum: Vec<Complex> = xs.iter().zip(&ys).map(|(a, b)| *a + *b).collect();
+        let mut fx = xs.clone();
+        let mut fy = ys.clone();
+        plan.forward(&mut sum).unwrap();
+        plan.forward(&mut fx).unwrap();
+        plan.forward(&mut fy).unwrap();
+        for i in 0..n {
+            assert!(close(sum[i], fx[i] + fy[i], 1e-9));
+        }
+    }
+
+    #[test]
+    fn inverse_unscaled_differs_by_n() {
+        let n = 8;
+        let plan = FftPlan::new(n).unwrap();
+        let input: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64 + 1.0, 0.0)).collect();
+        let mut a = input.clone();
+        let mut b = input;
+        plan.inverse(&mut a).unwrap();
+        plan.inverse_unscaled(&mut b).unwrap();
+        for i in 0..n {
+            assert!(close(b[i], a[i].scale(n as f64), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Numerical solution of the placement electrostatic system.
+//!
+//! Following ePlace (and Xplace, which inherits its formulation), the cell
+//! density map is treated as a charge density `rho` on an `nx`-by-`ny` bin
+//! grid. The potential `psi` solves Poisson's equation with Neumann
+//! boundaries (Eq. (5) of the paper):
+//!
+//! ```text
+//!   laplacian(psi) = -rho,   n . grad(psi) = 0 on the boundary,
+//!   integral(rho) = integral(psi) = 0.
+//! ```
+//!
+//! Expanding `rho` in the cosine basis `cos(w_u (i+1/2)) cos(w_v (j+1/2))`
+//! with `w_u = pi u / nx`, `w_v = pi v / ny` (which satisfies the Neumann
+//! condition automatically) gives the classic spectral solution:
+//!
+//! ```text
+//!   psi_uv   = a_uv / (w_u^2 + w_v^2)
+//!   Ex       = sum a_uv w_u/(w_u^2+w_v^2) sin cos      (E = -grad psi)
+//!   Ey       = sum a_uv w_v/(w_u^2+w_v^2) cos sin
+//! ```
+//!
+//! which is exactly what DREAMPlace evaluates with its `dct2`/`idct2`/
+//! `idxst` kernel family; here the transforms come from [`DctPlan`].
+
+use crate::{DctPlan, FftError, Grid2};
+
+/// The potential and electric-field maps produced by one density solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSolution {
+    /// Electrostatic potential `psi`, one sample per bin.
+    pub potential: Grid2,
+    /// x-component of the electric field `E = -grad psi` (bin units).
+    pub field_x: Grid2,
+    /// y-component of the electric field.
+    pub field_y: Grid2,
+    /// Total system energy `0.5 * sum(rho * psi)`.
+    pub energy: f64,
+}
+
+impl FieldSolution {
+    /// Creates a zero-filled solution for an `nx`-by-`ny` grid.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        FieldSolution {
+            potential: Grid2::new(nx, ny),
+            field_x: Grid2::new(nx, ny),
+            field_y: Grid2::new(nx, ny),
+            energy: 0.0,
+        }
+    }
+}
+
+/// Spectral Poisson solver for the placement density system.
+///
+/// The solver owns all transform plans and scratch memory; a `solve` call
+/// performs one DCT-II analysis and three syntheses (potential, `Ex`, `Ey`)
+/// with no allocation when used through [`ElectrostaticSolver::solve_into`].
+///
+/// ```
+/// use xplace_fft::{ElectrostaticSolver, Grid2};
+///
+/// # fn main() -> Result<(), xplace_fft::FftError> {
+/// let mut solver = ElectrostaticSolver::new(32, 32)?;
+/// let density = Grid2::from_fn(32, 32, |ix, iy| {
+///     let dx = ix as f64 - 15.5;
+///     let dy = iy as f64 - 15.5;
+///     (-(dx * dx + dy * dy) / 20.0).exp()
+/// });
+/// let sol = solver.solve(&density)?;
+/// // Field pushes outward from the density peak.
+/// assert!(sol.field_x[(25, 16)] > 0.0);
+/// assert!(sol.field_x[(6, 16)] < 0.0);
+/// assert!(sol.energy > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElectrostaticSolver {
+    nx: usize,
+    ny: usize,
+    plan_x: DctPlan,
+    plan_y: DctPlan,
+    /// w_u = pi u / nx.
+    wx: Vec<f64>,
+    /// w_v = pi v / ny.
+    wy: Vec<f64>,
+    /// Normalized analysis coefficients a_uv (row-major, u*ny+v).
+    coeffs: Vec<f64>,
+    /// Scratch coefficient buffer for the synthesis passes.
+    synth: Vec<f64>,
+    /// Transposed scratch (ny x nx) for column transforms.
+    transposed: Vec<f64>,
+    row_in: Vec<f64>,
+    row_out: Vec<f64>,
+    col_in: Vec<f64>,
+    col_out: Vec<f64>,
+}
+
+impl ElectrostaticSolver {
+    /// Creates a solver for an `nx`-by-`ny` bin grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::EmptyLength`] / [`FftError::NotPowerOfTwo`] when
+    /// either dimension is not a nonzero power of two.
+    pub fn new(nx: usize, ny: usize) -> Result<Self, FftError> {
+        let plan_x = DctPlan::new(nx)?;
+        let plan_y = DctPlan::new(ny)?;
+        let wx = (0..nx).map(|u| std::f64::consts::PI * u as f64 / nx as f64).collect();
+        let wy = (0..ny).map(|v| std::f64::consts::PI * v as f64 / ny as f64).collect();
+        Ok(ElectrostaticSolver {
+            nx,
+            ny,
+            plan_x,
+            plan_y,
+            wx,
+            wy,
+            coeffs: vec![0.0; nx * ny],
+            synth: vec![0.0; nx * ny],
+            transposed: vec![0.0; nx * ny],
+            row_in: vec![0.0; ny],
+            row_out: vec![0.0; ny],
+            col_in: vec![0.0; nx],
+            col_out: vec![0.0; nx],
+        })
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Solves the electrostatic system, allocating a fresh [`FieldSolution`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::GridMismatch`] if `density` does not match the
+    /// solver dimensions.
+    pub fn solve(&mut self, density: &Grid2) -> Result<FieldSolution, FftError> {
+        let mut out = FieldSolution::new(self.nx, self.ny);
+        self.solve_into(density, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves the electrostatic system into a caller-provided buffer,
+    /// performing no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::GridMismatch`] if `density` or any buffer grid
+    /// does not match the solver dimensions.
+    pub fn solve_into(
+        &mut self,
+        density: &Grid2,
+        out: &mut FieldSolution,
+    ) -> Result<(), FftError> {
+        self.check_grid(density)?;
+        self.check_grid(&out.potential)?;
+        self.check_grid(&out.field_x)?;
+        self.check_grid(&out.field_y)?;
+
+        self.analyze(density)?;
+
+        let (nx, ny) = (self.nx, self.ny);
+        // Potential coefficients: a_uv / (w_u^2 + w_v^2); (0,0) dropped.
+        for u in 0..nx {
+            for v in 0..ny {
+                let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
+                self.synth[u * ny + v] =
+                    if w2 == 0.0 { 0.0 } else { self.coeffs[u * ny + v] / w2 };
+            }
+        }
+        self.synthesize(false, false, &mut out.potential)?;
+
+        // Ex coefficients: a_uv * w_u / (w^2), sine basis along x.
+        for u in 0..nx {
+            for v in 0..ny {
+                let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
+                self.synth[u * ny + v] =
+                    if w2 == 0.0 { 0.0 } else { self.coeffs[u * ny + v] * self.wx[u] / w2 };
+            }
+        }
+        self.synthesize(true, false, &mut out.field_x)?;
+
+        // Ey coefficients: a_uv * w_v / (w^2), sine basis along y.
+        for u in 0..nx {
+            for v in 0..ny {
+                let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
+                self.synth[u * ny + v] =
+                    if w2 == 0.0 { 0.0 } else { self.coeffs[u * ny + v] * self.wy[v] / w2 };
+            }
+        }
+        self.synthesize(false, true, &mut out.field_y)?;
+
+        out.energy = 0.5
+            * density
+                .as_slice()
+                .iter()
+                .zip(out.potential.as_slice())
+                .map(|(r, p)| r * p)
+                .sum::<f64>();
+        Ok(())
+    }
+
+    fn check_grid(&self, grid: &Grid2) -> Result<(), FftError> {
+        if grid.dims() != (self.nx, self.ny) {
+            return Err(FftError::GridMismatch {
+                expected: (self.nx, self.ny),
+                actual: grid.dims(),
+            });
+        }
+        Ok(())
+    }
+
+    /// 2-D DCT-II analysis into normalized synthesis coefficients `a_uv`
+    /// such that `rho = sum a_uv cos cos` exactly.
+    fn analyze(&mut self, density: &Grid2) -> Result<(), FftError> {
+        let (nx, ny) = (self.nx, self.ny);
+        // Transform along y (contiguous rows) into `transposed` laid out (v, ix).
+        for ix in 0..nx {
+            self.row_in.copy_from_slice(density.row(ix));
+            self.plan_y.analyze(&self.row_in, &mut self.row_out)?;
+            for v in 0..ny {
+                self.transposed[v * nx + ix] = self.row_out[v];
+            }
+        }
+        // Transform along x; write normalized coefficients.
+        let norm = 4.0 / (nx as f64 * ny as f64);
+        for v in 0..ny {
+            self.col_in.copy_from_slice(&self.transposed[v * nx..(v + 1) * nx]);
+            self.plan_x.analyze(&self.col_in, &mut self.col_out)?;
+            for u in 0..nx {
+                let mut beta = norm;
+                if u == 0 {
+                    beta *= 0.5;
+                }
+                if v == 0 {
+                    beta *= 0.5;
+                }
+                self.coeffs[u * ny + v] = beta * self.col_out[u];
+            }
+        }
+        Ok(())
+    }
+
+    /// Synthesizes `self.synth` coefficients into `out`, choosing a sine or
+    /// cosine basis per dimension.
+    fn synthesize(&mut self, sin_x: bool, sin_y: bool, out: &mut Grid2) -> Result<(), FftError> {
+        let (nx, ny) = (self.nx, self.ny);
+        // Synthesize along x (columns) first: for each v, gather coefficients
+        // over u, transform, store into `transposed` laid out (v, ix).
+        for v in 0..ny {
+            for u in 0..nx {
+                self.col_in[u] = self.synth[u * ny + v];
+            }
+            if sin_x {
+                self.plan_x.sine_synthesis(&self.col_in, &mut self.col_out)?;
+            } else {
+                self.plan_x.cosine_synthesis(&self.col_in, &mut self.col_out)?;
+            }
+            for ix in 0..nx {
+                self.transposed[v * nx + ix] = self.col_out[ix];
+            }
+        }
+        // Then along y for each row ix.
+        for ix in 0..nx {
+            for v in 0..ny {
+                self.row_in[v] = self.transposed[v * nx + ix];
+            }
+            if sin_y {
+                self.plan_y.sine_synthesis(&self.row_in, &mut self.row_out)?;
+            } else {
+                self.plan_y.cosine_synthesis(&self.row_in, &mut self.row_out)?;
+            }
+            out.row_mut(ix).copy_from_slice(&self.row_out);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mode_density(nx: usize, ny: usize, u: usize, v: usize, amp: f64) -> Grid2 {
+        Grid2::from_fn(nx, ny, |ix, iy| {
+            let cx = (std::f64::consts::PI * u as f64 * (ix as f64 + 0.5) / nx as f64).cos();
+            let cy = (std::f64::consts::PI * v as f64 * (iy as f64 + 0.5) / ny as f64).cos();
+            amp * cx * cy
+        })
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(ElectrostaticSolver::new(24, 32).is_err());
+        assert!(ElectrostaticSolver::new(32, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_grid() {
+        let mut solver = ElectrostaticSolver::new(8, 8).unwrap();
+        let density = Grid2::new(8, 16);
+        assert!(matches!(solver.solve(&density), Err(FftError::GridMismatch { .. })));
+    }
+
+    #[test]
+    fn constant_density_gives_zero_field() {
+        let mut solver = ElectrostaticSolver::new(16, 16).unwrap();
+        let mut density = Grid2::new(16, 16);
+        density.fill(3.0);
+        let sol = solver.solve(&density).unwrap();
+        assert!(sol.field_x.max_abs_diff(&Grid2::new(16, 16)) < 1e-9);
+        assert!(sol.field_y.max_abs_diff(&Grid2::new(16, 16)) < 1e-9);
+        assert!(sol.potential.max_abs_diff(&Grid2::new(16, 16)) < 1e-9);
+        assert!(sol.energy.abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_mode_matches_analytic_solution() {
+        let (nx, ny) = (32, 16);
+        let (u, v) = (3, 2);
+        let amp = 2.5;
+        let mut solver = ElectrostaticSolver::new(nx, ny).unwrap();
+        let density = mode_density(nx, ny, u, v, amp);
+        let sol = solver.solve(&density).unwrap();
+
+        let wu = std::f64::consts::PI * u as f64 / nx as f64;
+        let wv = std::f64::consts::PI * v as f64 / ny as f64;
+        let w2 = wu * wu + wv * wv;
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let cx = (wu * (ix as f64 + 0.5)).cos();
+                let sx = (wu * (ix as f64 + 0.5)).sin();
+                let cy = (wv * (iy as f64 + 0.5)).cos();
+                let sy = (wv * (iy as f64 + 0.5)).sin();
+                let psi = amp * cx * cy / w2;
+                let ex = amp * wu * sx * cy / w2;
+                let ey = amp * wv * cx * sy / w2;
+                assert!((sol.potential[(ix, iy)] - psi).abs() < 1e-9, "psi at ({ix},{iy})");
+                assert!((sol.field_x[(ix, iy)] - ex).abs() < 1e-9, "ex at ({ix},{iy})");
+                assert!((sol.field_y[(ix, iy)] - ey).abs() < 1e-9, "ey at ({ix},{iy})");
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_of_modes() {
+        let (nx, ny) = (16, 16);
+        let mut solver = ElectrostaticSolver::new(nx, ny).unwrap();
+        let mut d1 = mode_density(nx, ny, 1, 0, 1.0);
+        let d2 = mode_density(nx, ny, 0, 2, -0.5);
+        let s1 = solver.solve(&d1).unwrap();
+        let s2 = solver.solve(&d2).unwrap();
+        d1.add_assign_grid(&d2);
+        let s12 = solver.solve(&d1).unwrap();
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let expect = s1.potential[(ix, iy)] + s2.potential[(ix, iy)];
+                assert!((s12.potential[(ix, iy)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn point_charge_field_points_outward_and_is_symmetric() {
+        let n = 64;
+        let mut solver = ElectrostaticSolver::new(n, n).unwrap();
+        let mut density = Grid2::new(n, n);
+        // 2x2 charge centered exactly at the grid midpoint so mirror symmetry
+        // is exact on the half-sample grid.
+        density[(31, 31)] = 1.0;
+        density[(31, 32)] = 1.0;
+        density[(32, 31)] = 1.0;
+        density[(32, 32)] = 1.0;
+        let sol = solver.solve(&density).unwrap();
+        assert!(sol.field_x[(40, 31)] > 0.0);
+        assert!(sol.field_x[(20, 31)] < 0.0);
+        assert!(sol.field_y[(31, 40)] > 0.0);
+        assert!(sol.field_y[(31, 20)] < 0.0);
+        // Mirror symmetry about the charge.
+        for d in 1..20 {
+            let right = sol.field_x[(32 + d, 31)];
+            let left = sol.field_x[(31 - d, 31)];
+            assert!((right + left).abs() < 1e-9, "asymmetry at d={d}: {right} vs {left}");
+        }
+        assert!(sol.energy > 0.0);
+    }
+
+    #[test]
+    fn discrete_laplacian_of_potential_approximates_negative_density() {
+        // For a smooth (band-limited, low-frequency) density the 5-point
+        // Laplacian of psi should be close to -(rho - mean(rho)).
+        let n = 64;
+        let mut solver = ElectrostaticSolver::new(n, n).unwrap();
+        let density = Grid2::from_fn(n, n, |ix, iy| {
+            let dx = (ix as f64 - 31.5) / 12.0;
+            let dy = (iy as f64 - 31.5) / 12.0;
+            (-(dx * dx + dy * dy)).exp()
+        });
+        let mut centered = density.clone();
+        centered.remove_mean();
+        let sol = solver.solve(&density).unwrap();
+        let mut max_err: f64 = 0.0;
+        for ix in 8..n - 8 {
+            for iy in 8..n - 8 {
+                let lap = sol.potential[(ix + 1, iy)]
+                    + sol.potential[(ix - 1, iy)]
+                    + sol.potential[(ix, iy + 1)]
+                    + sol.potential[(ix, iy - 1)]
+                    - 4.0 * sol.potential[(ix, iy)];
+                max_err = max_err.max((lap + centered[(ix, iy)]).abs());
+            }
+        }
+        assert!(max_err < 0.02, "laplacian residual too large: {max_err}");
+    }
+
+    #[test]
+    fn field_is_negative_gradient_of_potential() {
+        // Central differences of psi should match -E for smooth input.
+        let n = 64;
+        let mut solver = ElectrostaticSolver::new(n, n).unwrap();
+        let density = Grid2::from_fn(n, n, |ix, iy| {
+            ((ix as f64) * 0.11).sin() + ((iy as f64) * 0.07).cos()
+        });
+        let sol = solver.solve(&density).unwrap();
+        let mut max_err: f64 = 0.0;
+        for ix in 4..n - 4 {
+            for iy in 4..n - 4 {
+                let gx = 0.5 * (sol.potential[(ix + 1, iy)] - sol.potential[(ix - 1, iy)]);
+                let gy = 0.5 * (sol.potential[(ix, iy + 1)] - sol.potential[(ix, iy - 1)]);
+                max_err = max_err.max((gx + sol.field_x[(ix, iy)]).abs());
+                max_err = max_err.max((gy + sol.field_y[(ix, iy)]).abs());
+            }
+        }
+        assert!(max_err < 0.05, "field/gradient mismatch: {max_err}");
+    }
+
+    #[test]
+    fn solve_into_reuses_buffers_and_matches_solve() {
+        let n = 16;
+        let mut solver = ElectrostaticSolver::new(n, n).unwrap();
+        let density = Grid2::from_fn(n, n, |ix, iy| ((ix * 3 + iy) % 7) as f64);
+        let fresh = solver.solve(&density).unwrap();
+        let mut reused = FieldSolution::new(n, n);
+        solver.solve_into(&density, &mut reused).unwrap();
+        assert!(fresh.potential.max_abs_diff(&reused.potential) < 1e-12);
+        assert!(fresh.field_x.max_abs_diff(&reused.field_x) < 1e-12);
+        assert!(fresh.field_y.max_abs_diff(&reused.field_y) < 1e-12);
+        assert!((fresh.energy - reused.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_grids_are_supported() {
+        let mut solver = ElectrostaticSolver::new(64, 16).unwrap();
+        let density = Grid2::from_fn(64, 16, |ix, iy| {
+            if (20..28).contains(&ix) && (6..10).contains(&iy) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let sol = solver.solve(&density).unwrap();
+        assert!(sol.field_x[(40, 8)] > 0.0);
+        assert!(sol.field_x[(10, 8)] < 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the spectral transforms.
+
+use proptest::prelude::*;
+use xplace_fft::{Complex, DctPlan, ElectrostaticSolver, FftPlan, Grid2};
+
+fn signal_strategy(max_pow: u32) -> impl Strategy<Value = Vec<f64>> {
+    (1u32..=max_pow).prop_flat_map(|p| {
+        let n = 1usize << p;
+        proptest::collection::vec(-100.0..100.0f64, n..=n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// forward then inverse FFT recovers the input.
+    #[test]
+    fn fft_round_trip(values in signal_strategy(9)) {
+        let n = values.len();
+        let plan = FftPlan::new(n).expect("power-of-two length");
+        let mut data: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        plan.forward(&mut data).expect("forward");
+        plan.inverse(&mut data).expect("inverse");
+        for (c, &v) in data.iter().zip(&values) {
+            prop_assert!((c.re - v).abs() < 1e-8, "re {} vs {}", c.re, v);
+            prop_assert!(c.im.abs() < 1e-8);
+        }
+    }
+
+    /// Parseval: energy is preserved up to the 1/N normalization.
+    #[test]
+    fn fft_parseval(values in signal_strategy(8)) {
+        let n = values.len();
+        let plan = FftPlan::new(n).expect("power-of-two length");
+        let mut data: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let time: f64 = values.iter().map(|v| v * v).sum();
+        plan.forward(&mut data).expect("forward");
+        let freq: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    }
+
+    /// DCT analysis followed by normalized cosine synthesis is identity.
+    #[test]
+    fn dct_round_trip(values in signal_strategy(8)) {
+        let n = values.len();
+        let mut plan = DctPlan::new(n).expect("power-of-two length");
+        let mut coeffs = vec![0.0; n];
+        plan.analyze(&values, &mut coeffs).expect("analysis");
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            *c *= 2.0 / n as f64;
+            if k == 0 { *c *= 0.5; }
+        }
+        let mut back = vec![0.0; n];
+        plan.cosine_synthesis(&coeffs, &mut back).expect("synthesis");
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// The electrostatic solver is linear: solve(a*x + b*y) =
+    /// a*solve(x) + b*solve(y).
+    #[test]
+    fn solver_is_linear(
+        a in -3.0..3.0f64,
+        b in -3.0..3.0f64,
+        seed in 0u64..1000,
+    ) {
+        let n = 16;
+        let mk = |s: u64| Grid2::from_fn(n, n, |ix, iy| {
+            (((ix * 7 + iy * 13) as u64 ^ s) % 17) as f64 / 17.0
+        });
+        let x = mk(seed);
+        let y = mk(seed.wrapping_add(1));
+        let mut combo = Grid2::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                combo[(i, j)] = a * x[(i, j)] + b * y[(i, j)];
+            }
+        }
+        let mut solver = ElectrostaticSolver::new(n, n).expect("grid ok");
+        let sx = solver.solve(&x).expect("solve x");
+        let sy = solver.solve(&y).expect("solve y");
+        let sc = solver.solve(&combo).expect("solve combo");
+        for i in 0..n {
+            for j in 0..n {
+                let expect = a * sx.field_x[(i, j)] + b * sy.field_x[(i, j)];
+                prop_assert!((sc.field_x[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// The field of any density has zero mean (Neumann boundaries push
+    /// nothing out of the region on aggregate).
+    #[test]
+    fn field_sums_to_zero(seed in 0u64..1000) {
+        let n = 16;
+        let density = Grid2::from_fn(n, n, |ix, iy| {
+            (((ix * 31 + iy * 17) as u64 ^ seed) % 23) as f64
+        });
+        let mut solver = ElectrostaticSolver::new(n, n).expect("grid ok");
+        let sol = solver.solve(&density).expect("solve");
+        // Sine-basis fields integrate to... the discrete sum of
+        // sin(pi k (2n+1)/(2N)) over n is zero only for even k; the true
+        // invariant here: potential has zero mean (the (0,0) mode is
+        // dropped).
+        prop_assert!(sol.potential.sum().abs() < 1e-6 * (n * n) as f64);
+    }
+}

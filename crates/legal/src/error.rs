@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by legalization and the legality checker.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LegalError {
+    /// The design has no rows and none could be synthesized.
+    NoRows,
+    /// A cell could not be placed into any row segment.
+    NoSpace {
+        /// Name of the unplaceable cell.
+        cell: String,
+    },
+    /// Two cells overlap after legalization.
+    Overlap {
+        /// First cell name.
+        a: String,
+        /// Second cell name.
+        b: String,
+    },
+    /// A cell is not aligned to a row or site.
+    Misaligned {
+        /// Cell name.
+        cell: String,
+        /// What is misaligned ("row" or "site").
+        what: &'static str,
+    },
+    /// A cell lies (partly) outside the placement region.
+    OutOfRegion {
+        /// Cell name.
+        cell: String,
+    },
+    /// A fenced cell lies (partly) outside its fence region.
+    OutOfFence {
+        /// Cell name.
+        cell: String,
+        /// Fence name.
+        fence: String,
+    },
+}
+
+impl fmt::Display for LegalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalError::NoRows => write!(f, "design has no placement rows"),
+            LegalError::NoSpace { cell } => write!(f, "no legal position found for cell `{cell}`"),
+            LegalError::Overlap { a, b } => write!(f, "cells `{a}` and `{b}` overlap"),
+            LegalError::Misaligned { cell, what } => {
+                write!(f, "cell `{cell}` is not {what}-aligned")
+            }
+            LegalError::OutOfRegion { cell } => {
+                write!(f, "cell `{cell}` lies outside the placement region")
+            }
+            LegalError::OutOfFence { cell, fence } => {
+                write!(f, "cell `{cell}` lies outside its fence region `{fence}`")
+            }
+        }
+    }
+}
+
+impl Error for LegalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_cells() {
+        let e = LegalError::Overlap { a: "u1".into(), b: "u2".into() };
+        assert!(e.to_string().contains("u1") && e.to_string().contains("u2"));
+        assert!(LegalError::NoRows.to_string().contains("rows"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Legalization and detailed placement for `xplace`.
+//!
+//! The paper treats legalization (LG) and detailed placement (DP) as a
+//! fixed post-pass applied identically to every global placer's output
+//! (NTUPlace3 for ISPD 2005, DREAMPlace-LG + ABCDPlace for ISPD 2015).
+//! This crate is the in-repo substitute:
+//!
+//! * [`legalize`] — a Tetris-style greedy assignment into row segments
+//!   (fixed macros carve blockages out of the rows) followed by an
+//!   Abacus-style per-segment least-squares refinement that minimizes
+//!   total squared displacement,
+//! * [`detailed_place`] — HPWL-driven detailed placement: intra-row
+//!   sliding toward each cell's optimal region, adjacent-cell reordering
+//!   and same-width global swaps,
+//! * [`check_legality`] — the invariant checker (no overlaps, row and
+//!   site alignment, everything inside the region) used by the tests and
+//!   the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use xplace_db::synthesis::{synthesize, SynthesisSpec};
+//! use xplace_legal::{check_legality, detailed_place, legalize, DpConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut design = synthesize(&SynthesisSpec::new("lg", 300, 320).with_seed(3))?;
+//! let lg = legalize(&mut design)?;
+//! check_legality(&design)?;
+//! let dp = detailed_place(&mut design, &DpConfig::default());
+//! assert!(dp.final_hpwl <= lg.final_hpwl * 1.000001);
+//! check_legality(&design)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod check;
+mod detailed;
+mod error;
+mod legalize;
+mod rows;
+
+pub use check::check_legality;
+pub use detailed::{detailed_place, DpConfig, DpReport};
+pub use error::LegalError;
+pub use legalize::{legalize, LegalizeReport};

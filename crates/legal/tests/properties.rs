@@ -1,0 +1,69 @@
+//! Property-based tests: legalization and detailed placement preserve
+//! legality from arbitrary starting positions.
+
+use proptest::prelude::*;
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_db::Point;
+use xplace_legal::{check_legality, detailed_place, legalize, DpConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whatever the (in-region) starting positions, legalize produces a
+    /// legal placement and DP keeps it legal while not worsening HPWL.
+    #[test]
+    fn legalize_then_dp_is_always_legal(
+        cells in 60usize..250,
+        seed in 0u64..10_000,
+        spread_seed in 0u64..10_000,
+        macros in 0usize..4,
+    ) {
+        let spec = SynthesisSpec::new("lgprop", cells, cells + 15)
+            .with_seed(seed)
+            .with_macro_count(macros);
+        let mut design = synthesize(&spec).expect("synthesis");
+        // Scatter movable cells pseudo-randomly.
+        let r = design.region();
+        let nl = design.netlist();
+        let mut pos = design.positions().to_vec();
+        for (k, id) in nl.cell_ids().enumerate() {
+            if nl.cell(id).is_movable() {
+                let fx = (((k as u64).wrapping_mul(0x9e37) ^ spread_seed) % 9973) as f64 / 9973.0;
+                let fy = (((k as u64).wrapping_mul(0x51c7) ^ spread_seed) % 9973) as f64 / 9973.0;
+                pos[id.index()] = Point::new(
+                    r.lx + fx * r.width(),
+                    r.ly + fy * r.height(),
+                );
+            }
+        }
+        design.set_positions(pos);
+
+        let lg = legalize(&mut design).expect("legalization succeeds");
+        check_legality(&design).expect("legal after LG");
+        prop_assert!(lg.mean_displacement.is_finite());
+        prop_assert!(lg.max_displacement >= lg.mean_displacement);
+
+        let dp = detailed_place(&mut design, &DpConfig::default());
+        check_legality(&design).expect("legal after DP");
+        prop_assert!(dp.final_hpwl <= dp.initial_hpwl + 1e-9);
+        prop_assert!((design.total_hpwl() - dp.final_hpwl).abs() < 1e-6 * dp.final_hpwl.max(1.0));
+    }
+
+    /// Legalization is idempotent: legalizing a legal placement moves
+    /// nothing by more than a site.
+    #[test]
+    fn legalize_is_nearly_idempotent(cells in 60usize..200, seed in 0u64..10_000) {
+        let spec = SynthesisSpec::new("idem", cells, cells + 15).with_seed(seed);
+        let mut design = synthesize(&spec).expect("synthesis");
+        legalize(&mut design).expect("first legalization");
+        let first = design.positions().to_vec();
+        legalize(&mut design).expect("second legalization");
+        let mut max_move: f64 = 0.0;
+        for (a, b) in first.iter().zip(design.positions()) {
+            max_move = max_move.max(a.manhattan_distance(*b));
+        }
+        // Abacus may re-balance within a site or two but the placement is
+        // already legal, so nothing should travel.
+        prop_assert!(max_move <= 2.0 + 1e-9, "idempotence violated: moved {}", max_move);
+    }
+}

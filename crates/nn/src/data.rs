@@ -1,0 +1,175 @@
+//! Self-generated training data (§3.3, §4.3 of the paper).
+//!
+//! The paper trains on random density maps whose labels come from the
+//! *numerical* field solver — no placement benchmark data required. Here a
+//! density map is a mixture of random Gaussian blobs and random uniform
+//! rectangles (the shapes real placement density maps are composed of:
+//! cell clusters and macros), and the label is the exact spectral solution
+//! from [`xplace_fft::ElectrostaticSolver`]. Input and label are scaled by
+//! the density's RMS so training sees unit-scale data; the Poisson map is
+//! linear, so the scaling is exact and reversible.
+
+use crate::NnError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xplace_fft::{ElectrostaticSolver, Grid2};
+
+/// Data-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataConfig {
+    /// Square grid size (power of two).
+    pub grid: usize,
+    /// Number of Gaussian blobs per map.
+    pub blobs: usize,
+    /// Number of uniform rectangles per map.
+    pub rects: usize,
+    /// Probability of the "early placement" pattern: one narrow
+    /// high-amplitude spike over a uniform filler background — the map an
+    /// analytic placer actually produces in its first iterations, which
+    /// is where the guidance is active (σ(ω) ≈ 1).
+    pub cluster_probability: f64,
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        DataConfig { grid: 32, blobs: 5, rects: 2, cluster_probability: 0.5 }
+    }
+}
+
+/// One training sample: a normalized density map and its x-direction
+/// field label (both row-major, `grid x grid`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Normalized density map.
+    pub density: Vec<f64>,
+    /// Normalized x-direction field label.
+    pub field_x: Vec<f64>,
+    /// Normalized y-direction field label.
+    pub field_y: Vec<f64>,
+    /// Grid size.
+    pub grid: usize,
+}
+
+/// Generates one random density map and its exact field labels.
+///
+/// Deterministic for a given `(config, seed)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidInput`] when the grid is not a power of two.
+pub fn generate_sample(config: &DataConfig, seed: u64) -> Result<Sample, NnError> {
+    if !xplace_fft::is_power_of_two(config.grid) {
+        return Err(NnError::InvalidInput(format!(
+            "grid {} is not a power of two",
+            config.grid
+        )));
+    }
+    let n = config.grid;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
+    let mut density = Grid2::new(n, n);
+
+    if rng.gen::<f64>() < config.cluster_probability {
+        // Early-placement pattern: uniform filler background plus one
+        // narrow, tall spike near the center.
+        let background = 0.2 + 0.4 * rng.gen::<f64>();
+        density.fill(background);
+        let cx = n as f64 * (0.35 + 0.3 * rng.gen::<f64>());
+        let cy = n as f64 * (0.35 + 0.3 * rng.gen::<f64>());
+        let sigma = n as f64 * (0.02 + 0.04 * rng.gen::<f64>());
+        let amp = 3.0 + 7.0 * rng.gen::<f64>();
+        let inv = 1.0 / (2.0 * sigma * sigma);
+        for ix in 0..n {
+            for iy in 0..n {
+                let dx = ix as f64 + 0.5 - cx;
+                let dy = iy as f64 + 0.5 - cy;
+                density[(ix, iy)] += amp * (-(dx * dx + dy * dy) * inv).exp();
+            }
+        }
+    }
+
+    for _ in 0..config.blobs {
+        let cx = rng.gen::<f64>() * n as f64;
+        let cy = rng.gen::<f64>() * n as f64;
+        let sigma = n as f64 * (0.04 + 0.12 * rng.gen::<f64>());
+        let amp = 0.3 + rng.gen::<f64>();
+        let inv = 1.0 / (2.0 * sigma * sigma);
+        for ix in 0..n {
+            for iy in 0..n {
+                let dx = ix as f64 + 0.5 - cx;
+                let dy = iy as f64 + 0.5 - cy;
+                density[(ix, iy)] += amp * (-(dx * dx + dy * dy) * inv).exp();
+            }
+        }
+    }
+    for _ in 0..config.rects {
+        let w = rng.gen_range(2..=(n / 3).max(3));
+        let h = rng.gen_range(2..=(n / 3).max(3));
+        let x0 = rng.gen_range(0..n - w.min(n - 1));
+        let y0 = rng.gen_range(0..n - h.min(n - 1));
+        let amp = 0.5 + rng.gen::<f64>();
+        for ix in x0..(x0 + w).min(n) {
+            for iy in y0..(y0 + h).min(n) {
+                density[(ix, iy)] += amp;
+            }
+        }
+    }
+
+    let mut solver =
+        ElectrostaticSolver::new(n, n).map_err(|e| NnError::InvalidInput(e.to_string()))?;
+    let sol = solver.solve(&density).map_err(|e| NnError::InvalidInput(e.to_string()))?;
+
+    // Scale by the density RMS (the Poisson map is linear).
+    let rms = (density.as_slice().iter().map(|v| v * v).sum::<f64>() / (n * n) as f64)
+        .sqrt()
+        .max(1e-12);
+    let inv = 1.0 / rms;
+    let density: Vec<f64> = density.as_slice().iter().map(|v| v * inv).collect();
+    let field_x: Vec<f64> = sol.field_x.as_slice().iter().map(|v| v * inv).collect();
+    let field_y: Vec<f64> = sol.field_y.as_slice().iter().map(|v| v * inv).collect();
+    Ok(Sample { density, field_x, field_y, grid: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let cfg = DataConfig { grid: 16, ..Default::default() };
+        let a = generate_sample(&cfg, 3).unwrap();
+        let b = generate_sample(&cfg, 3).unwrap();
+        assert_eq!(a, b);
+        let c = generate_sample(&cfg, 4).unwrap();
+        assert_ne!(a.density, c.density);
+    }
+
+    #[test]
+    fn density_is_normalized_to_unit_rms() {
+        let s = generate_sample(&DataConfig::default(), 7).unwrap();
+        let n = s.grid * s.grid;
+        let rms = (s.density.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
+        assert!((rms - 1.0).abs() < 1e-9, "rms {rms}");
+    }
+
+    #[test]
+    fn labels_solve_poisson_for_the_scaled_density() {
+        let cfg = DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() };
+        let s = generate_sample(&cfg, 11).unwrap();
+        let n = s.grid;
+        let grid = Grid2::from_vec(n, n, s.density.clone());
+        let mut solver = ElectrostaticSolver::new(n, n).unwrap();
+        let sol = solver.solve(&grid).unwrap();
+        for (a, b) in s.field_x.iter().zip(sol.field_x.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in s.field_y.iter().zip(sol.field_y.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_grid_is_rejected() {
+        let cfg = DataConfig { grid: 24, ..Default::default() };
+        assert!(generate_sample(&cfg, 1).is_err());
+    }
+}

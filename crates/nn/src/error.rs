@@ -1,0 +1,35 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the neural-operator crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A configuration is inconsistent; describes the problem.
+    InvalidConfig(String),
+    /// An input grid does not meet the model's requirements (power-of-two
+    /// dimensions, size vs kept modes).
+    InvalidInput(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            NnError::InvalidInput(msg) => write!(f, "invalid model input: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NnError::InvalidConfig("width is zero".into()).to_string().contains("width"));
+        assert!(NnError::InvalidInput("not square".into()).to_string().contains("square"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Adapter from a trained [`Fno`] to the placer's guidance hook.
+
+use crate::Fno;
+use xplace_core::DensityGuidance;
+use xplace_fft::Grid2;
+
+/// Wraps a trained model as a [`DensityGuidance`] for
+/// [`xplace_core::GlobalPlacer::with_guidance`] (the Xplace-NN flow).
+///
+/// The wrapper handles everything the raw model does not:
+///
+/// * **normalization** — the density map is scaled to unit RMS before
+///   inference and the field scaled back (the Poisson map is linear),
+/// * **the y direction** — predicted by transposing the input, running the
+///   same x-direction model and transposing back (the PDE symmetry of
+///   §3.3),
+/// * **graceful degradation** — unsupported grids (non-power-of-two or
+///   smaller than the kept modes) yield zero fields, so the analytic
+///   solver simply keeps full weight in the blend.
+#[derive(Debug)]
+pub struct FnoGuidance {
+    fno: Fno,
+}
+
+impl FnoGuidance {
+    /// Wraps a (typically trained) model.
+    pub fn new(fno: Fno) -> Self {
+        FnoGuidance { fno }
+    }
+
+    /// Borrows the wrapped model.
+    pub fn model(&self) -> &Fno {
+        &self.fno
+    }
+
+    fn predict_direction(&mut self, density: &[f64], h: usize, w: usize) -> Vec<f64> {
+        match self.fno.predict_field_x(density, h, w) {
+            Ok(v) => v,
+            Err(_) => vec![0.0; h * w],
+        }
+    }
+}
+
+impl DensityGuidance for FnoGuidance {
+    fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2) {
+        let (nx, ny) = density.dims();
+        let hw = nx * ny;
+        if hw == 0 {
+            return (Grid2::new(nx, ny), Grid2::new(nx, ny));
+        }
+        // Unit-RMS normalization (exact for the linear Poisson map).
+        let rms = (density.as_slice().iter().map(|v| v * v).sum::<f64>() / hw as f64)
+            .sqrt()
+            .max(1e-12);
+        let scaled: Vec<f64> = density.as_slice().iter().map(|v| v / rms).collect();
+
+        // x-direction: direct prediction (rows are the x axis).
+        let fx = self.predict_direction(&scaled, nx, ny);
+
+        // y-direction: transpose, predict, transpose back.
+        let mut transposed = vec![0.0; hw];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                transposed[iy * nx + ix] = scaled[ix * ny + iy];
+            }
+        }
+        let fy_t = self.predict_direction(&transposed, ny, nx);
+        let mut fy = vec![0.0; hw];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                fy[ix * ny + iy] = fy_t[iy * nx + ix];
+            }
+        }
+
+        let mut gx = Grid2::from_vec(nx, ny, fx);
+        let mut gy = Grid2::from_vec(nx, ny, fy);
+        gx.scale(rms);
+        gy.scale(rms);
+        (gx, gy)
+    }
+
+    fn name(&self) -> &str {
+        "fno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate_sample, DataConfig};
+    use crate::train::{train, TrainConfig};
+    use crate::FnoConfig;
+
+    fn trained_guidance() -> FnoGuidance {
+        let mut fno = Fno::new(&FnoConfig::tiny(), 21).unwrap();
+        let cfg = TrainConfig {
+            steps: 120,
+            batch: 2,
+            lr: 4e-3,
+            data: DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() },
+            seed: 500,
+        };
+        train(&mut fno, &cfg).unwrap();
+        FnoGuidance::new(fno)
+    }
+
+    fn correlation(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    #[test]
+    fn predictions_correlate_with_the_exact_fields_in_both_directions() {
+        let mut g = trained_guidance();
+        let sample =
+            generate_sample(&DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() }, 9_999_999).unwrap();
+        let density = Grid2::from_vec(16, 16, sample.density.clone());
+        let (fx, fy) = g.predict(&density);
+        let cx = correlation(fx.as_slice(), &sample.field_x);
+        let cy = correlation(fy.as_slice(), &sample.field_y);
+        assert!(cx > 0.6, "x-field correlation {cx}");
+        assert!(cy > 0.6, "y-field correlation {cy} (via input transposition)");
+    }
+
+    #[test]
+    fn normalization_makes_prediction_scale_equivariant() {
+        let mut g = trained_guidance();
+        let sample =
+            generate_sample(&DataConfig { grid: 16, blobs: 2, rects: 1, ..Default::default() }, 77).unwrap();
+        let d1 = Grid2::from_vec(16, 16, sample.density.clone());
+        let mut d10 = d1.clone();
+        d10.scale(10.0);
+        let (f1, _) = g.predict(&d1);
+        let (f10, _) = g.predict(&d10);
+        for (a, b) in f1.as_slice().iter().zip(f10.as_slice()) {
+            assert!((10.0 * a - b).abs() < 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn unsupported_grids_yield_zero_fields() {
+        let mut g = trained_guidance();
+        // 4x4 is too small for 3 kept modes -> zero fields, no panic.
+        let d = Grid2::from_vec(4, 4, vec![1.0; 16]);
+        let (fx, fy) = g.predict(&d);
+        assert!(fx.as_slice().iter().all(|&v| v == 0.0));
+        assert!(fy.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn name_identifies_the_model() {
+        let g = FnoGuidance::new(Fno::new(&FnoConfig::tiny(), 1).unwrap());
+        let b: Box<dyn DensityGuidance> = Box::new(g);
+        assert_eq!(b.name(), "fno");
+    }
+}

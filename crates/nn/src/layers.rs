@@ -1,0 +1,501 @@
+//! The three layer types of the network, with manual backpropagation.
+
+use crate::param::ParamStore;
+use crate::spectral_util::{fft2, PlanCache};
+use xplace_fft::Complex;
+
+/// Pixel-wise linear layer (a 1x1 convolution / per-pixel fully connected
+/// layer): `y[co] = sum_ci W[co][ci] x[ci] + b[co]` at every pixel.
+#[derive(Debug, Clone)]
+pub(crate) struct Pointwise {
+    pub ci: usize,
+    pub co: usize,
+    w_off: usize,
+    b_off: usize,
+}
+
+impl Pointwise {
+    pub fn new(store: &mut ParamStore, ci: usize, co: usize) -> Self {
+        let scale = (1.0 / ci as f64).sqrt();
+        let w_off = store.alloc(co * ci, scale);
+        let b_off = store.alloc(co, 0.0);
+        Pointwise { ci, co, w_off, b_off }
+    }
+
+    pub fn forward(&self, store: &ParamStore, x: &[f64], hw: usize) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.ci * hw);
+        let w = store.get(self.w_off, self.co * self.ci);
+        let b = store.get(self.b_off, self.co);
+        let mut y = vec![0.0; self.co * hw];
+        for co in 0..self.co {
+            let yo = &mut y[co * hw..(co + 1) * hw];
+            yo.fill(b[co]);
+            for ci in 0..self.ci {
+                let wv = w[co * self.ci + ci];
+                let xi = &x[ci * hw..(ci + 1) * hw];
+                for (yv, xv) in yo.iter_mut().zip(xi) {
+                    *yv += wv * xv;
+                }
+            }
+        }
+        y
+    }
+
+    /// Accumulates parameter gradients and returns the input gradient.
+    pub fn backward(&self, store: &mut ParamStore, x: &[f64], gy: &[f64], hw: usize) -> Vec<f64> {
+        debug_assert_eq!(gy.len(), self.co * hw);
+        let mut gx = vec![0.0; self.ci * hw];
+        // Weight and bias gradients.
+        {
+            let w_vals: Vec<f64> = store.get(self.w_off, self.co * self.ci).to_vec();
+            let (_, gw) = store.get_with_grad(self.w_off, self.co * self.ci);
+            for co in 0..self.co {
+                let go = &gy[co * hw..(co + 1) * hw];
+                for ci in 0..self.ci {
+                    let xi = &x[ci * hw..(ci + 1) * hw];
+                    let mut acc = 0.0;
+                    for (gv, xv) in go.iter().zip(xi) {
+                        acc += gv * xv;
+                    }
+                    gw[co * self.ci + ci] += acc;
+                }
+            }
+            // Input gradient.
+            for co in 0..self.co {
+                let go = &gy[co * hw..(co + 1) * hw];
+                for ci in 0..self.ci {
+                    let wv = w_vals[co * self.ci + ci];
+                    let gxi = &mut gx[ci * hw..(ci + 1) * hw];
+                    for (gxv, gv) in gxi.iter_mut().zip(go) {
+                        *gxv += wv * gv;
+                    }
+                }
+            }
+        }
+        {
+            let (_, gb) = store.get_with_grad(self.b_off, self.co);
+            for co in 0..self.co {
+                gb[co] += gy[co * hw..(co + 1) * hw].iter().sum::<f64>();
+            }
+        }
+        gx
+    }
+}
+
+/// GELU activation (tanh approximation) with analytic derivative.
+pub(crate) fn gelu_forward(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| gelu(v)).collect()
+}
+
+pub(crate) fn gelu_backward(x: &[f64], gy: &[f64]) -> Vec<f64> {
+    x.iter().zip(gy).map(|(&v, &g)| g * gelu_derivative(v)).collect()
+}
+
+const GELU_C: f64 = 0.797_884_560_802_865_4; // sqrt(2/pi)
+
+#[inline]
+fn gelu(v: f64) -> f64 {
+    0.5 * v * (1.0 + (GELU_C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+#[inline]
+fn gelu_derivative(v: f64) -> f64 {
+    let u = GELU_C * (v + 0.044715 * v * v * v);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * v * sech2 * GELU_C * (1.0 + 3.0 * 0.044715 * v * v)
+}
+
+/// The Fourier path (Eq. 11): FFT -> keep the lowest `modes` frequencies
+/// in two corner blocks -> per-mode complex channel mixing -> inverse FFT.
+#[derive(Debug, Clone)]
+pub(crate) struct Spectral {
+    pub ci: usize,
+    pub co: usize,
+    pub modes: usize,
+    /// Complex weights for the (low kx, low ky) corner, re/im interleaved:
+    /// index = (((corner * co + co_i) * ci + ci_i) * m + kx) * m + ky.
+    w_off: usize,
+}
+
+/// Saved forward context: the input spectra at the kept modes
+/// (ci-major, then corner, then kx, then ky).
+#[derive(Debug, Clone)]
+pub(crate) struct SpectralCtx {
+    x_modes: Vec<Complex>,
+    h: usize,
+    w: usize,
+}
+
+impl Spectral {
+    pub fn new(store: &mut ParamStore, ci: usize, co: usize, modes: usize) -> Self {
+        let scale = 1.0 / (ci as f64 * co as f64).sqrt();
+        let count = 2 * co * ci * modes * modes * 2; // 2 corners, complex
+        let w_off = store.alloc(count, scale);
+        Spectral { ci, co, modes, w_off }
+    }
+
+    pub fn num_params(&self) -> usize {
+        2 * self.co * self.ci * self.modes * self.modes * 2
+    }
+
+    #[inline]
+    fn weight_index(&self, corner: usize, co: usize, ci: usize, kx: usize, ky: usize) -> usize {
+        ((((corner * self.co + co) * self.ci + ci) * self.modes + kx) * self.modes + ky) * 2
+    }
+
+    /// The kept-mode row index for (corner, kx) at grid height `h`.
+    #[inline]
+    fn row_of(&self, corner: usize, kx: usize, h: usize) -> usize {
+        if corner == 0 {
+            kx
+        } else {
+            h - self.modes + kx
+        }
+    }
+
+    pub fn forward(
+        &self,
+        store: &ParamStore,
+        cache: &mut PlanCache,
+        x: &[f64],
+        h: usize,
+        w: usize,
+    ) -> (Vec<f64>, SpectralCtx) {
+        let hw = h * w;
+        let m = self.modes;
+        debug_assert!(2 * m <= h && m <= w, "grid too small for the kept modes");
+        // Input spectra at kept modes.
+        let mut x_modes = vec![Complex::ZERO; self.ci * 2 * m * m];
+        let mut buf = vec![Complex::ZERO; hw];
+        for ci in 0..self.ci {
+            for (b, &v) in buf.iter_mut().zip(&x[ci * hw..(ci + 1) * hw]) {
+                *b = Complex::new(v, 0.0);
+            }
+            fft2(cache, &mut buf, h, w, false);
+            for corner in 0..2 {
+                for kx in 0..m {
+                    let row = self.row_of(corner, kx, h);
+                    for ky in 0..m {
+                        x_modes[((ci * 2 + corner) * m + kx) * m + ky] = buf[row * w + ky];
+                    }
+                }
+            }
+        }
+        // Output spectra and inverse transform.
+        let weights = store.get(self.w_off, self.num_params());
+        let mut y = vec![0.0; self.co * hw];
+        let mut spec = vec![Complex::ZERO; hw];
+        for co in 0..self.co {
+            spec.fill(Complex::ZERO);
+            for corner in 0..2 {
+                for kx in 0..m {
+                    let row = self.row_of(corner, kx, h);
+                    for ky in 0..m {
+                        let mut acc = Complex::ZERO;
+                        for ci in 0..self.ci {
+                            let wi = self.weight_index(corner, co, ci, kx, ky);
+                            let wv = Complex::new(weights[wi], weights[wi + 1]);
+                            acc += wv * x_modes[((ci * 2 + corner) * m + kx) * m + ky];
+                        }
+                        spec[row * w + ky] = acc;
+                    }
+                }
+            }
+            let mut out = spec.clone();
+            fft2(cache, &mut out, h, w, true);
+            for (yv, c) in y[co * hw..(co + 1) * hw].iter_mut().zip(&out) {
+                *yv = c.re;
+            }
+        }
+        (y, SpectralCtx { x_modes, h, w })
+    }
+
+    /// Accumulates weight gradients and returns the input gradient.
+    pub fn backward(
+        &self,
+        store: &mut ParamStore,
+        cache: &mut PlanCache,
+        ctx: &SpectralCtx,
+        gy: &[f64],
+    ) -> Vec<f64> {
+        let (h, w) = (ctx.h, ctx.w);
+        let hw = h * w;
+        let m = self.modes;
+        let norm = 1.0 / hw as f64;
+        // GY = FFT2(gy) / (h*w) at kept modes.
+        let mut gy_modes = vec![Complex::ZERO; self.co * 2 * m * m];
+        let mut buf = vec![Complex::ZERO; hw];
+        for co in 0..self.co {
+            for (b, &v) in buf.iter_mut().zip(&gy[co * hw..(co + 1) * hw]) {
+                *b = Complex::new(v, 0.0);
+            }
+            fft2(cache, &mut buf, h, w, false);
+            for corner in 0..2 {
+                for kx in 0..m {
+                    let row = self.row_of(corner, kx, h);
+                    for ky in 0..m {
+                        gy_modes[((co * 2 + corner) * m + kx) * m + ky] =
+                            buf[row * w + ky].scale(norm);
+                    }
+                }
+            }
+        }
+        // Weight gradients: dW = GY * conj(X); input-spectrum gradients:
+        // GX = conj(W) * GY.
+        let weights: Vec<f64> = store.get(self.w_off, self.num_params()).to_vec();
+        let mut gx_modes = vec![Complex::ZERO; self.ci * 2 * m * m];
+        {
+            let (_, gw) = store.get_with_grad(self.w_off, self.num_params());
+            for co in 0..self.co {
+                for corner in 0..2 {
+                    for kx in 0..m {
+                        for ky in 0..m {
+                            let g = gy_modes[((co * 2 + corner) * m + kx) * m + ky];
+                            for ci in 0..self.ci {
+                                let xm = ctx.x_modes[((ci * 2 + corner) * m + kx) * m + ky];
+                                let wi = self.weight_index(corner, co, ci, kx, ky);
+                                let dw = g * xm.conj();
+                                gw[wi] += dw.re;
+                                gw[wi + 1] += dw.im;
+                                let wv = Complex::new(weights[wi], weights[wi + 1]);
+                                gx_modes[((ci * 2 + corner) * m + kx) * m + ky] +=
+                                    wv.conj() * g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // gx = Re(h*w * IFFT2(GX spectrum)).
+        let mut gx = vec![0.0; self.ci * hw];
+        let mut spec = vec![Complex::ZERO; hw];
+        for ci in 0..self.ci {
+            spec.fill(Complex::ZERO);
+            for corner in 0..2 {
+                for kx in 0..m {
+                    let row = self.row_of(corner, kx, h);
+                    for ky in 0..m {
+                        spec[row * w + ky] =
+                            gx_modes[((ci * 2 + corner) * m + kx) * m + ky];
+                    }
+                }
+            }
+            fft2(cache, &mut spec, h, w, true);
+            for (gv, c) in gx[ci * hw..(ci + 1) * hw].iter_mut().zip(&spec) {
+                *gv = c.re * hw as f64;
+            }
+        }
+        gx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(
+        mut loss: impl FnMut(&mut ParamStore) -> f64,
+        store: &mut ParamStore,
+        indices: &[usize],
+        tol: f64,
+    ) {
+        let eps = 1e-6;
+        for &i in indices {
+            store.nudge(i, eps);
+            let plus = loss(store);
+            store.nudge(i, -2.0 * eps);
+            let minus = loss(store);
+            store.nudge(i, eps);
+            let fd = (plus - minus) / (2.0 * eps);
+            let analytic = store.grad_at(i);
+            assert!(
+                (fd - analytic).abs() <= tol * fd.abs().max(1.0),
+                "param {i}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn pointwise_forward_is_linear_map() {
+        let mut store = ParamStore::new(1);
+        let layer = Pointwise::new(&mut store, 2, 1);
+        let hw = 4;
+        let x = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let y = layer.forward(&store, &x, hw);
+        let w = store.get(0, 2);
+        let b = store.get(2, 1);
+        for p in 0..hw {
+            let expect = w[0] * x[p] + w[1] * x[hw + p] + b[0];
+            assert!((y[p] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pointwise_gradients_match_finite_differences() {
+        let mut store = ParamStore::new(2);
+        let layer = Pointwise::new(&mut store, 3, 2);
+        let hw = 5;
+        let x: Vec<f64> = (0..15).map(|i| (i as f64 * 0.3).sin()).collect();
+        // Loss = sum of squares of outputs.
+        let compute = |store: &mut ParamStore, with_grad: bool| -> f64 {
+            let y = layer.forward(store, &x, hw);
+            let l: f64 = y.iter().map(|v| v * v).sum();
+            if with_grad {
+                store.zero_grads();
+                let gy: Vec<f64> = y.iter().map(|v| 2.0 * v).collect();
+                layer.backward(store, &x, &gy, hw);
+            }
+            l
+        };
+        compute(&mut store, true);
+        fd_check(|s| compute(s, false), &mut store, &[0, 3, 5, 6, 7], 1e-5);
+    }
+
+    #[test]
+    fn pointwise_input_gradient_matches_finite_differences() {
+        let mut store = ParamStore::new(3);
+        let layer = Pointwise::new(&mut store, 2, 2);
+        let hw = 3;
+        let mut x: Vec<f64> = (0..6).map(|i| i as f64 * 0.25 - 0.5).collect();
+        let y = layer.forward(&store, &x, hw);
+        let gy: Vec<f64> = y.iter().map(|v| 2.0 * v).collect();
+        store.zero_grads();
+        let gx = layer.backward(&mut store, &x, &gy, hw);
+        let eps = 1e-6;
+        for i in 0..x.len() {
+            x[i] += eps;
+            let p: f64 = layer.forward(&store, &x, hw).iter().map(|v| v * v).sum();
+            x[i] -= 2.0 * eps;
+            let m: f64 = layer.forward(&store, &x, hw).iter().map(|v| v * v).sum();
+            x[i] += eps;
+            let fd = (p - m) / (2.0 * eps);
+            assert!((fd - gx[i]).abs() < 1e-5 * fd.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gelu_matches_reference_values() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu(0.0) - 0.0).abs() < 1e-12);
+        assert!((gelu(1.0) - 0.8411919906082768).abs() < 1e-9);
+        assert!((gelu(-1.0) + 0.15880800939172324).abs() < 1e-9);
+        assert!(gelu(10.0) > 9.999);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_derivative_matches_finite_differences() {
+        let eps = 1e-6;
+        for &v in &[-3.0, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let fd = (gelu(v + eps) - gelu(v - eps)) / (2.0 * eps);
+            assert!((fd - gelu_derivative(v)).abs() < 1e-8, "at {v}");
+        }
+        let x = vec![-1.0, 0.3, 2.0];
+        let gy = vec![1.0, 2.0, -1.0];
+        let gx = gelu_backward(&x, &gy);
+        assert!((gx[1] - 2.0 * gelu_derivative(0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_forward_preserves_low_frequency_content() {
+        let mut store = ParamStore::new(4);
+        let layer = Spectral::new(&mut store, 1, 1, 2);
+        let mut cache = PlanCache::default();
+        let (h, w) = (8, 8);
+        // A DC input must produce a constant output (only mode 0 nonzero).
+        let x = vec![1.0; h * w];
+        let (y, _) = layer.forward(&store, &mut cache, &x, h, w);
+        let first = y[0];
+        for &v in &y {
+            assert!((v - first).abs() < 1e-9, "output not constant");
+        }
+    }
+
+    #[test]
+    fn spectral_weight_gradients_match_finite_differences() {
+        let mut store = ParamStore::new(5);
+        let layer = Spectral::new(&mut store, 2, 2, 2);
+        let mut cache = PlanCache::default();
+        let (h, w) = (8, 8);
+        let x: Vec<f64> = (0..2 * h * w).map(|i| (i as f64 * 0.13).sin()).collect();
+        let compute = |store: &mut ParamStore,
+                       cache: &mut PlanCache,
+                       with_grad: bool|
+         -> f64 {
+            let (y, ctx) = layer.forward(store, cache, &x, h, w);
+            let l: f64 = y.iter().map(|v| v * v).sum();
+            if with_grad {
+                store.zero_grads();
+                let gy: Vec<f64> = y.iter().map(|v| 2.0 * v).collect();
+                layer.backward(store, cache, &ctx, &gy);
+            }
+            l
+        };
+        compute(&mut store, &mut cache, true);
+        // Check a handful of real and imaginary weight components.
+        let n = layer.num_params();
+        let picks = [0usize, 1, 7, n / 2, n - 2, n - 1];
+        let eps = 1e-6;
+        for &i in &picks {
+            store.nudge(i, eps);
+            let plus = compute_loss(&layer, &mut store, &mut cache, &x, h, w);
+            store.nudge(i, -2.0 * eps);
+            let minus = compute_loss(&layer, &mut store, &mut cache, &x, h, w);
+            store.nudge(i, eps);
+            let fd = (plus - minus) / (2.0 * eps);
+            let analytic = store.grad_at(i);
+            assert!(
+                (fd - analytic).abs() < 1e-4 * fd.abs().max(1.0),
+                "weight {i}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    fn compute_loss(
+        layer: &Spectral,
+        store: &mut ParamStore,
+        cache: &mut PlanCache,
+        x: &[f64],
+        h: usize,
+        w: usize,
+    ) -> f64 {
+        let (y, _) = layer.forward(store, cache, x, h, w);
+        y.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn spectral_input_gradient_matches_finite_differences() {
+        let mut store = ParamStore::new(6);
+        let layer = Spectral::new(&mut store, 1, 1, 2);
+        let mut cache = PlanCache::default();
+        let (h, w) = (8, 8);
+        let mut x: Vec<f64> = (0..h * w).map(|i| (i as f64 * 0.29).cos()).collect();
+        let (y, ctx) = layer.forward(&store, &mut cache, &x, h, w);
+        let gy: Vec<f64> = y.iter().map(|v| 2.0 * v).collect();
+        store.zero_grads();
+        let gx = layer.backward(&mut store, &mut cache, &ctx, &gy);
+        let eps = 1e-6;
+        for &i in &[0usize, 5, 17, 63] {
+            x[i] += eps;
+            let p = compute_loss(&layer, &mut store, &mut cache, &x, h, w);
+            x[i] -= 2.0 * eps;
+            let m = compute_loss(&layer, &mut store, &mut cache, &x, h, w);
+            x[i] += eps;
+            let fd = (p - m) / (2.0 * eps);
+            assert!(
+                (fd - gx[i]).abs() < 1e-4 * fd.abs().max(1.0),
+                "input {i}: fd {fd} vs analytic {}",
+                gx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_param_count_formula() {
+        let mut store = ParamStore::new(7);
+        let layer = Spectral::new(&mut store, 3, 5, 4);
+        assert_eq!(layer.num_params(), 2 * 5 * 3 * 16 * 2);
+        assert_eq!(store.len(), layer.num_params());
+    }
+}

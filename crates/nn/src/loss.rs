@@ -1,0 +1,81 @@
+//! The relative L2 loss of Eq. (13).
+
+/// Computes `||pred - label||_2 / ||label||_2` and its gradient with
+/// respect to `pred`.
+///
+/// Returns `(loss, grad)`. For an all-zero label the loss degenerates to
+/// the plain L2 norm of the prediction (with matching gradient) to stay
+/// finite.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_l2(pred: &[f64], label: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), label.len(), "prediction/label length mismatch");
+    let label_norm = label.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let diff: Vec<f64> = pred.iter().zip(label).map(|(p, l)| p - l).collect();
+    let diff_norm = diff.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let denom = if label_norm > 0.0 { label_norm } else { 1.0 };
+    let loss = diff_norm / denom;
+    let grad = if diff_norm > 0.0 {
+        diff.iter().map(|d| d / (diff_norm * denom)).collect()
+    } else {
+        vec![0.0; pred.len()]
+    };
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_gives_zero_loss() {
+        let label = vec![1.0, -2.0, 3.0];
+        let (loss, grad) = relative_l2(&label, &label);
+        assert_eq!(loss, 0.0);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_prediction_gives_unit_loss() {
+        let label = vec![3.0, 4.0];
+        let (loss, _) = relative_l2(&[0.0, 0.0], &label);
+        assert!((loss - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let label = vec![1.0, -0.5, 2.0, 0.3];
+        let mut pred = vec![0.2, 0.8, -1.0, 0.0];
+        let (_, grad) = relative_l2(&pred, &label);
+        let eps = 1e-7;
+        for i in 0..pred.len() {
+            pred[i] += eps;
+            let (p, _) = relative_l2(&pred, &label);
+            pred[i] -= 2.0 * eps;
+            let (m, _) = relative_l2(&pred, &label);
+            pred[i] += eps;
+            let fd = (p - m) / (2.0 * eps);
+            assert!((fd - grad[i]).abs() < 1e-6, "i={i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn zero_label_is_finite() {
+        let (loss, grad) = relative_l2(&[3.0, 4.0], &[0.0, 0.0]);
+        assert!((loss - 5.0).abs() < 1e-12);
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn scale_invariance_in_label_units() {
+        let label = vec![1.0, 2.0, -1.0];
+        let pred = vec![1.1, 1.9, -0.8];
+        let (l1, _) = relative_l2(&pred, &label);
+        let label2: Vec<f64> = label.iter().map(|v| v * 10.0).collect();
+        let pred2: Vec<f64> = pred.iter().map(|v| v * 10.0).collect();
+        let (l2, _) = relative_l2(&pred2, &label2);
+        assert!((l1 - l2).abs() < 1e-12);
+    }
+}

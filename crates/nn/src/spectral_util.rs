@@ -1,0 +1,103 @@
+//! 2-D complex FFT helpers built on `xplace_fft::FftPlan`, with a small
+//! per-size plan cache.
+
+use std::collections::HashMap;
+use xplace_fft::{Complex, FftPlan};
+
+/// Caches FFT plans by length so multi-resolution inference reuses them.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PlanCache {
+    plans: HashMap<usize, FftPlan>,
+}
+
+impl PlanCache {
+    pub(crate) fn plan(&mut self, len: usize) -> &FftPlan {
+        self.plans
+            .entry(len)
+            .or_insert_with(|| FftPlan::new(len).expect("power-of-two FFT length"))
+    }
+}
+
+/// In-place 2-D FFT over a row-major `h x w` complex buffer.
+pub(crate) fn fft2(
+    cache: &mut PlanCache,
+    data: &mut [Complex],
+    h: usize,
+    w: usize,
+    inverse: bool,
+) {
+    debug_assert_eq!(data.len(), h * w);
+    // Rows.
+    {
+        let plan = cache.plan(w).clone();
+        for r in 0..h {
+            let row = &mut data[r * w..(r + 1) * w];
+            if inverse {
+                plan.inverse(row).expect("row length matches plan");
+            } else {
+                plan.forward(row).expect("row length matches plan");
+            }
+        }
+    }
+    // Columns (gather/scatter through a scratch column).
+    {
+        let plan = cache.plan(h).clone();
+        let mut col = vec![Complex::ZERO; h];
+        for c in 0..w {
+            for r in 0..h {
+                col[r] = data[r * w + c];
+            }
+            if inverse {
+                plan.inverse(&mut col).expect("column length matches plan");
+            } else {
+                plan.forward(&mut col).expect("column length matches plan");
+            }
+            for r in 0..h {
+                data[r * w + c] = col[r];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft2_round_trips() {
+        let (h, w) = (8, 16);
+        let mut cache = PlanCache::default();
+        let original: Vec<Complex> = (0..h * w)
+            .map(|i| Complex::new((i as f64 * 0.17).sin(), (i as f64 * 0.31).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft2(&mut cache, &mut data, h, w, false);
+        fft2(&mut cache, &mut data, h, w, true);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft2_of_constant_concentrates_at_dc() {
+        let (h, w) = (8, 8);
+        let mut cache = PlanCache::default();
+        let mut data = vec![Complex::new(1.0, 0.0); h * w];
+        fft2(&mut cache, &mut data, h, w, false);
+        assert!((data[0].re - (h * w) as f64).abs() < 1e-9);
+        for &c in &data[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let mut cache = PlanCache::default();
+        let a = cache.plan(16).len();
+        let b = cache.plan(16).len();
+        assert_eq!(a, b);
+        assert_eq!(cache.plans.len(), 1);
+        cache.plan(32);
+        assert_eq!(cache.plans.len(), 2);
+    }
+}

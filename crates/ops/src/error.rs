@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+use xplace_fft::FftError;
+
+/// Errors produced by the placement operators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpsError {
+    /// The design cannot be turned into a placement model; describes the
+    /// violated requirement.
+    InvalidModel(String),
+    /// A spectral solve failed (grid mismatch or invalid dimensions).
+    Spectral(FftError),
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpsError::InvalidModel(msg) => write!(f, "invalid placement model: {msg}"),
+            OpsError::Spectral(e) => write!(f, "spectral solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for OpsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OpsError::Spectral(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FftError> for OpsError {
+    fn from(e: FftError) -> Self {
+        OpsError::Spectral(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: OpsError = FftError::EmptyLength.into();
+        assert!(e.to_string().contains("spectral"));
+        assert!(e.source().is_some());
+        let e = OpsError::InvalidModel("no movable cells".into());
+        assert!(e.to_string().contains("no movable cells"));
+        assert!(e.source().is_none());
+    }
+}

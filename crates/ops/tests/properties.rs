@@ -1,0 +1,158 @@
+//! Property-based tests of the placement operators.
+
+use proptest::prelude::*;
+use xplace_db::synthesis::{synthesize, SynthesisSpec};
+use xplace_device::{Device, DeviceConfig};
+use xplace_ops::{density::DensityOp, precond, wirelength, PlacementModel};
+
+fn scattered_model(cells: usize, seed: u64, spread_seed: u64) -> PlacementModel {
+    let design = synthesize(
+        &SynthesisSpec::new("prop", cells, cells + 10).with_seed(seed),
+    )
+    .expect("synthesis");
+    let mut m = PlacementModel::from_design(&design).expect("model");
+    let r = m.region();
+    let ranges = m.ranges();
+    for i in ranges.movable.chain(ranges.filler) {
+        let fx = (((i as u64).wrapping_mul(0x9e37_79b9) ^ spread_seed) % 10_007) as f64 / 10_007.0;
+        let fy = (((i as u64).wrapping_mul(0x517c_c1b7) ^ spread_seed) % 10_007) as f64 / 10_007.0;
+        m.x[i] = r.lx + fx * r.width();
+        m.y[i] = r.ly + fy * r.height();
+    }
+    m.clamp_to_region();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The WA wirelength never exceeds HPWL and tightens monotonically as
+    /// gamma shrinks, for any cell arrangement.
+    #[test]
+    fn wa_bounds_hpwl(seed in 0u64..1000, spread in 0u64..1000) {
+        let m = scattered_model(120, seed, spread);
+        let device = Device::new(DeviceConfig::instant());
+        let exact = wirelength::hpwl(&device, &m);
+        let mut prev = f64::NEG_INFINITY;
+        for gamma in [100.0, 10.0, 1.0, 0.1] {
+            let wa = wirelength::wa_forward(&device, &m, gamma);
+            prop_assert!(wa <= exact + 1e-6, "WA {} > HPWL {}", wa, exact);
+            prop_assert!(wa >= prev - 1e-9, "WA must grow as gamma shrinks");
+            prev = wa;
+        }
+    }
+
+    /// The fused kernel always agrees with the split kernels (same math,
+    /// different operator stream).
+    #[test]
+    fn fused_equals_split(seed in 0u64..1000, gamma in 0.5..50.0f64) {
+        let m = scattered_model(100, seed, seed ^ 0xabc);
+        let device = Device::new(DeviceConfig::instant());
+        let n = m.num_nodes();
+        let (mut gx1, mut gy1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut gx2, mut gy2) = (vec![0.0; n], vec![0.0; n]);
+        let fused = wirelength::wa_fused(&device, &m, gamma, &mut gx1, &mut gy1);
+        let wa = wirelength::wa_with_grad(&device, &m, gamma, &mut gx2, &mut gy2);
+        let h = wirelength::hpwl(&device, &m);
+        prop_assert!((fused.wa - wa).abs() < 1e-9 * wa.abs().max(1.0));
+        prop_assert!((fused.hpwl - h).abs() < 1e-9 * h.max(1.0));
+        for i in 0..n {
+            prop_assert!((gx1[i] - gx2[i]).abs() < 1e-12);
+            prop_assert!((gy1[i] - gy2[i]).abs() < 1e-12);
+        }
+    }
+
+    /// Density accumulation conserves total area no matter where the
+    /// cells sit, and the two §3.1.2 execution paths agree exactly.
+    #[test]
+    fn density_conservation_and_extraction(seed in 0u64..1000, spread in 0u64..1000) {
+        let m = scattered_model(150, seed, spread);
+        let device = Device::new(DeviceConfig::instant());
+        let mut op = DensityOp::new(&m).expect("density op");
+        // Extraction path.
+        op.accumulate_movable(&device, &m);
+        op.accumulate_fillers(&device, &m);
+        op.combine_total(&device);
+        let extracted = op.total_map.clone();
+        let bin_area = m.bin_w() * m.bin_h();
+        // Conservation: total mapped area tracks movable + filler area.
+        // Cells hugging the region boundary lose part of their sqrt(2)-bin
+        // smoothing footprint to clipping (as in ePlace), so allow a few
+        // percent of perimeter loss but require the bulk to be conserved
+        // and never over-counted.
+        let ranges = m.ranges();
+        let opt_area: f64 =
+            ranges.movable.chain(ranges.filler).map(|i| m.node_area(i)).sum();
+        let mapped = extracted.sum() * bin_area;
+        prop_assert!(
+            mapped >= opt_area * 0.93,
+            "mapped {} vs optimizable area {}", mapped, opt_area
+        );
+        prop_assert!(
+            mapped <= opt_area * 1.02 + m.region().area() * 0.5,
+            "mapped {} overshoots (movable+filler {} + clipped fixed)", mapped, opt_area
+        );
+        // Direct path agrees.
+        op.accumulate_all(&device, &m);
+        prop_assert!(op.total_map.max_abs_diff(&extracted) < 1e-9);
+    }
+
+    /// The overflow ratio is within [0, 1 + eps] and zero for a uniform
+    /// enough spread at low utilization.
+    #[test]
+    fn overflow_is_bounded(seed in 0u64..1000) {
+        let m = scattered_model(200, seed, seed ^ 0x77);
+        let device = Device::new(DeviceConfig::instant());
+        let mut op = DensityOp::new(&m).expect("density op");
+        op.accumulate_movable(&device, &m);
+        let ovfl = op.overflow(&device, &m);
+        prop_assert!(ovfl >= 0.0);
+        prop_assert!(ovfl <= 1.5, "overflow {} implausible", ovfl);
+    }
+
+    /// The multithreaded fused wirelength kernel agrees with the serial
+    /// one for any thread count (bit-level differences bounded by the
+    /// merge-order change).
+    #[test]
+    fn wa_fused_mt_matches_serial(seed in 0u64..500, threads in 2usize..5) {
+        let m = scattered_model(200, seed, seed ^ 0x55);
+        let device = Device::new(DeviceConfig::instant());
+        let n = m.num_nodes();
+        let (mut gx1, mut gy1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut gx2, mut gy2) = (vec![0.0; n], vec![0.0; n]);
+        let serial = wirelength::wa_fused(&device, &m, 5.0, &mut gx1, &mut gy1);
+        let parallel = wirelength::wa_fused_mt(&device, &m, 5.0, &mut gx2, &mut gy2, threads);
+        prop_assert!((serial.wa - parallel.wa).abs() < 1e-9 * serial.wa.abs().max(1.0));
+        prop_assert!((serial.hpwl - parallel.hpwl).abs() < 1e-9 * serial.hpwl.max(1.0));
+        for i in 0..n {
+            prop_assert!((gx1[i] - gx2[i]).abs() < 1e-10, "gx at {}", i);
+            prop_assert!((gy1[i] - gy2[i]).abs() < 1e-10, "gy at {}", i);
+        }
+    }
+
+    /// Multithreaded density accumulation agrees with serial.
+    #[test]
+    fn density_mt_matches_serial(seed in 0u64..500, threads in 2usize..5) {
+        let m = scattered_model(200, seed, seed ^ 0x99);
+        let device = Device::new(DeviceConfig::instant());
+        let mut serial_op = DensityOp::new(&m).expect("density op");
+        serial_op.accumulate_all(&device, &m);
+        let mut mt_op = DensityOp::new(&m).expect("density op");
+        mt_op.set_threads(threads);
+        mt_op.accumulate_all(&device, &m);
+        prop_assert!(mt_op.total_map.max_abs_diff(&serial_op.total_map) < 1e-10);
+    }
+
+    /// omega is monotone in lambda for every design.
+    #[test]
+    fn omega_monotone(seed in 0u64..1000) {
+        let m = scattered_model(80, seed, 0);
+        let mut prev = -1.0;
+        for lambda in [0.0, 1e-6, 1e-3, 1.0, 1e3] {
+            let w = precond::omega(&m, lambda);
+            prop_assert!((0.0..=1.0).contains(&w));
+            prop_assert!(w >= prev);
+            prev = w;
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Fence regions (the constraint the paper defers to future work): confine
+//! named groups of cells to rectangles through the whole GP -> LG -> DP
+//! flow.
+//!
+//! Run with: `cargo run --example fence_regions --release`
+
+use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::db::synthesis::{synthesize, SynthesisSpec};
+use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three fences along the top edge, each owning ~3% of the cells.
+    let spec = SynthesisSpec::new("fenced_demo", 1_200, 1_260)
+        .with_seed(7)
+        .with_fences(3);
+    let mut design = synthesize(&spec)?;
+    for fence in design.fences() {
+        println!(
+            "fence `{}`: {} members confined to {}",
+            fence.name(),
+            fence.members().len(),
+            fence.bounding_box()
+        );
+    }
+
+    let gp = GlobalPlacer::new(XplaceConfig::xplace()).place(&mut design)?;
+    println!(
+        "\nGP: {} iterations, overflow {:.3}, HPWL {:.0}",
+        gp.iterations, gp.final_overflow, gp.final_hpwl
+    );
+
+    legalize(&mut design)?;
+    detailed_place(&mut design, &DpConfig::default());
+    check_legality(&design)?; // includes fence containment
+    println!("final placement is legal, all fence members contained");
+
+    // Show where the members ended up.
+    for fence in design.fences() {
+        let bb = fence.bounding_box();
+        let inside = fence
+            .members()
+            .iter()
+            .filter(|&&m| bb.contains(design.position(m)))
+            .count();
+        println!(
+            "fence `{}`: {}/{} members inside {}",
+            fence.name(),
+            inside,
+            fence.members().len(),
+            bb
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: place a small synthetic design end to end.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::db::synthesis::{synthesize, SynthesisSpec};
+use xplace::db::DesignStats;
+use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 2000-cell synthetic design (use xplace::db::bookshelf::read_aux
+    //    or xplace::db::def::parse_def for real benchmark data).
+    let spec = SynthesisSpec::new("quickstart", 2_000, 2_100)
+        .with_seed(42)
+        .with_macro_count(4);
+    let mut design = synthesize(&spec)?;
+    println!("design: {}", DesignStats::of(&design));
+
+    // 2. Global placement with the full Xplace configuration.
+    let report = GlobalPlacer::new(XplaceConfig::xplace()).place(&mut design)?;
+    println!(
+        "global placement: {} iterations, overflow {:.3} -> {:.3}, HPWL {:.0} -> {:.0}",
+        report.iterations,
+        report.initial_overflow,
+        report.final_overflow,
+        report.initial_hpwl,
+        report.final_hpwl
+    );
+    println!(
+        "  modeled GPU time {:.3} s ({:.3} ms/iter), wall {:.2} s, {} kernel launches",
+        report.modeled_gp_seconds(),
+        report.modeled_ms_per_iter(),
+        report.wall_seconds,
+        report.profile.launches
+    );
+
+    // 3. Legalization.
+    let lg = legalize(&mut design)?;
+    println!(
+        "legalization: HPWL {:.0} -> {:.0}, mean displacement {:.2}",
+        lg.initial_hpwl, lg.final_hpwl, lg.mean_displacement
+    );
+
+    // 4. Detailed placement.
+    let dp = detailed_place(&mut design, &DpConfig::default());
+    println!(
+        "detailed placement: HPWL {:.0} -> {:.0} ({} slides, {} reorders, {} swaps)",
+        dp.initial_hpwl, dp.final_hpwl, dp.slides, dp.reorders, dp.swaps
+    );
+
+    // 5. The result is legal.
+    check_legality(&design)?;
+    println!("final placement is legal; total HPWL = {:.0}", design.total_hpwl());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # xplace
+//!
+//! A pure-Rust reproduction of **Xplace** (Liu, Fu, Wong, Young — *"Xplace:
+//! An Extremely Fast and Extensible Global Placement Framework"*, DAC 2022):
+//! an ePlace-style analytical global placer whose per-iteration operator
+//! stream is optimized at the operator level, together with every substrate
+//! the paper depends on — built from scratch.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`db`] | `xplace-db` | netlist/design model, Bookshelf & DEF/LEF parsers, ISPD-like synthetic suites |
+//! | [`fft`] | `xplace-fft` | FFT/DCT family and the electrostatic (Poisson) solver |
+//! | [`device`] | `xplace-device` | the GPU execution model (launch accounting, autograd tape, profiler) |
+//! | [`ops`] | `xplace-ops` | wirelength/density/preconditioner operators, fused and split |
+//! | [`core`] | `xplace-core` | the placer: gradient engine, Nesterov, scheduler, recorder |
+//! | [`nn`] | `xplace-nn` | the Fourier neural operator and training loop (Xplace-NN) |
+//! | [`legal`] | `xplace-legal` | Tetris/Abacus legalization and detailed placement |
+//! | [`route`] | `xplace-route` | RUDY congestion estimation and the top5-overflow metric |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xplace::core::{GlobalPlacer, XplaceConfig};
+//! use xplace::db::synthesis::{synthesize, SynthesisSpec};
+//! use xplace::legal::{detailed_place, legalize, DpConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Get a design (synthetic here; Bookshelf/DEF parsers in xplace::db).
+//! let mut design = synthesize(&SynthesisSpec::new("demo", 400, 420).with_seed(1))?;
+//!
+//! // 2. Global placement.
+//! let mut config = XplaceConfig::xplace();
+//! config.schedule.max_iterations = 80; // keep the doc test fast
+//! let gp = GlobalPlacer::new(config).place(&mut design)?;
+//! assert!(gp.final_overflow < gp.initial_overflow);
+//!
+//! // 3. Legalize + detailed placement.
+//! legalize(&mut design)?;
+//! let dp = detailed_place(&mut design, &DpConfig::default());
+//! assert!(dp.final_hpwl <= dp.initial_hpwl);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-module map, and `EXPERIMENTS.md` for the reproduced tables.
+
+#![warn(missing_docs)]
+
+pub mod flow;
+
+pub use xplace_core as core;
+pub use xplace_db as db;
+pub use xplace_device as device;
+pub use xplace_fft as fft;
+pub use xplace_legal as legal;
+pub use xplace_nn as nn;
+pub use xplace_ops as ops;
+pub use xplace_route as route;

@@ -1,0 +1,149 @@
+//! The `xplace` command-line placer.
+//!
+//! ```text
+//! xplace place  <design.aux> [-o out.pl] [--density 0.9] [--baseline] [--max-iters N]
+//! xplace synth  <name> <cells> [--out dir] [--seed N] [--macros N]
+//! xplace stats  <design.aux>
+//! xplace plot   <design.aux> [-o out.svg] [--nets N]
+//! ```
+//!
+//! `place` reads a Bookshelf benchmark, runs global placement +
+//! legalization + detailed placement, reports the metrics the paper's
+//! tables report, and writes the placed `.pl`. `synth` generates a
+//! synthetic benchmark in Bookshelf format. `stats` prints Table-1-style
+//! statistics.
+
+use std::path::{Path, PathBuf};
+use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::db::synthesis::{synthesize, SynthesisSpec};
+use xplace::db::{bookshelf, DesignStats};
+use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
+use xplace::route::{estimate_congestion, RouteConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
+         [--max-iters N] [--seed N]\n  xplace synth <name> <cells> [--out DIR] [--seed N] \
+         [--macros N]\n  xplace stats <design.aux> [--density D]\n  xplace plot <design.aux> \
+         [-o out.svg] [--nets N]"
+    );
+    std::process::exit(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_or<T: std::str::FromStr>(value: Option<String>, default: T) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("place") => cmd_place(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("plot") => cmd_plot(&args[1..]),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let aux = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let density: f64 = parse_or(flag_value(args, "--density"), 0.9);
+    let out: PathBuf = flag_value(args, "-o")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(aux).with_extension("placed.pl"));
+    let mut design = bookshelf::read_aux(Path::new(aux), density)?;
+    println!("loaded {}", DesignStats::of(&design));
+
+    let mut config = if args.iter().any(|a| a == "--baseline") {
+        XplaceConfig::dreamplace_like()
+    } else {
+        XplaceConfig::xplace()
+    };
+    config.schedule.max_iterations = parse_or(flag_value(args, "--max-iters"), 1500);
+    config.seed = parse_or(flag_value(args, "--seed"), 0x5eed);
+
+    let gp = GlobalPlacer::new(config).place(&mut design)?;
+    println!(
+        "GP: {} iterations, overflow {:.3} -> {:.3}, HPWL {:.0} -> {:.0}, \
+         modeled GPU {:.3}s ({:.3} ms/iter), wall {:.2}s",
+        gp.iterations,
+        gp.initial_overflow,
+        gp.final_overflow,
+        gp.initial_hpwl,
+        gp.final_hpwl,
+        gp.modeled_gp_seconds(),
+        gp.modeled_ms_per_iter(),
+        gp.wall_seconds
+    );
+    let lg = legalize(&mut design)?;
+    println!(
+        "LG: HPWL {:.0} -> {:.0}, mean displacement {:.2} ({:.2}s)",
+        lg.initial_hpwl, lg.final_hpwl, lg.mean_displacement, lg.wall_seconds
+    );
+    let dp = detailed_place(&mut design, &DpConfig::default());
+    println!(
+        "DP: HPWL {:.0} -> {:.0} ({} slides, {} reorders, {} swaps, {:.2}s)",
+        dp.initial_hpwl, dp.final_hpwl, dp.slides, dp.reorders, dp.swaps, dp.wall_seconds
+    );
+    check_legality(&design)?;
+    let congestion = estimate_congestion(&design, &RouteConfig::default());
+    println!(
+        "routability: top5 overflow {:.2}, max utilization {:.2}",
+        congestion.top_overflow(0.05),
+        congestion.max_utilization()
+    );
+    bookshelf::write_pl(&design, &out)?;
+    println!("placement written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let name = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let cells: usize =
+        args.get(1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+    let out: PathBuf =
+        flag_value(args, "--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let seed: u64 = parse_or(flag_value(args, "--seed"), 1);
+    let macros: usize = parse_or(flag_value(args, "--macros"), 0);
+    let spec = SynthesisSpec::new(name.clone(), cells, cells + cells / 20)
+        .with_seed(seed)
+        .with_macro_count(macros);
+    let design = synthesize(&spec)?;
+    println!("generated {}", DesignStats::of(&design));
+    let aux = bookshelf::write_design(&design, &out)?;
+    println!("written to {}", aux.display());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let aux = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let density: f64 = parse_or(flag_value(args, "--density"), 0.9);
+    let design = bookshelf::read_aux(Path::new(aux), density)?;
+    let s = DesignStats::of(&design);
+    println!("{s}");
+    println!("region: {}", design.region());
+    println!("rows: {}", design.rows().len());
+    println!("initial HPWL: {:.0}", design.total_hpwl());
+    Ok(())
+}
+
+fn cmd_plot(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let aux = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let out: PathBuf = flag_value(args, "-o")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(aux).with_extension("svg"));
+    let nets: usize = parse_or(flag_value(args, "--nets"), 0);
+    let design = bookshelf::read_aux(Path::new(aux), 0.9)?;
+    let config = xplace::db::plot::PlotConfig { longest_nets: nets, ..Default::default() };
+    xplace::db::plot::write_svg(&design, &config, &out)?;
+    println!("SVG written to {}", out.display());
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration tests: the full GP -> LG -> DP -> evaluation
+//! pipeline across crates.
+
+use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::db::synthesis::{synthesize, SynthesisSpec};
+use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
+use xplace::route::{estimate_congestion, RouteConfig};
+
+fn place_design(cells: usize, seed: u64, config: XplaceConfig) -> xplace::db::Design {
+    let spec = SynthesisSpec::new("e2e", cells, cells + cells / 20).with_seed(seed);
+    let mut design = synthesize(&spec).expect("synthesis succeeds");
+    GlobalPlacer::new(config).place(&mut design).expect("placement succeeds");
+    design
+}
+
+#[test]
+fn full_flow_produces_a_legal_placement_with_low_overflow() {
+    let spec = SynthesisSpec::new("flow", 800, 840).with_seed(3).with_macro_count(3);
+    let mut design = synthesize(&spec).expect("synthesis succeeds");
+    let gp = GlobalPlacer::new(XplaceConfig::xplace())
+        .place(&mut design)
+        .expect("placement succeeds");
+    assert!(gp.final_overflow < 0.2, "GP overflow {}", gp.final_overflow);
+
+    let lg = legalize(&mut design).expect("legalization succeeds");
+    check_legality(&design).expect("legal after LG");
+    // Legalization of a converged GP result should be gentle.
+    assert!(
+        lg.final_hpwl < gp.final_hpwl * 1.3,
+        "LG blew HPWL up: {} -> {}",
+        gp.final_hpwl,
+        lg.final_hpwl
+    );
+
+    let dp = detailed_place(&mut design, &DpConfig::default());
+    check_legality(&design).expect("legal after DP");
+    assert!(dp.final_hpwl <= lg.final_hpwl + 1e-9, "DP must not worsen HPWL");
+}
+
+#[test]
+fn xplace_beats_baseline_gp_time_with_comparable_hpwl() {
+    let mut cfg_x = XplaceConfig::xplace();
+    cfg_x.schedule.max_iterations = 800;
+    let mut cfg_d = XplaceConfig::dreamplace_like();
+    cfg_d.schedule.max_iterations = 800;
+
+    let spec = SynthesisSpec::new("cmp", 600, 640).with_seed(11);
+    let mut dx = synthesize(&spec).expect("synthesis succeeds");
+    let mut dd = synthesize(&spec).expect("synthesis succeeds");
+    let rx = GlobalPlacer::new(cfg_x).place(&mut dx).expect("xplace run");
+    let rd = GlobalPlacer::new(cfg_d).place(&mut dd).expect("baseline run");
+
+    // Speed: Xplace's modeled GP time per iteration must be well below the
+    // baseline's (the paper reports ~3x per-iteration).
+    let speedup = rd.modeled_ms_per_iter() / rx.modeled_ms_per_iter();
+    assert!(speedup > 1.5, "per-iteration speedup only {speedup:.2}x");
+
+    // Quality: HPWL within 10% of each other (the paper: within a per-mil
+    // at full convergence on the real contest sizes).
+    let ratio = rx.final_hpwl / rd.final_hpwl;
+    assert!((0.9..=1.1).contains(&ratio), "HPWL ratio {ratio}");
+}
+
+#[test]
+fn congestion_estimation_runs_on_placed_designs() {
+    let design = place_design(500, 17, XplaceConfig::xplace());
+    let map = estimate_congestion(&design, &RouteConfig::default());
+    let top5 = map.top_overflow(0.05);
+    assert!(top5.is_finite() && top5 > 0.0);
+    assert!(map.max_utilization() >= top5);
+}
+
+#[test]
+fn placement_improves_congestion_over_the_clustered_start() {
+    let spec = SynthesisSpec::new("cong", 500, 520).with_seed(23);
+    let clustered = synthesize(&spec).expect("synthesis succeeds");
+    let cfg = RouteConfig::default();
+    let before = estimate_congestion(&clustered, &cfg).top_overflow(0.05);
+
+    let mut placed = synthesize(&spec).expect("synthesis succeeds");
+    GlobalPlacer::new(XplaceConfig::xplace()).place(&mut placed).expect("placement");
+    let after = estimate_congestion(&placed, &cfg).top_overflow(0.05);
+    assert!(
+        after < before * 0.7,
+        "placement should reduce top5 congestion: {before:.1} -> {after:.1}"
+    );
+}
+
+#[test]
+fn operator_configurations_agree_on_final_quality() {
+    // All Xplace operator configurations run the same math; starting from
+    // the same instance they must converge to comparable HPWL.
+    let mut reference = None;
+    for (r, c, e, s) in
+        [(true, true, true, true), (false, false, false, false), (true, true, false, false)]
+    {
+        let mut cfg = XplaceConfig::ablation(r, c, e, s);
+        cfg.schedule.max_iterations = 600;
+        let spec = SynthesisSpec::new("agree", 400, 420).with_seed(31);
+        let mut design = synthesize(&spec).expect("synthesis succeeds");
+        let report = GlobalPlacer::new(cfg).place(&mut design).expect("placement");
+        let hpwl = report.final_hpwl;
+        match reference {
+            None => reference = Some(hpwl),
+            Some(reference) => {
+                let ratio = hpwl / reference;
+                assert!(
+                    (0.85..=1.15).contains(&ratio),
+                    "config ({r},{c},{e},{s}) HPWL ratio {ratio}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests of the fence-region extension (the constraint the
+//! paper defers to future work, implemented here through the framework's
+//! extension points).
+
+use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::db::synthesis::{synthesize, SynthesisSpec};
+use xplace::db::{CellId, FenceRegion, Rect};
+use xplace::legal::{check_legality, detailed_place, legalize, DpConfig, LegalError};
+
+fn fenced_design(seed: u64) -> xplace::db::Design {
+    synthesize(
+        &SynthesisSpec::new("fenced", 500, 520).with_seed(seed).with_fences(3),
+    )
+    .expect("synthesis with fences")
+}
+
+#[test]
+fn synthesized_fences_are_valid_and_populated() {
+    let d = fenced_design(3);
+    assert_eq!(d.fences().len(), 3);
+    for fence in d.fences() {
+        assert!(!fence.members().is_empty());
+        assert!(d.region().contains_rect(&fence.bounding_box()));
+    }
+    // Membership lookup agrees with the fence lists.
+    let f0 = &d.fences()[0];
+    assert_eq!(d.fence_of(f0.members()[0]), Some(0));
+}
+
+#[test]
+fn gp_keeps_members_inside_their_fences() {
+    let mut d = fenced_design(5);
+    let mut cfg = XplaceConfig::xplace();
+    cfg.schedule.max_iterations = 400;
+    GlobalPlacer::new(cfg).place(&mut d).expect("placement");
+    for (fi, fence) in d.fences().iter().enumerate() {
+        let bb = fence.bounding_box();
+        for &m in fence.members() {
+            let p = d.position(m);
+            assert!(
+                p.x >= bb.lx - 1e-6 && p.x <= bb.ux + 1e-6
+                    && p.y >= bb.ly - 1e-6 && p.y <= bb.uy + 1e-6,
+                "fence {fi} member {m} escaped to {p} (fence bb {bb})"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_flow_with_fences_is_legal_and_contained() {
+    let mut d = fenced_design(7);
+    let mut cfg = XplaceConfig::xplace();
+    cfg.schedule.max_iterations = 500;
+    GlobalPlacer::new(cfg).place(&mut d).expect("placement");
+    legalize(&mut d).expect("legalization");
+    check_legality(&d).expect("legal incl. fence containment");
+    let dp = detailed_place(&mut d, &DpConfig::default());
+    check_legality(&d).expect("still legal after DP");
+    assert!(dp.final_hpwl <= dp.initial_hpwl + 1e-9);
+}
+
+#[test]
+fn checker_reports_fence_escapes() {
+    let mut d = fenced_design(9);
+    let mut cfg = XplaceConfig::xplace();
+    cfg.schedule.max_iterations = 300;
+    GlobalPlacer::new(cfg).place(&mut d).expect("placement");
+    legalize(&mut d).expect("legalization");
+    check_legality(&d).expect("legal before tampering");
+    // Teleport one fenced cell onto the (legal, aligned) position of an
+    // unfenced cell far from the fence.
+    let victim = d.fences()[0].members()[0];
+    let nl = d.netlist();
+    let donor = nl
+        .cell_ids()
+        .find(|&c| {
+            nl.cell(c).is_movable()
+                && d.fence_of(c).is_none()
+                && !d.fences()[0].bounding_box().contains(d.position(c))
+        })
+        .expect("an unfenced cell exists outside the fence");
+    let mut pos = d.positions().to_vec();
+    pos[victim.index()] = d.position(donor);
+    d.set_positions(pos);
+    match check_legality(&d) {
+        Err(LegalError::OutOfFence { .. }) | Err(LegalError::Overlap { .. }) => {}
+        other => panic!("expected a fence/overlap violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn hand_built_fences_constrain_the_placer() {
+    // Build an unfenced design, then fence its first 20 cells into the
+    // lower-left quadrant and check GP honours it.
+    let mut d = synthesize(&SynthesisSpec::new("handf", 300, 320).with_seed(11))
+        .expect("synthesis");
+    let r = d.region();
+    let quad = Rect::new(r.lx, r.ly, r.lx + r.width() * 0.4, r.ly + r.height() * 0.4);
+    let members: Vec<CellId> = (0..20).map(CellId).collect();
+    let fence = FenceRegion::new("quad", vec![quad], members.clone()).expect("fence");
+    d.set_fences(vec![fence]).expect("valid fence");
+    let mut cfg = XplaceConfig::xplace();
+    cfg.schedule.max_iterations = 400;
+    GlobalPlacer::new(cfg).place(&mut d).expect("placement");
+    for &m in &members {
+        let p = d.position(m);
+        assert!(quad.contains(p) || (p.x <= quad.ux + 1e-6 && p.y <= quad.uy + 1e-6));
+    }
+}
