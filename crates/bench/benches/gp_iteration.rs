@@ -3,21 +3,22 @@
 //! measured in wall-clock with the emulated kernel-launch latency so the
 //! operator-reduction effect is physically visible, not just modeled.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xplace_core::{Framework, GradientEngine, NesterovOptimizer, OperatorConfig, Parameters, ScheduleConfig};
+use xplace_core::{
+    Framework, GradientEngine, NesterovOptimizer, OperatorConfig, Parameters, ScheduleConfig,
+};
 use xplace_db::synthesis::{synthesize, SynthesisSpec};
 use xplace_device::{Device, DeviceConfig};
 use xplace_ops::PlacementModel;
+use xplace_testkit::bench::Bench;
+use xplace_testkit::{bench_group, bench_main};
 
 fn setup(cells: usize) -> PlacementModel {
-    let design = synthesize(
-        &SynthesisSpec::new("gpiter", cells, cells + cells / 20).with_seed(7),
-    )
-    .expect("synthesis succeeds");
+    let design = synthesize(&SynthesisSpec::new("gpiter", cells, cells + cells / 20).with_seed(7))
+        .expect("synthesis succeeds");
     PlacementModel::from_design(&design).expect("model builds")
 }
 
-fn bench_gp_iteration(c: &mut Criterion) {
+fn bench_gp_iteration(c: &mut Bench) {
     let mut group = c.benchmark_group("gp_iteration_4k_cells");
     group.sample_size(20);
     let configs: Vec<(&str, Framework, OperatorConfig)> = vec![
@@ -25,18 +26,23 @@ fn bench_gp_iteration(c: &mut Criterion) {
         (
             "xplace_no_skipping",
             Framework::Xplace,
-            OperatorConfig { skipping: false, ..OperatorConfig::all() },
+            OperatorConfig {
+                skipping: false,
+                ..OperatorConfig::all()
+            },
         ),
         ("xplace_none", Framework::Xplace, OperatorConfig::none()),
-        ("dreamplace_like", Framework::DreamplaceLike, OperatorConfig::none()),
+        (
+            "dreamplace_like",
+            Framework::DreamplaceLike,
+            OperatorConfig::none(),
+        ),
     ];
     for (name, fw, ops) in configs {
         group.bench_function(name, |b| {
             let mut model = setup(4000);
-            let device =
-                Device::new(DeviceConfig::rtx3090().with_emulated_latency(true));
-            let mut engine =
-                GradientEngine::new(fw, ops, &model).expect("engine builds");
+            let device = Device::new(DeviceConfig::rtx3090().with_emulated_latency(true));
+            let mut engine = GradientEngine::new(fw, ops, &model).expect("engine builds");
             let schedule = ScheduleConfig::default();
             let bin = 0.5 * (model.bin_w() + model.bin_h());
             let mut params = Parameters::new(&schedule, bin);
@@ -64,5 +70,5 @@ fn bench_gp_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gp_iteration);
-criterion_main!(benches);
+bench_group!(benches, bench_gp_iteration);
+bench_main!(benches);

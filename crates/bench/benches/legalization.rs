@@ -1,18 +1,17 @@
 //! Benchmarks of the post-GP pipeline (the DP/s column of Tables 2 and 4):
 //! legalization and detailed placement across design sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xplace_db::synthesis::{synthesize, SynthesisSpec};
 use xplace_db::{Design, Point};
 use xplace_legal::{detailed_place, legalize, DpConfig};
+use xplace_testkit::bench::{BatchSize, Bench, BenchmarkId};
+use xplace_testkit::{bench_group, bench_main};
 
 /// A spread (GP-like) placement without running the placer, so the bench
 /// isolates LG/DP cost.
 fn spread_design(cells: usize) -> Design {
-    let mut d = synthesize(
-        &SynthesisSpec::new("lgbench", cells, cells + cells / 20).with_seed(42),
-    )
-    .expect("synthesis succeeds");
+    let mut d = synthesize(&SynthesisSpec::new("lgbench", cells, cells + cells / 20).with_seed(42))
+        .expect("synthesis succeeds");
     let r = d.region();
     let nl = d.netlist();
     let mut pos = d.positions().to_vec();
@@ -28,7 +27,7 @@ fn spread_design(cells: usize) -> Design {
     d
 }
 
-fn bench_legalize(c: &mut Criterion) {
+fn bench_legalize(c: &mut Bench) {
     let mut group = c.benchmark_group("legalize");
     group.sample_size(10);
     for &cells in &[1_000usize, 4_000] {
@@ -37,14 +36,14 @@ fn bench_legalize(c: &mut Criterion) {
             b.iter_batched(
                 || design.clone(),
                 |mut d| legalize(&mut d).expect("legalization succeeds"),
-                criterion::BatchSize::LargeInput,
+                BatchSize::LargeInput,
             )
         });
     }
     group.finish();
 }
 
-fn bench_detailed_place(c: &mut Criterion) {
+fn bench_detailed_place(c: &mut Bench) {
     let mut group = c.benchmark_group("detailed_place");
     group.sample_size(10);
     for &cells in &[1_000usize, 4_000] {
@@ -54,12 +53,12 @@ fn bench_detailed_place(c: &mut Criterion) {
             b.iter_batched(
                 || design.clone(),
                 |mut d| detailed_place(&mut d, &DpConfig::default()),
-                criterion::BatchSize::LargeInput,
+                BatchSize::LargeInput,
             )
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_legalize, bench_detailed_place);
-criterion_main!(benches);
+bench_group!(benches, bench_legalize, bench_detailed_place);
+bench_main!(benches);

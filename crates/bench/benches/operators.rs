@@ -4,16 +4,15 @@
 //! (operator reduction) measured in real wall-clock time with the
 //! device's emulated kernel-launch latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use xplace_db::synthesis::{synthesize, SynthesisSpec};
 use xplace_device::{Device, DeviceConfig};
 use xplace_ops::{density::DensityOp, wirelength, PlacementModel};
+use xplace_testkit::bench::Bench;
+use xplace_testkit::{bench_group, bench_main};
 
 fn model(cells: usize) -> PlacementModel {
-    let design = synthesize(
-        &SynthesisSpec::new("bench", cells, cells + cells / 20).with_seed(77),
-    )
-    .expect("synthesis succeeds");
+    let design = synthesize(&SynthesisSpec::new("bench", cells, cells + cells / 20).with_seed(77))
+        .expect("synthesis succeeds");
     let mut m = PlacementModel::from_design(&design).expect("model builds");
     let r = m.region();
     let ranges = m.ranges();
@@ -27,7 +26,7 @@ fn model(cells: usize) -> PlacementModel {
 
 /// Operator combination: one fused kernel vs merged-WA + separate HPWL vs
 /// the autograd pair (§3.1.1 / §3.1.3).
-fn bench_wirelength(c: &mut Criterion) {
+fn bench_wirelength(c: &mut Bench) {
     let m = model(5000);
     let device = Device::new(DeviceConfig::instant());
     let n = m.num_nodes();
@@ -67,7 +66,7 @@ fn bench_wirelength(c: &mut Criterion) {
 
 /// Operator extraction: D + D_fl + add vs direct total + second movable
 /// pass (§3.1.2).
-fn bench_density(c: &mut Criterion) {
+fn bench_density(c: &mut Bench) {
     let m = model(5000);
     let device = Device::new(DeviceConfig::instant());
     let mut group = c.benchmark_group("density_5k_cells");
@@ -99,7 +98,7 @@ fn bench_density(c: &mut Criterion) {
 /// Operator reduction: the same fused wirelength kernel under zero vs
 /// emulated CUDA-like launch latency shows what launch overhead does to
 /// small-kernel streams (§3.1.3).
-fn bench_launch_latency(c: &mut Criterion) {
+fn bench_launch_latency(c: &mut Bench) {
     // Small kernels make the launch overhead a visible fraction of the
     // wall time: a 150-cell wirelength pass costs ~10-30 us on a CPU
     // core, comparable to the 5 us CUDA-like launch cost being emulated —
@@ -131,5 +130,10 @@ fn bench_launch_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wirelength, bench_density, bench_launch_latency);
-criterion_main!(benches);
+bench_group!(
+    benches,
+    bench_wirelength,
+    bench_density,
+    bench_launch_latency
+);
+bench_main!(benches);

@@ -2,15 +2,17 @@
 //! electrostatic Poisson solve across grid sizes (the `rfft2`/`irfft2`
 //! workload of §3.1.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xplace_fft::{Complex, DctPlan, ElectrostaticSolver, FftPlan, Grid2};
+use xplace_testkit::bench::{Bench, BenchmarkId};
+use xplace_testkit::{bench_group, bench_main};
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft(c: &mut Bench) {
     let mut group = c.benchmark_group("fft_1d");
     for &n in &[256usize, 1024, 4096] {
         let plan = FftPlan::new(n).expect("power-of-two plan");
-        let data: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut buf = data.clone();
@@ -22,7 +24,7 @@ fn bench_fft(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_dct(c: &mut Criterion) {
+fn bench_dct(c: &mut Bench) {
     let mut group = c.benchmark_group("dct_analysis_1d");
     for &n in &[256usize, 1024] {
         let mut plan = DctPlan::new(n).expect("power-of-two plan");
@@ -35,7 +37,7 @@ fn bench_dct(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_poisson(c: &mut Criterion) {
+fn bench_poisson(c: &mut Bench) {
     let mut group = c.benchmark_group("electrostatic_solve");
     group.sample_size(20);
     for &n in &[64usize, 128, 256] {
@@ -45,11 +47,15 @@ fn bench_poisson(c: &mut Criterion) {
         });
         let mut out = xplace_fft::FieldSolution::new(n, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| solver.solve_into(&density, &mut out).expect("solve succeeds"))
+            b.iter(|| {
+                solver
+                    .solve_into(&density, &mut out)
+                    .expect("solve succeeds")
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_dct, bench_poisson);
-criterion_main!(benches);
+bench_group!(benches, bench_fft, bench_dct, bench_poisson);
+bench_main!(benches);

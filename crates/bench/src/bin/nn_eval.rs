@@ -27,20 +27,34 @@ fn correlation(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn main() {
-    let steps: usize =
-        std::env::var("XPLACE_NN_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(400);
-    let grid: usize =
-        std::env::var("XPLACE_NN_GRID").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
-    let paper_scale = std::env::var("XPLACE_NN_PAPER").map(|v| v == "1").unwrap_or(false);
+    let steps: usize = std::env::var("XPLACE_NN_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let grid: usize = std::env::var("XPLACE_NN_GRID")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let paper_scale = std::env::var("XPLACE_NN_PAPER")
+        .map(|v| v == "1")
+        .unwrap_or(false);
 
     // Parameter-count check against the paper's 471k.
     let paper_model = Fno::new(&FnoConfig::paper(), 1).expect("paper config is valid");
-    println!("paper-scale FNO parameters: {} (paper: 471k)", paper_model.num_params());
+    println!(
+        "paper-scale FNO parameters: {} (paper: 471k)",
+        paper_model.num_params()
+    );
 
     let config = if paper_scale {
         FnoConfig::paper()
     } else {
-        FnoConfig { width: 8, modes: 6, num_layers: 3, proj_hidden: 32 }
+        FnoConfig {
+            width: 8,
+            modes: 6,
+            num_layers: 3,
+            proj_hidden: 32,
+        }
     };
     let mut fno = Fno::new(&config, 2024).expect("config is valid");
     println!(
@@ -51,17 +65,36 @@ fn main() {
         fno.num_params()
     );
 
-    let data = DataConfig { grid, blobs: 5, rects: 2, ..Default::default() };
-    let train_cfg = TrainConfig { steps, batch: 2, lr: 2e-3, data, seed: 7 };
+    let data = DataConfig {
+        grid,
+        blobs: 5,
+        rects: 2,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        steps,
+        batch: 2,
+        lr: 2e-3,
+        data,
+        seed: 7,
+    };
     let report = train(&mut fno, &train_cfg).expect("training succeeds");
-    println!("training steps: {steps}, final training loss (rel-L2): {:.4}", report.final_loss);
+    println!(
+        "training steps: {steps}, final training loss (rel-L2): {:.4}",
+        report.final_loss
+    );
 
     // Held-out evaluation (zero predictor scores 1.0).
     let held_out = eval_loss(&mut fno, &data, 5_000_000, 16);
     println!("held-out rel-L2 ({grid}x{grid}):       {held_out:.4}  (zero predictor: 1.0)");
 
     // Resolution transfer.
-    let hi = DataConfig { grid: grid * 2, blobs: 5, rects: 2, ..Default::default() };
+    let hi = DataConfig {
+        grid: grid * 2,
+        blobs: 5,
+        rects: 2,
+        ..Default::default()
+    };
     let transfer = eval_loss(&mut fno, &hi, 6_000_000, 8);
     println!(
         "resolution transfer rel-L2 ({0}x{0}): {transfer:.4}  (trained at {grid}x{grid})",
@@ -80,16 +113,20 @@ fn main() {
         corr_x += correlation(fx.as_slice(), &s.field_x);
         corr_y += correlation(fy.as_slice(), &s.field_y);
     }
-    println!("field correlation vs exact solver: x = {:.3}, y = {:.3} (y via transposed input)",
-        corr_x / trials as f64, corr_y / trials as f64);
+    println!(
+        "field correlation vs exact solver: x = {:.3}, y = {:.3} (y via transposed input)",
+        corr_x / trials as f64,
+        corr_y / trials as f64
+    );
 }
 
 fn eval_loss(fno: &mut Fno, data: &DataConfig, seed: u64, n: usize) -> f64 {
     let mut total = 0.0;
     for k in 0..n {
         let s = generate_sample(data, seed + k as u64).expect("sample generation");
-        let pred =
-            fno.predict_field_x(&s.density, data.grid, data.grid).expect("prediction succeeds");
+        let pred = fno
+            .predict_field_x(&s.density, data.grid, data.grid)
+            .expect("prediction succeeds");
         let (loss, _) = relative_l2(&pred, &s.field_x);
         total += loss;
     }

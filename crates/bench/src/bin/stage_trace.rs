@@ -24,7 +24,9 @@ fn main() {
     let mut design = synthesize(&spec).expect("synthesis succeeds");
     let mut cfg = XplaceConfig::xplace();
     cfg.schedule.max_iterations = max_iters;
-    let report = GlobalPlacer::new(cfg).place(&mut design).expect("placement succeeds");
+    let report = GlobalPlacer::new(cfg)
+        .place(&mut design)
+        .expect("placement succeeds");
 
     println!("{}", report.recorder.to_csv());
 
@@ -33,8 +35,11 @@ fn main() {
     // of SS3.1.4 (the paper caps the technique at iteration 100).
     let r_window = records.iter().take_while(|r| r.r_ratio < 0.01).count();
     let r_at_10 = records.get(10).map(|r| r.r_ratio).unwrap_or(0.0);
-    let skipped_early =
-        records.iter().take(100.min(records.len())).filter(|r| r.density_skipped).count();
+    let skipped_early = records
+        .iter()
+        .take(100.min(records.len()))
+        .filter(|r| r.density_skipped)
+        .count();
     let omega_start = records.first().map(|r| r.omega).unwrap_or(0.0);
     let omega_end = records.last().map(|r| r.omega).unwrap_or(0.0);
     let crossed_mid = records.iter().any(|r| r.omega > 0.5 && r.omega < 0.95);

@@ -13,9 +13,10 @@ use xplace_db::DesignStats;
 fn main() {
     let scale = scale_from_env(0.01);
     println!("Table 1: benchmark statistics (scale = {scale}, published sizes in parentheses)\n");
-    for (suite_name, suite) in
-        [("ISPD 2005", ispd2005_like(scale)), ("ISPD 2015", ispd2015_like(scale))]
-    {
+    for (suite_name, suite) in [
+        ("ISPD 2005", ispd2005_like(scale)),
+        ("ISPD 2015", ispd2015_like(scale)),
+    ] {
         let mut table = TextTable::new(&[
             "design",
             "#cells",

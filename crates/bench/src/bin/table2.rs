@@ -24,26 +24,48 @@ fn main() {
 
     // Train the guidance model once (self-generated data, §4.3).
     eprintln!("training the FNO guidance model...");
-    let nn_config = FnoConfig { width: 8, modes: 6, num_layers: 3, proj_hidden: 32 };
+    let nn_config = FnoConfig {
+        width: 8,
+        modes: 6,
+        num_layers: 3,
+        proj_hidden: 32,
+    };
     let mut fno = Fno::new(&nn_config, 0xf0).expect("valid config");
     let train_cfg = TrainConfig {
         steps: 300,
         batch: 2,
         lr: 2e-3,
-        data: DataConfig { grid: 32, blobs: 4, rects: 2, ..Default::default() },
+        data: DataConfig {
+            grid: 32,
+            blobs: 4,
+            rects: 2,
+            ..Default::default()
+        },
         seed: 9_000,
     };
     let report = train(&mut fno, &train_cfg).expect("training succeeds");
     eprintln!("  final training loss: {:.4}", report.final_loss);
 
     let mut table = TextTable::new(&[
-        "design", "HPWL(base)", "GP/s", "DP/s", "HPWL(xp)", "GP/s", "DP/s", "HPWL(nn)", "GP/s",
+        "design",
+        "HPWL(base)",
+        "GP/s",
+        "DP/s",
+        "HPWL(xp)",
+        "GP/s",
+        "DP/s",
+        "HPWL(nn)",
+        "GP/s",
         "DP/s",
     ]);
     let mut sums = [0.0f64; 9];
 
     for entry in &suite {
-        eprintln!("running {} ({} cells)...", entry.name(), entry.spec.num_cells);
+        eprintln!(
+            "running {} ({} cells)...",
+            entry.name(),
+            entry.spec.num_cells
+        );
         let mut cfg_base = XplaceConfig::dreamplace_like();
         cfg_base.schedule.max_iterations = max_iters;
         let mut cfg_xp = XplaceConfig::xplace();
@@ -81,17 +103,23 @@ fn main() {
     }
 
     let mut sum_row = vec!["Sum".to_string()];
-    sum_row.extend(
-        sums.iter()
-            .enumerate()
-            .map(|(i, &v)| if i % 3 == 0 { fmt(v / 1e6, 4) } else { fmt(v, 3) }),
-    );
+    sum_row.extend(sums.iter().enumerate().map(|(i, &v)| {
+        if i % 3 == 0 {
+            fmt(v / 1e6, 4)
+        } else {
+            fmt(v, 3)
+        }
+    }));
     table.row(sum_row);
     // Ratios vs Xplace (columns 3..6 are Xplace).
     let mut ratio_row = vec!["Ratio".to_string()];
     for i in 0..9 {
         let xp_ref = sums[3 + i % 3];
-        ratio_row.push(if xp_ref > 0.0 { fmt(sums[i] / xp_ref, 3) } else { "-".into() });
+        ratio_row.push(if xp_ref > 0.0 {
+            fmt(sums[i] / xp_ref, 3)
+        } else {
+            "-".into()
+        });
     }
     table.row(ratio_row);
 

@@ -19,15 +19,13 @@ use xplace_core::{GlobalPlacer, XplaceConfig};
 use xplace_db::suites::ispd2005_like;
 use xplace_db::synthesis::synthesize;
 
-fn run_config(
-    entry: &xplace_db::suites::SuiteEntry,
-    mut cfg: XplaceConfig,
-    iters: usize,
-) -> f64 {
+fn run_config(entry: &xplace_db::suites::SuiteEntry, mut cfg: XplaceConfig, iters: usize) -> f64 {
     cfg.schedule.max_iterations = iters;
     cfg.schedule.stop_overflow = 1e-12; // never stop early: equal iteration counts
     let mut design = synthesize(&entry.spec).expect("synthesis succeeds");
-    let report = GlobalPlacer::new(cfg).place(&mut design).expect("placement succeeds");
+    let report = GlobalPlacer::new(cfg)
+        .place(&mut design)
+        .expect("placement succeeds");
     report.modeled_ms_per_iter()
 }
 
@@ -45,7 +43,10 @@ fn main() {
         ("OR", XplaceConfig::ablation(true, false, false, false)),
         ("OR+OC", XplaceConfig::ablation(true, true, false, false)),
         ("OR+OC+OE", XplaceConfig::ablation(true, true, true, false)),
-        ("Xplace (all)", XplaceConfig::ablation(true, true, true, true)),
+        (
+            "Xplace (all)",
+            XplaceConfig::ablation(true, true, true, true),
+        ),
         ("DREAMPlace", XplaceConfig::dreamplace_like()),
     ];
 

@@ -10,7 +10,9 @@
 //! Environment: `XPLACE_SCALE` (default 0.004), `XPLACE_MAX_ITERS`
 //! (default 1500).
 
-use xplace_bench::{default_workers, fmt, max_iters_from_env, parallel_map, run_flow, scale_from_env, TextTable};
+use xplace_bench::{
+    default_workers, fmt, max_iters_from_env, parallel_map, run_flow, scale_from_env, TextTable,
+};
 use xplace_core::XplaceConfig;
 use xplace_db::suites::ispd2015_like;
 use xplace_route::{estimate_congestion, RouteConfig};
@@ -33,7 +35,11 @@ fn main() {
     ]);
     let mut sums = [0.0f64; 8];
 
-    eprintln!("running {} designs on {} workers...", suite.len(), default_workers());
+    eprintln!(
+        "running {} designs on {} workers...",
+        suite.len(),
+        default_workers()
+    );
     let per_design = parallel_map(&suite, default_workers(), |entry| {
         let mut cfg_base = XplaceConfig::dreamplace_like();
         cfg_base.schedule.max_iterations = max_iters;
@@ -86,7 +92,11 @@ fn main() {
     let mut ratio_row = vec!["Ratio".to_string()];
     for i in 0..8 {
         let xp_ref = sums[4 + i % 4];
-        ratio_row.push(if xp_ref > 0.0 { fmt(sums[i] / xp_ref, 3) } else { "-".into() });
+        ratio_row.push(if xp_ref > 0.0 {
+            fmt(sums[i] / xp_ref, 3)
+        } else {
+            "-".into()
+        });
     }
     table.row(ratio_row);
 

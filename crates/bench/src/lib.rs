@@ -99,13 +99,13 @@ where
 {
     let workers = workers.max(1).min(items.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    crossbeam::thread::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -115,18 +115,23 @@ where
             });
         }
         drop(tx);
-    })
-    .expect("worker threads join");
+    });
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for (i, r) in rx.iter() {
         slots[i] = Some(r);
     }
-    slots.into_iter().map(|s| s.expect("every item produced a result")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item produced a result"))
+        .collect()
 }
 
 /// The default worker count: the machine's parallelism, capped at 8.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }
 
 /// A plain-text table printer with right-aligned numeric columns.
@@ -139,7 +144,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).

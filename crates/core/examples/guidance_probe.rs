@@ -19,7 +19,10 @@ impl DensityGuidance for PerfectGuidance {
 struct ZeroGuidance;
 impl DensityGuidance for ZeroGuidance {
     fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2) {
-        (Grid2::new(density.nx(), density.ny()), Grid2::new(density.nx(), density.ny()))
+        (
+            Grid2::new(density.nx(), density.ny()),
+            Grid2::new(density.nx(), density.ny()),
+        )
     }
 }
 
@@ -30,19 +33,28 @@ fn main() {
 
     let mut d = synthesize(&spec).unwrap();
     let plain = GlobalPlacer::new(cfg.clone()).place(&mut d).unwrap();
-    println!("plain  : hpwl {:.0} ovfl {:.3} iters {}", plain.final_hpwl, plain.final_overflow, plain.iterations);
+    println!(
+        "plain  : hpwl {:.0} ovfl {:.3} iters {}",
+        plain.final_hpwl, plain.final_overflow, plain.iterations
+    );
 
     let mut d = synthesize(&spec).unwrap();
     let perfect = GlobalPlacer::new(cfg.clone())
         .with_guidance(Box::new(PerfectGuidance))
         .place(&mut d)
         .unwrap();
-    println!("perfect: hpwl {:.0} ovfl {:.3} iters {}", perfect.final_hpwl, perfect.final_overflow, perfect.iterations);
+    println!(
+        "perfect: hpwl {:.0} ovfl {:.3} iters {}",
+        perfect.final_hpwl, perfect.final_overflow, perfect.iterations
+    );
 
     let mut d = synthesize(&spec).unwrap();
     let zero = GlobalPlacer::new(cfg)
         .with_guidance(Box::new(ZeroGuidance))
         .place(&mut d)
         .unwrap();
-    println!("zero   : hpwl {:.0} ovfl {:.3} iters {}", zero.final_hpwl, zero.final_overflow, zero.iterations);
+    println!(
+        "zero   : hpwl {:.0} ovfl {:.3} iters {}",
+        zero.final_hpwl, zero.final_overflow, zero.iterations
+    );
 }

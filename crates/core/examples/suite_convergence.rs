@@ -9,7 +9,13 @@ fn main() {
         let mut cfg = XplaceConfig::xplace();
         cfg.schedule.max_iterations = 1500;
         let r = GlobalPlacer::new(cfg).place(&mut d).unwrap();
-        println!("{:>10}: iters={:4} converged={} ovfl={:.3} hpwl={:.0}",
-            entry.name(), r.iterations, r.converged, r.final_overflow, r.final_hpwl);
+        println!(
+            "{:>10}: iters={:4} converged={} ovfl={:.3} hpwl={:.0}",
+            entry.name(),
+            r.iterations,
+            r.converged,
+            r.final_overflow,
+            r.final_hpwl
+        );
     }
 }

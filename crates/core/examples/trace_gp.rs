@@ -52,7 +52,11 @@ fn main() {
         mean_disp /= cnt as f64;
         omega = precond::omega(&model, params.lambda);
         params.advance();
-        let period = if schedule.stage_aware && omega > 0.5 && omega < 0.95 { 3 } else { 1 };
+        let period = if schedule.stage_aware && omega > 0.5 && omega < 0.95 {
+            3
+        } else {
+            1
+        };
         if params.iteration.is_multiple_of(period) {
             params.update(&schedule, bin, eval.overflow, eval.hpwl);
         }

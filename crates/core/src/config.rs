@@ -34,7 +34,12 @@ pub struct OperatorConfig {
 impl OperatorConfig {
     /// All four optimizations enabled (the full Xplace configuration).
     pub fn all() -> Self {
-        OperatorConfig { reduction: true, combination: true, extraction: true, skipping: true }
+        OperatorConfig {
+            reduction: true,
+            combination: true,
+            extraction: true,
+            skipping: true,
+        }
     }
 
     /// All optimizations disabled (the "none" ablation row).
@@ -145,7 +150,12 @@ impl XplaceConfig {
     /// (reduction, combination, extraction, skipping).
     pub fn ablation(reduction: bool, combination: bool, extraction: bool, skipping: bool) -> Self {
         let mut cfg = Self::xplace();
-        cfg.operators = OperatorConfig { reduction, combination, extraction, skipping };
+        cfg.operators = OperatorConfig {
+            reduction,
+            combination,
+            extraction,
+            skipping,
+        };
         cfg
     }
 
@@ -187,7 +197,9 @@ impl XplaceConfig {
     /// scale, or a non-power-of-two grid override).
     pub fn validate(&self) -> Result<(), crate::PlaceError> {
         if self.schedule.max_iterations == 0 {
-            return Err(crate::PlaceError::InvalidConfig("max_iterations is zero".into()));
+            return Err(crate::PlaceError::InvalidConfig(
+                "max_iterations is zero".into(),
+            ));
         }
         if !(self.schedule.stop_overflow > 0.0) {
             return Err(crate::PlaceError::InvalidConfig(
@@ -195,7 +207,9 @@ impl XplaceConfig {
             ));
         }
         if !(self.schedule.gamma_scale > 0.0) {
-            return Err(crate::PlaceError::InvalidConfig("gamma_scale must be positive".into()));
+            return Err(crate::PlaceError::InvalidConfig(
+                "gamma_scale must be positive".into(),
+            ));
         }
         if self.schedule.lambda_mu_min > self.schedule.lambda_mu_max {
             return Err(crate::PlaceError::InvalidConfig(

@@ -58,7 +58,10 @@ impl std::fmt::Debug for GradientEngine {
             .field("framework", &self.framework)
             .field("ops", &self.ops)
             .field("has_field", &self.has_field)
-            .field("guidance", &self.guidance.as_ref().map(|g| g.name().to_string()))
+            .field(
+                "guidance",
+                &self.guidance.as_ref().map(|g| g.name().to_string()),
+            )
             .finish()
     }
 }
@@ -159,7 +162,9 @@ impl GradientEngine {
     }
 
     fn wl_grad_norm(&self, model: &PlacementModel) -> f64 {
-        (0..model.num_movable()).map(|i| self.grad_x[i].abs() + self.grad_y[i].abs()).sum()
+        (0..model.num_movable())
+            .map(|i| self.grad_x[i].abs() + self.grad_y[i].abs())
+            .sum()
     }
 
     /// Evaluates the full preconditioned gradient at the model's current
@@ -243,7 +248,9 @@ impl GradientEngine {
             (wa, h)
         };
         if !wa.is_finite() || !hpwl.is_finite() {
-            return Err(PlaceError::Diverged { iteration: params.iteration });
+            return Err(PlaceError::Diverged {
+                iteration: params.iteration,
+            });
         }
 
         let wl_grad_l1 = if ops.combination {
@@ -251,9 +258,10 @@ impl GradientEngine {
             self.wl_grad_norm(model)
         } else {
             let n = model.num_movable() as u64;
-            device.launch(KernelInfo::new("wl_grad_norm").bytes(n * 16).flops(n * 2), || {
-                self.wl_grad_norm(model)
-            })
+            device.launch(
+                KernelInfo::new("wl_grad_norm").bytes(n * 16).flops(n * 2),
+                || self.wl_grad_norm(model),
+            )
         };
 
         // --- Density operators (with §3.1.4 skipping). ---
@@ -299,8 +307,7 @@ impl GradientEngine {
                         .bytes((nx * ny) as u64 * 8 * 20)
                         .flops((nx * ny) as u64 * 2_000);
                     let total = self.density.total_map.clone();
-                    let (mut px, mut py) =
-                        device.launch(nn_kernel, || guidance.predict(&total));
+                    let (mut px, mut py) = device.launch(nn_kernel, || guidance.predict(&total));
                     // Safety clip: an out-of-distribution prediction must
                     // not inject forces far beyond the analytic field's
                     // scale (the guidance is a *hint*, Eq. 14).
@@ -308,8 +315,7 @@ impl GradientEngine {
                         if g.is_empty() {
                             0.0
                         } else {
-                            (g.as_slice().iter().map(|v| v * v).sum::<f64>()
-                                / g.len() as f64)
+                            (g.as_slice().iter().map(|v| v * v).sum::<f64>() / g.len() as f64)
                                 .sqrt()
                         }
                     };
@@ -344,10 +350,22 @@ impl GradientEngine {
             // Autograd accumulation of the two gradient sources is two
             // extra out-of-place adds in PyTorch.
             let n = model.num_nodes() as u64;
-            device.launch(KernelInfo::new("grad_add_x").bytes(n * 24).out_of_place(), || {});
-            device.launch(KernelInfo::new("grad_add_y").bytes(n * 24).out_of_place(), || {});
+            device.launch(
+                KernelInfo::new("grad_add_x").bytes(n * 24).out_of_place(),
+                || {},
+            );
+            device.launch(
+                KernelInfo::new("grad_add_y").bytes(n * 24).out_of_place(),
+                || {},
+            );
         }
-        precond::apply(device, model, params.lambda, &mut self.grad_x, &mut self.grad_y);
+        precond::apply(
+            device,
+            model,
+            params.lambda,
+            &mut self.grad_x,
+            &mut self.grad_y,
+        );
 
         if dreamplace {
             // PyTorch framework glue per iteration: parameter-group walks,
@@ -398,7 +416,10 @@ mod tests {
     use xplace_db::synthesis::{synthesize, SynthesisSpec};
     use xplace_device::DeviceConfig;
 
-    fn setup(framework: Framework, ops: OperatorConfig) -> (PlacementModel, GradientEngine, Device) {
+    fn setup(
+        framework: Framework,
+        ops: OperatorConfig,
+    ) -> (PlacementModel, GradientEngine, Device) {
         let design = synthesize(&SynthesisSpec::new("e", 300, 320).with_seed(41)).unwrap();
         let model = PlacementModel::from_design(&design).unwrap();
         let engine = GradientEngine::new(framework, ops, &model).unwrap();
@@ -417,7 +438,15 @@ mod tests {
         let configs = [
             (Framework::Xplace, OperatorConfig::all()),
             (Framework::Xplace, OperatorConfig::none()),
-            (Framework::Xplace, OperatorConfig { reduction: true, combination: false, extraction: true, skipping: false }),
+            (
+                Framework::Xplace,
+                OperatorConfig {
+                    reduction: true,
+                    combination: false,
+                    extraction: true,
+                    skipping: false,
+                },
+            ),
             (Framework::DreamplaceLike, OperatorConfig::none()),
         ];
         let mut results = Vec::new();
@@ -453,9 +482,24 @@ mod tests {
     fn launch_counts_order_by_optimization_level() {
         let levels = [
             OperatorConfig::none(),
-            OperatorConfig { reduction: true, combination: false, extraction: false, skipping: false },
-            OperatorConfig { reduction: true, combination: true, extraction: false, skipping: false },
-            OperatorConfig { reduction: true, combination: true, extraction: true, skipping: false },
+            OperatorConfig {
+                reduction: true,
+                combination: false,
+                extraction: false,
+                skipping: false,
+            },
+            OperatorConfig {
+                reduction: true,
+                combination: true,
+                extraction: false,
+                skipping: false,
+            },
+            OperatorConfig {
+                reduction: true,
+                combination: true,
+                extraction: true,
+                skipping: false,
+            },
         ];
         let mut launches = Vec::new();
         for ops in levels {
@@ -476,7 +520,10 @@ mod tests {
         let (_, dream) = device.scoped(|| {
             engine.evaluate(&device, &model, &p, 0.0).unwrap();
         });
-        assert!(dream.launches > launches[0], "DREAMPlace stream must be the heaviest");
+        assert!(
+            dream.launches > launches[0],
+            "DREAMPlace stream must be the heaviest"
+        );
     }
 
     #[test]
@@ -486,16 +533,29 @@ mod tests {
         // regime — exactly what the paper reports ("operator combination,
         // extraction and skipping mainly boost the larger cases"). Use a
         // larger design and a low launch latency to be exec-bound.
-        let design =
-            synthesize(&SynthesisSpec::new("big", 3000, 3100).with_seed(43)).unwrap();
+        let design = synthesize(&SynthesisSpec::new("big", 3000, 3100).with_seed(43)).unwrap();
         let model = PlacementModel::from_design(&design).unwrap();
-        let device =
-            Device::new(DeviceConfig::rtx3090().with_launch_latency_ns(200));
+        let device = Device::new(DeviceConfig::rtx3090().with_launch_latency_ns(200));
         let levels = [
             OperatorConfig::none(),
-            OperatorConfig { reduction: true, combination: false, extraction: false, skipping: false },
-            OperatorConfig { reduction: true, combination: true, extraction: false, skipping: false },
-            OperatorConfig { reduction: true, combination: true, extraction: true, skipping: false },
+            OperatorConfig {
+                reduction: true,
+                combination: false,
+                extraction: false,
+                skipping: false,
+            },
+            OperatorConfig {
+                reduction: true,
+                combination: true,
+                extraction: false,
+                skipping: false,
+            },
+            OperatorConfig {
+                reduction: true,
+                combination: true,
+                extraction: true,
+                skipping: false,
+            },
         ];
         let mut times = Vec::new();
         for ops in levels {
@@ -509,7 +569,10 @@ mod tests {
         for w in times.windows(2) {
             assert!(w[1] <= w[0], "modeled time must not regress: {times:?}");
         }
-        assert!(times[3] < times[0], "full optimization must beat none: {times:?}");
+        assert!(
+            times[3] < times[0],
+            "full optimization must beat none: {times:?}"
+        );
     }
 
     #[test]
@@ -524,15 +587,26 @@ mod tests {
         p.advance();
         // Next iteration: r reflects the freshly initialized λ.
         let r0 = engine.evaluate(&device, &model, &p, 0.0).unwrap();
-        assert!(r0.r_ratio < 0.01, "r should start ultra-small, got {}", r0.r_ratio);
+        assert!(
+            r0.r_ratio < 0.01,
+            "r should start ultra-small, got {}",
+            r0.r_ratio
+        );
         p.advance();
         let (r1, prof) = {
             let (r, prof) = device.scoped(|| engine.evaluate(&device, &model, &p, 0.0).unwrap());
             (r, prof)
         };
-        assert!(r1.density_skipped, "second early iteration should skip density");
+        assert!(
+            r1.density_skipped,
+            "second early iteration should skip density"
+        );
         // Skipped iterations launch far fewer kernels.
-        assert!(prof.launches <= 6, "skipped iteration launched {}", prof.launches);
+        assert!(
+            prof.launches <= 6,
+            "skipped iteration launched {}",
+            prof.launches
+        );
         // Overflow is served from cache.
         assert_eq!(r1.overflow, r0.overflow);
     }
@@ -553,7 +627,11 @@ mod tests {
             }
             p.advance();
         }
-        assert!(full >= 2, "density must refresh at least twice in {} iters", SKIP_PERIOD + 2);
+        assert!(
+            full >= 2,
+            "density must refresh at least twice in {} iters",
+            SKIP_PERIOD + 2
+        );
         assert_eq!(skipped + full, SKIP_PERIOD + 2);
     }
 
@@ -582,8 +660,13 @@ mod tests {
             }
         }
         let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let (model, mut engine, device) =
-            setup(Framework::Xplace, OperatorConfig { skipping: false, ..OperatorConfig::all() });
+        let (model, mut engine, device) = setup(
+            Framework::Xplace,
+            OperatorConfig {
+                skipping: false,
+                ..OperatorConfig::all()
+            },
+        );
         engine.set_guidance(Box::new(ConstGuidance(calls.clone())));
         assert!(engine.has_guidance());
         let p = params(&model);

@@ -79,7 +79,10 @@ mod tests {
 
     impl DensityGuidance for ZeroGuidance {
         fn predict(&mut self, density: &Grid2) -> (Grid2, Grid2) {
-            (Grid2::new(density.nx(), density.ny()), Grid2::new(density.nx(), density.ny()))
+            (
+                Grid2::new(density.nx(), density.ny()),
+                Grid2::new(density.nx(), density.ny()),
+            )
         }
     }
 

@@ -123,7 +123,13 @@ impl NesterovOptimizer {
         let n = self.idx.len() as u64;
         if !fused {
             // PyTorch-style: each tensor op is its own out-of-place kernel.
-            for name in ["opt_dv", "opt_dg", "opt_axpy_u", "opt_momentum", "opt_axpy_v"] {
+            for name in [
+                "opt_dv",
+                "opt_dg",
+                "opt_axpy_u",
+                "opt_momentum",
+                "opt_axpy_v",
+            ] {
                 device.launch(KernelInfo::new(name).bytes(n * 32).out_of_place(), || {});
             }
         }
@@ -247,7 +253,11 @@ mod tests {
         quad_grad(&model, c.x, c.y, &mut gx, &mut gy);
         opt.step(&device, &mut model, &gx, &gy, true);
         // For a unit-curvature quadratic the BB step approaches 1.
-        assert!(opt.last_step() > 0.5, "BB step {} should approach 1", opt.last_step());
+        assert!(
+            opt.last_step() > 0.5,
+            "BB step {} should approach 1",
+            opt.last_step()
+        );
     }
 
     #[test]
@@ -258,7 +268,13 @@ mod tests {
         let n = model.num_nodes();
         let (mut gx, mut gy) = (vec![0.0; n], vec![0.0; n]);
         let before: Vec<f64> = model.x.clone();
-        quad_grad(&model, model.region().center().x + 500.0, 0.0, &mut gx, &mut gy);
+        quad_grad(
+            &model,
+            model.region().center().x + 500.0,
+            0.0,
+            &mut gx,
+            &mut gy,
+        );
         opt.step(&device, &mut model, &gx, &gy, true);
         for i in model.optimizable_indices() {
             // First step has no momentum, so displacement <= cap.

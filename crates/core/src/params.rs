@@ -182,7 +182,10 @@ mod tests {
         let l_before = p.lambda;
         p.update(&s, 1.0, 0.9, 1500.0); // +50% HPWL
         let mu = p.lambda / l_before;
-        assert!(mu <= s.lambda_mu_min + 1e-12, "mu {mu} should hit the floor");
+        assert!(
+            mu <= s.lambda_mu_min + 1e-12,
+            "mu {mu} should hit the floor"
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub struct GlobalPlacer {
 impl GlobalPlacer {
     /// Creates a placer from a configuration.
     pub fn new(config: XplaceConfig) -> Self {
-        GlobalPlacer { config, guidance: None }
+        GlobalPlacer {
+            config,
+            guidance: None,
+        }
     }
 
     /// Installs a neural density guidance (the Xplace-NN extension of
@@ -101,12 +104,8 @@ impl GlobalPlacer {
         self.config.validate()?;
         let start = Instant::now();
         let device = Device::new(self.config.device);
-        let mut model = PlacementModel::from_design_with(
-            design,
-            self.config.grid,
-            true,
-            self.config.seed,
-        )?;
+        let mut model =
+            PlacementModel::from_design_with(design, self.config.grid, true, self.config.seed)?;
         model.clamp_to_region();
 
         // Symmetry breaking (DREAMPlace adds init noise for the same
@@ -127,7 +126,11 @@ impl GlobalPlacer {
                 max_y = max_y.max(model.y[i]);
             }
             let spread = (max_x - min_x).max(max_y - min_y);
-            let amp = if spread < 4.0 * bin { 4.0 * bin } else { 0.02 * bin };
+            let amp = if spread < 4.0 * bin {
+                4.0 * bin
+            } else {
+                0.02 * bin
+            };
             let hash = |i: usize, salt: u64| -> f64 {
                 let mut h = (i as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 h ^= h >> 33;
@@ -142,8 +145,7 @@ impl GlobalPlacer {
             model.clamp_to_fences();
         }
 
-        let mut engine =
-            GradientEngine::new(self.config.framework, self.config.operators, &model)?;
+        let mut engine = GradientEngine::new(self.config.framework, self.config.operators, &model)?;
         engine.set_threads(self.config.threads);
         if let Some(g) = self.guidance.take() {
             engine.set_guidance(g);
@@ -206,8 +208,7 @@ impl GlobalPlacer {
             // The plateau guard only applies once spreading is underway
             // (early WL-dominated iterations legitimately re-compact the
             // cells and raise overflow).
-            if best_overflow < 0.5 && iter.saturating_sub(best_iter) > schedule.plateau_window
-            {
+            if best_overflow < 0.5 && iter.saturating_sub(best_iter) > schedule.plateau_window {
                 break; // no overflow progress in a long time: roll back
             }
 
@@ -220,7 +221,11 @@ impl GlobalPlacer {
                     for i in model.optimizable_indices() {
                         max_g = max_g.max(gx[i].abs()).max(gy[i].abs());
                     }
-                    let step0 = if max_g > 0.0 { 0.5 * bin_size / max_g } else { 1.0 };
+                    let step0 = if max_g > 0.0 {
+                        0.5 * bin_size / max_g
+                    } else {
+                        1.0
+                    };
                     optimizer.insert(NesterovOptimizer::new(&model, step0, 5.0 * bin_size))
                 }
             };
@@ -253,8 +258,9 @@ impl GlobalPlacer {
         if let Some(opt) = optimizer.as_mut() {
             // If the run ended worse than its best point, restore the
             // snapshot instead of the final oscillating state.
-            let final_overflow =
-                last_eval.map(|e: crate::EvalResult| e.overflow).unwrap_or(1.0);
+            let final_overflow = last_eval
+                .map(|e: crate::EvalResult| e.overflow)
+                .unwrap_or(1.0);
             if !converged && final_overflow > best_overflow {
                 if let Some((ux, uy)) = best_u.as_ref() {
                     opt.set_u(ux, uy);
@@ -265,8 +271,10 @@ impl GlobalPlacer {
         }
         model.apply_to(design);
         let final_hpwl = design.total_hpwl();
-        let final_overflow =
-            last_eval.map(|e| e.overflow).unwrap_or(1.0).min(best_overflow);
+        let final_overflow = last_eval
+            .map(|e| e.overflow)
+            .unwrap_or(1.0)
+            .min(best_overflow);
 
         Ok(PlacementReport {
             design: design.name().to_string(),
@@ -299,7 +307,11 @@ mod tests {
         let mut cfg = XplaceConfig::xplace();
         cfg.schedule.max_iterations = 700;
         let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
-        assert!(report.final_overflow < 0.25, "overflow {}", report.final_overflow);
+        assert!(
+            report.final_overflow < 0.25,
+            "overflow {}",
+            report.final_overflow
+        );
         assert!(
             report.final_overflow < report.initial_overflow * 0.5,
             "overflow {} -> {}",
@@ -372,7 +384,12 @@ mod tests {
         let first = &report.recorder.records()[1];
         assert!(first.r_ratio < 0.01, "early r = {}", first.r_ratio);
         // Early iterations skip density under full optimization.
-        assert!(report.recorder.records().iter().take(20).any(|r| r.density_skipped));
+        assert!(report
+            .recorder
+            .records()
+            .iter()
+            .take(20)
+            .any(|r| r.density_skipped));
     }
 
     #[test]
@@ -436,8 +453,7 @@ mod tests {
         let mut cfg = XplaceConfig::xplace();
         cfg.schedule.max_iterations = 700;
         let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
-        let region_half_perimeter =
-            design.region().width() + design.region().height();
+        let region_half_perimeter = design.region().width() + design.region().height();
         let nets = design.netlist().num_nets() as f64;
         assert!(
             report.final_hpwl < nets * region_half_perimeter * 0.5,

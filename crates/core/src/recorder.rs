@@ -39,7 +39,10 @@ pub struct Recorder {
 impl Recorder {
     /// Creates a recorder; when `enabled` is false, pushes are dropped.
     pub fn new(enabled: bool) -> Self {
-        Recorder { records: Vec::new(), enabled }
+        Recorder {
+            records: Vec::new(),
+            enabled,
+        }
     }
 
     /// Appends a record (no-op when disabled).

@@ -70,7 +70,10 @@ fn parse_nodes(content: &str, data: &mut BookshelfData) -> Result<(), DbError> {
             .ok_or_else(|| DbError::parse("nodes", lineno + 1, "missing height"))?
             .parse()
             .map_err(|_| DbError::parse("nodes", lineno + 1, "height is not a number"))?;
-        let terminal = it.next().map(|t| t.eq_ignore_ascii_case("terminal")).unwrap_or(false);
+        let terminal = it
+            .next()
+            .map(|t| t.eq_ignore_ascii_case("terminal"))
+            .unwrap_or(false);
         data.nodes.push((name.to_string(), w, h, terminal));
     }
     if data.nodes.is_empty() {
@@ -360,9 +363,17 @@ pub fn read_aux(aux_path: &Path, target_density: f64) -> Result<Design, DbError>
         }
     }
     if !found_nodes || !found_nets {
-        return Err(DbError::parse("aux", 1, "aux file does not name .nodes and .nets files"));
+        return Err(DbError::parse(
+            "aux",
+            1,
+            "aux file does not name .nodes and .nets files",
+        ));
     }
-    let name = aux_path.file_stem().and_then(|s| s.to_str()).unwrap_or("design").to_string();
+    let name = aux_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design")
+        .to_string();
     assemble(&name, data, target_density)
 }
 
@@ -378,15 +389,20 @@ pub fn write_design(design: &Design, dir: &Path) -> Result<PathBuf, DbError> {
     let nl = design.netlist();
 
     let mut nodes = String::from("UCLA nodes 1.0\n");
-    let terminals =
-        nl.cells().iter().filter(|c| !c.is_movable()).count();
+    let terminals = nl.cells().iter().filter(|c| !c.is_movable()).count();
     let _ = writeln!(nodes, "NumNodes : {}", nl.num_cells());
     let _ = writeln!(nodes, "NumTerminals : {terminals}");
     for c in nl.cells() {
         if c.is_movable() {
             let _ = writeln!(nodes, "\t{} {} {}", c.name(), c.width(), c.height());
         } else {
-            let _ = writeln!(nodes, "\t{} {} {} terminal", c.name(), c.width(), c.height());
+            let _ = writeln!(
+                nodes,
+                "\t{} {} {} terminal",
+                c.name(),
+                c.width(),
+                c.height()
+            );
         }
     }
 
@@ -439,9 +455,8 @@ pub fn write_design(design: &Design, dir: &Path) -> Result<PathBuf, DbError> {
         let _ = writeln!(scl, "End");
     }
 
-    let aux = format!(
-        "RowBasedPlacement : {name}.nodes {name}.nets {name}.wts {name}.pl {name}.scl\n"
-    );
+    let aux =
+        format!("RowBasedPlacement : {name}.nodes {name}.nets {name}.wts {name}.pl {name}.scl\n");
 
     fs::write(dir.join(format!("{name}.nodes")), nodes)?;
     fs::write(dir.join(format!("{name}.nets")), nets)?;
@@ -485,7 +500,8 @@ mod tests {
     use crate::synthesis::{synthesize, SynthesisSpec};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("xplace_bookshelf_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("xplace_bookshelf_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -493,9 +509,12 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_design() {
-        let design =
-            synthesize(&SynthesisSpec::new("rt", 120, 130).with_seed(3).with_macro_count(2))
-                .unwrap();
+        let design = synthesize(
+            &SynthesisSpec::new("rt", 120, 130)
+                .with_seed(3)
+                .with_macro_count(2),
+        )
+        .unwrap();
         let dir = temp_dir("roundtrip");
         let aux = write_design(&design, &dir).unwrap();
         let back = read_aux(&aux, design.target_density()).unwrap();
@@ -628,9 +647,12 @@ mod tests {
 
     #[test]
     fn write_pl_emits_fixed_markers() {
-        let design =
-            synthesize(&SynthesisSpec::new("plq", 50, 55).with_seed(4).with_macro_count(1))
-                .unwrap();
+        let design = synthesize(
+            &SynthesisSpec::new("plq", 50, 55)
+                .with_seed(4)
+                .with_macro_count(1),
+        )
+        .unwrap();
         let dir = temp_dir("pl");
         let path = dir.join("out.pl");
         write_pl(&design, &path).unwrap();

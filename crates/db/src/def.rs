@@ -43,7 +43,9 @@ pub fn parse_lef(content: &str) -> Result<HashMap<String, LefMacro>, DbError> {
     let mut lines = content.lines().enumerate().peekable();
     while let Some((lineno, raw)) = lines.next() {
         let line = raw.trim();
-        let Some(name) = line.strip_prefix("MACRO ") else { continue };
+        let Some(name) = line.strip_prefix("MACRO ") else {
+            continue;
+        };
         let name = name.trim().to_string();
         let mut width = 0.0;
         let mut height = 0.0;
@@ -98,17 +100,33 @@ pub fn parse_lef(content: &str) -> Result<HashMap<String, LefMacro>, DbError> {
             }
         }
         if !closed {
-            return Err(DbError::parse("lef", lineno + 1, format!("MACRO {name} not closed")));
+            return Err(DbError::parse(
+                "lef",
+                lineno + 1,
+                format!("MACRO {name} not closed"),
+            ));
         }
         if width <= 0.0 || height <= 0.0 {
-            return Err(DbError::parse("lef", lineno + 1, format!("MACRO {name} missing SIZE")));
+            return Err(DbError::parse(
+                "lef",
+                lineno + 1,
+                format!("MACRO {name} missing SIZE"),
+            ));
         }
         // Convert pin offsets from origin-relative to center-relative.
         for p in pins.values_mut() {
             p.x -= width * 0.5;
             p.y -= height * 0.5;
         }
-        macros.insert(name.clone(), LefMacro { name, width, height, pins });
+        macros.insert(
+            name.clone(),
+            LefMacro {
+                name,
+                width,
+                height,
+                pins,
+            },
+        );
     }
     Ok(macros)
 }
@@ -178,8 +196,7 @@ pub fn parse_def(
             Section::Top => match tokens[0] {
                 "DESIGN" if tokens.len() >= 2 => name = tokens[1].to_string(),
                 "DIEAREA" => {
-                    let nums: Vec<f64> =
-                        tokens.iter().filter_map(|t| t.parse().ok()).collect();
+                    let nums: Vec<f64> = tokens.iter().filter_map(|t| t.parse().ok()).collect();
                     if nums.len() < 4 {
                         return Err(DbError::parse("def", lineno + 1, "malformed DIEAREA"));
                     }
@@ -190,20 +207,26 @@ pub fn parse_def(
                     if tokens.len() < 5 {
                         return Err(DbError::parse("def", lineno + 1, "malformed ROW"));
                     }
-                    let x: f64 = tokens[3].parse().map_err(|_| {
-                        DbError::parse("def", lineno + 1, "ROW x is not a number")
-                    })?;
-                    let y: f64 = tokens[4].parse().map_err(|_| {
-                        DbError::parse("def", lineno + 1, "ROW y is not a number")
-                    })?;
+                    let x: f64 = tokens[3]
+                        .parse()
+                        .map_err(|_| DbError::parse("def", lineno + 1, "ROW x is not a number"))?;
+                    let y: f64 = tokens[4]
+                        .parse()
+                        .map_err(|_| DbError::parse("def", lineno + 1, "ROW y is not a number"))?;
                     let mut n = 1.0;
                     let mut step = 1.0;
                     let mut height = 12.0;
                     if let Some(pos) = tokens.iter().position(|t| *t == "DO") {
-                        n = tokens.get(pos + 1).and_then(|t| t.parse().ok()).unwrap_or(1.0);
+                        n = tokens
+                            .get(pos + 1)
+                            .and_then(|t| t.parse().ok())
+                            .unwrap_or(1.0);
                     }
                     if let Some(pos) = tokens.iter().position(|t| *t == "STEP") {
-                        step = tokens.get(pos + 1).and_then(|t| t.parse().ok()).unwrap_or(1.0);
+                        step = tokens
+                            .get(pos + 1)
+                            .and_then(|t| t.parse().ok())
+                            .unwrap_or(1.0);
                     }
                     if let Some(site) = lef.values().find(|m| m.name.contains("Site")) {
                         height = site.height;
@@ -237,7 +260,11 @@ pub fn parse_def(
                     .get(master_name)
                     .ok_or_else(|| DbError::UnknownCell(format!("master `{master_name}`")))?;
                 let fixed = tokens.contains(&"FIXED");
-                let kind = if fixed { CellKind::Fixed } else { CellKind::Movable };
+                let kind = if fixed {
+                    CellKind::Fixed
+                } else {
+                    CellKind::Movable
+                };
                 let id = builder.add_cell(comp.clone(), master.width, master.height, kind);
                 ids.insert(comp.clone(), id);
                 masters.insert(comp.clone(), master_name.to_string());
@@ -246,10 +273,7 @@ pub fn parse_def(
                         placements.insert(
                             comp,
                             (
-                                Point::new(
-                                    ll.x + master.width * 0.5,
-                                    ll.y + master.height * 0.5,
-                                ),
+                                Point::new(ll.x + master.width * 0.5, ll.y + master.height * 0.5),
                                 fixed,
                             ),
                         );
@@ -382,7 +406,14 @@ pub fn write_lef(design: &Design) -> String {
         let _ = writeln!(out, "MACRO MC_{w}_{h}");
         let _ = writeln!(out, "  SIZE {w} BY {h} ;");
         let _ = writeln!(out, "  PIN P");
-        let _ = writeln!(out, "    RECT {} {} {} {} ;", w * 0.5, h * 0.5, w * 0.5, h * 0.5);
+        let _ = writeln!(
+            out,
+            "    RECT {} {} {} {} ;",
+            w * 0.5,
+            h * 0.5,
+            w * 0.5,
+            h * 0.5
+        );
         let _ = writeln!(out, "  END P");
         let _ = writeln!(out, "END MC_{w}_{h}");
     }
@@ -411,7 +442,12 @@ pub fn write_def(design: &Design) -> String {
             row.site_width
         );
     }
-    let comps: Vec<_> = nl.cells().iter().enumerate().filter(|(_, c)| c.width() > 0.0).collect();
+    let comps: Vec<_> = nl
+        .cells()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.width() > 0.0)
+        .collect();
     let _ = writeln!(out, "COMPONENTS {} ;", comps.len());
     for (i, c) in comps {
         let p = design.positions()[i];
@@ -430,12 +466,23 @@ pub fn write_def(design: &Design) -> String {
         );
     }
     let _ = writeln!(out, "END COMPONENTS");
-    let terminals: Vec<_> =
-        nl.cells().iter().enumerate().filter(|(_, c)| c.width() == 0.0).collect();
+    let terminals: Vec<_> = nl
+        .cells()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.width() == 0.0)
+        .collect();
     let _ = writeln!(out, "PINS {} ;", terminals.len());
     for (i, c) in &terminals {
         let p = design.positions()[*i];
-        let _ = writeln!(out, "- {} + NET {} + PLACED ( {} {} ) N ;", c.name(), c.name(), p.x, p.y);
+        let _ = writeln!(
+            out,
+            "- {} + NET {} + PLACED ( {} {} ) N ;",
+            c.name(),
+            c.name(),
+            p.x,
+            p.y
+        );
     }
     let _ = writeln!(out, "END PINS");
     let _ = writeln!(out, "NETS {} ;", nl.num_nets());
@@ -551,7 +598,10 @@ END DESIGN
     fn unknown_master_is_an_error() {
         let lib = parse_lef(LEF).unwrap();
         let def = DEF.replace("INV", "NOPE");
-        assert!(matches!(parse_def(&def, &lib, 0.9), Err(DbError::UnknownCell(_))));
+        assert!(matches!(
+            parse_def(&def, &lib, 0.9),
+            Err(DbError::UnknownCell(_))
+        ));
     }
 
     #[test]
@@ -569,7 +619,9 @@ END DESIGN
     #[test]
     fn writer_round_trips_counts_and_centers() {
         let design = synthesize(
-            &SynthesisSpec::new("defrt", 80, 90).with_seed(12).with_macro_count(2),
+            &SynthesisSpec::new("defrt", 80, 90)
+                .with_seed(12)
+                .with_macro_count(2),
         )
         .unwrap();
         let lef = write_lef(&design);
@@ -589,7 +641,10 @@ END DESIGN
             let echo = back.netlist().cell_by_name(&name).unwrap();
             let a = design.position(id);
             let b = back.position(echo);
-            assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9, "{name}");
+            assert!(
+                (a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9,
+                "{name}"
+            );
         }
     }
 

@@ -1,11 +1,11 @@
 //! A complete placement instance: netlist + floorplan + cell positions.
 
 use crate::fence::{validate_fences, FenceRegion};
-use crate::{CellId, CellKind, DbError, Netlist, NetId, Point, Rect};
-use serde::{Deserialize, Serialize};
+use crate::{CellId, CellKind, DbError, NetId, Netlist, Point, Rect};
+use xplace_testkit::{FromJson, Json, JsonError, ToJson};
 
 /// A placement row (as in the Bookshelf `.scl` / DEF `ROW` records).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Row {
     /// Lower y coordinate of the row.
     pub y: f64,
@@ -36,7 +36,7 @@ impl Row {
 /// Cell positions are stored as **centers** (the natural coordinate for the
 /// analytic formulation); conversions to lower-left corners happen at the
 /// file-format boundary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Design {
     name: String,
     netlist: Netlist,
@@ -46,7 +46,6 @@ pub struct Design {
     /// Cell center positions, indexed by `CellId`.
     positions: Vec<Point>,
     /// Fence regions (empty for unconstrained designs).
-    #[serde(default)]
     fences: Vec<FenceRegion>,
 }
 
@@ -74,7 +73,9 @@ impl Design {
             )));
         }
         if region.width() <= 0.0 || region.height() <= 0.0 {
-            return Err(DbError::InvalidDesign(format!("degenerate region {region}")));
+            return Err(DbError::InvalidDesign(format!(
+                "degenerate region {region}"
+            )));
         }
         if !(target_density > 0.0 && target_density <= 1.0) {
             return Err(DbError::InvalidDesign(format!(
@@ -160,7 +161,11 @@ impl Design {
     ///
     /// Panics if the length differs from the cell count.
     pub fn set_positions(&mut self, positions: Vec<Point>) {
-        assert_eq!(positions.len(), self.netlist.num_cells(), "position count mismatch");
+        assert_eq!(
+            positions.len(),
+            self.netlist.num_cells(),
+            "position count mismatch"
+        );
         self.positions = positions;
     }
 
@@ -271,7 +276,9 @@ impl Design {
         }
         let util = self.utilization();
         if util > 1.0 {
-            return Err(DbError::InvalidDesign(format!("utilization {util:.3} exceeds 1")));
+            return Err(DbError::InvalidDesign(format!(
+                "utilization {util:.3} exceeds 1"
+            )));
         }
         if self.target_density < util {
             return Err(DbError::InvalidDesign(format!(
@@ -280,6 +287,75 @@ impl Design {
             )));
         }
         Ok(())
+    }
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("y", Json::Num(self.y)),
+            ("height", Json::Num(self.height)),
+            ("x_min", Json::Num(self.x_min)),
+            ("x_max", Json::Num(self.x_max)),
+            ("site_width", Json::Num(self.site_width)),
+        ])
+    }
+}
+
+impl FromJson for Row {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Row {
+            y: value.field("y")?.as_f64()?,
+            height: value.field("height")?.as_f64()?,
+            x_min: value.field("x_min")?.as_f64()?,
+            x_max: value.field("x_max")?.as_f64()?,
+            site_width: value.field("site_width")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Design {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("netlist", self.netlist.to_json()),
+            ("region", self.region.to_json()),
+            ("rows", self.rows.to_json()),
+            ("target_density", Json::Num(self.target_density)),
+            ("positions", self.positions.to_json()),
+            ("fences", self.fences.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Design {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let netlist = Netlist::from_json(value.field("netlist")?)?;
+        let positions: Vec<Point> = Vec::from_json(value.field("positions")?)?;
+        if positions.len() != netlist.num_cells() {
+            return Err(JsonError(format!(
+                "{} positions supplied for {} cells",
+                positions.len(),
+                netlist.num_cells()
+            )));
+        }
+        // A missing `fences` field (designs encoded before fences existed)
+        // decodes as no fences.
+        let fences = match value.get("fences") {
+            Some(f) => Vec::from_json(f)?,
+            None => Vec::new(),
+        };
+        let design = Design {
+            name: value.field("name")?.as_str()?.to_string(),
+            netlist,
+            region: Rect::from_json(value.field("region")?)?,
+            rows: Vec::from_json(value.field("rows")?)?,
+            target_density: value.field("target_density")?.as_f64()?,
+            positions,
+            fences,
+        };
+        validate_fences(&design).map_err(|e| JsonError(e.to_string()))?;
+        Ok(design)
     }
 }
 
@@ -293,16 +369,28 @@ mod tests {
         let a = b.add_cell("a", 2.0, 2.0, CellKind::Movable);
         let c = b.add_cell("c", 2.0, 2.0, CellKind::Movable);
         let f = b.add_cell("f", 4.0, 4.0, CellKind::Fixed);
-        b.add_net("n0", vec![(a, Point::default()), (c, Point::default())]).unwrap();
-        b.add_net("n1", vec![(a, Point::new(0.5, 0.5)), (f, Point::default())]).unwrap();
+        b.add_net("n0", vec![(a, Point::default()), (c, Point::default())])
+            .unwrap();
+        b.add_net("n1", vec![(a, Point::new(0.5, 0.5)), (f, Point::default())])
+            .unwrap();
         let nl = b.finish().unwrap();
         Design::new(
             "tiny",
             nl,
             Rect::new(0.0, 0.0, 20.0, 20.0),
-            vec![Row { y: 0.0, height: 2.0, x_min: 0.0, x_max: 20.0, site_width: 1.0 }],
+            vec![Row {
+                y: 0.0,
+                height: 2.0,
+                x_min: 0.0,
+                x_max: 20.0,
+                site_width: 1.0,
+            }],
             0.9,
-            vec![Point::new(5.0, 5.0), Point::new(8.0, 9.0), Point::new(15.0, 15.0)],
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(8.0, 9.0),
+                Point::new(15.0, 15.0),
+            ],
         )
         .unwrap()
     }
@@ -338,9 +426,15 @@ mod tests {
         let mut b = NetlistBuilder::new();
         b.add_cell("a", 1.0, 1.0, CellKind::Movable);
         let nl = b.finish().unwrap();
-        let err =
-            Design::new("bad", nl, Rect::new(0.0, 0.0, 10.0, 10.0), vec![], 0.9, vec![])
-                .unwrap_err();
+        let err = Design::new(
+            "bad",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            vec![],
+            0.9,
+            vec![],
+        )
+        .unwrap_err();
         assert!(matches!(err, DbError::InvalidDesign(_)));
     }
 
@@ -398,9 +492,38 @@ mod tests {
 
     #[test]
     fn row_sites() {
-        let row = Row { y: 0.0, height: 12.0, x_min: 10.0, x_max: 110.0, site_width: 4.0 };
+        let row = Row {
+            y: 0.0,
+            height: 12.0,
+            x_min: 10.0,
+            x_max: 110.0,
+            site_width: 4.0,
+        };
         assert_eq!(row.num_sites(), 25);
         assert_eq!(row.rect().height(), 12.0);
+    }
+
+    #[test]
+    fn design_json_round_trip() {
+        let d = tiny_design();
+        let decoded = Design::from_json_str(&d.to_json_string()).unwrap();
+        assert_eq!(decoded.name(), d.name());
+        assert_eq!(decoded.region(), d.region());
+        assert_eq!(decoded.rows(), d.rows());
+        assert_eq!(decoded.positions(), d.positions());
+        assert_eq!(decoded.total_hpwl(), d.total_hpwl());
+        assert!(decoded.fences().is_empty());
+    }
+
+    #[test]
+    fn design_decode_defaults_missing_fences() {
+        let d = tiny_design();
+        let mut json = xplace_testkit::Json::parse(&d.to_json_string()).unwrap();
+        if let xplace_testkit::Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "fences");
+        }
+        let decoded = Design::from_json_str(&json.render()).unwrap();
+        assert!(decoded.fences().is_empty());
     }
 
     #[test]

@@ -28,14 +28,22 @@ pub enum DbError {
 impl DbError {
     /// Convenience constructor for parse errors.
     pub fn parse(format: &str, line: usize, message: impl Into<String>) -> Self {
-        DbError::Parse { format: format.to_string(), line, message: message.into() }
+        DbError::Parse {
+            format: format.to_string(),
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbError::Parse { format, line, message } => {
+            DbError::Parse {
+                format,
+                line,
+                message,
+            } => {
                 write!(f, "{format} parse error at line {line}: {message}")
             }
             DbError::Io(msg) => write!(f, "i/o error: {msg}"),

@@ -8,10 +8,10 @@
 //! verifies containment (see `xplace-core` / `xplace-legal`).
 
 use crate::{CellId, DbError, Design, Rect};
-use serde::{Deserialize, Serialize};
+use xplace_testkit::{FromJson, Json, JsonError, ToJson};
 
 /// A named fence: member cells must be placed inside one of the rects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FenceRegion {
     name: String,
     rects: Vec<Rect>,
@@ -32,7 +32,9 @@ impl FenceRegion {
     ) -> Result<Self, DbError> {
         let name = name.into();
         if rects.is_empty() {
-            return Err(DbError::InvalidDesign(format!("fence `{name}` has no rectangles")));
+            return Err(DbError::InvalidDesign(format!(
+                "fence `{name}` has no rectangles"
+            )));
         }
         for r in &rects {
             if r.width() <= 0.0 || r.height() <= 0.0 {
@@ -41,7 +43,11 @@ impl FenceRegion {
                 )));
             }
         }
-        Ok(FenceRegion { name, rects, members })
+        Ok(FenceRegion {
+            name,
+            rects,
+            members,
+        })
     }
 
     /// The fence name.
@@ -85,6 +91,27 @@ impl FenceRegion {
                 da.partial_cmp(&db).expect("finite fence geometry")
             })
             .expect("fence has at least one rect")
+    }
+}
+
+impl ToJson for FenceRegion {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("rects", self.rects.to_json()),
+            ("members", self.members.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FenceRegion {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        FenceRegion::new(
+            value.field("name")?.as_str()?.to_string(),
+            Vec::from_json(value.field("rects")?)?,
+            Vec::from_json(value.field("members")?)?,
+        )
+        .map_err(|e| JsonError(e.to_string()))
     }
 }
 
@@ -144,8 +171,15 @@ mod tests {
         let a = b.add_cell("a", 2.0, 4.0, CellKind::Movable);
         let c = b.add_cell("c", 2.0, 4.0, CellKind::Movable);
         let f = b.add_cell("f", 4.0, 4.0, CellKind::Fixed);
-        b.add_net("n", vec![(a, Point::default()), (c, Point::default()), (f, Point::default())])
-            .unwrap();
+        b.add_net(
+            "n",
+            vec![
+                (a, Point::default()),
+                (c, Point::default()),
+                (f, Point::default()),
+            ],
+        )
+        .unwrap();
         let nl = b.finish().unwrap();
         Design::new(
             "fence_test",
@@ -153,7 +187,11 @@ mod tests {
             Rect::new(0.0, 0.0, 40.0, 40.0),
             vec![],
             0.9,
-            vec![Point::new(5.0, 5.0), Point::new(6.0, 6.0), Point::new(30.0, 30.0)],
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(6.0, 6.0),
+                Point::new(30.0, 30.0),
+            ],
         )
         .unwrap()
     }
@@ -162,7 +200,10 @@ mod tests {
     fn fence_construction_and_queries() {
         let fence = FenceRegion::new(
             "f0",
-            vec![Rect::new(0.0, 0.0, 10.0, 10.0), Rect::new(20.0, 20.0, 30.0, 30.0)],
+            vec![
+                Rect::new(0.0, 0.0, 10.0, 10.0),
+                Rect::new(20.0, 20.0, 30.0, 30.0),
+            ],
             vec![CellId(0)],
         )
         .unwrap();
@@ -170,7 +211,29 @@ mod tests {
         assert!(fence.contains_rect(&Rect::new(1.0, 1.0, 3.0, 3.0)));
         assert!(!fence.contains_rect(&Rect::new(8.0, 8.0, 22.0, 22.0)));
         // Nearest rect to a point near the second rectangle.
-        assert_eq!(fence.nearest_rect(28.0, 28.0), Rect::new(20.0, 20.0, 30.0, 30.0));
+        assert_eq!(
+            fence.nearest_rect(28.0, 28.0),
+            Rect::new(20.0, 20.0, 30.0, 30.0)
+        );
+    }
+
+    #[test]
+    fn fence_json_round_trip() {
+        let fence = FenceRegion::new(
+            "f0",
+            vec![
+                Rect::new(0.0, 0.0, 10.0, 10.0),
+                Rect::new(20.0, 20.0, 30.0, 30.0),
+            ],
+            vec![CellId(0), CellId(3)],
+        )
+        .unwrap();
+        use xplace_testkit::{FromJson, ToJson};
+        let decoded = FenceRegion::from_json_str(&fence.to_json_string()).unwrap();
+        assert_eq!(decoded, fence);
+        // Decoding re-validates: a degenerate rect is rejected.
+        let bad = r#"{"name":"d","rects":[{"lx":0,"ly":0,"ux":0,"uy":5}],"members":[]}"#;
+        assert!(FenceRegion::from_json_str(bad).is_err());
     }
 
     #[test]
@@ -222,11 +285,13 @@ mod tests {
     fn validation_rejects_double_membership() {
         let mut d = base_design();
         let f0 =
-            FenceRegion::new("f0", vec![Rect::new(0.0, 0.0, 20.0, 20.0)], vec![CellId(0)])
-                .unwrap();
-        let f1 =
-            FenceRegion::new("f1", vec![Rect::new(20.0, 0.0, 40.0, 20.0)], vec![CellId(0)])
-                .unwrap();
+            FenceRegion::new("f0", vec![Rect::new(0.0, 0.0, 20.0, 20.0)], vec![CellId(0)]).unwrap();
+        let f1 = FenceRegion::new(
+            "f1",
+            vec![Rect::new(20.0, 0.0, 40.0, 20.0)],
+            vec![CellId(0)],
+        )
+        .unwrap();
         assert!(d.set_fences(vec![f0, f1]).is_err());
     }
 }

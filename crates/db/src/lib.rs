@@ -38,8 +38,8 @@
 pub mod bookshelf;
 pub mod def;
 pub mod design;
-pub mod fence;
 mod error;
+pub mod fence;
 pub mod geom;
 pub mod netlist;
 pub mod plot;

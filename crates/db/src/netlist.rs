@@ -7,16 +7,14 @@
 //! operators walk nets while the preconditioner and legalizer walk cells.
 
 use crate::{DbError, Point};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use xplace_testkit::{FromJson, Json, JsonError, ToJson};
 
 macro_rules! typed_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -38,6 +36,18 @@ macro_rules! typed_id {
                 write!(f, concat!(stringify!($name), "({})"), self.0)
             }
         }
+
+        impl ToJson for $name {
+            fn to_json(&self) -> Json {
+                Json::Num(self.0 as f64)
+            }
+        }
+
+        impl FromJson for $name {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                Ok($name(value.as_usize()? as u32))
+            }
+        }
     };
 }
 
@@ -55,7 +65,7 @@ typed_id!(
 );
 
 /// How a cell participates in placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// A standard cell the placer may move.
     Movable,
@@ -75,7 +85,7 @@ impl CellKind {
 }
 
 /// A placeable or fixed circuit element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     name: String,
     width: f64,
@@ -86,7 +96,12 @@ pub struct Cell {
 impl Cell {
     /// Creates a cell description.
     pub fn new(name: impl Into<String>, width: f64, height: f64, kind: CellKind) -> Self {
-        Cell { name: name.into(), width, height, kind }
+        Cell {
+            name: name.into(),
+            width,
+            height,
+            kind,
+        }
     }
 
     /// The cell's instance name.
@@ -124,7 +139,7 @@ impl Cell {
 ///
 /// `offset` is measured from the owning cell's **center**; the pin's
 /// absolute location is `cell_center + offset`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pin {
     /// Owning cell.
     pub cell: CellId,
@@ -135,7 +150,7 @@ pub struct Pin {
 }
 
 /// A net: a set of electrically connected pins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     name: String,
     pins: Vec<PinId>,
@@ -165,7 +180,7 @@ impl Net {
 }
 
 /// An immutable netlist. Construct with [`NetlistBuilder`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Netlist {
     cells: Vec<Cell>,
     nets: Vec<Net>,
@@ -275,7 +290,11 @@ impl Netlist {
 
     /// Total area of movable cells.
     pub fn movable_area(&self) -> f64 {
-        self.cells.iter().filter(|c| c.is_movable()).map(Cell::area).sum()
+        self.cells
+            .iter()
+            .filter(|c| c.is_movable())
+            .map(Cell::area)
+            .sum()
     }
 
     /// Average degree over all nets.
@@ -285,6 +304,145 @@ impl Netlist {
         } else {
             self.pins.len() as f64 / self.nets.len() as f64
         }
+    }
+}
+
+impl ToJson for CellKind {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            CellKind::Movable => "Movable",
+            CellKind::Fixed => "Fixed",
+            CellKind::Terminal => "Terminal",
+        })
+    }
+}
+
+impl FromJson for CellKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "Movable" => Ok(CellKind::Movable),
+            "Fixed" => Ok(CellKind::Fixed),
+            "Terminal" => Ok(CellKind::Terminal),
+            other => Err(JsonError(format!("unknown cell kind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("width", Json::Num(self.width)),
+            ("height", Json::Num(self.height)),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Cell {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Cell {
+            name: value.field("name")?.as_str()?.to_string(),
+            width: value.field("width")?.as_f64()?,
+            height: value.field("height")?.as_f64()?,
+            kind: CellKind::from_json(value.field("kind")?)?,
+        })
+    }
+}
+
+impl ToJson for Pin {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", self.cell.to_json()),
+            ("net", self.net.to_json()),
+            ("offset", self.offset.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Pin {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Pin {
+            cell: CellId::from_json(value.field("cell")?)?,
+            net: NetId::from_json(value.field("net")?)?,
+            offset: Point::from_json(value.field("offset")?)?,
+        })
+    }
+}
+
+impl ToJson for Net {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("pins", self.pins.to_json()),
+            ("weight", Json::Num(self.weight)),
+        ])
+    }
+}
+
+impl FromJson for Net {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Net {
+            name: value.field("name")?.as_str()?.to_string(),
+            pins: Vec::from_json(value.field("pins")?)?,
+            weight: value.field("weight")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Netlist {
+    fn to_json(&self) -> Json {
+        // The CSR adjacency and the name map are derived data: encode only
+        // the primary cells/nets/pins and rebuild the rest on decode.
+        Json::obj([
+            ("cells", self.cells.to_json()),
+            ("nets", self.nets.to_json()),
+            ("pins", self.pins.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Netlist {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let cells: Vec<Cell> = Vec::from_json(value.field("cells")?)?;
+        let nets: Vec<Net> = Vec::from_json(value.field("nets")?)?;
+        let pins: Vec<Pin> = Vec::from_json(value.field("pins")?)?;
+        for pin in &pins {
+            if pin.cell.index() >= cells.len() {
+                return Err(JsonError(format!(
+                    "pin references cell {} out of range",
+                    pin.cell
+                )));
+            }
+        }
+        let name_to_cell = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), CellId(i as u32)))
+            .collect();
+        let mut counts = vec![0u32; cells.len() + 1];
+        for pin in &pins {
+            counts[pin.cell.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let cell_pin_start = counts.clone();
+        let mut cursor = counts;
+        let mut cell_pin_list = vec![PinId(0); pins.len()];
+        for (i, pin) in pins.iter().enumerate() {
+            let slot = cursor[pin.cell.index()] as usize;
+            cell_pin_list[slot] = PinId(i as u32);
+            cursor[pin.cell.index()] += 1;
+        }
+        Ok(Netlist {
+            cells,
+            nets,
+            pins,
+            cell_pin_start,
+            cell_pin_list,
+            name_to_cell,
+        })
     }
 }
 
@@ -350,7 +508,12 @@ impl NetlistBuilder {
         let id = CellId(self.cells.len() as u32);
         let prev = self.name_to_cell.insert(name.clone(), id);
         assert!(prev.is_none(), "duplicate cell name `{name}`");
-        self.cells.push(Cell { name, width, height, kind });
+        self.cells.push(Cell {
+            name,
+            width,
+            height,
+            kind,
+        });
         id
     }
 
@@ -374,13 +537,23 @@ impl NetlistBuilder {
         let mut pin_ids = Vec::with_capacity(pins.len());
         for (cell, offset) in pins {
             if cell.index() >= self.cells.len() {
-                return Err(DbError::UnknownCell(format!("cell id {cell} in net `{name}`")));
+                return Err(DbError::UnknownCell(format!(
+                    "cell id {cell} in net `{name}`"
+                )));
             }
             let pin_id = PinId(self.pins.len() as u32);
-            self.pins.push(Pin { cell, net: net_id, offset });
+            self.pins.push(Pin {
+                cell,
+                net: net_id,
+                offset,
+            });
             pin_ids.push(pin_id);
         }
-        self.nets.push(Net { name, pins: pin_ids, weight });
+        self.nets.push(Net {
+            name,
+            pins: pin_ids,
+            weight,
+        });
         Ok(net_id)
     }
 
@@ -451,8 +624,13 @@ mod tests {
         let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
         let c = b.add_cell("c", 2.0, 1.0, CellKind::Movable);
         let t = b.add_cell("t", 0.0, 0.0, CellKind::Terminal);
-        b.add_net("n0", vec![(a, Point::default()), (c, Point::new(0.5, 0.0))]).unwrap();
-        b.add_net("n1", vec![(a, Point::new(-0.25, 0.0)), (t, Point::default())]).unwrap();
+        b.add_net("n0", vec![(a, Point::default()), (c, Point::new(0.5, 0.0))])
+            .unwrap();
+        b.add_net(
+            "n1",
+            vec![(a, Point::new(-0.25, 0.0)), (t, Point::default())],
+        )
+        .unwrap();
         b.finish().unwrap()
     }
 
@@ -490,14 +668,19 @@ mod tests {
     #[test]
     fn empty_net_is_rejected() {
         let mut b = NetlistBuilder::new();
-        assert!(matches!(b.add_net("bad", vec![]), Err(DbError::InvalidDesign(_))));
+        assert!(matches!(
+            b.add_net("bad", vec![]),
+            Err(DbError::InvalidDesign(_))
+        ));
     }
 
     #[test]
     fn unknown_cell_is_rejected() {
         let mut b = NetlistBuilder::new();
         b.add_cell("a", 1.0, 1.0, CellKind::Movable);
-        let err = b.add_net("n", vec![(CellId(5), Point::default())]).unwrap_err();
+        let err = b
+            .add_net("n", vec![(CellId(5), Point::default())])
+            .unwrap_err();
         assert!(matches!(err, DbError::UnknownCell(_)));
     }
 
@@ -536,5 +719,26 @@ mod tests {
         let id = CellId::from(7u32);
         assert_eq!(id.index(), 7);
         assert_eq!(id.to_string(), "CellId(7)");
+    }
+
+    #[test]
+    fn netlist_json_round_trip_rebuilds_adjacency() {
+        let nl = tiny();
+        let decoded = Netlist::from_json_str(&nl.to_json_string()).unwrap();
+        assert_eq!(decoded.cells(), nl.cells());
+        assert_eq!(decoded.nets(), nl.nets());
+        assert_eq!(decoded.pins(), nl.pins());
+        // Derived structures are rebuilt, not transported.
+        assert_eq!(decoded.cell_by_name("c"), Some(CellId(1)));
+        for c in nl.cell_ids() {
+            assert_eq!(decoded.pins_of_cell(c), nl.pins_of_cell(c));
+        }
+    }
+
+    #[test]
+    fn netlist_decode_rejects_dangling_pin() {
+        let text = r#"{"cells":[],"nets":[],"pins":[
+            {"cell":3,"net":0,"offset":{"x":0,"y":0}}]}"#;
+        assert!(Netlist::from_json_str(text).is_err());
     }
 }

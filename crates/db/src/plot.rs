@@ -15,7 +15,10 @@ pub struct PlotConfig {
 
 impl Default for PlotConfig {
     fn default() -> Self {
-        PlotConfig { width_px: 800.0, longest_nets: 0 }
+        PlotConfig {
+            width_px: 800.0,
+            longest_nets: 0,
+        }
     }
 }
 
@@ -141,10 +144,19 @@ mod tests {
     #[test]
     fn svg_contains_the_expected_elements() {
         let design = synthesize(
-            &SynthesisSpec::new("plot", 80, 90).with_seed(2).with_macro_count(2).with_fences(1),
+            &SynthesisSpec::new("plot", 80, 90)
+                .with_seed(2)
+                .with_macro_count(2)
+                .with_fences(1),
         )
         .unwrap();
-        let svg = to_svg(&design, &PlotConfig { width_px: 400.0, longest_nets: 3 });
+        let svg = to_svg(
+            &design,
+            &PlotConfig {
+                width_px: 400.0,
+                longest_nets: 3,
+            },
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         // movable cells, macros, fences, and net boxes all present.
@@ -171,7 +183,13 @@ mod tests {
     #[test]
     fn aspect_ratio_is_preserved() {
         let design = synthesize(&SynthesisSpec::new("plotar", 50, 60).with_seed(4)).unwrap();
-        let svg = to_svg(&design, &PlotConfig { width_px: 500.0, longest_nets: 0 });
+        let svg = to_svg(
+            &design,
+            &PlotConfig {
+                width_px: 500.0,
+                longest_nets: 0,
+            },
+        );
         let expect_h = 500.0 * design.region().height() / design.region().width();
         assert!(svg.contains(&format!(r#"height="{expect_h:.0}""#)));
     }

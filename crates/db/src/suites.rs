@@ -47,7 +47,9 @@ fn entry(
         .with_target_density((utilization + 0.25).min(0.97))
         .with_terminals((cells / 40).clamp(32, 1024));
     if macros > 0 {
-        spec = spec.with_macro_count(macros).with_macro_area_fraction(macro_frac);
+        spec = spec
+            .with_macro_count(macros)
+            .with_macro_area_fraction(macro_frac);
     }
     SuiteEntry {
         published_cells: cells_k * 1000,
@@ -123,8 +125,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "adaptec1", "adaptec2", "adaptec3", "adaptec4", "bigblue1", "bigblue2",
-                "bigblue3", "bigblue4"
+                "adaptec1", "adaptec2", "adaptec3", "adaptec4", "bigblue1", "bigblue2", "bigblue3",
+                "bigblue4"
             ]
         );
         let s15 = ispd2015_like(0.01);
@@ -175,13 +177,23 @@ mod tests {
     #[test]
     fn fence_flags_match_table4() {
         let s = ispd2015_like(0.01);
-        let flagged: Vec<&str> =
-            s.iter().filter(|e| e.fence_removed).map(SuiteEntry::name).collect();
+        let flagged: Vec<&str> = s
+            .iter()
+            .filter(|e| e.fence_removed)
+            .map(SuiteEntry::name)
+            .collect();
         assert_eq!(
             flagged,
             [
-                "des_perf_a", "des_perf_b", "edit_dist_a", "matrix_mult_b", "matrix_mult_c",
-                "pci_bridge32_a", "pci_bridge32_b", "superblue11_a", "superblue16_a"
+                "des_perf_a",
+                "des_perf_b",
+                "edit_dist_a",
+                "matrix_mult_b",
+                "matrix_mult_c",
+                "pci_bridge32_a",
+                "pci_bridge32_b",
+                "superblue11_a",
+                "superblue16_a"
             ]
         );
     }

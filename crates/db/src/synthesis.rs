@@ -13,8 +13,7 @@
 
 use crate::netlist::NetlistBuilder;
 use crate::{CellKind, DbError, Design, Point, Rect, Row};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xplace_testkit::Rng;
 
 /// Parameters controlling synthetic circuit generation.
 ///
@@ -152,7 +151,9 @@ impl SynthesisSpec {
             )));
         }
         if self.max_net_degree < 2 {
-            return Err(DbError::InvalidSpec("max_net_degree must be at least 2".into()));
+            return Err(DbError::InvalidSpec(
+                "max_net_degree must be at least 2".into(),
+            ));
         }
         if !(self.macro_area_fraction >= 0.0 && self.macro_area_fraction < 0.6) {
             return Err(DbError::InvalidSpec(format!(
@@ -168,9 +169,9 @@ impl SynthesisSpec {
 }
 
 /// Samples a net degree from a truncated power law `p(d) ~ d^-gamma`.
-fn sample_degree(rng: &mut StdRng, gamma: f64, max_degree: usize) -> usize {
+fn sample_degree(rng: &mut Rng, gamma: f64, max_degree: usize) -> usize {
     // Inverse-CDF sampling over the discrete support 2..=max.
-    let u: f64 = rng.gen();
+    let u: f64 = rng.f64();
     let mut norm = 0.0;
     for d in 2..=max_degree {
         norm += (d as f64).powf(-gamma);
@@ -197,7 +198,7 @@ fn sample_degree(rng: &mut StdRng, gamma: f64, max_degree: usize) -> usize {
 /// design.
 pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     spec.validate()?;
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = Rng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut builder = NetlistBuilder::with_capacity(
         spec.num_cells + spec.num_macros + spec.num_terminals,
         spec.num_nets,
@@ -210,7 +211,7 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     let mut cell_ids = Vec::with_capacity(spec.num_cells);
     for i in 0..spec.num_cells {
         let sites = {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.f64();
             // ~55% 1-2 sites, tail up to 8.
             1 + (7.0 * u * u * u) as usize
         };
@@ -260,8 +261,8 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
         let pitch_y = height / grid as f64;
         let side = side.min(pitch_x * 0.85).min(pitch_y * 0.85);
         for (m, &(gx, gy)) in slots.iter().take(spec.num_macros).enumerate() {
-            let jitter_x = (rng.gen::<f64>() - 0.5) * (pitch_x - side) * 0.8;
-            let jitter_y = (rng.gen::<f64>() - 0.5) * (pitch_y - side) * 0.8;
+            let jitter_x = (rng.f64() - 0.5) * (pitch_x - side) * 0.8;
+            let jitter_y = (rng.f64() - 0.5) * (pitch_y - side) * 0.8;
             let cx = (gx as f64 + 0.5) * pitch_x + jitter_x;
             let cy = (gy as f64 + 0.5) * pitch_y + jitter_y;
             // Snap to row grid for realism.
@@ -281,7 +282,7 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     for t in 0..spec.num_terminals {
         let id = builder.add_cell(format!("p{t}"), 0.0, 0.0, CellKind::Terminal);
         let side = rng.gen_range(0..4u8);
-        let frac: f64 = rng.gen();
+        let frac: f64 = rng.f64();
         let p = match side {
             0 => Point::new(frac * width, 0.0),
             1 => Point::new(frac * width, height),
@@ -295,8 +296,8 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     // --- Nets with Rent-style locality over the linear cell ordering. ---
     let n = spec.num_cells;
     let mut connected = vec![false; n];
-    let pin_offset = |rng: &mut StdRng, w: f64, h: f64| {
-        Point::new((rng.gen::<f64>() - 0.5) * w * 0.8, (rng.gen::<f64>() - 0.5) * h * 0.8)
+    let pin_offset = |rng: &mut Rng, w: f64, h: f64| {
+        Point::new((rng.f64() - 0.5) * w * 0.8, (rng.f64() - 0.5) * h * 0.8)
     };
     let mut nets_made = 0usize;
     let reserve = n / 16; // leave headroom for the connectivity fix-up pass
@@ -307,7 +308,7 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
         // nets are local, a few span the hierarchy.
         let span_min = (degree * 4).min(n);
         let ratio = n as f64 / span_min.max(1) as f64;
-        let window = (span_min as f64 * ratio.powf(rng.gen::<f64>().powi(2))) as usize;
+        let window = (span_min as f64 * ratio.powf(rng.f64().powi(2))) as usize;
         let window = window.clamp(degree, n);
         let lo = center.saturating_sub(window / 2).min(n - window);
         let mut members = Vec::with_capacity(degree + 1);
@@ -333,10 +334,10 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
             pins.push((c, pin_offset(&mut rng, 2.0, spec.row_height)));
         }
         // Occasionally attach a macro or terminal pin.
-        if !macro_ids.is_empty() && rng.gen::<f64>() < 0.04 {
+        if !macro_ids.is_empty() && rng.f64() < 0.04 {
             let m = macro_ids[rng.gen_range(0..macro_ids.len())];
             pins.push((m, pin_offset(&mut rng, 4.0, 4.0)));
-        } else if !terminal_ids.is_empty() && rng.gen::<f64>() < 0.03 {
+        } else if !terminal_ids.is_empty() && rng.f64() < 0.03 {
             let t = terminal_ids[rng.gen_range(0..terminal_ids.len())];
             pins.push((t, Point::default()));
         }
@@ -347,10 +348,17 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     // --- Connectivity fix-up: every movable cell gets at least one net. ---
     for idx in 0..n {
         if !connected[idx] {
-            let partner = if idx + 1 < n { idx + 1 } else { idx.saturating_sub(1) };
+            let partner = if idx + 1 < n {
+                idx + 1
+            } else {
+                idx.saturating_sub(1)
+            };
             let pins = vec![
                 (cell_ids[idx], pin_offset(&mut rng, 2.0, spec.row_height)),
-                (cell_ids[partner], pin_offset(&mut rng, 2.0, spec.row_height)),
+                (
+                    cell_ids[partner],
+                    pin_offset(&mut rng, 2.0, spec.row_height),
+                ),
             ];
             builder.add_net(format!("n{nets_made}"), pins)?;
             connected[idx] = true;
@@ -366,8 +374,8 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     let mut positions = vec![Point::default(); netlist.num_cells()];
     for &c in &cell_ids {
         let jitter = Point::new(
-            (rng.gen::<f64>() - 0.5) * width * 0.02,
-            (rng.gen::<f64>() - 0.5) * height * 0.02,
+            (rng.f64() - 0.5) * width * 0.02,
+            (rng.f64() - 0.5) * height * 0.02,
         );
         positions[c.index()] = center + jitter;
     }
@@ -378,8 +386,14 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
         positions[t.index()] = terminal_pos[i];
     }
 
-    let mut design =
-        Design::new(&spec.name, netlist, region, rows, spec.target_density, positions)?;
+    let mut design = Design::new(
+        &spec.name,
+        netlist,
+        region,
+        rows,
+        spec.target_density,
+        positions,
+    )?;
 
     // --- Fence regions: bands along the top edge, each owning a
     // contiguous slice of movable cells (placed at the fence center so
@@ -401,9 +415,8 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
                 band_y + band_h,
             );
             let start = fi * members_per_fence;
-            let members: Vec<crate::CellId> = cell_ids
-                [start..(start + members_per_fence).min(cell_ids.len())]
-                .to_vec();
+            let members: Vec<crate::CellId> =
+                cell_ids[start..(start + members_per_fence).min(cell_ids.len())].to_vec();
             for &m in &members {
                 positions[m.index()] = fence_rect.center();
             }
@@ -471,7 +484,9 @@ mod tests {
     #[test]
     fn macros_do_not_overlap_each_other() {
         let d = synthesize(
-            &SynthesisSpec::new("t", 800, 820).with_seed(7).with_macro_count(9),
+            &SynthesisSpec::new("t", 800, 820)
+                .with_seed(7)
+                .with_macro_count(9),
         )
         .unwrap();
         let nl = d.netlist();
@@ -496,7 +511,9 @@ mod tests {
     #[test]
     fn macros_lie_inside_region() {
         let d = synthesize(
-            &SynthesisSpec::new("t", 500, 510).with_seed(11).with_macro_count(4),
+            &SynthesisSpec::new("t", 500, 510)
+                .with_seed(11)
+                .with_macro_count(4),
         )
         .unwrap();
         let nl = d.netlist();
@@ -509,9 +526,15 @@ mod tests {
 
     #[test]
     fn utilization_close_to_spec() {
-        let spec = SynthesisSpec::new("t", 2000, 2100).with_seed(13).with_utilization(0.6);
+        let spec = SynthesisSpec::new("t", 2000, 2100)
+            .with_seed(13)
+            .with_utilization(0.6);
         let d = synthesize(&spec).unwrap();
-        assert!((d.utilization() - 0.6).abs() < 0.05, "utilization {}", d.utilization());
+        assert!(
+            (d.utilization() - 0.6).abs() < 0.05,
+            "utilization {}",
+            d.utilization()
+        );
     }
 
     #[test]

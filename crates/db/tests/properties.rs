@@ -1,20 +1,25 @@
 //! Property-based tests of geometry, synthesis and the Bookshelf
 //! round trip.
 
-use proptest::prelude::*;
 use xplace_db::synthesis::{synthesize, SynthesisSpec};
 use xplace_db::{bookshelf, DesignStats, Point, Rect};
+use xplace_testkit::prop::Config;
+use xplace_testkit::{prop_assert, prop_assert_eq, props, Strategy};
 
 fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (-100.0..100.0f64, -100.0..100.0f64, 0.0..50.0f64, 0.0..50.0f64)
+    (
+        -100.0..100.0f64,
+        -100.0..100.0f64,
+        0.0..50.0f64,
+        0.0..50.0f64,
+    )
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    config = Config::with_cases(128);
 
     /// Overlap is symmetric, non-negative and bounded by both areas.
-    #[test]
     fn overlap_properties(a in rect_strategy(), b in rect_strategy()) {
         let ab = a.overlap_area(&b);
         let ba = b.overlap_area(&a);
@@ -27,7 +32,6 @@ proptest! {
     }
 
     /// Union contains both inputs and has at least their max area.
-    #[test]
     fn union_contains(a in rect_strategy(), b in rect_strategy()) {
         let u = a.union(&b);
         prop_assert!(u.contains_rect(&a));
@@ -36,7 +40,6 @@ proptest! {
     }
 
     /// Clamping always lands inside (or on the boundary).
-    #[test]
     fn clamp_lands_inside(r in rect_strategy(), x in -500.0..500.0f64, y in -500.0..500.0f64) {
         let p = r.clamp_point(Point::new(x, y));
         prop_assert!(p.x >= r.lx - 1e-12 && p.x <= r.ux + 1e-12);
@@ -44,12 +47,11 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    config = Config::with_cases(12);
 
     /// Any valid spec synthesizes a design that validates, with the
     /// requested movable count and every movable cell connected.
-    #[test]
     fn synthesis_invariants(
         cells in 50usize..400,
         seed in 0u64..1_000_000,
@@ -75,7 +77,6 @@ proptest! {
     }
 
     /// Bookshelf write -> read preserves counts, kinds and HPWL.
-    #[test]
     fn bookshelf_round_trip(cells in 30usize..150, seed in 0u64..10_000) {
         let spec = SynthesisSpec::new("bsprop", cells, cells + 10).with_seed(seed);
         let design = synthesize(&spec).expect("synthesis");

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let c = DeviceConfig::rtx3090().with_launch_latency_ns(123).with_emulated_latency(true);
+        let c = DeviceConfig::rtx3090()
+            .with_launch_latency_ns(123)
+            .with_emulated_latency(true);
         assert_eq!(c.launch_latency_ns, 123);
         assert!(c.emulate_latency);
     }

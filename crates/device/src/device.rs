@@ -67,7 +67,8 @@ impl Device {
         self.launches.fetch_add(1, Ordering::Relaxed);
         self.launch_overhead_ns.fetch_add(launch, Ordering::Relaxed);
         self.exec_ns.fetch_add(exec, Ordering::Relaxed);
-        self.pipelined_ns.fetch_add(exec.max(launch), Ordering::Relaxed);
+        self.pipelined_ns
+            .fetch_add(exec.max(launch), Ordering::Relaxed);
         if self.config.emulate_latency && launch > 0 {
             let start = Instant::now();
             while (start.elapsed().as_nanos() as u64) < launch {
@@ -76,7 +77,8 @@ impl Device {
         }
         let start = Instant::now();
         let out = body();
-        self.cpu_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.cpu_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
     }
 
@@ -84,7 +86,8 @@ impl Device {
     /// device), charging the configured pipeline-flush stall.
     pub fn synchronize(&self) {
         self.syncs.fetch_add(1, Ordering::Relaxed);
-        self.sync_stall_ns.fetch_add(self.config.sync_latency_ns, Ordering::Relaxed);
+        self.sync_stall_ns
+            .fetch_add(self.config.sync_latency_ns, Ordering::Relaxed);
     }
 
     /// A snapshot of all cumulative counters.
@@ -178,7 +181,10 @@ mod tests {
     #[test]
     fn instant_config_charges_nothing() {
         let d = Device::new(DeviceConfig::instant());
-        d.launch(KernelInfo::new("k").bytes(u64::MAX / 4).flops(u64::MAX / 4), || ());
+        d.launch(
+            KernelInfo::new("k").bytes(u64::MAX / 4).flops(u64::MAX / 4),
+            || (),
+        );
         d.synchronize();
         assert_eq!(d.profile().modeled_ns(), 0);
     }

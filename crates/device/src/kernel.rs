@@ -22,7 +22,12 @@ pub struct KernelInfo {
 impl KernelInfo {
     /// Creates a kernel description with zero declared workload.
     pub const fn new(name: &'static str) -> Self {
-        KernelInfo { name, bytes_accessed: 0, flops: 0, in_place: true }
+        KernelInfo {
+            name,
+            bytes_accessed: 0,
+            flops: 0,
+            in_place: true,
+        }
     }
 
     /// Sets the bytes of memory traffic the kernel generates.

@@ -66,7 +66,9 @@ impl Sub for ProfileSnapshot {
         ProfileSnapshot {
             launches: self.launches.saturating_sub(rhs.launches),
             syncs: self.syncs.saturating_sub(rhs.syncs),
-            launch_overhead_ns: self.launch_overhead_ns.saturating_sub(rhs.launch_overhead_ns),
+            launch_overhead_ns: self
+                .launch_overhead_ns
+                .saturating_sub(rhs.launch_overhead_ns),
             exec_ns: self.exec_ns.saturating_sub(rhs.exec_ns),
             pipelined_ns: self.pipelined_ns.saturating_sub(rhs.pipelined_ns),
             sync_stall_ns: self.sync_stall_ns.saturating_sub(rhs.sync_stall_ns),
@@ -120,17 +122,27 @@ mod tests {
 
     #[test]
     fn launch_bound_fraction_extremes() {
-        let launch_bound = ProfileSnapshot { pipelined_ns: 100, exec_ns: 0, ..Default::default() };
+        let launch_bound = ProfileSnapshot {
+            pipelined_ns: 100,
+            exec_ns: 0,
+            ..Default::default()
+        };
         assert!((launch_bound.launch_bound_fraction() - 1.0).abs() < 1e-12);
-        let exec_bound =
-            ProfileSnapshot { pipelined_ns: 100, exec_ns: 100, ..Default::default() };
+        let exec_bound = ProfileSnapshot {
+            pipelined_ns: 100,
+            exec_ns: 100,
+            ..Default::default()
+        };
         assert_eq!(exec_bound.launch_bound_fraction(), 0.0);
         assert_eq!(ProfileSnapshot::default().launch_bound_fraction(), 0.0);
     }
 
     #[test]
     fn display_mentions_launches() {
-        let p = ProfileSnapshot { launches: 3, ..Default::default() };
+        let p = ProfileSnapshot {
+            launches: 3,
+            ..Default::default()
+        };
         assert!(p.to_string().contains("3 launches"));
     }
 }

@@ -33,14 +33,19 @@ pub struct Tape<'d, G> {
 
 impl<'d, G> std::fmt::Debug for Tape<'d, G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tape").field("entries", &self.entries.len()).finish()
+        f.debug_struct("Tape")
+            .field("entries", &self.entries.len())
+            .finish()
     }
 }
 
 impl<'d, G> Tape<'d, G> {
     /// Creates an empty tape bound to a device.
     pub fn new(device: &'d Device) -> Self {
-        Tape { device, entries: Vec::new() }
+        Tape {
+            device,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of recorded backward operators.

@@ -70,7 +70,13 @@ impl DctPlan {
         let phase_inv = (0..len)
             .map(|k| Complex::from_angle(std::f64::consts::PI * k as f64 / (2.0 * len as f64)))
             .collect();
-        Ok(DctPlan { len, fft, phase_fwd, phase_inv, scratch: vec![Complex::ZERO; 2 * len] })
+        Ok(DctPlan {
+            len,
+            fft,
+            phase_fwd,
+            phase_inv,
+            scratch: vec![Complex::ZERO; 2 * len],
+        })
     }
 
     /// The transform length.
@@ -85,10 +91,16 @@ impl DctPlan {
 
     fn check(&self, input: &[f64], output: &[f64]) -> Result<(), FftError> {
         if input.len() != self.len {
-            return Err(FftError::LengthMismatch { expected: self.len, actual: input.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.len,
+                actual: input.len(),
+            });
         }
         if output.len() != self.len {
-            return Err(FftError::LengthMismatch { expected: self.len, actual: output.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.len,
+                actual: output.len(),
+            });
         }
         Ok(())
     }
@@ -240,7 +252,9 @@ mod tests {
     use super::*;
 
     fn sample_signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos())
+            .collect()
     }
 
     #[test]
@@ -325,7 +339,10 @@ mod tests {
         plan.analyze(&x, &mut c).unwrap();
         for (k, &v) in c.iter().enumerate() {
             if k == k0 {
-                assert!((v - n as f64 / 2.0).abs() < 1e-9, "peak coefficient wrong: {v}");
+                assert!(
+                    (v - n as f64 / 2.0).abs() < 1e-9,
+                    "peak coefficient wrong: {v}"
+                );
             } else {
                 assert!(v.abs() < 1e-9, "leakage at k={k}: {v}");
             }
@@ -352,7 +369,10 @@ mod tests {
         let mut out = vec![0.0; 4];
         assert!(matches!(
             plan.analyze(&x, &mut out),
-            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 

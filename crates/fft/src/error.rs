@@ -34,7 +34,10 @@ impl fmt::Display for FftError {
             }
             FftError::EmptyLength => write!(f, "transform length must be nonzero"),
             FftError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match plan length {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match plan length {expected}"
+                )
             }
             FftError::GridMismatch { expected, actual } => write!(
                 f,
@@ -56,9 +59,17 @@ mod tests {
         let msg = FftError::NotPowerOfTwo(48).to_string();
         assert!(msg.contains("48"));
         assert!(msg.starts_with(char::is_lowercase));
-        let msg = FftError::LengthMismatch { expected: 8, actual: 9 }.to_string();
+        let msg = FftError::LengthMismatch {
+            expected: 8,
+            actual: 9,
+        }
+        .to_string();
         assert!(msg.contains('8') && msg.contains('9'));
-        let msg = FftError::GridMismatch { expected: (4, 4), actual: (2, 8) }.to_string();
+        let msg = FftError::GridMismatch {
+            expected: (4, 4),
+            actual: (2, 8),
+        }
+        .to_string();
         assert!(msg.contains("2x8") && msg.contains("4x4"));
         assert!(!FftError::EmptyLength.to_string().is_empty());
     }

@@ -60,7 +60,11 @@ impl FftPlan {
             let rev = (i as u32).reverse_bits() >> (32 - stages.max(1) as u32);
             *slot = if stages == 0 { 0 } else { rev };
         }
-        Ok(FftPlan { len, twiddles, bitrev })
+        Ok(FftPlan {
+            len,
+            twiddles,
+            bitrev,
+        })
     }
 
     /// The transform length this plan was created for.
@@ -75,7 +79,10 @@ impl FftPlan {
 
     fn check(&self, data: &[Complex]) -> Result<(), FftError> {
         if data.len() != self.len {
-            return Err(FftError::LengthMismatch { expected: self.len, actual: data.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.len,
+                actual: data.len(),
+            });
         }
         Ok(())
     }
@@ -201,7 +208,10 @@ mod tests {
         let mut data = vec![Complex::ZERO; 4];
         assert!(matches!(
             plan.forward(&mut data),
-            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 
@@ -235,8 +245,9 @@ mod tests {
     fn inverse_matches_naive_inverse() {
         let n = 32;
         let plan = FftPlan::new(n).unwrap();
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let expected = naive_dft(&input, true);
         let mut data = input.clone();
         plan.inverse(&mut data).unwrap();
@@ -276,8 +287,9 @@ mod tests {
     fn parseval_energy_is_preserved() {
         let n = 64;
         let plan = FftPlan::new(n).unwrap();
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
         let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
         let mut data = input;
         plan.forward(&mut data).unwrap();

@@ -28,7 +28,11 @@ pub struct Grid2 {
 impl Grid2 {
     /// Creates an `nx`-by-`ny` grid filled with zeros.
     pub fn new(nx: usize, ny: usize) -> Self {
-        Grid2 { nx, ny, data: vec![0.0; nx * ny] }
+        Grid2 {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
     }
 
     /// Creates a grid from existing row-major data.
@@ -137,9 +141,15 @@ impl Grid2 {
 
     /// The maximum sample, or 0.0 for an empty grid.
     pub fn max(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(
-            if self.data.is_empty() { 0.0 } else { f64::NEG_INFINITY },
-        )
+        self.data
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(if self.data.is_empty() {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            })
     }
 
     /// The minimum sample, or 0.0 for an empty grid.

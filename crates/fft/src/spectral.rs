@@ -106,8 +106,12 @@ impl ElectrostaticSolver {
     pub fn new(nx: usize, ny: usize) -> Result<Self, FftError> {
         let plan_x = DctPlan::new(nx)?;
         let plan_y = DctPlan::new(ny)?;
-        let wx = (0..nx).map(|u| std::f64::consts::PI * u as f64 / nx as f64).collect();
-        let wy = (0..ny).map(|v| std::f64::consts::PI * v as f64 / ny as f64).collect();
+        let wx = (0..nx)
+            .map(|u| std::f64::consts::PI * u as f64 / nx as f64)
+            .collect();
+        let wy = (0..ny)
+            .map(|v| std::f64::consts::PI * v as f64 / ny as f64)
+            .collect();
         Ok(ElectrostaticSolver {
             nx,
             ny,
@@ -149,11 +153,7 @@ impl ElectrostaticSolver {
     ///
     /// Returns [`FftError::GridMismatch`] if `density` or any buffer grid
     /// does not match the solver dimensions.
-    pub fn solve_into(
-        &mut self,
-        density: &Grid2,
-        out: &mut FieldSolution,
-    ) -> Result<(), FftError> {
+    pub fn solve_into(&mut self, density: &Grid2, out: &mut FieldSolution) -> Result<(), FftError> {
         self.check_grid(density)?;
         self.check_grid(&out.potential)?;
         self.check_grid(&out.field_x)?;
@@ -166,8 +166,11 @@ impl ElectrostaticSolver {
         for u in 0..nx {
             for v in 0..ny {
                 let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[u * ny + v] =
-                    if w2 == 0.0 { 0.0 } else { self.coeffs[u * ny + v] / w2 };
+                self.synth[u * ny + v] = if w2 == 0.0 {
+                    0.0
+                } else {
+                    self.coeffs[u * ny + v] / w2
+                };
             }
         }
         self.synthesize(false, false, &mut out.potential)?;
@@ -176,8 +179,11 @@ impl ElectrostaticSolver {
         for u in 0..nx {
             for v in 0..ny {
                 let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[u * ny + v] =
-                    if w2 == 0.0 { 0.0 } else { self.coeffs[u * ny + v] * self.wx[u] / w2 };
+                self.synth[u * ny + v] = if w2 == 0.0 {
+                    0.0
+                } else {
+                    self.coeffs[u * ny + v] * self.wx[u] / w2
+                };
             }
         }
         self.synthesize(true, false, &mut out.field_x)?;
@@ -186,8 +192,11 @@ impl ElectrostaticSolver {
         for u in 0..nx {
             for v in 0..ny {
                 let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[u * ny + v] =
-                    if w2 == 0.0 { 0.0 } else { self.coeffs[u * ny + v] * self.wy[v] / w2 };
+                self.synth[u * ny + v] = if w2 == 0.0 {
+                    0.0
+                } else {
+                    self.coeffs[u * ny + v] * self.wy[v] / w2
+                };
             }
         }
         self.synthesize(false, true, &mut out.field_y)?;
@@ -227,7 +236,8 @@ impl ElectrostaticSolver {
         // Transform along x; write normalized coefficients.
         let norm = 4.0 / (nx as f64 * ny as f64);
         for v in 0..ny {
-            self.col_in.copy_from_slice(&self.transposed[v * nx..(v + 1) * nx]);
+            self.col_in
+                .copy_from_slice(&self.transposed[v * nx..(v + 1) * nx]);
             self.plan_x.analyze(&self.col_in, &mut self.col_out)?;
             for u in 0..nx {
                 let mut beta = norm;
@@ -254,9 +264,11 @@ impl ElectrostaticSolver {
                 self.col_in[u] = self.synth[u * ny + v];
             }
             if sin_x {
-                self.plan_x.sine_synthesis(&self.col_in, &mut self.col_out)?;
+                self.plan_x
+                    .sine_synthesis(&self.col_in, &mut self.col_out)?;
             } else {
-                self.plan_x.cosine_synthesis(&self.col_in, &mut self.col_out)?;
+                self.plan_x
+                    .cosine_synthesis(&self.col_in, &mut self.col_out)?;
             }
             for ix in 0..nx {
                 self.transposed[v * nx + ix] = self.col_out[ix];
@@ -268,9 +280,11 @@ impl ElectrostaticSolver {
                 self.row_in[v] = self.transposed[v * nx + ix];
             }
             if sin_y {
-                self.plan_y.sine_synthesis(&self.row_in, &mut self.row_out)?;
+                self.plan_y
+                    .sine_synthesis(&self.row_in, &mut self.row_out)?;
             } else {
-                self.plan_y.cosine_synthesis(&self.row_in, &mut self.row_out)?;
+                self.plan_y
+                    .cosine_synthesis(&self.row_in, &mut self.row_out)?;
             }
             out.row_mut(ix).copy_from_slice(&self.row_out);
         }
@@ -300,7 +314,10 @@ mod tests {
     fn rejects_mismatched_grid() {
         let mut solver = ElectrostaticSolver::new(8, 8).unwrap();
         let density = Grid2::new(8, 16);
-        assert!(matches!(solver.solve(&density), Err(FftError::GridMismatch { .. })));
+        assert!(matches!(
+            solver.solve(&density),
+            Err(FftError::GridMismatch { .. })
+        ));
     }
 
     #[test]
@@ -336,9 +353,18 @@ mod tests {
                 let psi = amp * cx * cy / w2;
                 let ex = amp * wu * sx * cy / w2;
                 let ey = amp * wv * cx * sy / w2;
-                assert!((sol.potential[(ix, iy)] - psi).abs() < 1e-9, "psi at ({ix},{iy})");
-                assert!((sol.field_x[(ix, iy)] - ex).abs() < 1e-9, "ex at ({ix},{iy})");
-                assert!((sol.field_y[(ix, iy)] - ey).abs() < 1e-9, "ey at ({ix},{iy})");
+                assert!(
+                    (sol.potential[(ix, iy)] - psi).abs() < 1e-9,
+                    "psi at ({ix},{iy})"
+                );
+                assert!(
+                    (sol.field_x[(ix, iy)] - ex).abs() < 1e-9,
+                    "ex at ({ix},{iy})"
+                );
+                assert!(
+                    (sol.field_y[(ix, iy)] - ey).abs() < 1e-9,
+                    "ey at ({ix},{iy})"
+                );
             }
         }
     }
@@ -381,7 +407,10 @@ mod tests {
         for d in 1..20 {
             let right = sol.field_x[(32 + d, 31)];
             let left = sol.field_x[(31 - d, 31)];
-            assert!((right + left).abs() < 1e-9, "asymmetry at d={d}: {right} vs {left}");
+            assert!(
+                (right + left).abs() < 1e-9,
+                "asymmetry at d={d}: {right} vs {left}"
+            );
         }
         assert!(sol.energy > 0.0);
     }

@@ -1,20 +1,25 @@
 //! Property-based tests of the spectral transforms.
 
-use proptest::prelude::*;
 use xplace_fft::{Complex, DctPlan, ElectrostaticSolver, FftPlan, Grid2};
+use xplace_testkit::prop::{self, Config, Strategy};
+use xplace_testkit::rng::Rng;
+use xplace_testkit::{prop_assert, props};
 
+/// A random signal whose length is a power of two up to `2^max_pow`.
 fn signal_strategy(max_pow: u32) -> impl Strategy<Value = Vec<f64>> {
-    (1u32..=max_pow).prop_flat_map(|p| {
+    prop::from_fn(move |rng: &mut Rng| {
+        let p = rng.gen_range(1u32..=max_pow);
         let n = 1usize << p;
-        proptest::collection::vec(-100.0..100.0f64, n..=n)
+        (0..n)
+            .map(|_| rng.gen_range(-100.0..100.0))
+            .collect::<Vec<f64>>()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    config = Config::with_cases(64);
 
     /// forward then inverse FFT recovers the input.
-    #[test]
     fn fft_round_trip(values in signal_strategy(9)) {
         let n = values.len();
         let plan = FftPlan::new(n).expect("power-of-two length");
@@ -28,7 +33,6 @@ proptest! {
     }
 
     /// Parseval: energy is preserved up to the 1/N normalization.
-    #[test]
     fn fft_parseval(values in signal_strategy(8)) {
         let n = values.len();
         let plan = FftPlan::new(n).expect("power-of-two length");
@@ -40,7 +44,6 @@ proptest! {
     }
 
     /// DCT analysis followed by normalized cosine synthesis is identity.
-    #[test]
     fn dct_round_trip(values in signal_strategy(8)) {
         let n = values.len();
         let mut plan = DctPlan::new(n).expect("power-of-two length");
@@ -59,7 +62,6 @@ proptest! {
 
     /// The electrostatic solver is linear: solve(a*x + b*y) =
     /// a*solve(x) + b*solve(y).
-    #[test]
     fn solver_is_linear(
         a in -3.0..3.0f64,
         b in -3.0..3.0f64,
@@ -91,7 +93,6 @@ proptest! {
 
     /// The field of any density has zero mean (Neumann boundaries push
     /// nothing out of the region on aggregate).
-    #[test]
     fn field_sums_to_zero(seed in 0u64..1000) {
         let n = 16;
         let density = Grid2::from_fn(n, n, |ix, iy| {

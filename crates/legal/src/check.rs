@@ -38,17 +38,25 @@ pub fn check_legality(design: &Design) -> Result<(), LegalError> {
             || r.ly < region.ly - eps
             || r.uy > region.uy + eps
         {
-            return Err(LegalError::OutOfRegion { cell: c.name().to_string() });
+            return Err(LegalError::OutOfRegion {
+                cell: c.name().to_string(),
+            });
         }
         // Row alignment: the cell's bottom must sit on some row's y.
         let row = rows
             .iter()
             .find(|row| (r.ly - row.y).abs() < eps)
-            .ok_or_else(|| LegalError::Misaligned { cell: c.name().to_string(), what: "row" })?;
+            .ok_or_else(|| LegalError::Misaligned {
+                cell: c.name().to_string(),
+                what: "row",
+            })?;
         // Site alignment within that row's origin.
         let offset = (r.lx - row.origin) / row.site;
         if (offset - offset.round()).abs() > 1e-4 {
-            return Err(LegalError::Misaligned { cell: c.name().to_string(), what: "site" });
+            return Err(LegalError::Misaligned {
+                cell: c.name().to_string(),
+                what: "site",
+            });
         }
         // Fence containment.
         if let Some(fi) = design.fence_of(id) {
@@ -59,17 +67,28 @@ pub fn check_legality(design: &Design) -> Result<(), LegalError> {
                 });
             }
         }
-        items.push(Item { name: c.name().to_string(), lx: r.lx, ly: r.ly, ux: r.ux, uy: r.uy });
+        items.push(Item {
+            name: c.name().to_string(),
+            lx: r.lx,
+            ly: r.ly,
+            ux: r.ux,
+            uy: r.uy,
+        });
     }
 
     // Overlap among movable cells: sweep by row band then x.
     items.sort_by(|a, b| {
-        (a.ly, a.lx).partial_cmp(&(b.ly, b.lx)).expect("finite coordinates")
+        (a.ly, a.lx)
+            .partial_cmp(&(b.ly, b.lx))
+            .expect("finite coordinates")
     });
     for w in items.windows(2) {
         let (a, b) = (&w[0], &w[1]);
         if (a.ly - b.ly).abs() < eps && b.lx < a.ux - eps && a.lx < b.ux - eps {
-            return Err(LegalError::Overlap { a: a.name.clone(), b: b.name.clone() });
+            return Err(LegalError::Overlap {
+                a: a.name.clone(),
+                b: b.name.clone(),
+            });
         }
     }
 
@@ -86,7 +105,10 @@ pub fn check_legality(design: &Design) -> Result<(), LegalError> {
                 && item.ly < m.uy - eps
                 && m.ly < item.uy - eps
             {
-                return Err(LegalError::Overlap { a: item.name.clone(), b: mname.clone() });
+                return Err(LegalError::Overlap {
+                    a: item.name.clone(),
+                    b: mname.clone(),
+                });
             }
         }
     }
@@ -103,15 +125,28 @@ mod tests {
         let mut b = NetlistBuilder::new();
         let a = b.add_cell("a", 2.0, 4.0, CellKind::Movable);
         let c = b.add_cell("c", 2.0, 4.0, CellKind::Movable);
-        b.add_net("n", vec![(a, Point::default()), (c, Point::default())]).unwrap();
+        b.add_net("n", vec![(a, Point::default()), (c, Point::default())])
+            .unwrap();
         let nl = b.finish().unwrap();
         Design::new(
             "chk",
             nl,
             Rect::new(0.0, 0.0, 20.0, 8.0),
             vec![
-                Row { y: 0.0, height: 4.0, x_min: 0.0, x_max: 20.0, site_width: 1.0 },
-                Row { y: 4.0, height: 4.0, x_min: 0.0, x_max: 20.0, site_width: 1.0 },
+                Row {
+                    y: 0.0,
+                    height: 4.0,
+                    x_min: 0.0,
+                    x_max: 20.0,
+                    site_width: 1.0,
+                },
+                Row {
+                    y: 4.0,
+                    height: 4.0,
+                    x_min: 0.0,
+                    x_max: 20.0,
+                    site_width: 1.0,
+                },
             ],
             0.9,
             vec![p0, p1],
@@ -128,7 +163,10 @@ mod tests {
     #[test]
     fn overlap_is_detected() {
         let d = two_cell_design(Point::new(1.0, 2.0), Point::new(2.0, 2.0));
-        assert!(matches!(check_legality(&d), Err(LegalError::Overlap { .. })));
+        assert!(matches!(
+            check_legality(&d),
+            Err(LegalError::Overlap { .. })
+        ));
     }
 
     #[test]
@@ -152,7 +190,10 @@ mod tests {
     #[test]
     fn out_of_region_is_detected() {
         let d = two_cell_design(Point::new(-1.0, 2.0), Point::new(5.0, 2.0));
-        assert!(matches!(check_legality(&d), Err(LegalError::OutOfRegion { .. })));
+        assert!(matches!(
+            check_legality(&d),
+            Err(LegalError::OutOfRegion { .. })
+        ));
     }
 
     #[test]

@@ -16,8 +16,7 @@
 use crate::rows::build_rows;
 use std::time::Instant;
 use xplace_db::{CellId, Design, NetId, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xplace_testkit::Rng;
 
 /// Detailed-placement knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +31,11 @@ pub struct DpConfig {
 
 impl Default for DpConfig {
     fn default() -> Self {
-        DpConfig { passes: 2, swap_trials_per_cell: 2.0, seed: 0xd95eed }
+        DpConfig {
+            passes: 2,
+            swap_trials_per_cell: 2.0,
+            seed: 0xd95eed,
+        }
     }
 }
 
@@ -131,8 +134,7 @@ pub fn detailed_place(design: &mut Design, config: &DpConfig) -> DpReport {
     // Per-cell net lists.
     let mut cell_nets: Vec<Vec<NetId>> = vec![Vec::new(); nl.num_cells()];
     for id in nl.cell_ids() {
-        let mut nets: Vec<NetId> =
-            nl.pins_of_cell(id).iter().map(|&p| nl.pin(p).net).collect();
+        let mut nets: Vec<NetId> = nl.pins_of_cell(id).iter().map(|&p| nl.pin(p).net).collect();
         nets.sort();
         nets.dedup();
         cell_nets[id.index()] = nets;
@@ -173,7 +175,7 @@ pub fn detailed_place(design: &mut Design, config: &DpConfig) -> DpReport {
     let mut slides = 0usize;
     let mut reorders = 0usize;
     let mut swaps = 0usize;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     for _pass in 0..config.passes {
         // --- 1. Intra-row slides. ---
@@ -209,9 +211,10 @@ pub fn detailed_place(design: &mut Design, config: &DpConfig) -> DpReport {
                 if hi <= lo {
                     continue;
                 }
-                let Some(target) = state.optimal_x(cell) else { continue };
-                let snapped =
-                    row.snap_down(target.clamp(lo, hi) - w * 0.5) + w * 0.5;
+                let Some(target) = state.optimal_x(cell) else {
+                    continue;
+                };
+                let snapped = row.snap_down(target.clamp(lo, hi) - w * 0.5) + w * 0.5;
                 let newx = snapped.clamp(lo, hi);
                 if (newx - x).abs() < 1e-9 {
                     continue;
@@ -263,8 +266,7 @@ pub fn detailed_place(design: &mut Design, config: &DpConfig) -> DpReport {
                 nets.sort();
                 nets.dedup();
                 let before = state.nets_hpwl(&nets);
-                let (old_a, old_b) =
-                    (state.positions[a.index()].x, state.positions[b.index()].x);
+                let (old_a, old_b) = (state.positions[a.index()].x, state.positions[b.index()].x);
                 state.positions[a.index()].x = new_a;
                 state.positions[b.index()].x = new_b;
                 let after = state.nets_hpwl(&nets);
@@ -288,8 +290,7 @@ pub fn detailed_place(design: &mut Design, config: &DpConfig) -> DpReport {
             })
             .collect();
         if movable.len() >= 2 {
-            let trials =
-                (movable.len() as f64 * config.swap_trials_per_cell) as usize;
+            let trials = (movable.len() as f64 * config.swap_trials_per_cell) as usize;
             for _ in 0..trials {
                 let a = movable[rng.gen_range(0..movable.len())];
                 let b = movable[rng.gen_range(0..movable.len())];
@@ -358,8 +359,8 @@ mod tests {
     use xplace_db::synthesis::{synthesize, SynthesisSpec};
 
     fn legalized_design(cells: usize, seed: u64) -> Design {
-        let mut d = synthesize(&SynthesisSpec::new("dp", cells, cells + 30).with_seed(seed))
-            .unwrap();
+        let mut d =
+            synthesize(&SynthesisSpec::new("dp", cells, cells + 30).with_seed(seed)).unwrap();
         let r = d.region();
         let nl = d.netlist();
         let mut pos = d.positions().to_vec();
@@ -405,15 +406,29 @@ mod tests {
     fn more_passes_never_hurt() {
         let mut d1 = legalized_design(200, 7);
         let mut d2 = legalized_design(200, 7);
-        let one = detailed_place(&mut d1, &DpConfig { passes: 1, ..DpConfig::default() });
-        let three = detailed_place(&mut d2, &DpConfig { passes: 3, ..DpConfig::default() });
+        let one = detailed_place(
+            &mut d1,
+            &DpConfig {
+                passes: 1,
+                ..DpConfig::default()
+            },
+        );
+        let three = detailed_place(
+            &mut d2,
+            &DpConfig {
+                passes: 3,
+                ..DpConfig::default()
+            },
+        );
         assert!(three.final_hpwl <= one.final_hpwl + 1e-9);
     }
 
     #[test]
     fn dp_with_macros_respects_blockages() {
         let mut d = synthesize(
-            &SynthesisSpec::new("dpm", 300, 320).with_seed(9).with_macro_count(4),
+            &SynthesisSpec::new("dpm", 300, 320)
+                .with_seed(9)
+                .with_macro_count(4),
         )
         .unwrap();
         legalize(&mut d).unwrap();

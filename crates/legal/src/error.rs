@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn messages_name_the_cells() {
-        let e = LegalError::Overlap { a: "u1".into(), b: "u2".into() };
+        let e = LegalError::Overlap {
+            a: "u1".into(),
+            b: "u2".into(),
+        };
         assert!(e.to_string().contains("u1") && e.to_string().contains("u2"));
         assert!(LegalError::NoRows.to_string().contains("rows"));
     }

@@ -61,8 +61,7 @@ pub fn legalize(design: &mut Design) -> Result<LegalizeReport, LegalError> {
     // unfenced cells may otherwise squat in it), then widest first
     // (first-fit-decreasing: wide cells see the large gaps before
     // fragmentation), ties broken left-to-right.
-    let mut cells: Vec<CellId> =
-        nl.cell_ids().filter(|&c| nl.cell(c).is_movable()).collect();
+    let mut cells: Vec<CellId> = nl.cell_ids().filter(|&c| nl.cell(c).is_movable()).collect();
     cells.sort_by(|&a, &b| {
         let fa = design.fence_of(a).is_none(); // false (fenced) sorts first
         let fb = design.fence_of(b).is_none();
@@ -70,14 +69,20 @@ pub fn legalize(design: &mut Design) -> Result<LegalizeReport, LegalError> {
         let wb = nl.cell(b).width();
         let xa = design.position(a).x - wa * 0.5;
         let xb = design.position(b).x - wb * 0.5;
-        (fa, wb, xa).partial_cmp(&(fb, wa, xb)).expect("finite positions")
+        (fa, wb, xa)
+            .partial_cmp(&(fb, wa, xb))
+            .expect("finite positions")
     });
 
     // Free gaps per (row, segment).
     let mut states: Vec<SegState> = Vec::new();
     for (ri, row) in rows.iter().enumerate() {
         for (si, seg) in row.segments.iter().enumerate() {
-            states.push(SegState { row: ri, seg: si, gaps: vec![(seg.x0, seg.x1)] });
+            states.push(SegState {
+                row: ri,
+                seg: si,
+                gaps: vec![(seg.x0, seg.x1)],
+            });
         }
     }
     // Row-sorted index for the nearest-row search.
@@ -105,19 +110,24 @@ pub fn legalize(design: &mut Design) -> Result<LegalizeReport, LegalError> {
             .filter(|&ri| rows[ri].height + 1e-9 >= h)
             .collect();
         if row_order.is_empty() {
-            return Err(LegalError::NoSpace { cell: c.name().to_string() });
+            return Err(LegalError::NoSpace {
+                cell: c.name().to_string(),
+            });
         }
         // Fenced cells may only use rows whose band lies inside one of the
         // fence rectangles' y-range.
         if let Some(fence) = fence {
             row_order.retain(|&ri| {
                 let row = &rows[ri];
-                fence.rects().iter().any(|fr| {
-                    row.y >= fr.ly - 1e-9 && row.y + h <= fr.uy + 1e-9
-                })
+                fence
+                    .rects()
+                    .iter()
+                    .any(|fr| row.y >= fr.ly - 1e-9 && row.y + h <= fr.uy + 1e-9)
             });
             if row_order.is_empty() {
-                return Err(LegalError::NoSpace { cell: c.name().to_string() });
+                return Err(LegalError::NoSpace {
+                    cell: c.name().to_string(),
+                });
             }
         }
         row_order.sort_by(|&a, &b| {
@@ -168,8 +178,9 @@ pub fn legalize(design: &mut Design) -> Result<LegalizeReport, LegalError> {
                 }
             }
         }
-        let (sk, gi, x, _) =
-            best.ok_or_else(|| LegalError::NoSpace { cell: c.name().to_string() })?;
+        let (sk, gi, x, _) = best.ok_or_else(|| LegalError::NoSpace {
+            cell: c.name().to_string(),
+        })?;
         // Split the chosen gap around the placed cell.
         let (g0, g1) = states[sk].gaps.remove(gi);
         let site = rows[states[sk].row].site;
@@ -262,7 +273,14 @@ fn abacus_segment(cells: &[Placed], x0: f64, x1: f64, row: &RowModel) -> Vec<f64
 
     let mut clusters: Vec<Cluster> = Vec::with_capacity(cells.len());
     for (i, c) in cells.iter().enumerate() {
-        let mut cl = Cluster { e: 1.0, q: c.desired_x, w: c.width, first: i, last: i + 1, x: 0.0 };
+        let mut cl = Cluster {
+            e: 1.0,
+            q: c.desired_x,
+            w: c.width,
+            first: i,
+            last: i + 1,
+            x: 0.0,
+        };
         cl.x = cl.q.clamp(x0, (x1 - cl.w).max(x0));
         clusters.push(cl);
         // Collapse while the new cluster overlaps its predecessor.
@@ -314,8 +332,8 @@ mod tests {
     use xplace_db::synthesis::{synthesize, SynthesisSpec};
 
     fn spread_design(cells: usize, seed: u64) -> Design {
-        let mut d = synthesize(&SynthesisSpec::new("lg", cells, cells + 20).with_seed(seed))
-            .unwrap();
+        let mut d =
+            synthesize(&SynthesisSpec::new("lg", cells, cells + 20).with_seed(seed)).unwrap();
         // Pseudo-random spread (as if a GP had run).
         let r = d.region();
         let nl = d.netlist();
@@ -342,7 +360,9 @@ mod tests {
     #[test]
     fn legalization_respects_macro_blockages() {
         let mut d = synthesize(
-            &SynthesisSpec::new("lgm", 300, 320).with_seed(5).with_macro_count(4),
+            &SynthesisSpec::new("lgm", 300, 320)
+                .with_seed(5)
+                .with_macro_count(4),
         )
         .unwrap();
         // Cells start clustered at the center — the hardest case.
@@ -378,10 +398,26 @@ mod tests {
 
     #[test]
     fn abacus_places_cells_at_desired_positions_when_disjoint() {
-        let row = RowModel { y: 0.0, height: 12.0, site: 1.0, origin: 0.0, segments: vec![] };
+        let row = RowModel {
+            y: 0.0,
+            height: 12.0,
+            site: 1.0,
+            origin: 0.0,
+            segments: vec![],
+        };
         let cells = vec![
-            Placed { cell: CellId(0), width: 2.0, desired_x: 3.0, fenced: false },
-            Placed { cell: CellId(1), width: 2.0, desired_x: 10.0, fenced: false },
+            Placed {
+                cell: CellId(0),
+                width: 2.0,
+                desired_x: 3.0,
+                fenced: false,
+            },
+            Placed {
+                cell: CellId(1),
+                width: 2.0,
+                desired_x: 10.0,
+                fenced: false,
+            },
         ];
         let xs = abacus_segment(&cells, 0.0, 20.0, &row);
         assert_eq!(xs, vec![3.0, 10.0]);
@@ -389,11 +425,27 @@ mod tests {
 
     #[test]
     fn abacus_resolves_overlap_by_least_squares() {
-        let row = RowModel { y: 0.0, height: 12.0, site: 1.0, origin: 0.0, segments: vec![] };
+        let row = RowModel {
+            y: 0.0,
+            height: 12.0,
+            site: 1.0,
+            origin: 0.0,
+            segments: vec![],
+        };
         // Both want x = 5; least squares packs them around it.
         let cells = vec![
-            Placed { cell: CellId(0), width: 2.0, desired_x: 5.0, fenced: false },
-            Placed { cell: CellId(1), width: 2.0, desired_x: 5.0, fenced: false },
+            Placed {
+                cell: CellId(0),
+                width: 2.0,
+                desired_x: 5.0,
+                fenced: false,
+            },
+            Placed {
+                cell: CellId(1),
+                width: 2.0,
+                desired_x: 5.0,
+                fenced: false,
+            },
         ];
         let xs = abacus_segment(&cells, 0.0, 20.0, &row);
         assert_eq!(xs[1] - xs[0], 2.0, "cells must abut");
@@ -403,10 +455,26 @@ mod tests {
 
     #[test]
     fn abacus_clamps_to_segment_bounds() {
-        let row = RowModel { y: 0.0, height: 12.0, site: 1.0, origin: 0.0, segments: vec![] };
+        let row = RowModel {
+            y: 0.0,
+            height: 12.0,
+            site: 1.0,
+            origin: 0.0,
+            segments: vec![],
+        };
         let cells = vec![
-            Placed { cell: CellId(0), width: 3.0, desired_x: -10.0, fenced: false },
-            Placed { cell: CellId(1), width: 3.0, desired_x: 100.0, fenced: false },
+            Placed {
+                cell: CellId(0),
+                width: 3.0,
+                desired_x: -10.0,
+                fenced: false,
+            },
+            Placed {
+                cell: CellId(1),
+                width: 3.0,
+                desired_x: 100.0,
+                fenced: false,
+            },
         ];
         let xs = abacus_segment(&cells, 0.0, 10.0, &row);
         assert!(xs[0] >= 0.0);
@@ -434,8 +502,20 @@ mod tests {
             nl,
             Rect::new(0.0, 0.0, 9.0, 8.0),
             vec![
-                Row { y: 0.0, height: 4.0, x_min: 0.0, x_max: 9.0, site_width: 1.0 },
-                Row { y: 4.0, height: 4.0, x_min: 0.0, x_max: 9.0, site_width: 1.0 },
+                Row {
+                    y: 0.0,
+                    height: 4.0,
+                    x_min: 0.0,
+                    x_max: 9.0,
+                    site_width: 1.0,
+                },
+                Row {
+                    y: 4.0,
+                    height: 4.0,
+                    x_min: 0.0,
+                    x_max: 9.0,
+                    site_width: 1.0,
+                },
             ],
             1.0,
             vec![Point::new(4.5, 4.0); 6],

@@ -76,7 +76,10 @@ pub(crate) fn build_rows(design: &Design) -> Result<Vec<RowModel>, LegalError> {
                 height: h,
                 site: 1.0,
                 origin: region.lx,
-                segments: vec![Segment { x0: region.lx, x1: region.ux }],
+                segments: vec![Segment {
+                    x0: region.lx,
+                    x1: region.ux,
+                }],
             })
             .collect()
     } else {
@@ -88,7 +91,10 @@ pub(crate) fn build_rows(design: &Design) -> Result<Vec<RowModel>, LegalError> {
                 height: r.height,
                 site: r.site_width,
                 origin: r.x_min,
-                segments: vec![Segment { x0: r.x_min, x1: r.x_max }],
+                segments: vec![Segment {
+                    x0: r.x_min,
+                    x1: r.x_max,
+                }],
             })
             .collect()
     };
@@ -117,10 +123,16 @@ pub(crate) fn build_rows(design: &Design) -> Result<Vec<RowModel>, LegalError> {
                     continue;
                 }
                 if b.lx > seg.x0 {
-                    next.push(Segment { x0: seg.x0, x1: b.lx });
+                    next.push(Segment {
+                        x0: seg.x0,
+                        x1: b.lx,
+                    });
                 }
                 if b.ux < seg.x1 {
-                    next.push(Segment { x0: b.ux, x1: seg.x1 });
+                    next.push(Segment {
+                        x0: b.ux,
+                        x1: seg.x1,
+                    });
                 }
             }
             row.segments = next;
@@ -129,8 +141,7 @@ pub(crate) fn build_rows(design: &Design) -> Result<Vec<RowModel>, LegalError> {
         // derived from a segment bound is automatically site-aligned,
         // then drop slivers narrower than one site.
         for seg in &mut row.segments {
-            let snapped = row.origin
-                + ((seg.x0 - row.origin) / row.site).ceil() * row.site;
+            let snapped = row.origin + ((seg.x0 - row.origin) / row.site).ceil() * row.site;
             seg.x0 = snapped;
         }
         row.segments.retain(|s| s.width() >= row.site);
@@ -154,7 +165,9 @@ mod tests {
     #[test]
     fn macros_carve_blockages() {
         let d = synthesize(
-            &SynthesisSpec::new("rb", 200, 210).with_seed(2).with_macro_count(1),
+            &SynthesisSpec::new("rb", 200, 210)
+                .with_seed(2)
+                .with_macro_count(1),
         )
         .unwrap();
         let rows = build_rows(&d).unwrap();
@@ -185,8 +198,13 @@ mod tests {
 
     #[test]
     fn snapping_is_consistent() {
-        let row =
-            RowModel { y: 0.0, height: 12.0, site: 2.0, origin: 0.0, segments: vec![] };
+        let row = RowModel {
+            y: 0.0,
+            height: 12.0,
+            site: 2.0,
+            origin: 0.0,
+            segments: vec![],
+        };
         assert_eq!(row.snap_down(5.1), 4.0);
         assert_eq!(row.snap_up(5.1), 6.0);
         assert_eq!(row.snap_down(6.0), 6.0);
@@ -200,7 +218,8 @@ mod tests {
         let mut b = NetlistBuilder::new();
         let a = b.add_cell("a", 2.0, 4.0, CK::Movable);
         let c = b.add_cell("c", 2.0, 4.0, CK::Movable);
-        b.add_net("n", vec![(a, Point::default()), (c, Point::default())]).unwrap();
+        b.add_net("n", vec![(a, Point::default()), (c, Point::default())])
+            .unwrap();
         let nl = b.finish().unwrap();
         let d = Design::new(
             "norow",

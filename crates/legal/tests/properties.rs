@@ -1,17 +1,17 @@
 //! Property-based tests: legalization and detailed placement preserve
 //! legality from arbitrary starting positions.
 
-use proptest::prelude::*;
 use xplace_db::synthesis::{synthesize, SynthesisSpec};
 use xplace_db::Point;
 use xplace_legal::{check_legality, detailed_place, legalize, DpConfig};
+use xplace_testkit::prop::Config;
+use xplace_testkit::{prop_assert, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+props! {
+    config = Config::with_cases(10);
 
     /// Whatever the (in-region) starting positions, legalize produces a
     /// legal placement and DP keeps it legal while not worsening HPWL.
-    #[test]
     fn legalize_then_dp_is_always_legal(
         cells in 60usize..250,
         seed in 0u64..10_000,
@@ -51,7 +51,6 @@ proptest! {
 
     /// Legalization is idempotent: legalizing a legal placement moves
     /// nothing by more than a site.
-    #[test]
     fn legalize_is_nearly_idempotent(cells in 60usize..200, seed in 0u64..10_000) {
         let spec = SynthesisSpec::new("idem", cells, cells + 15).with_seed(seed);
         let mut design = synthesize(&spec).expect("synthesis");

@@ -10,9 +10,8 @@
 //! linear, so the scaling is exact and reversible.
 
 use crate::NnError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xplace_fft::{ElectrostaticSolver, Grid2};
+use xplace_testkit::Rng;
 
 /// Data-generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +31,12 @@ pub struct DataConfig {
 
 impl Default for DataConfig {
     fn default() -> Self {
-        DataConfig { grid: 32, blobs: 5, rects: 2, cluster_probability: 0.5 }
+        DataConfig {
+            grid: 32,
+            blobs: 5,
+            rects: 2,
+            cluster_probability: 0.5,
+        }
     }
 }
 
@@ -65,18 +69,18 @@ pub fn generate_sample(config: &DataConfig, seed: u64) -> Result<Sample, NnError
         )));
     }
     let n = config.grid;
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
     let mut density = Grid2::new(n, n);
 
-    if rng.gen::<f64>() < config.cluster_probability {
+    if rng.f64() < config.cluster_probability {
         // Early-placement pattern: uniform filler background plus one
         // narrow, tall spike near the center.
-        let background = 0.2 + 0.4 * rng.gen::<f64>();
+        let background = 0.2 + 0.4 * rng.f64();
         density.fill(background);
-        let cx = n as f64 * (0.35 + 0.3 * rng.gen::<f64>());
-        let cy = n as f64 * (0.35 + 0.3 * rng.gen::<f64>());
-        let sigma = n as f64 * (0.02 + 0.04 * rng.gen::<f64>());
-        let amp = 3.0 + 7.0 * rng.gen::<f64>();
+        let cx = n as f64 * (0.35 + 0.3 * rng.f64());
+        let cy = n as f64 * (0.35 + 0.3 * rng.f64());
+        let sigma = n as f64 * (0.02 + 0.04 * rng.f64());
+        let amp = 3.0 + 7.0 * rng.f64();
         let inv = 1.0 / (2.0 * sigma * sigma);
         for ix in 0..n {
             for iy in 0..n {
@@ -88,10 +92,10 @@ pub fn generate_sample(config: &DataConfig, seed: u64) -> Result<Sample, NnError
     }
 
     for _ in 0..config.blobs {
-        let cx = rng.gen::<f64>() * n as f64;
-        let cy = rng.gen::<f64>() * n as f64;
-        let sigma = n as f64 * (0.04 + 0.12 * rng.gen::<f64>());
-        let amp = 0.3 + rng.gen::<f64>();
+        let cx = rng.f64() * n as f64;
+        let cy = rng.f64() * n as f64;
+        let sigma = n as f64 * (0.04 + 0.12 * rng.f64());
+        let amp = 0.3 + rng.f64();
         let inv = 1.0 / (2.0 * sigma * sigma);
         for ix in 0..n {
             for iy in 0..n {
@@ -106,7 +110,7 @@ pub fn generate_sample(config: &DataConfig, seed: u64) -> Result<Sample, NnError
         let h = rng.gen_range(2..=(n / 3).max(3));
         let x0 = rng.gen_range(0..n - w.min(n - 1));
         let y0 = rng.gen_range(0..n - h.min(n - 1));
-        let amp = 0.5 + rng.gen::<f64>();
+        let amp = 0.5 + rng.f64();
         for ix in x0..(x0 + w).min(n) {
             for iy in y0..(y0 + h).min(n) {
                 density[(ix, iy)] += amp;
@@ -116,7 +120,9 @@ pub fn generate_sample(config: &DataConfig, seed: u64) -> Result<Sample, NnError
 
     let mut solver =
         ElectrostaticSolver::new(n, n).map_err(|e| NnError::InvalidInput(e.to_string()))?;
-    let sol = solver.solve(&density).map_err(|e| NnError::InvalidInput(e.to_string()))?;
+    let sol = solver
+        .solve(&density)
+        .map_err(|e| NnError::InvalidInput(e.to_string()))?;
 
     // Scale by the density RMS (the Poisson map is linear).
     let rms = (density.as_slice().iter().map(|v| v * v).sum::<f64>() / (n * n) as f64)
@@ -126,7 +132,12 @@ pub fn generate_sample(config: &DataConfig, seed: u64) -> Result<Sample, NnError
     let density: Vec<f64> = density.as_slice().iter().map(|v| v * inv).collect();
     let field_x: Vec<f64> = sol.field_x.as_slice().iter().map(|v| v * inv).collect();
     let field_y: Vec<f64> = sol.field_y.as_slice().iter().map(|v| v * inv).collect();
-    Ok(Sample { density, field_x, field_y, grid: n })
+    Ok(Sample {
+        density,
+        field_x,
+        field_y,
+        grid: n,
+    })
 }
 
 #[cfg(test)]
@@ -135,7 +146,10 @@ mod tests {
 
     #[test]
     fn samples_are_deterministic_per_seed() {
-        let cfg = DataConfig { grid: 16, ..Default::default() };
+        let cfg = DataConfig {
+            grid: 16,
+            ..Default::default()
+        };
         let a = generate_sample(&cfg, 3).unwrap();
         let b = generate_sample(&cfg, 3).unwrap();
         assert_eq!(a, b);
@@ -153,7 +167,12 @@ mod tests {
 
     #[test]
     fn labels_solve_poisson_for_the_scaled_density() {
-        let cfg = DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() };
+        let cfg = DataConfig {
+            grid: 16,
+            blobs: 3,
+            rects: 1,
+            ..Default::default()
+        };
         let s = generate_sample(&cfg, 11).unwrap();
         let n = s.grid;
         let grid = Grid2::from_vec(n, n, s.density.clone());
@@ -169,7 +188,10 @@ mod tests {
 
     #[test]
     fn non_power_of_two_grid_is_rejected() {
-        let cfg = DataConfig { grid: 24, ..Default::default() };
+        let cfg = DataConfig {
+            grid: 24,
+            ..Default::default()
+        };
         assert!(generate_sample(&cfg, 1).is_err());
     }
 }

@@ -29,7 +29,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(NnError::InvalidConfig("width is zero".into()).to_string().contains("width"));
-        assert!(NnError::InvalidInput("not square".into()).to_string().contains("square"));
+        assert!(NnError::InvalidConfig("width is zero".into())
+            .to_string()
+            .contains("width"));
+        assert!(NnError::InvalidInput("not square".into())
+            .to_string()
+            .contains("square"));
     }
 }

@@ -22,12 +22,22 @@ impl FnoConfig {
     /// The paper-scale configuration (~471k parameters — the paper quotes
     /// 471k, 60% of a U-Net; this instantiation lands within 1.5% of it).
     pub fn paper() -> Self {
-        FnoConfig { width: 17, modes: 10, num_layers: 4, proj_hidden: 128 }
+        FnoConfig {
+            width: 17,
+            modes: 10,
+            num_layers: 4,
+            proj_hidden: 128,
+        }
     }
 
     /// A tiny configuration for tests and fast demos.
     pub fn tiny() -> Self {
-        FnoConfig { width: 4, modes: 3, num_layers: 2, proj_hidden: 8 }
+        FnoConfig {
+            width: 4,
+            modes: 3,
+            num_layers: 2,
+            proj_hidden: 8,
+        }
     }
 
     fn validate(&self) -> Result<(), NnError> {
@@ -220,9 +230,13 @@ impl Fno {
         let hw = h * w;
         assert_eq!(gy.len(), hw, "output gradient size mismatch");
 
-        let g_mid = self.proj2.backward(&mut self.store, &self.ctx.proj_mid, gy, hw);
+        let g_mid = self
+            .proj2
+            .backward(&mut self.store, &self.ctx.proj_mid, gy, hw);
         let g_mid_pre = gelu_backward(&self.ctx.proj_mid_pre, &g_mid);
-        let mut gx = self.proj1.backward(&mut self.store, &self.ctx.proj_in, &g_mid_pre, hw);
+        let mut gx = self
+            .proj1
+            .backward(&mut self.store, &self.ctx.proj_in, &g_mid_pre, hw);
 
         for (k, (conv, spec)) in self.blocks.iter().enumerate().rev() {
             let (block_in, pre, sctx) = &self.ctx.blocks[k];
@@ -234,7 +248,8 @@ impl Fno {
                 *a += b;
             }
         }
-        self.lift.backward(&mut self.store, &self.ctx.input, &gx, hw);
+        self.lift
+            .backward(&mut self.store, &self.ctx.input, &gx, hw);
     }
 
     /// Convenience inference: builds the `{D; M_x; M_y}` input from a
@@ -289,7 +304,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_and_inputs_are_rejected() {
-        let bad = FnoConfig { width: 0, ..FnoConfig::tiny() };
+        let bad = FnoConfig {
+            width: 0,
+            ..FnoConfig::tiny()
+        };
         assert!(Fno::new(&bad, 1).is_err());
         let mut fno = Fno::new(&FnoConfig::tiny(), 1).unwrap();
         // Non-power-of-two grid.

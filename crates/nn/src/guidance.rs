@@ -97,7 +97,12 @@ mod tests {
             steps: 120,
             batch: 2,
             lr: 4e-3,
-            data: DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() },
+            data: DataConfig {
+                grid: 16,
+                blobs: 3,
+                rects: 1,
+                ..Default::default()
+            },
             seed: 500,
         };
         train(&mut fno, &cfg).unwrap();
@@ -118,21 +123,40 @@ mod tests {
     #[test]
     fn predictions_correlate_with_the_exact_fields_in_both_directions() {
         let mut g = trained_guidance();
-        let sample =
-            generate_sample(&DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() }, 9_999_999).unwrap();
+        let sample = generate_sample(
+            &DataConfig {
+                grid: 16,
+                blobs: 3,
+                rects: 1,
+                ..Default::default()
+            },
+            9_999_999,
+        )
+        .unwrap();
         let density = Grid2::from_vec(16, 16, sample.density.clone());
         let (fx, fy) = g.predict(&density);
         let cx = correlation(fx.as_slice(), &sample.field_x);
         let cy = correlation(fy.as_slice(), &sample.field_y);
         assert!(cx > 0.6, "x-field correlation {cx}");
-        assert!(cy > 0.6, "y-field correlation {cy} (via input transposition)");
+        assert!(
+            cy > 0.6,
+            "y-field correlation {cy} (via input transposition)"
+        );
     }
 
     #[test]
     fn normalization_makes_prediction_scale_equivariant() {
         let mut g = trained_guidance();
-        let sample =
-            generate_sample(&DataConfig { grid: 16, blobs: 2, rects: 1, ..Default::default() }, 77).unwrap();
+        let sample = generate_sample(
+            &DataConfig {
+                grid: 16,
+                blobs: 2,
+                rects: 1,
+                ..Default::default()
+            },
+            77,
+        )
+        .unwrap();
         let d1 = Grid2::from_vec(16, 16, sample.density.clone());
         let mut d10 = d1.clone();
         d10.scale(10.0);

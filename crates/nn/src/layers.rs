@@ -19,7 +19,12 @@ impl Pointwise {
         let scale = (1.0 / ci as f64).sqrt();
         let w_off = store.alloc(co * ci, scale);
         let b_off = store.alloc(co, 0.0);
-        Pointwise { ci, co, w_off, b_off }
+        Pointwise {
+            ci,
+            co,
+            w_off,
+            b_off,
+        }
     }
 
     pub fn forward(&self, store: &ParamStore, x: &[f64], hw: usize) -> Vec<f64> {
@@ -88,7 +93,10 @@ pub(crate) fn gelu_forward(x: &[f64]) -> Vec<f64> {
 }
 
 pub(crate) fn gelu_backward(x: &[f64], gy: &[f64]) -> Vec<f64> {
-    x.iter().zip(gy).map(|(&v, &g)| g * gelu_derivative(v)).collect()
+    x.iter()
+        .zip(gy)
+        .map(|(&v, &g)| g * gelu_derivative(v))
+        .collect()
 }
 
 const GELU_C: f64 = 0.797_884_560_802_865_4; // sqrt(2/pi)
@@ -132,7 +140,12 @@ impl Spectral {
         let scale = 1.0 / (ci as f64 * co as f64).sqrt();
         let count = 2 * co * ci * modes * modes * 2; // 2 corners, complex
         let w_off = store.alloc(count, scale);
-        Spectral { ci, co, modes, w_off }
+        Spectral {
+            ci,
+            co,
+            modes,
+            w_off,
+        }
     }
 
     pub fn num_params(&self) -> usize {
@@ -259,8 +272,7 @@ impl Spectral {
                                 gw[wi] += dw.re;
                                 gw[wi + 1] += dw.im;
                                 let wv = Complex::new(weights[wi], weights[wi + 1]);
-                                gx_modes[((ci * 2 + corner) * m + kx) * m + ky] +=
-                                    wv.conj() * g;
+                                gx_modes[((ci * 2 + corner) * m + kx) * m + ky] += wv.conj() * g;
                             }
                         }
                     }
@@ -276,8 +288,7 @@ impl Spectral {
                 for kx in 0..m {
                     let row = self.row_of(corner, kx, h);
                     for ky in 0..m {
-                        spec[row * w + ky] =
-                            gx_modes[((ci * 2 + corner) * m + kx) * m + ky];
+                        spec[row * w + ky] = gx_modes[((ci * 2 + corner) * m + kx) * m + ky];
                     }
                 }
             }
@@ -419,10 +430,7 @@ mod tests {
         let mut cache = PlanCache::default();
         let (h, w) = (8, 8);
         let x: Vec<f64> = (0..2 * h * w).map(|i| (i as f64 * 0.13).sin()).collect();
-        let compute = |store: &mut ParamStore,
-                       cache: &mut PlanCache,
-                       with_grad: bool|
-         -> f64 {
+        let compute = |store: &mut ParamStore, cache: &mut PlanCache, with_grad: bool| -> f64 {
             let (y, ctx) = layer.forward(store, cache, &x, h, w);
             let l: f64 = y.iter().map(|v| v * v).sum();
             if with_grad {

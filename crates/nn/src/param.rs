@@ -1,7 +1,6 @@
 //! Flat parameter storage with gradients and an Adam optimizer.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xplace_testkit::Rng;
 
 /// All trainable parameters of a model, stored flat, with matching
 /// gradient and Adam-moment buffers. Layers allocate contiguous slices at
@@ -13,7 +12,7 @@ pub struct ParamStore {
     m: Vec<f64>,
     v: Vec<f64>,
     step: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl ParamStore {
@@ -25,7 +24,7 @@ impl ParamStore {
             m: Vec::new(),
             v: Vec::new(),
             step: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -34,7 +33,7 @@ impl ParamStore {
     pub fn alloc(&mut self, count: usize, scale: f64) -> usize {
         let offset = self.values.len();
         for _ in 0..count {
-            self.values.push((self.rng.gen::<f64>() * 2.0 - 1.0) * scale);
+            self.values.push((self.rng.f64() * 2.0 - 1.0) * scale);
         }
         self.grads.resize(self.values.len(), 0.0);
         self.m.resize(self.values.len(), 0.0);
@@ -60,7 +59,10 @@ impl ParamStore {
     /// Borrows a parameter slice together with its gradient slice.
     pub fn get_with_grad(&mut self, offset: usize, count: usize) -> (&[f64], &mut [f64]) {
         let (values, grads) = (&self.values, &mut self.grads);
-        (&values[offset..offset + count], &mut grads[offset..offset + count])
+        (
+            &values[offset..offset + count],
+            &mut grads[offset..offset + count],
+        )
     }
 
     /// Zeroes all gradients.

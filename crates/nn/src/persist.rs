@@ -59,7 +59,9 @@ impl Fno {
             return Err(bad(format!("unsupported model format version {version}")));
         }
 
-        let arch = lines.next().ok_or_else(|| bad("missing architecture line"))?;
+        let arch = lines
+            .next()
+            .ok_or_else(|| bad("missing architecture line"))?;
         let fields: Vec<&str> = arch.split_whitespace().collect();
         let field = |key: &str| -> Result<usize, NnError> {
             fields
@@ -145,7 +147,12 @@ mod tests {
             steps: 30,
             batch: 2,
             lr: 3e-3,
-            data: DataConfig { grid: 16, blobs: 2, rects: 1, ..Default::default() },
+            data: DataConfig {
+                grid: 16,
+                blobs: 2,
+                rects: 1,
+                ..Default::default()
+            },
             seed: 77,
         };
         train(&mut fno, &cfg).unwrap();
@@ -161,8 +168,7 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let fno = Fno::new(&FnoConfig::tiny(), 3).unwrap();
-        let path =
-            std::env::temp_dir().join(format!("xplace_fno_{}.model", std::process::id()));
+        let path = std::env::temp_dir().join(format!("xplace_fno_{}.model", std::process::id()));
         fno.save(&path).unwrap();
         let restored = Fno::load(&path).unwrap();
         assert_eq!(restored.num_params(), fno.num_params());
@@ -178,8 +184,7 @@ mod tests {
         let fno = Fno::new(&FnoConfig::tiny(), 1).unwrap();
         // Truncated parameter list.
         let text = fno.to_text();
-        let truncated: String =
-            text.lines().take(10).collect::<Vec<_>>().join("\n");
+        let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
         assert!(Fno::from_text(&truncated).is_err());
         // Count/architecture mismatch.
         let text = fno.to_text().replace("params ", "params 1");

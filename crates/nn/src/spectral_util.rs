@@ -19,13 +19,7 @@ impl PlanCache {
 }
 
 /// In-place 2-D FFT over a row-major `h x w` complex buffer.
-pub(crate) fn fft2(
-    cache: &mut PlanCache,
-    data: &mut [Complex],
-    h: usize,
-    w: usize,
-    inverse: bool,
-) {
+pub(crate) fn fft2(cache: &mut PlanCache, data: &mut [Complex], h: usize, w: usize, inverse: bool) {
     debug_assert_eq!(data.len(), h * w);
     // Rows.
     {

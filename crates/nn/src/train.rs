@@ -21,7 +21,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { steps: 300, batch: 4, lr: 2e-3, data: DataConfig::default(), seed: 1 }
+        TrainConfig {
+            steps: 300,
+            batch: 4,
+            lr: 2e-3,
+            data: DataConfig::default(),
+            seed: 1,
+        }
     }
 }
 
@@ -53,8 +59,7 @@ pub fn train(fno: &mut Fno, config: &TrainConfig) -> Result<TrainReport, NnError
             let (loss, grad) = relative_l2(&pred, &sample.field_x);
             batch_loss += loss;
             // Scale so gradients average over the batch.
-            let scaled: Vec<f64> =
-                grad.iter().map(|g| g / config.batch as f64).collect();
+            let scaled: Vec<f64> = grad.iter().map(|g| g / config.batch as f64).collect();
             fno.backward(&scaled);
         }
         fno.store_mut().adam_step(config.lr);
@@ -98,10 +103,15 @@ mod tests {
 
     fn quick_config() -> TrainConfig {
         TrainConfig {
-            steps: 120,
+            steps: 160,
             batch: 2,
             lr: 4e-3,
-            data: DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() },
+            data: DataConfig {
+                grid: 16,
+                blobs: 3,
+                rects: 1,
+                ..Default::default()
+            },
             seed: 100,
         }
     }
@@ -142,7 +152,12 @@ mod tests {
         let mut fno = Fno::new(&FnoConfig::tiny(), 44).unwrap();
         let cfg = quick_config();
         train(&mut fno, &cfg).unwrap();
-        let hi_res = DataConfig { grid: 32, blobs: 3, rects: 1, ..Default::default() };
+        let hi_res = DataConfig {
+            grid: 32,
+            blobs: 3,
+            rects: 1,
+            ..Default::default()
+        };
         let loss32 = evaluate(&mut fno, &hi_res, 2_000_000, 6).unwrap();
         assert!(
             loss32 < 1.0,
@@ -152,7 +167,10 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let cfg = TrainConfig { steps: 10, ..quick_config() };
+        let cfg = TrainConfig {
+            steps: 10,
+            ..quick_config()
+        };
         let mut a = Fno::new(&FnoConfig::tiny(), 7).unwrap();
         let mut b = Fno::new(&FnoConfig::tiny(), 7).unwrap();
         let ra = train(&mut a, &cfg).unwrap();

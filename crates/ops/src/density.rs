@@ -160,7 +160,11 @@ impl DensityOp {
             Subset::MovableAndFixed => vec![ranges.movable.clone(), ranges.fixed.clone()],
             Subset::Fillers => vec![ranges.filler.clone()],
             Subset::All => {
-                vec![ranges.movable.clone(), ranges.fixed.clone(), ranges.filler.clone()]
+                vec![
+                    ranges.movable.clone(),
+                    ranges.fixed.clone(),
+                    ranges.filler.clone(),
+                ]
             }
         };
         let filler_start = ranges.filler.start;
@@ -185,8 +189,19 @@ impl DensityOp {
                             let hi = (lo + chunk).min(range.end);
                             for i in lo..hi.max(lo) {
                                 accumulate_node(
-                                    model, i, smooth_lo, smooth_hi, filler_start, target,
-                                    region, bin_w, bin_h, inv_bin_area, nx, ny, &mut local,
+                                    model,
+                                    i,
+                                    smooth_lo,
+                                    smooth_hi,
+                                    filler_start,
+                                    target,
+                                    region,
+                                    bin_w,
+                                    bin_h,
+                                    inv_bin_area,
+                                    nx,
+                                    ny,
+                                    &mut local,
                                 );
                             }
                         }
@@ -208,8 +223,19 @@ impl DensityOp {
         for range in node_range {
             for i in range {
                 accumulate_node(
-                    model, i, smooth_lo, smooth_hi, filler_start, target, region, bin_w,
-                    bin_h, inv_bin_area, nx, ny, map,
+                    model,
+                    i,
+                    smooth_lo,
+                    smooth_hi,
+                    filler_start,
+                    target,
+                    region,
+                    bin_w,
+                    bin_h,
+                    inv_bin_area,
+                    nx,
+                    ny,
+                    map,
                 );
             }
         }
@@ -219,27 +245,35 @@ impl DensityOp {
         // Each node reads position+size (~32 B) and, with sqrt(2)-bin
         // smoothing, read-modify-writes at least a 3x3 patch of bins
         // (~9 * 16 B of scattered atomics, the dominant traffic).
-        KernelInfo::new(name).bytes(nodes as u64 * 176).flops(nodes as u64 * 100)
+        KernelInfo::new(name)
+            .bytes(nodes as u64 * 176)
+            .flops(nodes as u64 * 100)
     }
 
     /// Accumulates the movable+fixed density map `D` (one kernel).
     pub fn accumulate_movable(&mut self, device: &Device, model: &PlacementModel) {
         let n = model.num_movable() + model.num_fixed();
         let kernel = Self::accumulation_kernel("density_map_movable", n);
-        device.launch(kernel, || self.accumulate(model, Subset::MovableAndFixed, Subset::MovableAndFixed));
+        device.launch(kernel, || {
+            self.accumulate(model, Subset::MovableAndFixed, Subset::MovableAndFixed)
+        });
     }
 
     /// Accumulates the filler density map `D_fl` (one kernel).
     pub fn accumulate_fillers(&mut self, device: &Device, model: &PlacementModel) {
         let kernel = Self::accumulation_kernel("density_map_fillers", model.num_fillers());
-        device.launch(kernel, || self.accumulate(model, Subset::Fillers, Subset::Fillers));
+        device.launch(kernel, || {
+            self.accumulate(model, Subset::Fillers, Subset::Fillers)
+        });
     }
 
     /// Element-wise add `D + D_fl` into the total map (one cheap kernel) —
     /// the extraction path of §3.1.2.
     pub fn combine_total(&mut self, device: &Device) {
         let bins = (self.nx * self.ny) as u64;
-        let kernel = KernelInfo::new("density_combine").bytes(bins * 24).flops(bins);
+        let kernel = KernelInfo::new("density_combine")
+            .bytes(bins * 24)
+            .flops(bins);
         device.launch(kernel, || {
             self.total_map.fill_zero();
             self.total_map.add_assign_grid(&self.movable_map);
@@ -286,9 +320,8 @@ impl DensityOp {
     pub fn solve_field(&mut self, device: &Device) -> Result<(), OpsError> {
         let m = (self.nx * self.ny) as u64;
         let logm = (usize::BITS - self.nx.leading_zeros()) as u64;
-        let fft_kernel = |name: &'static str| {
-            KernelInfo::new(name).bytes(m * 8 * 4).flops(m * 10 * logm)
-        };
+        let fft_kernel =
+            |name: &'static str| KernelInfo::new(name).bytes(m * 8 * 4).flops(m * 10 * logm);
         let solver = &mut self.solver;
         let solution = &mut self.solution;
         let total = &self.total_map;
@@ -322,10 +355,20 @@ impl DensityOp {
         pred_y: &xplace_fft::Grid2,
         sigma: f64,
     ) {
-        assert_eq!(pred_x.dims(), (self.nx, self.ny), "predicted field grid mismatch");
-        assert_eq!(pred_y.dims(), (self.nx, self.ny), "predicted field grid mismatch");
+        assert_eq!(
+            pred_x.dims(),
+            (self.nx, self.ny),
+            "predicted field grid mismatch"
+        );
+        assert_eq!(
+            pred_y.dims(),
+            (self.nx, self.ny),
+            "predicted field grid mismatch"
+        );
         let bins = (self.nx * self.ny) as u64;
-        let kernel = KernelInfo::new("field_blend").bytes(bins * 32).flops(bins * 4);
+        let kernel = KernelInfo::new("field_blend")
+            .bytes(bins * 32)
+            .flops(bins * 4);
         device.launch(kernel, || {
             let keep = 1.0 - sigma;
             for (dst, src) in self
@@ -367,7 +410,9 @@ impl DensityOp {
     ) {
         assert!(grad_x.len() >= model.num_nodes() && grad_y.len() >= model.num_nodes());
         let n = (model.num_movable() + model.num_fillers()) as u64;
-        let kernel = KernelInfo::new("density_gradient").bytes(n * 48).flops(n * 8);
+        let kernel = KernelInfo::new("density_gradient")
+            .bytes(n * 48)
+            .flops(n * 8);
         device.launch(kernel, || {
             let region = model.region();
             let inv_bw = 1.0 / model.bin_w();
@@ -409,7 +454,9 @@ mod tests {
 
     fn setup() -> (PlacementModel, DensityOp, Device) {
         let design = synthesize(
-            &SynthesisSpec::new("d", 500, 520).with_seed(21).with_macro_count(2),
+            &SynthesisSpec::new("d", 500, 520)
+                .with_seed(21)
+                .with_macro_count(2),
         )
         .unwrap();
         let model = PlacementModel::from_design(&design).unwrap();
@@ -475,7 +522,10 @@ mod tests {
         op.accumulate_movable(&device, &model);
         let spread_ovfl = op.overflow(&device, &model);
         assert!(clustered > 0.5, "clustered overflow {clustered}");
-        assert!(spread_ovfl < clustered * 0.5, "spread {spread_ovfl} vs {clustered}");
+        assert!(
+            spread_ovfl < clustered * 0.5,
+            "spread {spread_ovfl} vs {clustered}"
+        );
     }
 
     #[test]
@@ -504,11 +554,7 @@ mod tests {
             if dx.abs() > model.bin_w() {
                 // -grad points outward: grad_x must have the opposite sign
                 // of the displacement... i.e. moving along -grad increases |dx|.
-                assert!(
-                    gx[i] * dx <= 1e-12,
-                    "cell {i}: dx={dx}, gx={}",
-                    gx[i]
-                );
+                assert!(gx[i] * dx <= 1e-12, "cell {i}: dx={dx}, gx={}", gx[i]);
                 checked += 1;
             }
         }
@@ -567,7 +613,12 @@ mod tests {
             op.accumulate_all(&d, &model);
             op.accumulate_movable(&d, &model);
         });
-        assert!(d2.exec_ns >= e2.exec_ns, "direct {} vs extracted {}", d2.exec_ns, e2.exec_ns);
+        assert!(
+            d2.exec_ns >= e2.exec_ns,
+            "direct {} vs extracted {}",
+            d2.exec_ns,
+            e2.exec_ns
+        );
     }
 
     #[test]

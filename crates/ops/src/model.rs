@@ -1,10 +1,9 @@
 //! The flattened placement model the operators execute on.
 
 use crate::OpsError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::ops::Range;
 use xplace_db::{CellKind, Design, FenceRegion, Point, Rect};
+use xplace_testkit::Rng;
 
 /// Index ranges of the three node classes inside a [`PlacementModel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,17 +186,15 @@ impl PlacementModel {
                 ws.sort_by(|a, b| a.partial_cmp(b).expect("cell widths are finite"));
                 let lo = num_movable / 10;
                 let hi = (num_movable - lo).max(lo + 1);
-                let mean_w: f64 =
-                    ws[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-                let mean_h: f64 =
-                    (0..num_movable).map(|i| h[i]).sum::<f64>() / num_movable as f64;
+                let mean_w: f64 = ws[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                let mean_h: f64 = (0..num_movable).map(|i| h[i]).sum::<f64>() / num_movable as f64;
                 let filler_w = mean_w.max(1e-9);
                 let filler_h = mean_h.max(1e-9);
                 num_fillers = (filler_total / (filler_w * filler_h)).floor() as usize;
-                let mut rng = StdRng::seed_from_u64(filler_seed);
+                let mut rng = Rng::seed_from_u64(filler_seed);
                 for _ in 0..num_fillers {
-                    x.push(region.lx + rng.gen::<f64>() * region.width());
-                    y.push(region.ly + rng.gen::<f64>() * region.height());
+                    x.push(region.lx + rng.f64() * region.width());
+                    y.push(region.ly + rng.f64() * region.height());
                     w.push(filler_w);
                     h.push(filler_h);
                 }
@@ -361,7 +358,9 @@ impl PlacementModel {
             return;
         }
         for i in 0..self.num_movable {
-            let Some(fi) = self.fence_of_node(i) else { continue };
+            let Some(fi) = self.fence_of_node(i) else {
+                continue;
+            };
             let rect = self.fences[fi].nearest_rect(self.x[i], self.y[i]);
             let half_w = (self.w[i] * 0.5).min(rect.width() * 0.5);
             let half_h = (self.h[i] * 0.5).min(rect.height() * 0.5);
@@ -384,7 +383,11 @@ impl PlacementModel {
                 movable.push(id);
             }
         }
-        assert_eq!(movable.len(), self.num_movable, "design does not match model");
+        assert_eq!(
+            movable.len(),
+            self.num_movable,
+            "design does not match model"
+        );
         let mut positions = design.positions().to_vec();
         for (i, id) in movable.into_iter().enumerate() {
             positions[id.index()] = Point::new(self.x[i], self.y[i]);
@@ -400,7 +403,9 @@ mod tests {
 
     fn model() -> (Design, PlacementModel) {
         let design = synthesize(
-            &SynthesisSpec::new("m", 400, 420).with_seed(5).with_macro_count(3),
+            &SynthesisSpec::new("m", 400, 420)
+                .with_seed(5)
+                .with_macro_count(3),
         )
         .unwrap();
         let model = PlacementModel::from_design(&design).unwrap();
@@ -413,7 +418,10 @@ mod tests {
         let r = m.ranges();
         assert_eq!(r.movable.len(), 400);
         assert_eq!(r.fixed.len(), design.netlist().num_cells() - 400);
-        assert!(!r.filler.is_empty(), "expected fillers in a 70%-utilized design");
+        assert!(
+            !r.filler.is_empty(),
+            "expected fillers in a 70%-utilized design"
+        );
         assert_eq!(r.filler.end, m.num_nodes());
     }
 
@@ -454,7 +462,10 @@ mod tests {
             total += m.net_weight[e] * ((max_x - min_x) + (max_y - min_y));
         }
         let expected = design.total_hpwl();
-        assert!((total - expected).abs() < 1e-6 * expected, "{total} vs {expected}");
+        assert!(
+            (total - expected).abs() < 1e-6 * expected,
+            "{total} vs {expected}"
+        );
     }
 
     #[test]
@@ -515,7 +526,8 @@ mod tests {
         use xplace_db::netlist::{CellKind, NetlistBuilder};
         let mut b = NetlistBuilder::new();
         let f = b.add_cell("f", 2.0, 2.0, CellKind::Fixed);
-        b.add_net("n", vec![(f, Point::default()), (f, Point::new(0.5, 0.0))]).unwrap();
+        b.add_net("n", vec![(f, Point::default()), (f, Point::new(0.5, 0.0))])
+            .unwrap();
         let nl = b.finish().unwrap();
         let d = Design::new(
             "nofree",
@@ -535,15 +547,18 @@ mod tests {
     #[test]
     fn fence_assignment_and_clamping() {
         let design = synthesize(
-            &SynthesisSpec::new("mf", 300, 320).with_seed(9).with_fences(2),
+            &SynthesisSpec::new("mf", 300, 320)
+                .with_seed(9)
+                .with_fences(2),
         )
         .unwrap();
         let mut m = PlacementModel::from_design(&design).unwrap();
         assert!(m.has_fences());
         // The number of fenced nodes matches the fence member lists.
         let expected: usize = design.fences().iter().map(|f| f.members().len()).sum();
-        let fenced_nodes =
-            (0..m.num_movable()).filter(|&i| m.fence_of_node(i).is_some()).count();
+        let fenced_nodes = (0..m.num_movable())
+            .filter(|&i| m.fence_of_node(i).is_some())
+            .count();
         assert_eq!(fenced_nodes, expected);
         assert!(fenced_nodes > 0);
         // Teleport every fenced node out and clamp back.

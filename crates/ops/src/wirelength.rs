@@ -284,18 +284,36 @@ fn wa_pass_range(
         let weight = model.net_weight[e];
         let (min_x, max_x, min_y, max_y) = bounds_of_net(model, s, t);
         out.hpwl += weight * ((max_x - min_x) + (max_y - min_y));
-        let wx = wa_net_coord(model, s, t, gamma, min_x, max_x, |p| pin_pos(model, p).0, |p, d| {
-            let n = model.pin_node[p] as usize;
-            if n < nm {
-                grad_x[n] += weight * d;
-            }
-        });
-        let wy = wa_net_coord(model, s, t, gamma, min_y, max_y, |p| pin_pos(model, p).1, |p, d| {
-            let n = model.pin_node[p] as usize;
-            if n < nm {
-                grad_y[n] += weight * d;
-            }
-        });
+        let wx = wa_net_coord(
+            model,
+            s,
+            t,
+            gamma,
+            min_x,
+            max_x,
+            |p| pin_pos(model, p).0,
+            |p, d| {
+                let n = model.pin_node[p] as usize;
+                if n < nm {
+                    grad_x[n] += weight * d;
+                }
+            },
+        );
+        let wy = wa_net_coord(
+            model,
+            s,
+            t,
+            gamma,
+            min_y,
+            max_y,
+            |p| pin_pos(model, p).1,
+            |p, d| {
+                let n = model.pin_node[p] as usize;
+                if n < nm {
+                    grad_y[n] += weight * d;
+                }
+            },
+        );
         out.wa += weight * (wx + wy);
     }
     out
@@ -352,10 +370,8 @@ mod tests {
     use xplace_device::DeviceConfig;
 
     fn setup(cells: usize) -> (PlacementModel, Device) {
-        let design = synthesize(
-            &SynthesisSpec::new("wl", cells, cells + 20).with_seed(11),
-        )
-        .unwrap();
+        let design =
+            synthesize(&SynthesisSpec::new("wl", cells, cells + 20).with_seed(11)).unwrap();
         let mut model = PlacementModel::from_design(&design).unwrap();
         // Spread the cells so nets have nonzero extent.
         let r = model.region();
@@ -387,7 +403,10 @@ mod tests {
             assert!(err <= prev_err + 1e-9, "error should shrink with gamma");
             prev_err = err;
         }
-        assert!(prev_err < exact * 0.01, "gamma=0.1 should be within 1% of HPWL");
+        assert!(
+            prev_err < exact * 0.01,
+            "gamma=0.1 should be within 1% of HPWL"
+        );
     }
 
     #[test]
@@ -529,6 +548,9 @@ mod tests {
             model.y[i] -= 0.05 * gy[i];
         }
         let after = wa_forward(&device, &model, 3.0);
-        assert!(after < before, "gradient step should reduce WA: {after} vs {before}");
+        assert!(
+            after < before,
+            "gradient step should reduce WA: {after} vs {before}"
+        );
     }
 }

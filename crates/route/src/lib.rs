@@ -51,7 +51,11 @@ impl Default for RouteConfig {
         // ~12 track-lengths of supply per gcell per direction lands the
         // top5-overflow metric in the same numeric range the paper's
         // NCTUgr runs report (tens), easing side-by-side reading.
-        RouteConfig { gcells: 64, capacity: 12.0, min_span_gcells: 1.0 }
+        RouteConfig {
+            gcells: 64,
+            capacity: 12.0,
+            min_span_gcells: 1.0,
+        }
     }
 }
 
@@ -222,7 +226,12 @@ pub fn estimate_congestion(design: &Design, config: &RouteConfig) -> CongestionM
             }
         }
     }
-    CongestionMap { demand_h, demand_v, gcell_w: gw, gcell_h: gh }
+    CongestionMap {
+        demand_h,
+        demand_v,
+        gcell_w: gw,
+        gcell_h: gh,
+    }
 }
 
 #[cfg(test)]
@@ -264,8 +273,20 @@ mod tests {
     #[test]
     fn demand_scales_inversely_with_capacity() {
         let d = synthesize(&SynthesisSpec::new("cap", 200, 210).with_seed(5)).unwrap();
-        let lo = estimate_congestion(&d, &RouteConfig { capacity: 1.0, ..Default::default() });
-        let hi = estimate_congestion(&d, &RouteConfig { capacity: 2.0, ..Default::default() });
+        let lo = estimate_congestion(
+            &d,
+            &RouteConfig {
+                capacity: 1.0,
+                ..Default::default()
+            },
+        );
+        let hi = estimate_congestion(
+            &d,
+            &RouteConfig {
+                capacity: 2.0,
+                ..Default::default()
+            },
+        );
         let ratio = lo.top_overflow(0.05) / hi.top_overflow(0.05);
         assert!((ratio - 2.0).abs() < 1e-6, "ratio {ratio}");
     }
@@ -318,7 +339,8 @@ mod tests {
         let mut b = NetlistBuilder::new();
         let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
         let c = b.add_cell("c", 1.0, 1.0, CellKind::Movable);
-        b.add_net("n", vec![(a, Point::default()), (c, Point::default())]).unwrap();
+        b.add_net("n", vec![(a, Point::default()), (c, Point::default())])
+            .unwrap();
         let nl = b.finish().unwrap();
         let d = xplace_db::Design::new(
             "box",
@@ -331,7 +353,11 @@ mod tests {
         .unwrap();
         let map = estimate_congestion(
             &d,
-            &RouteConfig { gcells: 16, capacity: 1.0, min_span_gcells: 1.0 },
+            &RouteConfig {
+                gcells: 16,
+                capacity: 1.0,
+                min_span_gcells: 1.0,
+            },
         );
         // Demand inside the bbox, none far outside.
         assert!(map.demand_h[(3, 3)] > 0.0);

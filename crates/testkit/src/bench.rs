@@ -1,0 +1,396 @@
+//! A wall-clock micro-benchmark harness (the workspace's Criterion
+//! replacement).
+//!
+//! Each benchmark warms up, picks an iteration count so one sample lasts
+//! long enough to measure, collects a fixed number of samples, and emits
+//! one JSON line per benchmark (median / p95 / mean / min nanoseconds per
+//! iteration) to stdout — and to the file named by `XPLACE_BENCH_OUT`
+//! when set, so sweeps can be collected across runs.
+//!
+//! Bench targets use `harness = false` and the [`bench_group!`] /
+//! [`bench_main!`] macros:
+//!
+//! ```ignore
+//! use xplace_testkit::bench::Bench;
+//! use xplace_testkit::{bench_group, bench_main};
+//!
+//! fn bench_sort(c: &mut Bench) {
+//!     let mut group = c.benchmark_group("sort");
+//!     group.bench_function("small", |b| b.iter(|| (0..100).rev().collect::<Vec<_>>()));
+//!     group.finish();
+//! }
+//!
+//! bench_group!(benches, bench_sort);
+//! bench_main!(benches);
+//! ```
+//!
+//! Environment overrides: `XPLACE_BENCH_SAMPLES` (samples per benchmark),
+//! `XPLACE_BENCH_FAST=1` (one quick sample each — the smoke-test mode CI
+//! uses), `XPLACE_BENCH_OUT` (JSON-lines output path).
+
+use crate::json::Json;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall time for one sample; the harness calibrates the iteration
+/// count per sample against this.
+const TARGET_SAMPLE: Duration = Duration::from_millis(8);
+
+/// How a batched routine's setup cost scales; accepted for source
+/// compatibility with Criterion's `iter_batched` — the harness always
+/// runs setup once per measured invocation, outside the timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (e.g. a cloned design).
+    LargeInput,
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// One benchmark's collected statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Timed iterations within each sample.
+    pub iters_per_sample: u64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Minimum ns/iter.
+    pub min_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(name: String, iters: u64, mut ns_per_iter: Vec<f64>) -> Self {
+        ns_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = ns_per_iter.len();
+        let pick = |q: f64| ns_per_iter[((n - 1) as f64 * q).round() as usize];
+        Stats {
+            name,
+            samples: n,
+            iters_per_sample: iters,
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            mean_ns: ns_per_iter.iter().sum::<f64>() / n as f64,
+            min_ns: ns_per_iter[0],
+        }
+    }
+
+    /// The JSON-line representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str(&self.name)),
+            ("samples", Json::num(self.samples as f64)),
+            ("iters_per_sample", Json::num(self.iters_per_sample as f64)),
+            ("median_ns", Json::num(self.median_ns)),
+            ("p95_ns", Json::num(self.p95_ns)),
+            ("mean_ns", Json::num(self.mean_ns)),
+            ("min_ns", Json::num(self.min_ns)),
+        ])
+    }
+}
+
+/// The top-level harness handed to each `bench_group!` function.
+#[derive(Debug, Default)]
+pub struct Bench {
+    results: Vec<Stats>,
+}
+
+impl Bench {
+    /// Creates a harness.
+    pub fn new() -> Self {
+        Bench::default()
+    }
+
+    /// Opens a named group; benchmark names are prefixed `group/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            prefix: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run(name, None, f);
+    }
+
+    fn run<F>(&mut self, name: String, sample_size: Option<usize>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let fast = std::env::var("XPLACE_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let samples = std::env::var("XPLACE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| if fast { 1 } else { sample_size.unwrap_or(30) })
+            .max(1);
+        let mut bencher = Bencher {
+            samples,
+            fast,
+            stats: None,
+            name: name.clone(),
+        };
+        f(&mut bencher);
+        let stats = bencher
+            .stats
+            .unwrap_or_else(|| panic!("benchmark `{name}` never called iter()"));
+        emit(&stats);
+        self.results.push(stats);
+    }
+
+    /// All collected results.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    prefix: String,
+    /// `None` until [`Group::sample_size`] is called.
+    sample_size: Option<usize>,
+}
+
+impl<'a> Group<'a> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs a benchmark named `prefix/name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        self.bench.run(full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark with an input reference (Criterion-shaped; the
+    /// input is simply passed through to the closure).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (kept for Criterion source compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    fast: bool,
+    stats: Option<Stats>,
+    name: String,
+}
+
+impl Bencher {
+    /// Times `routine`, called in calibrated batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + calibration: time single calls until either the target
+        // sample duration or a call budget is reached.
+        let calib_start = Instant::now();
+        let mut calls = 0u64;
+        let budget = if self.fast {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(50)
+        };
+        while calib_start.elapsed() < budget && calls < 1_000_000 {
+            std::hint::black_box(routine());
+            calls += 1;
+        }
+        let per_call = calib_start.elapsed().as_secs_f64() / calls.max(1) as f64;
+        let iters = if self.fast {
+            1
+        } else {
+            ((TARGET_SAMPLE.as_secs_f64() / per_call.max(1e-9)) as u64).clamp(1, 1_000_000)
+        };
+
+        let mut ns_per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            ns_per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.stats = Some(Stats::from_samples(self.name.clone(), iters, ns_per_iter));
+    }
+
+    /// Times `routine` on fresh values from `setup`; setup runs outside
+    /// the timer.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = if self.fast { 1 } else { self.samples };
+        let mut ns_per_iter = Vec::with_capacity(samples);
+        // One warmup invocation so cold-start effects (allocation, page
+        // faults) do not land in the first sample.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            ns_per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        self.stats = Some(Stats::from_samples(self.name.clone(), 1, ns_per_iter));
+    }
+}
+
+/// Prints one result as a human line + a JSON line, appending to
+/// `XPLACE_BENCH_OUT` when set.
+fn emit(stats: &Stats) {
+    let line = stats.to_json().render();
+    println!(
+        "{:<48} median {:>12.1} ns/iter  p95 {:>12.1}  min {:>12.1}",
+        stats.name, stats.median_ns, stats.p95_ns, stats.min_ns
+    );
+    println!("{line}");
+    if let Ok(path) = std::env::var("XPLACE_BENCH_OUT") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Declares a benchmark group function, Criterion-style:
+/// `bench_group!(name, fn_a, fn_b)` defines `fn name(&mut Bench)` running
+/// each listed function.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(bench: &mut $crate::bench::Bench) {
+            $($function(bench);)+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench target.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::new();
+            $($group(&mut bench);)+
+            eprintln!("{} benchmarks completed", bench.results().len());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_guard() {
+        // Keep unit tests quick regardless of the ambient environment.
+        std::env::set_var("XPLACE_BENCH_FAST", "1");
+    }
+
+    #[test]
+    fn iter_collects_stats() {
+        fast_guard();
+        let mut bench = Bench::new();
+        bench.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let s = &bench.results()[0];
+        assert_eq!(s.name, "spin");
+        assert!(s.median_ns >= 0.0 && s.min_ns <= s.p95_ns);
+        assert!(s.samples >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_batched_runs() {
+        fast_guard();
+        let mut bench = Bench::new();
+        {
+            let mut g = bench.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("plain", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+                b.iter_batched(
+                    || vec![1u8; n],
+                    |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                    BatchSize::LargeInput,
+                )
+            });
+            g.finish();
+        }
+        let names: Vec<&str> = bench.results().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["grp/plain", "grp/64"]);
+    }
+
+    #[test]
+    fn stats_quantiles_are_ordered() {
+        let s = Stats::from_samples("q".into(), 1, vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 3.0);
+        assert!(s.p95_ns >= s.median_ns);
+        let j = s.to_json().render();
+        assert!(j.contains("\"median_ns\":3"), "json line: {j}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 256).to_string(), "fft/256");
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+    }
+}

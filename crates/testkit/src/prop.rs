@@ -1,0 +1,586 @@
+//! A minimal property-testing harness.
+//!
+//! The surface mirrors the slice of `proptest` this workspace used:
+//! range strategies, tuples, `vec`, `map`, a [`props!`] macro that turns
+//! each property into a `#[test]`, and `prop_assert!`/`prop_assert_eq!`
+//! inside bodies. Every run is deterministic: case seeds derive from a
+//! fixed base seed and the property name, so two consecutive `cargo test`
+//! runs execute bit-identical cases. On failure the harness shrinks the
+//! input by halving toward the range minimum and reports the case seed
+//! with an environment-variable recipe to replay exactly that case.
+//!
+//! ```
+//! use xplace_testkit::{prop_assert, props};
+//! use xplace_testkit::prop::Config;
+//!
+//! props! {
+//!     config = Config::with_cases(64);
+//!
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert!(a + b == b + a, "{} + {} not commutative", a, b);
+//!     }
+//! }
+//! ```
+//!
+//! Environment overrides: `XPLACE_PROP_CASES` (case count),
+//! `XPLACE_PROP_SEED` (base seed, e.g. to replay a reported failure with
+//! `XPLACE_PROP_CASES=1`).
+
+use crate::rng::{mix, Rng};
+use std::fmt::Debug;
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    msg: String,
+}
+
+impl Failure {
+    /// Creates a failure with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Failure { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// The result type property bodies produce (via `prop_assert!` early
+/// returns; the [`props!`] macro appends the final `Ok`).
+pub type PropResult = Result<(), Failure>;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; case seeds derive from it and the property name.
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0xc0ffee,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases (the `ProptestConfig::with_cases`
+    /// analogue).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Generates values and proposes smaller variants of failing ones.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, nearest-to-minimal first.
+    /// The default offers no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f` (named after proptest's
+    /// `prop_map`; `map` would collide with `Iterator::map` on ranges).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+        T: Clone + Debug,
+    {
+        Map { inner: self, f }
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                if v == lo {
+                    return Vec::new();
+                }
+                // Candidates ascending from the minimum toward `value`:
+                // lo, then v - (v-lo)/2^k. The greedy runner accepts the
+                // first (smallest) still-failing candidate, so each
+                // accepted step at least halves the distance to the
+                // failure boundary — binary-search convergence.
+                let mut out = vec![lo];
+                let mut delta = (v - lo) / 2;
+                while delta > 0 {
+                    let c = v - delta;
+                    if c != lo && out.last() != Some(&c) {
+                        out.push(c);
+                    }
+                    delta /= 2;
+                }
+                out
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                (*self.start()..(*value).max(*self.start())).shrink(value)
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // Toward zero when the range straddles it, else toward the start;
+        // ascending candidates as in the integer case.
+        let anchor = if self.start <= 0.0 && self.end > 0.0 {
+            0.0
+        } else {
+            self.start
+        };
+        let v = *value;
+        if v == anchor {
+            return Vec::new();
+        }
+        let mut out = vec![anchor];
+        let mut delta = (v - anchor) * 0.5;
+        for _ in 0..24 {
+            let c = v - delta;
+            if c != anchor && c != v && out.last() != Some(&c) {
+                out.push(c);
+            }
+            delta *= 0.5;
+        }
+        out
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: Clone + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+    // Mapped strategies do not shrink: the pre-image is not stored with
+    // the value. Ranges and vecs (the shrink-bearing strategies) are used
+    // directly where shrinking matters.
+}
+
+/// A strategy from a closure (no shrinking) — the escape hatch for
+/// structured generators like "a power-of-two-length signal".
+pub fn from_fn<T, F>(f: F) -> FromFn<F>
+where
+    F: Fn(&mut Rng) -> T,
+    T: Clone + Debug,
+{
+    FromFn { f }
+}
+
+/// See [`from_fn`].
+#[derive(Debug, Clone)]
+pub struct FromFn<F> {
+    f: F,
+}
+
+impl<T, F> Strategy for FromFn<F>
+where
+    F: Fn(&mut Rng) -> T,
+    T: Clone + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Always produces `value`.
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just { value }
+}
+
+/// See [`just`].
+#[derive(Debug, Clone)]
+pub struct Just<T> {
+    value: T,
+}
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.value.clone()
+    }
+}
+
+/// A `Vec` whose length is drawn from `len` and whose elements come from
+/// `element` (the `proptest::collection::vec` analogue).
+pub fn vec<S: Strategy>(element: S, len: std::ops::RangeInclusive<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::RangeInclusive<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min_len = *self.len.start();
+        // Halve the length first (dropping the tail), then shrink the
+        // first shrinkable element.
+        if value.len() > min_len {
+            let half = (value.len() / 2).max(min_len);
+            out.push(value[..half].to_vec());
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        for (i, v) in value.iter().enumerate() {
+            let elem_shrinks = self.element.shrink(v);
+            if let Some(s) = elem_shrinks.into_iter().next() {
+                let mut smaller = value.clone();
+                smaller[i] = s;
+                out.push(smaller);
+                break;
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = s;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// FNV-1a over the property name, to decorrelate properties sharing a
+/// base seed.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `test` over `config.cases` generated inputs; shrinks and panics
+/// with a replay recipe on the first failure.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the property fails.
+pub fn run_prop<S, F>(name: &str, config: &Config, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> PropResult,
+{
+    let cases = env_u64("XPLACE_PROP_CASES")
+        .map(|v| v as u32)
+        .unwrap_or(config.cases);
+    let base_seed = env_u64("XPLACE_PROP_SEED").unwrap_or(mix(config.seed, name_hash(name)));
+    for case in 0..cases {
+        let case_seed = mix(base_seed, case as u64);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(failure) = test(value.clone()) {
+            let (min_value, min_failure, steps) =
+                shrink_failure(&strategy, &test, value, failure, config.max_shrink_steps);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, seed {case_seed:#x}):\n  \
+                 {min_failure}\n  minimal input (after {steps} shrink steps): {min_value:?}\n  \
+                 replay: XPLACE_PROP_SEED={base_seed} XPLACE_PROP_CASES={n} cargo test {name}",
+                n = case + 1,
+            );
+        }
+    }
+}
+
+/// Greedily walks shrink candidates while they keep failing.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    test: &F,
+    mut value: S::Value,
+    mut failure: Failure,
+    max_steps: u32,
+) -> (S::Value, Failure, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> PropResult,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in strategy.shrink(&value) {
+            if let Err(f) = test(candidate.clone()) {
+                value = candidate;
+                failure = f;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, failure, steps)
+}
+
+/// Declares property tests. Each `fn name(args in strategies) { body }`
+/// expands to a `#[test]` running the body over generated inputs; use
+/// `prop_assert!` / `prop_assert_eq!` in the body.
+#[macro_export]
+macro_rules! props {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::prop::Config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::prop::run_prop(
+                    stringify!($name),
+                    &config,
+                    strategy,
+                    |($($arg,)+)| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body, early-returning a [`Failure`] that the
+/// harness shrinks and reports (instead of panicking mid-shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::prop::Failure::new(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::prop::Failure::new(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::prop::Failure::new(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        run_prop("always_true", &Config::with_cases(50), 0u64..100, |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_runs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            // Strategy + config fixed => identical case values.
+            let cfg = Config::with_cases(32);
+            let strategy = (0u64..1_000_000, 0.0..1.0f64);
+            for case in 0..cfg.cases {
+                let case_seed = mix(mix(cfg.seed, name_hash("det")), case as u64);
+                let mut rng = Rng::seed_from_u64(case_seed);
+                seen.push(strategy.generate(&mut rng));
+            }
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "property `fails_above_10`")]
+    fn failing_property_panics_with_name() {
+        run_prop(
+            "fails_above_10",
+            &Config::with_cases(100),
+            0u64..1000,
+            |v| {
+                if v > 10 {
+                    Err(Failure::new(format!("{v} > 10")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn shrinking_reaches_a_minimal_counterexample() {
+        let strategy = 0u64..100_000;
+        let test = |v: u64| {
+            if v >= 4321 {
+                Err(Failure::new("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(&strategy, &test, 99_999, Failure::new("seed"), 512);
+        assert_eq!(min, 4321, "halving + decrement should reach the boundary");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_and_shrinks_shorter() {
+        let s = vec(0.0..1.0f64, 3..=10);
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..=10).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+        let v = s.generate(&mut rng);
+        for smaller in s.shrink(&v) {
+            assert!(smaller.len() >= 3);
+            assert!(smaller.len() <= v.len());
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (0u64..100, 0u64..100);
+        for (a, b) in s.shrink(&(50, 60)) {
+            assert!((a == 50) ^ (b == 60) || (a < 50 && b == 60) || (a == 50 && b < 60));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let s = (0u64..10).prop_map(|v| v * 2);
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    // The macro surface, exercised end to end.
+    props! {
+        config = Config::with_cases(32);
+
+        fn macro_single_arg(v in 0u64..50) {
+            prop_assert!(v < 50);
+        }
+
+        fn macro_multi_arg(a in 0u64..10, b in 0.0..1.0f64, c in vec(0u32..5, 0..=4)) {
+            prop_assert!(a < 10, "a = {}", a);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(c.len(), c.len());
+        }
+    }
+}

@@ -11,13 +11,31 @@ use xplace::nn::{evaluate, train, DataConfig, Fno, FnoConfig, FnoGuidance, Train
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Train the FNO on self-generated data.
-    let config = FnoConfig { width: 8, modes: 6, num_layers: 3, proj_hidden: 32 };
+    let config = FnoConfig {
+        width: 8,
+        modes: 6,
+        num_layers: 3,
+        proj_hidden: 32,
+    };
     let mut fno = Fno::new(&config, 7)?;
-    println!("FNO: {} parameters (paper-scale config has {})", fno.num_params(), {
-        Fno::new(&FnoConfig::paper(), 1)?.num_params()
-    });
-    let data = DataConfig { grid: 32, blobs: 4, rects: 2, ..Default::default() };
-    let train_cfg = TrainConfig { steps: 300, batch: 2, lr: 2e-3, data, seed: 11 };
+    println!(
+        "FNO: {} parameters (paper-scale config has {})",
+        fno.num_params(),
+        { Fno::new(&FnoConfig::paper(), 1)?.num_params() }
+    );
+    let data = DataConfig {
+        grid: 32,
+        blobs: 4,
+        rects: 2,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        steps: 300,
+        batch: 2,
+        lr: 2e-3,
+        data,
+        seed: 11,
+    };
     let report = train(&mut fno, &train_cfg)?;
     let held_out = evaluate(&mut fno, &data, 1_000_000, 8)?;
     println!(

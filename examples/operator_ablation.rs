@@ -13,10 +13,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let rows: Vec<(&str, XplaceConfig)> = vec![
         ("none", XplaceConfig::ablation(false, false, false, false)),
-        ("+OR (reduction)", XplaceConfig::ablation(true, false, false, false)),
-        ("+OC (combination)", XplaceConfig::ablation(true, true, false, false)),
-        ("+OE (extraction)", XplaceConfig::ablation(true, true, true, false)),
-        ("+OS (skipping) = Xplace", XplaceConfig::ablation(true, true, true, true)),
+        (
+            "+OR (reduction)",
+            XplaceConfig::ablation(true, false, false, false),
+        ),
+        (
+            "+OC (combination)",
+            XplaceConfig::ablation(true, true, false, false),
+        ),
+        (
+            "+OE (extraction)",
+            XplaceConfig::ablation(true, true, true, false),
+        ),
+        (
+            "+OS (skipping) = Xplace",
+            XplaceConfig::ablation(true, true, true, true),
+        ),
         ("DREAMPlace-like", XplaceConfig::dreamplace_like()),
     ];
 
@@ -37,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("operator-level ablation on a 4k-cell design ({iterations} GP iterations):\n");
-    println!("{:<26} {:>12} {:>10} {:>14}", "configuration", "ms/iter", "ratio", "launches/iter");
+    println!(
+        "{:<26} {:>12} {:>10} {:>14}",
+        "configuration", "ms/iter", "ratio", "launches/iter"
+    );
     for (label, ms, launches) in measured {
         println!(
             "{label:<26} {ms:>12.4} {:>9.0}% {launches:>14.1}",

@@ -50,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. The result is legal.
     check_legality(&design)?;
-    println!("final placement is legal; total HPWL = {:.0}", design.total_hpwl());
+    println!(
+        "final placement is legal; total HPWL = {:.0}",
+        design.total_hpwl()
+    );
     Ok(())
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a clean checkout must pass, fully offline.
+#
+# The workspace has zero registry dependencies (see `xplace-testkit`), so
+# this script never touches the network. Run it from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI gate passed."

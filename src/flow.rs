@@ -137,8 +137,7 @@ pub fn routability_driven_place(
         // without a tighter target the re-place would stop immediately
         // instead of spreading the grown cells.
         let mut pass_config = placer_config.clone();
-        pass_config.schedule.stop_overflow =
-            (base_stop * 0.7f64.powi(pass as i32)).max(0.02);
+        pass_config.schedule.stop_overflow = (base_stop * 0.7f64.powi(pass as i32)).max(0.02);
         GlobalPlacer::new(pass_config).place(&mut working)?;
         // Copy positions back to the caller's (uninflated) design.
         design.set_positions(working.positions().to_vec());
@@ -186,8 +185,7 @@ fn update_inflation(
     // the raw mean would flag every cell-bearing gcell as a hotspot and
     // inflate uniformly (a no-op after renormalization).
     let occupied = pins.as_slice().iter().filter(|&&v| v > 0.0).count().max(1);
-    let mean_pins =
-        (pins.sum() / occupied as f64).max(1e-9);
+    let mean_pins = (pins.sum() / occupied as f64).max(1e-9);
     let mut inflated_area = 0.0;
     let mut base_area = 0.0;
     for id in nl.cell_ids() {
@@ -240,8 +238,11 @@ fn inflated_design(design: &Design, inflation: &[f64]) -> Result<Design, DbError
         b.add_cell(c.name(), w, c.height(), c.kind());
     }
     for net in nl.nets() {
-        let pins: Vec<(xplace_db::CellId, Point)> =
-            net.pins().iter().map(|&p| (nl.pin(p).cell, nl.pin(p).offset)).collect();
+        let pins: Vec<(xplace_db::CellId, Point)> = net
+            .pins()
+            .iter()
+            .map(|&p| (nl.pin(p).cell, nl.pin(p).offset))
+            .collect();
         b.add_net_weighted(net.name(), pins, net.weight())?;
     }
     let netlist = b.finish()?;
@@ -278,13 +279,18 @@ mod tests {
         let cfg = RoutabilityConfig {
             max_passes: 2,
             target_top5: 0.0, // force the inflation pass
-            route: RouteConfig { capacity: 2.0, ..RouteConfig::default() },
+            route: RouteConfig {
+                capacity: 2.0,
+                ..RouteConfig::default()
+            },
             ..Default::default()
         };
-        let report =
-            routability_driven_place(&mut d, quick_placer(), &cfg).expect("flow runs");
+        let report = routability_driven_place(&mut d, quick_placer(), &cfg).expect("flow runs");
         assert_eq!(report.passes.len(), 2);
-        assert!(report.passes[0].mean_inflation > 1.0, "inflation must be applied");
+        assert!(
+            report.passes[0].mean_inflation > 1.0,
+            "inflation must be applied"
+        );
         assert_eq!(report.passes[1].mean_inflation, 1.0);
         // Cell sizes in the caller's design are untouched.
         let check = congested_design(3);
@@ -308,8 +314,11 @@ mod tests {
         }
         // Background: loose chain.
         for i in 0..n_bg - 1 {
-            b.add_net(format!("bg{i}"), vec![(ids[i], Point::default()), (ids[i + 1], Point::default())])
-                .expect("net");
+            b.add_net(
+                format!("bg{i}"),
+                vec![(ids[i], Point::default()), (ids[i + 1], Point::default())],
+            )
+            .expect("net");
         }
         // Hubs: dense clique (each hub tied to the next six).
         for i in 0..n_hub {
@@ -317,7 +326,10 @@ mod tests {
                 let j = (i + d) % n_hub;
                 b.add_net(
                     format!("hub{i}_{d}"),
-                    vec![(ids[n_bg + i], Point::default()), (ids[n_bg + j], Point::default())],
+                    vec![
+                        (ids[n_bg + i], Point::default()),
+                        (ids[n_bg + j], Point::default()),
+                    ],
                 )
                 .expect("net");
             }
@@ -348,12 +360,23 @@ mod tests {
     #[test]
     fn inflation_relieves_pin_hotspots() {
         let mut plain = hub_design();
-        GlobalPlacer::new(quick_placer()).place(&mut plain).expect("plain placement");
+        GlobalPlacer::new(quick_placer())
+            .place(&mut plain)
+            .expect("plain placement");
         let route = RouteConfig::default();
         // The hotspot is ~40 hub gcells; measure the sharpest 1% so the
         // uniform background does not dilute it.
         let hot = |d: &Design| {
-            top_fraction_mean(&pin_density_map(d, &RouteConfig { gcells: 32, ..route }), 0.01)
+            top_fraction_mean(
+                &pin_density_map(
+                    d,
+                    &RouteConfig {
+                        gcells: 32,
+                        ..route
+                    },
+                ),
+                0.01,
+            )
         };
         let plain_peak = hot(&plain);
 
@@ -365,8 +388,7 @@ mod tests {
             route,
             ..Default::default()
         };
-        let report =
-            routability_driven_place(&mut driven, quick_placer(), &cfg).expect("flow");
+        let report = routability_driven_place(&mut driven, quick_placer(), &cfg).expect("flow");
         // The flow's own metrics must improve pass over pass: wire
         // congestion and pin hotspots both relax as the hubs inflate.
         let first = report.passes.first().expect("passes");
@@ -426,12 +448,14 @@ mod tests {
         let cfg = RoutabilityConfig {
             max_passes: 2,
             target_top5: 0.0,
-            route: RouteConfig { capacity: 0.5, ..RouteConfig::default() },
+            route: RouteConfig {
+                capacity: 0.5,
+                ..RouteConfig::default()
+            },
             max_inflation: 3.0,
             ..Default::default()
         };
-        let report =
-            routability_driven_place(&mut d, quick_placer(), &cfg).expect("flow");
+        let report = routability_driven_place(&mut d, quick_placer(), &cfg).expect("flow");
         // Mean inflation stays within the headroom 0.92*0.95/0.85 ~ 1.03.
         assert!(
             report.passes[0].mean_inflation < 1.1,

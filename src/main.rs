@@ -31,7 +31,10 @@ fn usage() -> ! {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_or<T: std::str::FromStr>(value: Option<String>, default: T) -> T {
@@ -54,7 +57,10 @@ fn main() {
 }
 
 fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let aux = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let aux = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| usage());
     let density: f64 = parse_or(flag_value(args, "--density"), 0.9);
     let out: PathBuf = flag_value(args, "-o")
         .map(PathBuf::from)
@@ -106,11 +112,17 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let name = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
-    let cells: usize =
-        args.get(1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-    let out: PathBuf =
-        flag_value(args, "--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| usage());
+    let cells: usize = args
+        .get(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
+    let out: PathBuf = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
     let seed: u64 = parse_or(flag_value(args, "--seed"), 1);
     let macros: usize = parse_or(flag_value(args, "--macros"), 0);
     let spec = SynthesisSpec::new(name.clone(), cells, cells + cells / 20)
@@ -124,7 +136,10 @@ fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let aux = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let aux = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| usage());
     let density: f64 = parse_or(flag_value(args, "--density"), 0.9);
     let design = bookshelf::read_aux(Path::new(aux), density)?;
     let s = DesignStats::of(&design);
@@ -136,13 +151,19 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_plot(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let aux = args.first().filter(|a| !a.starts_with('-')).unwrap_or_else(|| usage());
+    let aux = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| usage());
     let out: PathBuf = flag_value(args, "-o")
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new(aux).with_extension("svg"));
     let nets: usize = parse_or(flag_value(args, "--nets"), 0);
     let design = bookshelf::read_aux(Path::new(aux), 0.9)?;
-    let config = xplace::db::plot::PlotConfig { longest_nets: nets, ..Default::default() };
+    let config = xplace::db::plot::PlotConfig {
+        longest_nets: nets,
+        ..Default::default()
+    };
     xplace::db::plot::write_svg(&design, &config, &out)?;
     println!("SVG written to {}", out.display());
     Ok(())

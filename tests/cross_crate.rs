@@ -11,7 +11,9 @@ use xplace::ops::PlacementModel;
 #[test]
 fn bookshelf_round_trip_preserves_placement_model_semantics() {
     let design = synthesize(
-        &SynthesisSpec::new("bsrt", 200, 210).with_seed(3).with_macro_count(2),
+        &SynthesisSpec::new("bsrt", 200, 210)
+            .with_seed(3)
+            .with_macro_count(2),
     )
     .expect("synthesis succeeds");
     let dir = std::env::temp_dir().join(format!("xplace_it_bs_{}", std::process::id()));
@@ -31,15 +33,17 @@ fn bookshelf_round_trip_preserves_placement_model_semantics() {
 
 #[test]
 fn def_export_can_be_placed() {
-    let design = synthesize(&SynthesisSpec::new("defp", 150, 160).with_seed(5))
-        .expect("synthesis succeeds");
+    let design =
+        synthesize(&SynthesisSpec::new("defp", 150, 160).with_seed(5)).expect("synthesis succeeds");
     let lef = def::write_lef(&design);
     let def_text = def::write_def(&design);
     let lib = def::parse_lef(&lef).expect("lef parses");
     let mut back = def::parse_def(&def_text, &lib, 0.9).expect("def parses");
     let mut cfg = XplaceConfig::xplace();
     cfg.schedule.max_iterations = 100;
-    let report = GlobalPlacer::new(cfg).place(&mut back).expect("placement succeeds");
+    let report = GlobalPlacer::new(cfg)
+        .place(&mut back)
+        .expect("placement succeeds");
     assert!(report.iterations > 0);
     assert!(report.final_hpwl.is_finite());
 }
@@ -54,7 +58,12 @@ fn neural_guidance_runs_inside_the_placer_and_preserves_quality() {
         steps: 160,
         batch: 2,
         lr: 4e-3,
-        data: DataConfig { grid: 16, blobs: 3, rects: 1, ..Default::default() },
+        data: DataConfig {
+            grid: 16,
+            blobs: 3,
+            rects: 1,
+            ..Default::default()
+        },
         seed: 400,
     };
     train(&mut fno, &tc).expect("training succeeds");
@@ -64,7 +73,9 @@ fn neural_guidance_runs_inside_the_placer_and_preserves_quality() {
     cfg.schedule.max_iterations = 1000;
 
     let mut plain = synthesize(&spec).expect("synthesis");
-    let rp = GlobalPlacer::new(cfg.clone()).place(&mut plain).expect("plain run");
+    let rp = GlobalPlacer::new(cfg.clone())
+        .place(&mut plain)
+        .expect("plain run");
 
     let mut guided = synthesize(&spec).expect("synthesis");
     let rg = GlobalPlacer::new(cfg)
@@ -72,9 +83,16 @@ fn neural_guidance_runs_inside_the_placer_and_preserves_quality() {
         .place(&mut guided)
         .expect("guided run");
 
-    assert!(rg.final_overflow < 0.25, "guided overflow {}", rg.final_overflow);
+    assert!(
+        rg.final_overflow < 0.25,
+        "guided overflow {}",
+        rg.final_overflow
+    );
     let ratio = rg.final_hpwl / rp.final_hpwl;
-    assert!((0.9..=1.1).contains(&ratio), "guided/plain HPWL ratio {ratio}");
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "guided/plain HPWL ratio {ratio}"
+    );
     // The guidance only acts while sigma(omega) is non-negligible.
     assert!(sigma_blend(0.0) > 0.9 && sigma_blend(0.9) < 1e-3);
 }
@@ -85,7 +103,9 @@ fn device_accounting_is_consistent_across_a_run() {
     let mut design = synthesize(&spec).expect("synthesis");
     let mut cfg = XplaceConfig::xplace();
     cfg.schedule.max_iterations = 60;
-    let report = GlobalPlacer::new(cfg).place(&mut design).expect("placement");
+    let report = GlobalPlacer::new(cfg)
+        .place(&mut design)
+        .expect("placement");
     // The per-iteration records must sum to (almost) the run totals.
     let rec_ns: u64 = report.recorder.records().iter().map(|r| r.modeled_ns).sum();
     let rec_launches: u64 = report.recorder.records().iter().map(|r| r.launches).sum();
@@ -102,7 +122,9 @@ fn skipped_iterations_are_visibly_cheaper_in_the_records() {
     let mut design = synthesize(&spec).expect("synthesis");
     let mut cfg = XplaceConfig::xplace();
     cfg.schedule.max_iterations = 60;
-    let report = GlobalPlacer::new(cfg).place(&mut design).expect("placement");
+    let report = GlobalPlacer::new(cfg)
+        .place(&mut design)
+        .expect("placement");
     let records = report.recorder.records();
     let skipped: Vec<_> = records.iter().filter(|r| r.density_skipped).collect();
     let full: Vec<_> = records.iter().filter(|r| !r.density_skipped).collect();

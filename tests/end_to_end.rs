@@ -9,13 +9,17 @@ use xplace::route::{estimate_congestion, RouteConfig};
 fn place_design(cells: usize, seed: u64, config: XplaceConfig) -> xplace::db::Design {
     let spec = SynthesisSpec::new("e2e", cells, cells + cells / 20).with_seed(seed);
     let mut design = synthesize(&spec).expect("synthesis succeeds");
-    GlobalPlacer::new(config).place(&mut design).expect("placement succeeds");
+    GlobalPlacer::new(config)
+        .place(&mut design)
+        .expect("placement succeeds");
     design
 }
 
 #[test]
 fn full_flow_produces_a_legal_placement_with_low_overflow() {
-    let spec = SynthesisSpec::new("flow", 800, 840).with_seed(3).with_macro_count(3);
+    let spec = SynthesisSpec::new("flow", 800, 840)
+        .with_seed(3)
+        .with_macro_count(3);
     let mut design = synthesize(&spec).expect("synthesis succeeds");
     let gp = GlobalPlacer::new(XplaceConfig::xplace())
         .place(&mut design)
@@ -34,7 +38,10 @@ fn full_flow_produces_a_legal_placement_with_low_overflow() {
 
     let dp = detailed_place(&mut design, &DpConfig::default());
     check_legality(&design).expect("legal after DP");
-    assert!(dp.final_hpwl <= lg.final_hpwl + 1e-9, "DP must not worsen HPWL");
+    assert!(
+        dp.final_hpwl <= lg.final_hpwl + 1e-9,
+        "DP must not worsen HPWL"
+    );
 }
 
 #[test]
@@ -48,7 +55,9 @@ fn xplace_beats_baseline_gp_time_with_comparable_hpwl() {
     let mut dx = synthesize(&spec).expect("synthesis succeeds");
     let mut dd = synthesize(&spec).expect("synthesis succeeds");
     let rx = GlobalPlacer::new(cfg_x).place(&mut dx).expect("xplace run");
-    let rd = GlobalPlacer::new(cfg_d).place(&mut dd).expect("baseline run");
+    let rd = GlobalPlacer::new(cfg_d)
+        .place(&mut dd)
+        .expect("baseline run");
 
     // Speed: Xplace's modeled GP time per iteration must be well below the
     // baseline's (the paper reports ~3x per-iteration).
@@ -78,7 +87,9 @@ fn placement_improves_congestion_over_the_clustered_start() {
     let before = estimate_congestion(&clustered, &cfg).top_overflow(0.05);
 
     let mut placed = synthesize(&spec).expect("synthesis succeeds");
-    GlobalPlacer::new(XplaceConfig::xplace()).place(&mut placed).expect("placement");
+    GlobalPlacer::new(XplaceConfig::xplace())
+        .place(&mut placed)
+        .expect("placement");
     let after = estimate_congestion(&placed, &cfg).top_overflow(0.05);
     assert!(
         after < before * 0.7,
@@ -91,14 +102,18 @@ fn operator_configurations_agree_on_final_quality() {
     // All Xplace operator configurations run the same math; starting from
     // the same instance they must converge to comparable HPWL.
     let mut reference = None;
-    for (r, c, e, s) in
-        [(true, true, true, true), (false, false, false, false), (true, true, false, false)]
-    {
+    for (r, c, e, s) in [
+        (true, true, true, true),
+        (false, false, false, false),
+        (true, true, false, false),
+    ] {
         let mut cfg = XplaceConfig::ablation(r, c, e, s);
         cfg.schedule.max_iterations = 600;
         let spec = SynthesisSpec::new("agree", 400, 420).with_seed(31);
         let mut design = synthesize(&spec).expect("synthesis succeeds");
-        let report = GlobalPlacer::new(cfg).place(&mut design).expect("placement");
+        let report = GlobalPlacer::new(cfg)
+            .place(&mut design)
+            .expect("placement");
         let hpwl = report.final_hpwl;
         match reference {
             None => reference = Some(hpwl),

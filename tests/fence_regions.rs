@@ -9,7 +9,9 @@ use xplace::legal::{check_legality, detailed_place, legalize, DpConfig, LegalErr
 
 fn fenced_design(seed: u64) -> xplace::db::Design {
     synthesize(
-        &SynthesisSpec::new("fenced", 500, 520).with_seed(seed).with_fences(3),
+        &SynthesisSpec::new("fenced", 500, 520)
+            .with_seed(seed)
+            .with_fences(3),
     )
     .expect("synthesis with fences")
 }
@@ -38,8 +40,10 @@ fn gp_keeps_members_inside_their_fences() {
         for &m in fence.members() {
             let p = d.position(m);
             assert!(
-                p.x >= bb.lx - 1e-6 && p.x <= bb.ux + 1e-6
-                    && p.y >= bb.ly - 1e-6 && p.y <= bb.uy + 1e-6,
+                p.x >= bb.lx - 1e-6
+                    && p.x <= bb.ux + 1e-6
+                    && p.y >= bb.ly - 1e-6
+                    && p.y <= bb.uy + 1e-6,
                 "fence {fi} member {m} escaped to {p} (fence bb {bb})"
             );
         }
@@ -92,8 +96,8 @@ fn checker_reports_fence_escapes() {
 fn hand_built_fences_constrain_the_placer() {
     // Build an unfenced design, then fence its first 20 cells into the
     // lower-left quadrant and check GP honours it.
-    let mut d = synthesize(&SynthesisSpec::new("handf", 300, 320).with_seed(11))
-        .expect("synthesis");
+    let mut d =
+        synthesize(&SynthesisSpec::new("handf", 300, 320).with_seed(11)).expect("synthesis");
     let r = d.region();
     let quad = Rect::new(r.lx, r.ly, r.lx + r.width() * 0.4, r.ly + r.height() * 0.4);
     let members: Vec<CellId> = (0..20).map(CellId).collect();

@@ -1,0 +1,83 @@
+//! Deterministic golden test of the full GP flow.
+//!
+//! Every stochastic input in the workspace is seeded through
+//! `xplace-testkit`'s deterministic RNG, so a fixed-seed synthesis + global
+//! placement must land on the same final HPWL and density overflow on every
+//! machine and every run. The recorded values below are the output of this
+//! exact flow; a drift beyond the tolerances means a change altered the
+//! numeric behavior of the placer (intentionally or not) and the goldens
+//! must be re-recorded consciously.
+
+use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::db::synthesis::{synthesize, SynthesisSpec};
+
+const GOLDEN_SEED: u64 = 20_220_714;
+const GOLDEN_CELLS: usize = 500;
+const GOLDEN_NETS: usize = 525;
+const GOLDEN_MAX_ITERS: usize = 400;
+
+// Recorded from the flow above. HPWL tolerance is relative (the flow is
+// deterministic, but a loose band keeps the test meaningful rather than
+// bit-brittle across float-ordering changes); overflow is an absolute band.
+const GOLDEN_HPWL: f64 = 14026.781984;
+const GOLDEN_OVERFLOW: f64 = 0.221907;
+
+#[test]
+fn golden_gp_flow_matches_recorded_values() {
+    let spec = SynthesisSpec::new("golden", GOLDEN_CELLS, GOLDEN_NETS).with_seed(GOLDEN_SEED);
+    let mut design = synthesize(&spec).expect("synthesis succeeds");
+    let mut cfg = XplaceConfig::xplace();
+    cfg.schedule.max_iterations = GOLDEN_MAX_ITERS;
+    let report = GlobalPlacer::new(cfg)
+        .place(&mut design)
+        .expect("placement succeeds");
+    println!(
+        "golden probe: hpwl = {:.6}, overflow = {:.6}, iters = {}",
+        report.final_hpwl, report.final_overflow, report.iterations
+    );
+    assert!(
+        (report.final_hpwl - GOLDEN_HPWL).abs() <= GOLDEN_HPWL * 1e-6,
+        "HPWL drifted from golden: {} vs {GOLDEN_HPWL}",
+        report.final_hpwl
+    );
+    assert!(
+        (report.final_overflow - GOLDEN_OVERFLOW).abs() <= 1e-5,
+        "overflow drifted from golden: {} vs {GOLDEN_OVERFLOW}",
+        report.final_overflow
+    );
+}
+
+#[test]
+fn golden_flow_is_run_to_run_deterministic() {
+    let run = || {
+        let spec = SynthesisSpec::new("golden", GOLDEN_CELLS, GOLDEN_NETS).with_seed(GOLDEN_SEED);
+        let mut design = synthesize(&spec).expect("synthesis succeeds");
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 120;
+        let report = GlobalPlacer::new(cfg)
+            .place(&mut design)
+            .expect("placement succeeds");
+        (
+            report.final_hpwl,
+            report.final_overflow,
+            design.positions().to_vec(),
+        )
+    };
+    let (h1, o1, p1) = run();
+    let (h2, o2, p2) = run();
+    assert_eq!(
+        h1.to_bits(),
+        h2.to_bits(),
+        "HPWL must be bit-identical across runs"
+    );
+    assert_eq!(
+        o1.to_bits(),
+        o2.to_bits(),
+        "overflow must be bit-identical across runs"
+    );
+    assert_eq!(p1.len(), p2.len());
+    for (a, b) in p1.iter().zip(&p2) {
+        assert_eq!(a.x.to_bits(), b.x.to_bits());
+        assert_eq!(a.y.to_bits(), b.y.to_bits());
+    }
+}
