@@ -21,8 +21,10 @@ fn setup(cells: usize) -> PlacementModel {
 fn bench_gp_iteration(c: &mut Bench) {
     let mut group = c.benchmark_group("gp_iteration_4k_cells");
     group.sample_size(20);
-    let configs: Vec<(&str, Framework, OperatorConfig)> = vec![
-        ("xplace_all", Framework::Xplace, OperatorConfig::all()),
+    let configs: Vec<(&str, Framework, OperatorConfig, usize)> = vec![
+        ("xplace_all", Framework::Xplace, OperatorConfig::all(), 1),
+        ("xplace_all_t2", Framework::Xplace, OperatorConfig::all(), 2),
+        ("xplace_all_t4", Framework::Xplace, OperatorConfig::all(), 4),
         (
             "xplace_no_skipping",
             Framework::Xplace,
@@ -30,19 +32,22 @@ fn bench_gp_iteration(c: &mut Bench) {
                 skipping: false,
                 ..OperatorConfig::all()
             },
+            1,
         ),
-        ("xplace_none", Framework::Xplace, OperatorConfig::none()),
+        ("xplace_none", Framework::Xplace, OperatorConfig::none(), 1),
         (
             "dreamplace_like",
             Framework::DreamplaceLike,
             OperatorConfig::none(),
+            1,
         ),
     ];
-    for (name, fw, ops) in configs {
+    for (name, fw, ops, threads) in configs {
         group.bench_function(name, |b| {
             let mut model = setup(4000);
             let device = Device::new(DeviceConfig::rtx3090().with_emulated_latency(true));
             let mut engine = GradientEngine::new(fw, ops, &model).expect("engine builds");
+            engine.set_threads(threads);
             let schedule = ScheduleConfig::default();
             let bin = 0.5 * (model.bin_w() + model.bin_h());
             let mut params = Parameters::new(&schedule, bin);

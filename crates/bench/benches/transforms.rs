@@ -57,5 +57,33 @@ fn bench_poisson(c: &mut Bench) {
     group.finish();
 }
 
-bench_group!(benches, bench_fft, bench_dct, bench_poisson);
+fn bench_poisson_threads(c: &mut Bench) {
+    let mut group = c.benchmark_group("electrostatic_solve_threads");
+    group.sample_size(20);
+    let n = 256usize;
+    let density = Grid2::from_fn(n, n, |ix, iy| {
+        ((ix as f64 * 0.3).sin() + (iy as f64 * 0.2).cos()).abs()
+    });
+    for &threads in &[1usize, 2, 4] {
+        let mut solver = ElectrostaticSolver::new(n, n).expect("power-of-two grid");
+        solver.set_threads(threads);
+        let mut out = xplace_fft::FieldSolution::new(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                solver
+                    .solve_into(&density, &mut out)
+                    .expect("solve succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+bench_group!(
+    benches,
+    bench_fft,
+    bench_dct,
+    bench_poisson,
+    bench_poisson_threads
+);
 bench_main!(benches);

@@ -124,9 +124,12 @@ pub struct XplaceConfig {
     pub seed: u64,
     /// Record per-iteration metrics (cheap; on by default).
     pub record: bool,
-    /// CPU worker threads inside the heavy kernel bodies (wirelength and
-    /// density accumulation). 1 = serial; results are deterministic for a
-    /// fixed count. Does not affect the modeled GPU time.
+    /// CPU launch width inside the heavy kernel bodies (wirelength,
+    /// density accumulation and the spectral Poisson solve), executed on the
+    /// persistent `xplace-parallel` pool. The work decomposition is fixed by
+    /// the design — never by this count — so metrics are **bit-identical for
+    /// every value**; it only changes wall-clock scheduling, not the modeled
+    /// GPU time.
     pub threads: usize,
 }
 

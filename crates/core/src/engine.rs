@@ -48,7 +48,8 @@ pub struct GradientEngine {
     has_field: bool,
     last_r: f64,
     guidance: Option<Box<dyn DensityGuidance>>,
-    /// CPU worker threads for the heavy kernel bodies.
+    /// CPU launch width for the heavy kernel bodies (pool-scheduled;
+    /// results are width-invariant).
     threads: usize,
 }
 
@@ -103,8 +104,10 @@ impl GradientEngine {
         })
     }
 
-    /// Sets the CPU worker-thread count for the heavy kernel bodies
-    /// (wirelength and density accumulation).
+    /// Sets the CPU launch width for the heavy kernel bodies: the fused
+    /// wirelength kernel, density accumulation and (through [`DensityOp`])
+    /// the spectral Poisson solve. The blocked decompositions are fixed by
+    /// the design, so results are bit-identical for every width.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
         self.density.set_threads(self.threads);

@@ -78,22 +78,80 @@ impl FieldSolution {
 pub struct ElectrostaticSolver {
     nx: usize,
     ny: usize,
-    plan_x: DctPlan,
-    plan_y: DctPlan,
     /// w_u = pi u / nx.
     wx: Vec<f64>,
     /// w_v = pi v / ny.
     wy: Vec<f64>,
-    /// Normalized analysis coefficients a_uv (row-major, u*ny+v).
+    /// Normalized analysis coefficients a_uv, laid out `v * nx + u` so each
+    /// x-transform reads/writes one contiguous row.
     coeffs: Vec<f64>,
-    /// Scratch coefficient buffer for the synthesis passes.
+    /// Scratch coefficient buffer for the synthesis passes (`v * nx + u`).
     synth: Vec<f64>,
-    /// Transposed scratch (ny x nx) for column transforms.
-    transposed: Vec<f64>,
-    row_in: Vec<f64>,
-    row_out: Vec<f64>,
-    col_in: Vec<f64>,
-    col_out: Vec<f64>,
+    /// y-analysis scratch, laid out `ix * ny + v` (one row per grid row).
+    ybuf: Vec<f64>,
+    /// x-synthesis scratch, laid out `v * nx + ix`.
+    sbuf: Vec<f64>,
+    /// Launch width for the row/column transform batches (>= 1).
+    threads: usize,
+    /// One transform context per potential worker; `ctxs[0]` also serves the
+    /// serial path.
+    ctxs: Vec<SolverCtx>,
+}
+
+/// Per-worker transform state: private `DctPlan` scratch plus a gather
+/// buffer, so parallel row batches never contend on plan internals.
+#[derive(Debug, Clone)]
+struct SolverCtx {
+    plan_x: DctPlan,
+    plan_y: DctPlan,
+    /// Strided-read staging buffer, `max(nx, ny)` long.
+    gather: Vec<f64>,
+}
+
+/// Runs `op(ctx, row, dst_row)` for every `row in 0..rows`, where `dst` is a
+/// dense `rows x row_len` buffer, batching contiguous row ranges across the
+/// global worker pool (at most `width` wide, one [`SolverCtx`] per batch).
+///
+/// Every row's transform reads only its own inputs and writes only its own
+/// `row_len` output slice, so the result is bit-identical for **any** task
+/// split; `width <= 1` (or a single row) short-circuits to a plain serial
+/// loop with no pool involvement.
+fn par_rows<F>(
+    ctxs: &mut [SolverCtx],
+    width: usize,
+    dst: &mut [f64],
+    row_len: usize,
+    rows: usize,
+    op: F,
+) -> Result<(), FftError>
+where
+    F: Fn(&mut SolverCtx, usize, &mut [f64]) -> Result<(), FftError> + Sync,
+{
+    debug_assert_eq!(dst.len(), rows * row_len);
+    let tasks = width.min(rows).min(ctxs.len()).max(1);
+    if tasks <= 1 {
+        let ctx = &mut ctxs[0];
+        for (row, out) in dst.chunks_mut(row_len).enumerate() {
+            op(ctx, row, out)?;
+        }
+        return Ok(());
+    }
+    let chunk_rows = rows.div_ceil(tasks);
+    let mut states: Vec<(usize, &mut SolverCtx, &mut [f64])> = ctxs
+        .iter_mut()
+        .zip(dst.chunks_mut(chunk_rows * row_len))
+        .enumerate()
+        .map(|(i, (ctx, chunk))| (i * chunk_rows, ctx, chunk))
+        .collect();
+    let results = xplace_parallel::global().run_mut(&mut states, tasks, |_, state| {
+        let (row0, ctx, chunk) = state;
+        for (offset, out) in chunk.chunks_mut(row_len).enumerate() {
+            op(ctx, *row0 + offset, out)?;
+        }
+        Ok(())
+    });
+    results.into_iter().collect::<Result<Vec<()>, _>>()?;
+    Ok(())
 }
 
 impl ElectrostaticSolver {
@@ -104,8 +162,11 @@ impl ElectrostaticSolver {
     /// Returns [`FftError::EmptyLength`] / [`FftError::NotPowerOfTwo`] when
     /// either dimension is not a nonzero power of two.
     pub fn new(nx: usize, ny: usize) -> Result<Self, FftError> {
-        let plan_x = DctPlan::new(nx)?;
-        let plan_y = DctPlan::new(ny)?;
+        let ctx = SolverCtx {
+            plan_x: DctPlan::new(nx)?,
+            plan_y: DctPlan::new(ny)?,
+            gather: vec![0.0; nx.max(ny)],
+        };
         let wx = (0..nx)
             .map(|u| std::f64::consts::PI * u as f64 / nx as f64)
             .collect();
@@ -115,23 +176,40 @@ impl ElectrostaticSolver {
         Ok(ElectrostaticSolver {
             nx,
             ny,
-            plan_x,
-            plan_y,
             wx,
             wy,
             coeffs: vec![0.0; nx * ny],
             synth: vec![0.0; nx * ny],
-            transposed: vec![0.0; nx * ny],
-            row_in: vec![0.0; ny],
-            row_out: vec![0.0; ny],
-            col_in: vec![0.0; nx],
-            col_out: vec![0.0; nx],
+            ybuf: vec![0.0; nx * ny],
+            sbuf: vec![0.0; nx * ny],
+            threads: 1,
+            ctxs: vec![ctx],
         })
     }
 
     /// Grid dimensions `(nx, ny)`.
     pub fn dims(&self) -> (usize, usize) {
         (self.nx, self.ny)
+    }
+
+    /// Sets the launch width for the transform batches (clamped to >= 1) and
+    /// provisions one private transform context per worker.
+    ///
+    /// Per-row transforms are arithmetic-independent, so the solution is
+    /// bit-identical for every thread count; `threads` only changes how the
+    /// row batches are scheduled.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        self.threads = threads;
+        if self.ctxs.len() < threads {
+            let template = self.ctxs[0].clone();
+            self.ctxs.resize(threads, template);
+        }
+    }
+
+    /// Current launch width for the transform batches.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Solves the electrostatic system, allocating a fresh [`FieldSolution`].
@@ -163,39 +241,39 @@ impl ElectrostaticSolver {
 
         let (nx, ny) = (self.nx, self.ny);
         // Potential coefficients: a_uv / (w_u^2 + w_v^2); (0,0) dropped.
-        for u in 0..nx {
-            for v in 0..ny {
+        for v in 0..ny {
+            for u in 0..nx {
                 let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[u * ny + v] = if w2 == 0.0 {
+                self.synth[v * nx + u] = if w2 == 0.0 {
                     0.0
                 } else {
-                    self.coeffs[u * ny + v] / w2
+                    self.coeffs[v * nx + u] / w2
                 };
             }
         }
         self.synthesize(false, false, &mut out.potential)?;
 
         // Ex coefficients: a_uv * w_u / (w^2), sine basis along x.
-        for u in 0..nx {
-            for v in 0..ny {
+        for v in 0..ny {
+            for u in 0..nx {
                 let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[u * ny + v] = if w2 == 0.0 {
+                self.synth[v * nx + u] = if w2 == 0.0 {
                     0.0
                 } else {
-                    self.coeffs[u * ny + v] * self.wx[u] / w2
+                    self.coeffs[v * nx + u] * self.wx[u] / w2
                 };
             }
         }
         self.synthesize(true, false, &mut out.field_x)?;
 
         // Ey coefficients: a_uv * w_v / (w^2), sine basis along y.
-        for u in 0..nx {
-            for v in 0..ny {
+        for v in 0..ny {
+            for u in 0..nx {
                 let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[u * ny + v] = if w2 == 0.0 {
+                self.synth[v * nx + u] = if w2 == 0.0 {
                     0.0
                 } else {
-                    self.coeffs[u * ny + v] * self.wy[v] / w2
+                    self.coeffs[v * nx + u] * self.wy[v] / w2
                 };
             }
         }
@@ -223,72 +301,93 @@ impl ElectrostaticSolver {
 
     /// 2-D DCT-II analysis into normalized synthesis coefficients `a_uv`
     /// such that `rho = sum a_uv cos cos` exactly.
+    ///
+    /// Both passes batch their independent 1-D transforms across the worker
+    /// pool (`self.threads` wide); each row only reads its own inputs, so the
+    /// coefficients are bit-identical for every thread count.
     fn analyze(&mut self, density: &Grid2) -> Result<(), FftError> {
         let (nx, ny) = (self.nx, self.ny);
-        // Transform along y (contiguous rows) into `transposed` laid out (v, ix).
-        for ix in 0..nx {
-            self.row_in.copy_from_slice(density.row(ix));
-            self.plan_y.analyze(&self.row_in, &mut self.row_out)?;
-            for v in 0..ny {
-                self.transposed[v * nx + ix] = self.row_out[v];
-            }
-        }
-        // Transform along x; write normalized coefficients.
+        // Transform along y (contiguous grid rows) into `ybuf` (ix, v).
+        par_rows(
+            &mut self.ctxs,
+            self.threads,
+            &mut self.ybuf,
+            ny,
+            nx,
+            |ctx, ix, out| ctx.plan_y.analyze(density.row(ix), out),
+        )?;
+        // Transform along x; write normalized coefficients (v, u).
         let norm = 4.0 / (nx as f64 * ny as f64);
-        for v in 0..ny {
-            self.col_in
-                .copy_from_slice(&self.transposed[v * nx..(v + 1) * nx]);
-            self.plan_x.analyze(&self.col_in, &mut self.col_out)?;
-            for u in 0..nx {
-                let mut beta = norm;
-                if u == 0 {
-                    beta *= 0.5;
+        let ybuf = &self.ybuf;
+        par_rows(
+            &mut self.ctxs,
+            self.threads,
+            &mut self.coeffs,
+            nx,
+            ny,
+            |ctx, v, out| {
+                let gather = &mut ctx.gather[..nx];
+                for (ix, g) in gather.iter_mut().enumerate() {
+                    *g = ybuf[ix * ny + v];
                 }
-                if v == 0 {
-                    beta *= 0.5;
+                ctx.plan_x.analyze(gather, out)?;
+                for (u, c) in out.iter_mut().enumerate() {
+                    let mut beta = norm;
+                    if u == 0 {
+                        beta *= 0.5;
+                    }
+                    if v == 0 {
+                        beta *= 0.5;
+                    }
+                    *c *= beta;
                 }
-                self.coeffs[u * ny + v] = beta * self.col_out[u];
-            }
-        }
-        Ok(())
+                Ok(())
+            },
+        )
     }
 
     /// Synthesizes `self.synth` coefficients into `out`, choosing a sine or
-    /// cosine basis per dimension.
+    /// cosine basis per dimension. Parallel structure mirrors [`Self::analyze`].
     fn synthesize(&mut self, sin_x: bool, sin_y: bool, out: &mut Grid2) -> Result<(), FftError> {
         let (nx, ny) = (self.nx, self.ny);
-        // Synthesize along x (columns) first: for each v, gather coefficients
-        // over u, transform, store into `transposed` laid out (v, ix).
-        for v in 0..ny {
-            for u in 0..nx {
-                self.col_in[u] = self.synth[u * ny + v];
-            }
-            if sin_x {
-                self.plan_x
-                    .sine_synthesis(&self.col_in, &mut self.col_out)?;
-            } else {
-                self.plan_x
-                    .cosine_synthesis(&self.col_in, &mut self.col_out)?;
-            }
-            for ix in 0..nx {
-                self.transposed[v * nx + ix] = self.col_out[ix];
-            }
-        }
-        // Then along y for each row ix.
-        for ix in 0..nx {
-            for v in 0..ny {
-                self.row_in[v] = self.transposed[v * nx + ix];
-            }
-            if sin_y {
-                self.plan_y
-                    .sine_synthesis(&self.row_in, &mut self.row_out)?;
-            } else {
-                self.plan_y
-                    .cosine_synthesis(&self.row_in, &mut self.row_out)?;
-            }
-            out.row_mut(ix).copy_from_slice(&self.row_out);
-        }
-        Ok(())
+        // Synthesize along x first: coefficient row v is contiguous in
+        // `synth` (v, u); transform it into `sbuf` laid out (v, ix).
+        let synth = &self.synth;
+        par_rows(
+            &mut self.ctxs,
+            self.threads,
+            &mut self.sbuf,
+            nx,
+            ny,
+            |ctx, v, dst| {
+                let coeffs = &synth[v * nx..(v + 1) * nx];
+                if sin_x {
+                    ctx.plan_x.sine_synthesis(coeffs, dst)
+                } else {
+                    ctx.plan_x.cosine_synthesis(coeffs, dst)
+                }
+            },
+        )?;
+        // Then along y for each grid row ix.
+        let sbuf = &self.sbuf;
+        par_rows(
+            &mut self.ctxs,
+            self.threads,
+            out.as_mut_slice(),
+            ny,
+            nx,
+            |ctx, ix, dst| {
+                let gather = &mut ctx.gather[..ny];
+                for (v, g) in gather.iter_mut().enumerate() {
+                    *g = sbuf[v * nx + ix];
+                }
+                if sin_y {
+                    ctx.plan_y.sine_synthesis(gather, dst)
+                } else {
+                    ctx.plan_y.cosine_synthesis(gather, dst)
+                }
+            },
+        )
     }
 }
 

@@ -19,6 +19,15 @@ use xplace_fft::{ElectrostaticSolver, FieldSolution, Grid2};
 
 const SQRT2: f64 = std::f64::consts::SQRT_2;
 
+/// Fixed node-block size for the blocked parallel density accumulation.
+///
+/// Like `xplace_ops::wirelength::NET_BLOCK`, the block grid depends only on
+/// the model's node ranges — never the thread count — so the per-block
+/// partial maps and their fixed-order merge are bit-identical for every
+/// `threads` value. Designs whose ranges all fit in a single block take the
+/// direct serial accumulation path (no partial maps at all).
+pub const NODE_BLOCK: usize = 2048;
+
 /// Accumulates one node's (smoothed) footprint into a density map.
 ///
 /// ePlace cell smoothing for movable cells and fillers: inflate to at
@@ -93,9 +102,13 @@ pub struct DensityOp {
     pub total_map: Grid2,
     nx: usize,
     ny: usize,
-    /// CPU worker threads used inside the accumulation kernel bodies
-    /// (1 = serial; results are deterministic for a fixed count).
+    /// CPU launch width for the accumulation kernel bodies and the
+    /// spectral solve (1 = serial; results are identical for every count
+    /// because the work decomposition is thread-count independent).
     threads: usize,
+    /// Node-block size of the blocked decomposition (normally
+    /// [`NODE_BLOCK`]; overridable for tests/benches).
+    node_block: usize,
 }
 
 /// Which node classes an accumulation pass covers.
@@ -124,13 +137,25 @@ impl DensityOp {
             nx,
             ny,
             threads: 1,
+            node_block: NODE_BLOCK,
         })
     }
 
-    /// Sets the CPU worker-thread count for the accumulation kernel
-    /// bodies (clamped to at least 1).
+    /// Sets the CPU launch width for the accumulation kernel bodies and
+    /// the spectral solver (clamped to at least 1). The thread count only
+    /// changes scheduling: the blocked decomposition is fixed by the model,
+    /// so results are bit-identical for every value.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+        self.solver.set_threads(self.threads);
+    }
+
+    /// Overrides the node-block size of the blocked decomposition (clamped
+    /// to at least 1). Intended for tests and benchmarks that need to force
+    /// multi-block decompositions on small designs; changing the block size
+    /// changes the (deterministic) summation order.
+    pub fn set_node_block(&mut self, node_block: usize) {
+        self.node_block = node_block.max(1);
     }
 
     /// Grid dimensions `(nx, ny)`.
@@ -168,58 +193,53 @@ impl DensityOp {
             }
         };
         let filler_start = ranges.filler.start;
-        let threads = self.threads;
-        if threads > 1 {
-            // Parallel: each worker accumulates a slice of every range
-            // into a private map; merge in fixed worker order.
-            let nx = self.nx;
-            let ny = self.ny;
-            let target = model.target_density();
-            let mut partials: Vec<Grid2> = Vec::new();
-            std::thread::scope(|scope| {
-                let node_range = &node_range;
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    handles.push(scope.spawn(move || {
-                        let mut local = Grid2::new(nx, ny);
-                        for range in node_range.iter() {
-                            let len = range.end - range.start;
-                            let chunk = len.div_ceil(threads);
-                            let lo = range.start + t * chunk;
-                            let hi = (lo + chunk).min(range.end);
-                            for i in lo..hi.max(lo) {
-                                accumulate_node(
-                                    model,
-                                    i,
-                                    smooth_lo,
-                                    smooth_hi,
-                                    filler_start,
-                                    target,
-                                    region,
-                                    bin_w,
-                                    bin_h,
-                                    inv_bin_area,
-                                    nx,
-                                    ny,
-                                    &mut local,
-                                );
-                            }
-                        }
-                        local
-                    }));
+        let nx = self.nx;
+        let ny = self.ny;
+        let target = model.target_density();
+        let node_block = self.node_block;
+        if node_range.iter().any(|r| r.len() > node_block) {
+            // Blocked: chop every range into fixed node_block-sized blocks
+            // (empty ranges contribute none, so no worker ever runs over an
+            // empty slice or merges an all-zero map), accumulate each block
+            // into a private map on the pool, and merge in block order. The
+            // block grid is independent of `threads`, so the summation
+            // order — and the result — is bit-identical for any width.
+            let blocks: Vec<std::ops::Range<usize>> = node_range
+                .iter()
+                .flat_map(|r| {
+                    let end = r.end;
+                    r.clone()
+                        .step_by(node_block)
+                        .map(move |lo| lo..(lo + node_block).min(end))
+                })
+                .collect();
+            let blocks = &blocks;
+            let partials = xplace_parallel::global().run(blocks.len(), self.threads, |b| {
+                let mut local = Grid2::new(nx, ny);
+                for i in blocks[b].clone() {
+                    accumulate_node(
+                        model,
+                        i,
+                        smooth_lo,
+                        smooth_hi,
+                        filler_start,
+                        target,
+                        region,
+                        bin_w,
+                        bin_h,
+                        inv_bin_area,
+                        nx,
+                        ny,
+                        &mut local,
+                    );
                 }
-                for h in handles {
-                    partials.push(h.join().expect("density worker"));
-                }
+                local
             });
             for p in &partials {
                 map.add_assign_grid(p);
             }
             return;
         }
-        let nx = self.nx;
-        let ny = self.ny;
-        let target = model.target_density();
         for range in node_range {
             for i in range {
                 accumulate_node(

@@ -204,14 +204,24 @@ pub fn wa_fused(
     device.launch(kernel, || wa_pass(model, gamma, Some((grad_x, grad_y))))
 }
 
+/// Fixed net-block size for the blocked parallel wirelength decomposition.
+///
+/// The block grid depends only on the model size — never the thread count —
+/// so the per-block partials and their fixed-order merge are identical for
+/// every `threads` value: changing `threads` changes scheduling, not
+/// arithmetic.
+pub const NET_BLOCK: usize = 2048;
+
 /// Multithreaded variant of [`wa_fused`]: the same single fused kernel,
-/// with its body parallelized over `threads` net chunks (each worker
-/// accumulates into private gradient buffers, merged in fixed chunk order
-/// afterwards — deterministic for a fixed thread count).
+/// with its body decomposed into fixed [`NET_BLOCK`]-net blocks executed on
+/// the persistent worker pool. Each block accumulates into private gradient
+/// buffers, merged in block order afterwards, so the result is bit-identical
+/// for **any** thread count; designs that fit in one block take the plain
+/// serial [`wa_fused`] path.
 ///
 /// # Panics
 ///
-/// Panics if the gradient slices are shorter than the node count.
+/// Panics if the gradient slices are shorter than the movable-node count.
 pub fn wa_fused_mt(
     device: &Device,
     model: &PlacementModel,
@@ -220,8 +230,30 @@ pub fn wa_fused_mt(
     grad_y: &mut [f64],
     threads: usize,
 ) -> FusedWirelength {
-    let threads = threads.max(1).min(model.num_nets().max(1));
-    if threads == 1 {
+    wa_fused_blocked(device, model, gamma, grad_x, grad_y, threads, NET_BLOCK)
+}
+
+/// [`wa_fused_mt`] with an explicit block size — the deterministic blocked
+/// core. Exposed so tests and benchmarks can force multi-block decompositions
+/// on small designs; production callers use [`wa_fused_mt`].
+///
+/// # Panics
+///
+/// Panics if the gradient slices are shorter than the movable-node count or
+/// `net_block` is zero.
+pub fn wa_fused_blocked(
+    device: &Device,
+    model: &PlacementModel,
+    gamma: f64,
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+    threads: usize,
+    net_block: usize,
+) -> FusedWirelength {
+    assert!(net_block > 0, "net_block must be nonzero");
+    let num_nets = model.num_nets();
+    let blocks = num_nets.div_ceil(net_block).max(1);
+    if blocks == 1 {
         return wa_fused(device, model, gamma, grad_x, grad_y);
     }
     assert!(grad_x.len() >= model.num_movable() && grad_y.len() >= model.num_movable());
@@ -230,28 +262,15 @@ pub fn wa_fused_mt(
         .flops(model.num_pins() as u64 * 68);
     device.launch(kernel, || {
         let nm = model.num_movable();
-        let num_nets = model.num_nets();
-        let chunk = num_nets.div_ceil(threads);
-        let mut partials: Vec<(FusedWirelength, Vec<f64>, Vec<f64>)> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(num_nets);
-                if lo >= hi {
-                    continue;
-                }
-                handles.push(scope.spawn(move || {
-                    let mut gx = vec![0.0; nm];
-                    let mut gy = vec![0.0; nm];
-                    let out = wa_pass_range(model, gamma, lo, hi, &mut gx, &mut gy);
-                    (out, gx, gy)
-                }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("wirelength worker"));
-            }
+        let partials = xplace_parallel::global().run(blocks, threads.max(1), |b| {
+            let lo = b * net_block;
+            let hi = (lo + net_block).min(num_nets);
+            let mut gx = vec![0.0; nm];
+            let mut gy = vec![0.0; nm];
+            let out = wa_pass_range(model, gamma, lo, hi, &mut gx, &mut gy);
+            (out, gx, gy)
         });
+        // Merge in block order: fixed reduction order for any thread count.
         let mut total = FusedWirelength::default();
         for (out, gx, gy) in &partials {
             total.wa += out.wa;

@@ -142,17 +142,19 @@ props! {
         prop_assert!(ovfl <= 1.5, "overflow {} implausible", ovfl);
     }
 
-    /// The multithreaded fused wirelength kernel agrees with the serial
-    /// one for any thread count (bit-level differences bounded by the
-    /// merge-order change).
-    fn wa_fused_mt_matches_serial(seed in 0u64..500, threads in 2usize..5) {
+    /// The blocked fused wirelength kernel agrees with the serial one
+    /// (small block size forces a genuine multi-block decomposition on
+    /// these 200-cell models; differences are bounded by the block-merge
+    /// summation-order change).
+    fn wa_fused_blocked_matches_serial(seed in 0u64..500, threads in 2usize..5) {
         let m = scattered_model(200, seed, seed ^ 0x55);
         let device = Device::new(DeviceConfig::instant());
         let n = m.num_nodes();
         let (mut gx1, mut gy1) = (vec![0.0; n], vec![0.0; n]);
         let (mut gx2, mut gy2) = (vec![0.0; n], vec![0.0; n]);
         let serial = wirelength::wa_fused(&device, &m, 5.0, &mut gx1, &mut gy1);
-        let parallel = wirelength::wa_fused_mt(&device, &m, 5.0, &mut gx2, &mut gy2, threads);
+        let parallel =
+            wirelength::wa_fused_blocked(&device, &m, 5.0, &mut gx2, &mut gy2, threads, 32);
         prop_assert!((serial.wa - parallel.wa).abs() < 1e-9 * serial.wa.abs().max(1.0));
         prop_assert!((serial.hpwl - parallel.hpwl).abs() < 1e-9 * serial.hpwl.max(1.0));
         for i in 0..n {
@@ -161,16 +163,53 @@ props! {
         }
     }
 
-    /// Multithreaded density accumulation agrees with serial.
-    fn density_mt_matches_serial(seed in 0u64..500, threads in 2usize..5) {
+    /// The blocked fused wirelength kernel is bit-identical across thread
+    /// counts: the decomposition is fixed by the model, threads only
+    /// reschedule it.
+    fn wa_fused_blocked_is_thread_count_invariant(seed in 0u64..500, threads in 2usize..6) {
+        let m = scattered_model(200, seed, seed ^ 0x5a);
+        let device = Device::new(DeviceConfig::instant());
+        let n = m.num_nodes();
+        let (mut gx1, mut gy1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut gx2, mut gy2) = (vec![0.0; n], vec![0.0; n]);
+        let one = wirelength::wa_fused_blocked(&device, &m, 5.0, &mut gx1, &mut gy1, 1, 32);
+        let many =
+            wirelength::wa_fused_blocked(&device, &m, 5.0, &mut gx2, &mut gy2, threads, 32);
+        prop_assert!(one.wa.to_bits() == many.wa.to_bits());
+        prop_assert!(one.hpwl.to_bits() == many.hpwl.to_bits());
+        for i in 0..n {
+            prop_assert!(gx1[i].to_bits() == gx2[i].to_bits(), "gx at {}", i);
+            prop_assert!(gy1[i].to_bits() == gy2[i].to_bits(), "gy at {}", i);
+        }
+    }
+
+    /// Blocked density accumulation agrees with serial (small node block
+    /// forces a multi-block decomposition).
+    fn density_blocked_matches_serial(seed in 0u64..500, threads in 2usize..5) {
         let m = scattered_model(200, seed, seed ^ 0x99);
         let device = Device::new(DeviceConfig::instant());
         let mut serial_op = DensityOp::new(&m).expect("density op");
         serial_op.accumulate_all(&device, &m);
         let mut mt_op = DensityOp::new(&m).expect("density op");
+        mt_op.set_node_block(64);
         mt_op.set_threads(threads);
         mt_op.accumulate_all(&device, &m);
         prop_assert!(mt_op.total_map.max_abs_diff(&serial_op.total_map) < 1e-10);
+    }
+
+    /// Blocked density accumulation is bit-identical across thread counts.
+    fn density_blocked_is_thread_count_invariant(seed in 0u64..500, threads in 2usize..6) {
+        let m = scattered_model(200, seed, seed ^ 0x9a);
+        let device = Device::new(DeviceConfig::instant());
+        let mut one_op = DensityOp::new(&m).expect("density op");
+        one_op.set_node_block(64);
+        one_op.set_threads(1);
+        one_op.accumulate_all(&device, &m);
+        let mut mt_op = DensityOp::new(&m).expect("density op");
+        mt_op.set_node_block(64);
+        mt_op.set_threads(threads);
+        mt_op.accumulate_all(&device, &m);
+        prop_assert!(mt_op.total_map.max_abs_diff(&one_op.total_map) == 0.0);
     }
 
     /// omega is monotone in lambda for every design.

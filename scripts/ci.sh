@@ -15,6 +15,12 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> multithreaded leg: pool, ops + fft suites, golden flow with threads > 1"
+cargo test -q -p xplace-parallel
+cargo test -q -p xplace-ops --test properties
+cargo test -q -p xplace-fft --test parallel
+cargo test -q --test golden_flow golden_flow_is_thread_count_invariant
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

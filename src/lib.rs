@@ -10,6 +10,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`parallel`] | `xplace-parallel` | persistent deterministic worker pool behind every CPU kernel body |
 //! | [`db`] | `xplace-db` | netlist/design model, Bookshelf & DEF/LEF parsers, ISPD-like synthetic suites |
 //! | [`fft`] | `xplace-fft` | FFT/DCT family and the electrostatic (Poisson) solver |
 //! | [`device`] | `xplace-device` | the GPU execution model (launch accounting, autograd tape, profiler) |
@@ -58,4 +59,5 @@ pub use xplace_fft as fft;
 pub use xplace_legal as legal;
 pub use xplace_nn as nn;
 pub use xplace_ops as ops;
+pub use xplace_parallel as parallel;
 pub use xplace_route as route;

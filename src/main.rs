@@ -23,22 +23,39 @@ use xplace::route::{estimate_congestion, RouteConfig};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
-         [--max-iters N] [--seed N]\n  xplace synth <name> <cells> [--out DIR] [--seed N] \
-         [--macros N]\n  xplace stats <design.aux> [--density D]\n  xplace plot <design.aux> \
-         [-o out.svg] [--nets N]"
+         [--max-iters N] [--seed N] [--threads N]\n  xplace synth <name> <cells> [--out DIR] \
+         [--seed N] [--macros N]\n  xplace stats <design.aux> [--density D]\n  xplace plot \
+         <design.aux> [-o out.svg] [--nets N]"
     );
     std::process::exit(2)
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Returns the value following `flag`, `Ok(None)` when the flag is absent,
+/// or an error when the flag is present without a value.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("missing value for {flag}")),
+        },
+    }
 }
 
-fn parse_or<T: std::str::FromStr>(value: Option<String>, default: T) -> T {
-    value.and_then(|v| v.parse().ok()).unwrap_or(default)
+/// Parses the value of a numeric `flag`, falling back to `default` only when
+/// the flag is absent; a present-but-unparseable value is a hard error, not
+/// a silent fallback.
+fn parse_flag<T>(args: &[String], flag: &str, default: T) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("invalid value '{v}' for {flag}: {e}")),
+    }
 }
 
 fn main() {
@@ -61,8 +78,8 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .filter(|a| !a.starts_with('-'))
         .unwrap_or_else(|| usage());
-    let density: f64 = parse_or(flag_value(args, "--density"), 0.9);
-    let out: PathBuf = flag_value(args, "-o")
+    let density: f64 = parse_flag(args, "--density", 0.9)?;
+    let out: PathBuf = flag_value(args, "-o")?
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new(aux).with_extension("placed.pl"));
     let mut design = bookshelf::read_aux(Path::new(aux), density)?;
@@ -73,8 +90,13 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         XplaceConfig::xplace()
     };
-    config.schedule.max_iterations = parse_or(flag_value(args, "--max-iters"), 1500);
-    config.seed = parse_or(flag_value(args, "--seed"), 0x5eed);
+    config.schedule.max_iterations = parse_flag(args, "--max-iters", 1500)?;
+    config.seed = parse_flag(args, "--seed", 0x5eed)?;
+    config.threads = parse_flag(args, "--threads", xplace::parallel::available_threads())?;
+    if config.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    println!("threads: {} (deterministic for any count)", config.threads);
 
     let gp = GlobalPlacer::new(config).place(&mut design)?;
     println!(
@@ -120,11 +142,11 @@ fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .get(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| usage());
-    let out: PathBuf = flag_value(args, "--out")
+    let out: PathBuf = flag_value(args, "--out")?
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let seed: u64 = parse_or(flag_value(args, "--seed"), 1);
-    let macros: usize = parse_or(flag_value(args, "--macros"), 0);
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let macros: usize = parse_flag(args, "--macros", 0)?;
     let spec = SynthesisSpec::new(name.clone(), cells, cells + cells / 20)
         .with_seed(seed)
         .with_macro_count(macros);
@@ -140,7 +162,7 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .filter(|a| !a.starts_with('-'))
         .unwrap_or_else(|| usage());
-    let density: f64 = parse_or(flag_value(args, "--density"), 0.9);
+    let density: f64 = parse_flag(args, "--density", 0.9)?;
     let design = bookshelf::read_aux(Path::new(aux), density)?;
     let s = DesignStats::of(&design);
     println!("{s}");
@@ -155,10 +177,10 @@ fn cmd_plot(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .filter(|a| !a.starts_with('-'))
         .unwrap_or_else(|| usage());
-    let out: PathBuf = flag_value(args, "-o")
+    let out: PathBuf = flag_value(args, "-o")?
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new(aux).with_extension("svg"));
-    let nets: usize = parse_or(flag_value(args, "--nets"), 0);
+    let nets: usize = parse_flag(args, "--nets", 0)?;
     let design = bookshelf::read_aux(Path::new(aux), 0.9)?;
     let config = xplace::db::plot::PlotConfig {
         longest_nets: nets,

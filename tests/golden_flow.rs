@@ -48,6 +48,53 @@ fn golden_gp_flow_matches_recorded_values() {
 }
 
 #[test]
+fn golden_flow_is_thread_count_invariant() {
+    // The blocked kernel decompositions depend only on the design, so a
+    // threads=4 run must reproduce the threads=1 run bit-for-bit — and both
+    // must still match the pinned golden values.
+    let run = |threads: usize| {
+        let spec = SynthesisSpec::new("golden", GOLDEN_CELLS, GOLDEN_NETS).with_seed(GOLDEN_SEED);
+        let mut design = synthesize(&spec).expect("synthesis succeeds");
+        let mut cfg = XplaceConfig::xplace().with_threads(threads);
+        cfg.schedule.max_iterations = GOLDEN_MAX_ITERS;
+        let report = GlobalPlacer::new(cfg)
+            .place(&mut design)
+            .expect("placement succeeds");
+        (
+            report.final_hpwl,
+            report.final_overflow,
+            design.positions().to_vec(),
+        )
+    };
+    let (h1, o1, p1) = run(1);
+    let (h4, o4, p4) = run(4);
+    assert_eq!(
+        h1.to_bits(),
+        h4.to_bits(),
+        "HPWL must be bit-identical across thread counts: {h1} vs {h4}"
+    );
+    assert_eq!(
+        o1.to_bits(),
+        o4.to_bits(),
+        "overflow must be bit-identical across thread counts: {o1} vs {o4}"
+    );
+    assert_eq!(p1.len(), p4.len());
+    for (a, b) in p1.iter().zip(&p4) {
+        assert_eq!(a.x.to_bits(), b.x.to_bits());
+        assert_eq!(a.y.to_bits(), b.y.to_bits());
+    }
+    // And the threaded run still pins to the recorded goldens.
+    assert!(
+        (h4 - GOLDEN_HPWL).abs() <= GOLDEN_HPWL * 1e-6,
+        "threaded HPWL drifted from golden: {h4} vs {GOLDEN_HPWL}"
+    );
+    assert!(
+        (o4 - GOLDEN_OVERFLOW).abs() <= 1e-5,
+        "threaded overflow drifted from golden: {o4} vs {GOLDEN_OVERFLOW}"
+    );
+}
+
+#[test]
 fn golden_flow_is_run_to_run_deterministic() {
     let run = || {
         let spec = SynthesisSpec::new("golden", GOLDEN_CELLS, GOLDEN_NETS).with_seed(GOLDEN_SEED);
