@@ -1,0 +1,89 @@
+//! Compares a fresh [`RunReport`] against a committed baseline and exits
+//! non-zero on regression — the executable half of
+//! `scripts/check_regression.sh`.
+//!
+//! ```text
+//! check_regression <baseline.json> <current.json>
+//!                  [--hpwl-pct 2.0] [--time-pct 5.0] [--launches-pct 2.0]
+//!                  [--inject-hpwl-pct X]
+//! ```
+//!
+//! Deterministic quantities (final HPWL, modeled GP time, kernel launch
+//! count, iteration count, run structure) hard-fail beyond tolerance;
+//! wall-clock drift only warns. `--inject-hpwl-pct` inflates the current
+//! report's HPWL by X percent *after loading* — a self-test hook CI uses
+//! to prove the gate actually fails on a regression.
+
+use xplace_bench::argv_parse;
+use xplace_telemetry::{compare_reports, FromJson, RunReport, Tolerances};
+
+fn load(path: &str) -> RunReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    RunReport::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid run report: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Positionals are the tokens that are neither flags nor flag values.
+    let mut positionals = Vec::new();
+    let mut skip = false;
+    for a in &args {
+        if skip {
+            skip = false;
+        } else if a.starts_with("--") {
+            skip = true; // every flag of this tool takes a value
+        } else {
+            positionals.push(a);
+        }
+    }
+    let (baseline_path, current_path) = match positionals.as_slice() {
+        [b, c] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!(
+                "usage: check_regression <baseline.json> <current.json> \
+                 [--hpwl-pct X] [--time-pct X] [--launches-pct X] [--inject-hpwl-pct X]"
+            );
+            std::process::exit(2)
+        }
+    };
+
+    let tol = Tolerances {
+        hpwl_pct: argv_parse("--hpwl-pct", 2.0),
+        modeled_time_pct: argv_parse("--time-pct", 5.0),
+        launches_pct: argv_parse("--launches-pct", 2.0),
+        wall_warn_pct: argv_parse("--wall-warn-pct", 50.0),
+    };
+
+    let baseline = load(baseline_path);
+    let mut current = load(current_path);
+
+    let inject: f64 = argv_parse("--inject-hpwl-pct", 0.0);
+    if inject != 0.0 {
+        // Self-test hook: fake a quality regression so CI can verify the
+        // gate fails when it should.
+        let f = 1.0 + inject / 100.0;
+        current.gp.final_hpwl *= f;
+        if let Some(lg) = current.lg.as_mut() {
+            lg.final_hpwl *= f;
+        }
+        if let Some(dp) = current.dp.as_mut() {
+            dp.final_hpwl *= f;
+        }
+        eprintln!("(self-test: injected {inject:+.1}% HPWL into the current report)");
+    }
+
+    let cmp = compare_reports(&baseline, &current, &tol);
+    print!("{}", cmp.render());
+    if cmp.passed() {
+        println!("regression gate: PASS");
+    } else {
+        println!("regression gate: FAIL ({} failure(s))", cmp.failures.len());
+        std::process::exit(1)
+    }
+}

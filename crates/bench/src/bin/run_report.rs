@@ -1,0 +1,70 @@
+//! Produces the canonical [`RunReport`] the regression gate compares
+//! against `BENCH_baseline.json`.
+//!
+//! The flow is the golden flow of `tests/golden_flow.rs` — 500 cells,
+//! 525 nets, seed 20220714, 400 GP iterations — extended through
+//! legalization, detailed placement and routability estimation, so every
+//! gated quantity (HPWL, modeled GP time, launch count, iteration count)
+//! is deterministic across machines.
+//!
+//! ```text
+//! run_report [--out results/run_report.json] [--max-iters 400]
+//!            [--cells 500] [--nets 525] [--seed 20220714] [--threads N]
+//! ```
+//!
+//! Regenerating the committed baseline after an intentional change:
+//! `cargo run --release -p xplace-bench --bin run_report -- --out BENCH_baseline.json`
+
+use std::path::PathBuf;
+use xplace_bench::{argv_flag, argv_parse, report_from_flow, run_flow};
+use xplace_core::XplaceConfig;
+use xplace_db::suites::SuiteEntry;
+use xplace_db::synthesis::SynthesisSpec;
+use xplace_telemetry::ToJson;
+
+fn main() {
+    let out =
+        PathBuf::from(argv_flag("--out").unwrap_or_else(|| "results/run_report.json".to_string()));
+    let cells: usize = argv_parse("--cells", 500);
+    let nets: usize = argv_parse("--nets", 525);
+    let seed: u64 = argv_parse("--seed", 20_220_714);
+    let max_iters: usize = argv_parse("--max-iters", 400);
+    let threads: usize = argv_parse("--threads", 1);
+
+    let entry = SuiteEntry {
+        published_cells: cells,
+        published_nets: nets,
+        fence_removed: false,
+        spec: SynthesisSpec::new("golden", cells, nets).with_seed(seed),
+    };
+    let mut config = XplaceConfig::xplace().with_threads(threads.max(1));
+    config.schedule.max_iterations = max_iters;
+
+    eprintln!(
+        "running the canonical flow ({cells} cells, {nets} nets, seed {seed}, \
+         {max_iters} iters)..."
+    );
+    let flow = run_flow(&entry, config.clone(), None).unwrap_or_else(|e| {
+        eprintln!("error: flow failed: {e}");
+        std::process::exit(1)
+    });
+    let report = report_from_flow(&config, &flow);
+    eprintln!(
+        "GP {} iters, HPWL {:.1}, modeled {:.3}s, {} launches; final HPWL {:.1}",
+        report.gp.iterations,
+        report.gp.final_hpwl,
+        report.gp.modeled_seconds(),
+        report.gp.launches,
+        report.final_hpwl()
+    );
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, report.to_json_string()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1)
+    });
+    println!("report written to {}", out.display());
+}

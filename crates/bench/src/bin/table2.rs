@@ -12,7 +12,9 @@
 //! Environment: `XPLACE_SCALE` (default 0.004), `XPLACE_MAX_ITERS`
 //! (default 1500).
 
-use xplace_bench::{fmt, max_iters_from_env, run_flow, scale_from_env, TextTable};
+use xplace_bench::{
+    fmt, max_iters_from_env, report_from_flow, run_flow, scale_from_env, write_reports, TextTable,
+};
 use xplace_core::XplaceConfig;
 use xplace_db::suites::ispd2005_like;
 use xplace_nn::{train, DataConfig, Fno, FnoConfig, FnoGuidance, TrainConfig};
@@ -59,6 +61,7 @@ fn main() {
         "DP/s",
     ]);
     let mut sums = [0.0f64; 9];
+    let mut reports = Vec::new();
 
     for entry in &suite {
         eprintln!(
@@ -72,10 +75,13 @@ fn main() {
         cfg_xp.schedule.max_iterations = max_iters;
         let cfg_nn = cfg_xp.clone();
 
-        let base = run_flow(entry, cfg_base, None).expect("baseline flow");
-        let xp = run_flow(entry, cfg_xp, None).expect("xplace flow");
+        let base = run_flow(entry, cfg_base.clone(), None).expect("baseline flow");
+        let xp = run_flow(entry, cfg_xp.clone(), None).expect("xplace flow");
         let guidance = FnoGuidance::new(fno.clone());
-        let nn = run_flow(entry, cfg_nn, Some(Box::new(guidance))).expect("xplace-nn flow");
+        let nn = run_flow(entry, cfg_nn.clone(), Some(Box::new(guidance))).expect("xplace-nn flow");
+        reports.push(report_from_flow(&cfg_base, &base));
+        reports.push(report_from_flow(&cfg_xp, &xp));
+        reports.push(report_from_flow(&cfg_nn, &nn));
 
         let cells = [
             base.hpwl(),
@@ -129,4 +135,10 @@ fn main() {
     );
     println!("{}", table.render());
     println!("(GP/s is modeled GPU time; ratios are relative to Xplace = 1.000)");
+
+    let reports_path = std::path::Path::new("results/table2_reports.json");
+    match write_reports(reports_path, &reports) {
+        Ok(()) => eprintln!("machine-readable reports: {}", reports_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", reports_path.display()),
+    }
 }

@@ -11,7 +11,8 @@
 //! (default 1500).
 
 use xplace_bench::{
-    default_workers, fmt, max_iters_from_env, parallel_map, run_flow, scale_from_env, TextTable,
+    default_workers, fmt, max_iters_from_env, parallel_map, report_from_flow, run_flow,
+    scale_from_env, write_reports, TextTable,
 };
 use xplace_core::XplaceConfig;
 use xplace_db::suites::ispd2015_like;
@@ -46,13 +47,31 @@ fn main() {
         let mut cfg_xp = XplaceConfig::xplace();
         cfg_xp.schedule.max_iterations = max_iters;
 
-        let base = run_flow(entry, cfg_base, None).expect("baseline flow");
-        let xp = run_flow(entry, cfg_xp, None).expect("xplace flow");
+        let base = run_flow(entry, cfg_base.clone(), None).expect("baseline flow");
+        let xp = run_flow(entry, cfg_xp.clone(), None).expect("xplace flow");
         let route_cfg = RouteConfig::default();
         let base_ovfl = estimate_congestion(&base.design, &route_cfg).top_overflow(0.05);
         let xp_ovfl = estimate_congestion(&xp.design, &route_cfg).top_overflow(0.05);
-        (base, base_ovfl, xp, xp_ovfl)
+        let reports = vec![
+            report_from_flow(&cfg_base, &base),
+            report_from_flow(&cfg_xp, &xp),
+        ];
+        (base, base_ovfl, xp, xp_ovfl, reports)
     });
+
+    let mut reports = Vec::new();
+    let per_design: Vec<_> = per_design
+        .into_iter()
+        .map(|(base, base_ovfl, xp, xp_ovfl, rs)| {
+            reports.extend(rs);
+            (base, base_ovfl, xp, xp_ovfl)
+        })
+        .collect();
+    let reports_path = std::path::Path::new("results/table4_reports.json");
+    match write_reports(reports_path, &reports) {
+        Ok(()) => eprintln!("machine-readable reports: {}", reports_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", reports_path.display()),
+    }
 
     for (entry, (base, base_ovfl, xp, xp_ovfl)) in suite.iter().zip(per_design) {
         let cells = [

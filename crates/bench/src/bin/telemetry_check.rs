@@ -1,0 +1,110 @@
+//! Validates telemetry artifacts — the CI smoke check for `--trace` and
+//! `--report` output.
+//!
+//! ```text
+//! telemetry_check trace  <run.jsonl>   # JSON-lines event stream
+//! telemetry_check report <run.json>    # single RunReport or an array
+//! ```
+//!
+//! `trace` parses every line back into a [`TelemetryEvent`] and checks the
+//! stream's structure: it opens with `run_start`, closes with `run_end`,
+//! iteration events are numbered contiguously from zero, and the end
+//! marker agrees with the iteration count. `report` round-trips the JSON
+//! through [`RunReport`] decode/encode and rejects lossy parses.
+
+use xplace_telemetry::{parse_trace, FromJson, Json, RunReport, TelemetryEvent, ToJson};
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")))
+}
+
+fn check_trace(path: &str) {
+    let events = parse_trace(&read(path)).unwrap_or_else(|e| die(format!("{path}: {e}")));
+    if events.is_empty() {
+        die(format!("{path}: empty trace"));
+    }
+    if !matches!(events.first(), Some(TelemetryEvent::RunStart { .. })) {
+        die(format!("{path}: first event is not run_start"));
+    }
+    if !matches!(events.last(), Some(TelemetryEvent::RunEnd { .. })) {
+        die(format!("{path}: last event is not run_end"));
+    }
+    let mut expected_iter = 0usize;
+    let mut stage_transitions = 0usize;
+    let mut skip_flips = 0usize;
+    for e in &events {
+        match e {
+            TelemetryEvent::Iteration { record, .. } => {
+                if record.iteration != expected_iter {
+                    die(format!(
+                        "{path}: iteration events not contiguous: got {} expected {expected_iter}",
+                        record.iteration
+                    ));
+                }
+                expected_iter += 1;
+            }
+            TelemetryEvent::StageTransition { .. } => stage_transitions += 1,
+            TelemetryEvent::SkipWindow { .. } => skip_flips += 1,
+            _ => {}
+        }
+    }
+    if let Some(TelemetryEvent::RunEnd { iterations, .. }) = events.last() {
+        if *iterations != expected_iter {
+            die(format!(
+                "{path}: run_end reports {iterations} iterations but the trace has {expected_iter}"
+            ));
+        }
+    }
+    println!(
+        "{path}: OK — {} events, {expected_iter} iterations, {stage_transitions} stage \
+         transition(s), {skip_flips} skip-window flip(s)",
+        events.len()
+    );
+}
+
+fn check_report(path: &str) {
+    let text = read(path);
+    let value = Json::parse(&text).unwrap_or_else(|e| die(format!("{path}: bad JSON: {e}")));
+    let reports: Vec<RunReport> = match &value {
+        Json::Arr(_) => Vec::<RunReport>::from_json(&value)
+            .unwrap_or_else(|e| die(format!("{path}: bad report array: {e}"))),
+        _ => vec![RunReport::from_json(&value)
+            .unwrap_or_else(|e| die(format!("{path}: bad run report: {e}")))],
+    };
+    for r in &reports {
+        // The decode must be lossless: re-encode and decode again.
+        let back = RunReport::from_json_str(&r.to_json_string())
+            .unwrap_or_else(|e| die(format!("{path}: report does not round-trip: {e}")));
+        if back != *r {
+            die(format!("{path}: report round-trip is lossy"));
+        }
+        if !(r.final_hpwl().is_finite() && r.final_hpwl() > 0.0) {
+            die(format!("{path}: non-finite or non-positive final HPWL"));
+        }
+        if r.gp.iterations == 0 {
+            die(format!("{path}: zero GP iterations"));
+        }
+    }
+    println!(
+        "{path}: OK — {} report(s), final HPWL {:.1}",
+        reports.len(),
+        reports[0].final_hpwl()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [kind, path] if kind == "trace" => check_trace(path),
+        [kind, path] if kind == "report" => check_report(path),
+        _ => {
+            eprintln!("usage: telemetry_check trace <run.jsonl> | report <run.json>");
+            std::process::exit(2)
+        }
+    }
+}

@@ -13,6 +13,8 @@ use xplace_db::suites::SuiteEntry;
 use xplace_db::synthesis::synthesize;
 use xplace_db::{DbError, Design};
 use xplace_legal::{check_legality, detailed_place, legalize, DpConfig, DpReport, LegalizeReport};
+use xplace_route::{estimate_congestion, RouteConfig};
+use xplace_telemetry::{DpMetrics, LgMetrics, RouteMetrics, RunReport, ToJson};
 
 /// Result of one complete placement flow on one design.
 #[derive(Debug)]
@@ -67,6 +69,86 @@ pub fn run_flow(
     let dp = detailed_place(&mut design, &DpConfig::default());
     check_legality(&design)?;
     Ok(FlowResult { design, gp, lg, dp })
+}
+
+/// Builds the machine-readable [`RunReport`] for one completed flow
+/// (routability estimated on the final placement with default settings).
+pub fn report_from_flow(config: &XplaceConfig, flow: &FlowResult) -> RunReport {
+    let congestion = estimate_congestion(&flow.design, &RouteConfig::default());
+    RunReport {
+        design: flow.design.name().to_string(),
+        cells: flow.design.netlist().num_cells(),
+        nets: flow.design.netlist().num_nets(),
+        config: config.echo(),
+        threads: config.threads,
+        gp: flow.gp.gp_metrics(),
+        lg: Some(LgMetrics {
+            initial_hpwl: flow.lg.initial_hpwl,
+            final_hpwl: flow.lg.final_hpwl,
+            mean_displacement: flow.lg.mean_displacement,
+            max_displacement: flow.lg.max_displacement,
+            wall_seconds: flow.lg.wall_seconds,
+        }),
+        dp: Some(DpMetrics {
+            initial_hpwl: flow.dp.initial_hpwl,
+            final_hpwl: flow.dp.final_hpwl,
+            slides: flow.dp.slides,
+            reorders: flow.dp.reorders,
+            swaps: flow.dp.swaps,
+            wall_seconds: flow.dp.wall_seconds,
+        }),
+        route: Some(RouteMetrics {
+            top5_overflow: congestion.top_overflow(0.05),
+            max_utilization: congestion.max_utilization(),
+        }),
+    }
+}
+
+/// Writes a slice of [`RunReport`]s as one JSON array, creating parent
+/// directories as needed (the `results/` convention of the table
+/// binaries).
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_reports(path: &std::path::Path, reports: &[RunReport]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let array = xplace_telemetry::Json::Arr(reports.iter().map(ToJson::to_json).collect());
+    std::fs::write(path, array.render())
+}
+
+/// Returns the value following `--flag` in the process arguments, `None`
+/// when absent (bin helper; a following `--other-flag` is not a value).
+pub fn argv_flag(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+/// Parses the value of `--flag` from the process arguments, exiting with
+/// a clear error on unparseable input (bin helper).
+pub fn argv_parse<T>(flag: &str, default: T) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match argv_flag(flag) {
+        None => default,
+        Some(v) => match v.parse() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: invalid value '{v}' for {flag}: {e}");
+                std::process::exit(2)
+            }
+        },
+    }
 }
 
 /// Reads the suite scale factor from `XPLACE_SCALE` (default `default`).

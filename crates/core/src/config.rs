@@ -191,6 +191,31 @@ impl XplaceConfig {
         self
     }
 
+    /// The telemetry configuration echo embedded in traces and reports.
+    ///
+    /// Excludes the thread count on purpose: metrics are bit-identical
+    /// for every `threads` value, and a thread-free echo keeps traces
+    /// byte-identical across thread counts (the count is reported in
+    /// [`xplace_telemetry::RunReport::threads`] instead).
+    pub fn echo(&self) -> xplace_telemetry::ConfigEcho {
+        xplace_telemetry::ConfigEcho {
+            framework: match self.framework {
+                Framework::Xplace => "xplace",
+                Framework::DreamplaceLike => "dreamplace_like",
+            }
+            .to_string(),
+            reduction: self.operators.reduction,
+            combination: self.operators.combination,
+            extraction: self.operators.extraction,
+            skipping: self.operators.skipping,
+            stage_aware: self.schedule.stage_aware,
+            max_iterations: self.schedule.max_iterations,
+            stop_overflow: self.schedule.stop_overflow,
+            seed: self.seed,
+            grid: self.grid,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -23,6 +23,11 @@ pub struct EvalResult {
     pub r_ratio: f64,
     /// Whether the density operators were skipped this iteration.
     pub density_skipped: bool,
+    /// Whether the §3.1.4 skip window is open at this iteration: skipping
+    /// enabled, `r` below threshold and the iteration below the cap.
+    /// (`density_skipped` is false on the periodic refresh iterations
+    /// *inside* an open window; telemetry reports window transitions.)
+    pub skip_window: bool,
     /// Electrostatic system energy of the last solve.
     pub energy: f64,
 }
@@ -268,11 +273,9 @@ impl GradientEngine {
         };
 
         // --- Density operators (with §3.1.4 skipping). ---
-        let skip = ops.skipping
-            && self.has_field
-            && self.last_r < SKIP_R_THRESHOLD
-            && params.iteration < SKIP_MAX_ITER
-            && self.field_age < SKIP_PERIOD;
+        let skip_window =
+            ops.skipping && self.last_r < SKIP_R_THRESHOLD && params.iteration < SKIP_MAX_ITER;
+        let skip = skip_window && self.has_field && self.field_age < SKIP_PERIOD;
         let mut density_skipped = false;
         if skip {
             self.field_age += 1;
@@ -407,6 +410,7 @@ impl GradientEngine {
             density_grad_l1,
             r_ratio,
             density_skipped,
+            skip_window,
             energy: self.cached_energy,
         })
     }

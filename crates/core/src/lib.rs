@@ -53,7 +53,6 @@ mod guidance;
 mod optimizer;
 mod params;
 mod placer;
-mod recorder;
 
 pub use config::{Framework, OperatorConfig, ScheduleConfig, XplaceConfig};
 pub use engine::{EvalResult, GradientEngine};
@@ -62,4 +61,7 @@ pub use guidance::{sigma_blend, DensityGuidance};
 pub use optimizer::NesterovOptimizer;
 pub use params::Parameters;
 pub use placer::{GlobalPlacer, PlacementReport};
-pub use recorder::{IterationRecord, Recorder};
+// The recorder block and its record type live in `xplace-telemetry` since
+// the telemetry subsystem landed; re-exported here so `xplace_core`
+// callers keep compiling unchanged.
+pub use xplace_telemetry::{IterationRecord, NullSink, Recorder, TelemetryEvent, TelemetrySink};

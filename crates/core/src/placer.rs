@@ -10,6 +10,7 @@ use std::time::Instant;
 use xplace_db::Design;
 use xplace_device::{Device, ProfileSnapshot};
 use xplace_ops::{precond, PlacementModel};
+use xplace_telemetry::{stage_of, GpMetrics, NullSink, Stage, TelemetryEvent, TelemetrySink};
 
 /// Outcome of a global-placement run.
 #[derive(Debug)]
@@ -54,6 +55,23 @@ impl PlacementReport {
             0.0
         } else {
             self.profile.modeled_ns() as f64 / 1e6 / self.iterations as f64
+        }
+    }
+
+    /// The telemetry [`GpMetrics`] of this report (the GP block of a
+    /// [`xplace_telemetry::RunReport`]).
+    pub fn gp_metrics(&self) -> GpMetrics {
+        GpMetrics {
+            iterations: self.iterations,
+            initial_hpwl: self.initial_hpwl,
+            final_hpwl: self.final_hpwl,
+            initial_overflow: self.initial_overflow,
+            final_overflow: self.final_overflow,
+            converged: self.converged,
+            modeled_ns: self.profile.modeled_ns(),
+            launches: self.profile.launches,
+            syncs: self.profile.syncs,
+            wall_seconds: self.wall_seconds,
         }
     }
 }
@@ -101,7 +119,39 @@ impl GlobalPlacer {
     /// modeled, and [`PlaceError::Diverged`] if the optimization produces
     /// non-finite values.
     pub fn place(&mut self, design: &mut Design) -> Result<PlacementReport, PlaceError> {
+        self.place_traced(design, &mut NullSink)
+    }
+
+    /// Runs global placement like [`GlobalPlacer::place`], additionally
+    /// emitting the telemetry event stream (run header/footer, one
+    /// [`xplace_telemetry::IterationRecord`] per iteration with its
+    /// modeled-device delta, ω-stage transitions, skip-window flips, λ
+    /// updates and rollbacks) into `sink`.
+    ///
+    /// Event construction is guarded by [`TelemetrySink::enabled`], so
+    /// passing a [`NullSink`] costs nothing in the hot loop. Traces carry
+    /// no wall-clock quantities: same-seed runs are byte-identical, for
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GlobalPlacer::place`].
+    pub fn place_traced(
+        &mut self,
+        design: &mut Design,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<PlacementReport, PlaceError> {
         self.config.validate()?;
+        let tracing = sink.enabled();
+        if tracing {
+            sink.emit(&TelemetryEvent::RunStart {
+                design: design.name().to_string(),
+                cells: design.netlist().num_cells(),
+                nets: design.netlist().num_nets(),
+                movable: design.netlist().num_movable(),
+                config: self.config.echo(),
+            });
+        }
         let start = Instant::now();
         let device = Device::new(self.config.device);
         let mut model =
@@ -171,6 +221,9 @@ impl GlobalPlacer {
         let mut best_overflow = f64::INFINITY;
         let mut best_iter = 0usize;
         let mut best_u: Option<(Vec<f64>, Vec<f64>)> = None;
+        // Telemetry state: transitions are emitted on change only.
+        let mut cur_stage = Stage::Early;
+        let mut skip_window_open = false;
 
         for iter in 0..schedule.max_iterations {
             let (eval, prof) = {
@@ -185,7 +238,7 @@ impl GlobalPlacer {
                 // γ starts from the observed overflow.
                 params.update(&schedule, bin_size, eval.overflow, eval.hpwl);
             }
-            recorder.push(IterationRecord {
+            let record = IterationRecord {
                 iteration: iter,
                 hpwl: eval.hpwl,
                 wa: eval.wa,
@@ -197,7 +250,29 @@ impl GlobalPlacer {
                 density_skipped: eval.density_skipped,
                 modeled_ns: prof.modeled_ns(),
                 launches: prof.launches,
-            });
+            };
+            recorder.push(record);
+            if tracing {
+                sink.emit(&TelemetryEvent::Iteration {
+                    record,
+                    profile: prof.into(),
+                });
+                if iter == 0 {
+                    // The λ initialization + first scheduler update above.
+                    sink.emit(&TelemetryEvent::LambdaUpdate {
+                        iteration: iter,
+                        lambda: params.lambda,
+                        gamma: params.gamma,
+                    });
+                }
+                if eval.skip_window != skip_window_open {
+                    skip_window_open = eval.skip_window;
+                    sink.emit(&TelemetryEvent::SkipWindow {
+                        iteration: iter,
+                        active: skip_window_open,
+                    });
+                }
+            }
             iterations = iter + 1;
             last_eval = Some(eval);
 
@@ -245,10 +320,29 @@ impl GlobalPlacer {
 
             // Scheduler (Algorithm 1): stage-aware parameter cadence.
             omega = precond::omega(&model, params.lambda);
+            if tracing {
+                let stage = stage_of(omega);
+                if stage != cur_stage {
+                    sink.emit(&TelemetryEvent::StageTransition {
+                        iteration: iter,
+                        from: cur_stage,
+                        to: stage,
+                        omega,
+                    });
+                    cur_stage = stage;
+                }
+            }
             let period = update_period(&schedule, omega);
             params.advance();
             if params.iteration.is_multiple_of(period) {
                 params.update(&schedule, bin_size, eval.overflow, eval.hpwl);
+                if tracing {
+                    sink.emit(&TelemetryEvent::LambdaUpdate {
+                        iteration: iter,
+                        lambda: params.lambda,
+                        gamma: params.gamma,
+                    });
+                }
             } else {
                 // γ still tracks overflow even when λ is frozen.
                 params.gamma = gamma_for(&schedule, bin_size, eval.overflow);
@@ -264,6 +358,13 @@ impl GlobalPlacer {
             if !converged && final_overflow > best_overflow {
                 if let Some((ux, uy)) = best_u.as_ref() {
                     opt.set_u(ux, uy);
+                    if tracing {
+                        sink.emit(&TelemetryEvent::Rollback {
+                            iteration: iterations.saturating_sub(1),
+                            best_iteration: best_iter,
+                            best_overflow,
+                        });
+                    }
                 }
             }
             opt.write_u(&mut model);
@@ -275,6 +376,22 @@ impl GlobalPlacer {
             .map(|e| e.overflow)
             .unwrap_or(1.0)
             .min(best_overflow);
+
+        if tracing {
+            sink.emit(&TelemetryEvent::RunEnd {
+                iterations,
+                converged,
+                final_hpwl,
+                final_overflow,
+                best_overflow: if best_overflow.is_finite() {
+                    best_overflow
+                } else {
+                    final_overflow
+                },
+                modeled_ns: device.profile().modeled_ns(),
+                launches: device.profile().launches,
+            });
+        }
 
         Ok(PlacementReport {
             design: design.name().to_string(),
@@ -443,6 +560,78 @@ mod tests {
         let report = GlobalPlacer::new(cfg).place(&mut design).unwrap();
         assert!(report.converged);
         assert!(report.best_overflow >= report.final_overflow - 0.05);
+    }
+
+    #[test]
+    fn traced_run_emits_a_well_formed_event_stream() {
+        use xplace_telemetry::VecSink;
+
+        let mut design = small_design(27);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 120;
+        let mut sink = VecSink::new();
+        let report = GlobalPlacer::new(cfg)
+            .place_traced(&mut design, &mut sink)
+            .unwrap();
+
+        let events = sink.events();
+        assert!(matches!(
+            events.first(),
+            Some(TelemetryEvent::RunStart { .. })
+        ));
+        assert!(matches!(events.last(), Some(TelemetryEvent::RunEnd { .. })));
+
+        // One iteration event per placer iteration, numbered contiguously.
+        let iters: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Iteration { record, .. } => Some(record.iteration),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(iters.len(), report.iterations);
+        assert!(iters.iter().enumerate().all(|(i, &it)| i == it));
+
+        // The skip window opens at least once under full optimization, and
+        // λ is logged at initialization.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::SkipWindow { active: true, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::LambdaUpdate { iteration: 0, .. })));
+
+        // The end marker agrees with the report.
+        if let Some(TelemetryEvent::RunEnd {
+            iterations,
+            final_hpwl,
+            ..
+        }) = events.last()
+        {
+            assert_eq!(*iterations, report.iterations);
+            assert_eq!(*final_hpwl, report.final_hpwl);
+        }
+    }
+
+    #[test]
+    fn traces_are_byte_identical_across_runs_and_thread_counts() {
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 90;
+
+        let trace_with = |threads: usize| {
+            let mut design = small_design(29);
+            let mut sink = xplace_telemetry::VecSink::new();
+            GlobalPlacer::new(cfg.clone().with_threads(threads))
+                .place_traced(&mut design, &mut sink)
+                .unwrap();
+            sink.to_jsonl()
+        };
+
+        let a = trace_with(1);
+        let b = trace_with(1);
+        assert_eq!(a, b, "same-seed traces differ");
+        let c = trace_with(4);
+        assert_eq!(a, c, "threads=4 trace differs from threads=1");
     }
 
     #[test]

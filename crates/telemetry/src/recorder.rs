@@ -1,35 +1,14 @@
 //! Per-iteration metric recording (the "recorder" block of Figure 1).
 
+use crate::{IterationRecord, TelemetryEvent, TelemetrySink};
 use std::fmt::Write as _;
-
-/// Metrics of one global-placement iteration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct IterationRecord {
-    /// Iteration index.
-    pub iteration: usize,
-    /// Exact HPWL.
-    pub hpwl: f64,
-    /// WA smoothed wirelength.
-    pub wa: f64,
-    /// Overflow ratio (Eq. 7).
-    pub overflow: f64,
-    /// Density weight λ.
-    pub lambda: f64,
-    /// WA smoothing γ.
-    pub gamma: f64,
-    /// Precondition weighted ratio ω (§3.2).
-    pub omega: f64,
-    /// Gradient ratio `r = λ|∇D| / |∇WL|` (§3.1.4).
-    pub r_ratio: f64,
-    /// Whether the density operator was skipped this iteration.
-    pub density_skipped: bool,
-    /// Modeled GPU time of this iteration in nanoseconds.
-    pub modeled_ns: u64,
-    /// Kernel launches this iteration.
-    pub launches: u64,
-}
+use xplace_testkit::json::ToJson;
 
 /// Collects [`IterationRecord`]s over a placement run.
+///
+/// Usable standalone (the placer pushes into it directly) or as a
+/// [`TelemetrySink`] that keeps the iteration records of an event stream
+/// and ignores everything else.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     records: Vec<IterationRecord>,
@@ -91,11 +70,34 @@ impl Recorder {
         }
         out
     }
+
+    /// Serializes all records as JSON-lines (one record object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn emit(&mut self, event: &TelemetryEvent) {
+        if let TelemetryEvent::Iteration { record, .. } = event {
+            self.push(*record);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ProfileDelta;
 
     fn rec(i: usize) -> IterationRecord {
         IterationRecord {
@@ -107,7 +109,7 @@ mod tests {
             gamma: 80.0,
             omega: 0.1,
             r_ratio: 1e-5,
-            density_skipped: i.is_multiple_of(2),
+            density_skipped: i % 2 == 0,
             modeled_ns: 1000,
             launches: 7,
         }
@@ -127,6 +129,7 @@ mod tests {
         let mut r = Recorder::new(false);
         r.push(rec(0));
         assert!(r.is_empty());
+        assert!(!r.enabled());
     }
 
     #[test]
@@ -139,5 +142,32 @@ mod tests {
         assert!(lines[0].starts_with("iteration,hpwl"));
         assert!(lines[1].starts_with("3,100.0"));
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_record() {
+        let mut r = Recorder::new(true);
+        r.push(rec(0));
+        r.push(rec(1));
+        let jsonl = r.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn recorder_as_sink_keeps_only_iterations() {
+        let mut r = Recorder::new(true);
+        r.emit(&TelemetryEvent::SkipWindow {
+            iteration: 0,
+            active: true,
+        });
+        r.emit(&TelemetryEvent::Iteration {
+            record: rec(0),
+            profile: ProfileDelta::default(),
+        });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.records()[0].iteration, 0);
     }
 }

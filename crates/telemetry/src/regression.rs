@@ -1,0 +1,274 @@
+//! The regression comparator behind `scripts/check_regression.sh`.
+//!
+//! Everything the device model produces is deterministic (modeled time,
+//! launch counts, HPWL, iteration counts), so regressions in those
+//! quantities hard-fail: there is no run-to-run noise to absorb. Only
+//! wall-clock times are machine-dependent, and those merely warn.
+
+use crate::RunReport;
+
+/// Relative tolerances, in percent, for the gated quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Maximum final-HPWL regression (%).
+    pub hpwl_pct: f64,
+    /// Maximum modeled-GPU-time regression (%).
+    pub modeled_time_pct: f64,
+    /// Maximum kernel-launch-count growth (%).
+    pub launches_pct: f64,
+    /// Wall-clock growth (%) beyond which a *warning* is raised.
+    pub wall_warn_pct: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            hpwl_pct: 2.0,
+            modeled_time_pct: 5.0,
+            launches_pct: 2.0,
+            wall_warn_pct: 50.0,
+        }
+    }
+}
+
+/// Outcome of comparing a fresh [`RunReport`] against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Hard failures: structure mismatches and deterministic-quantity
+    /// regressions beyond tolerance.
+    pub failures: Vec<String>,
+    /// Soft signals: wall-clock drift and other machine-dependent deltas.
+    pub warnings: Vec<String>,
+    /// Informational lines (improvements, matched quantities).
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when no hard failure was found.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the comparison as a human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.failures {
+            out.push_str(&format!("FAIL  {f}\n"));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warn  {w}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("      {n}\n"));
+        }
+        out
+    }
+}
+
+fn pct_change(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current - baseline) / baseline * 100.0
+    }
+}
+
+/// Compares `current` against `baseline` under `tol`.
+///
+/// Structure (design identity, configuration echo, iteration count) must
+/// match exactly; HPWL, modeled time and launch counts may regress up to
+/// their tolerance; improvements are noted; wall-clock drift only warns.
+pub fn compare_reports(baseline: &RunReport, current: &RunReport, tol: &Tolerances) -> Comparison {
+    let mut cmp = Comparison::default();
+
+    // --- Structure: the runs must be the same experiment. ---
+    if baseline.design != current.design {
+        cmp.failures.push(format!(
+            "design mismatch: baseline `{}` vs current `{}`",
+            baseline.design, current.design
+        ));
+    }
+    if (baseline.cells, baseline.nets) != (current.cells, current.nets) {
+        cmp.failures.push(format!(
+            "netlist mismatch: baseline {}c/{}n vs current {}c/{}n",
+            baseline.cells, baseline.nets, current.cells, current.nets
+        ));
+    }
+    if baseline.config != current.config {
+        cmp.failures
+            .push("config echo mismatch: the runs used different placer configurations".into());
+    }
+    if !cmp.failures.is_empty() {
+        // Metric deltas are meaningless across different experiments.
+        return cmp;
+    }
+
+    // --- Determinism: same experiment must take the same trajectory. ---
+    if baseline.gp.iterations != current.gp.iterations {
+        cmp.failures.push(format!(
+            "iteration count changed: {} -> {} (the flow is deterministic; \
+             re-record the baseline if this is intentional)",
+            baseline.gp.iterations, current.gp.iterations
+        ));
+    }
+
+    // --- Gated metrics (deterministic, so regressions hard-fail). ---
+    let hpwl = pct_change(baseline.final_hpwl(), current.final_hpwl());
+    if hpwl > tol.hpwl_pct {
+        cmp.failures.push(format!(
+            "HPWL regressed {hpwl:+.2}% ({:.1} -> {:.1}), tolerance {}%",
+            baseline.final_hpwl(),
+            current.final_hpwl(),
+            tol.hpwl_pct
+        ));
+    } else if hpwl < -0.01 {
+        cmp.notes.push(format!(
+            "HPWL improved {hpwl:+.2}% ({:.1} -> {:.1})",
+            baseline.final_hpwl(),
+            current.final_hpwl()
+        ));
+    }
+
+    let modeled = pct_change(baseline.gp.modeled_ns as f64, current.gp.modeled_ns as f64);
+    if modeled > tol.modeled_time_pct {
+        cmp.failures.push(format!(
+            "modeled GP time regressed {modeled:+.2}% ({:.3}s -> {:.3}s), tolerance {}%",
+            baseline.gp.modeled_seconds(),
+            current.gp.modeled_seconds(),
+            tol.modeled_time_pct
+        ));
+    } else if modeled < -0.01 {
+        cmp.notes.push(format!(
+            "modeled GP time improved {modeled:+.2}% ({:.3}s -> {:.3}s)",
+            baseline.gp.modeled_seconds(),
+            current.gp.modeled_seconds()
+        ));
+    }
+
+    let launches = pct_change(baseline.gp.launches as f64, current.gp.launches as f64);
+    if launches > tol.launches_pct {
+        cmp.failures.push(format!(
+            "kernel launches grew {launches:+.2}% ({} -> {}), tolerance {}%",
+            baseline.gp.launches, current.gp.launches, tol.launches_pct
+        ));
+    }
+
+    // --- Wall clock: machine-dependent, warn only. ---
+    let wall = pct_change(baseline.gp.wall_seconds, current.gp.wall_seconds);
+    if wall > tol.wall_warn_pct {
+        cmp.warnings.push(format!(
+            "GP wall time {wall:+.1}% ({:.2}s -> {:.2}s) — machine-dependent, not gated",
+            baseline.gp.wall_seconds, current.gp.wall_seconds
+        ));
+    }
+
+    if cmp.passed() {
+        cmp.notes.push(format!(
+            "HPWL {:.1}, modeled GP {:.3}s, {} launches — within tolerance of baseline",
+            current.final_hpwl(),
+            current.gp.modeled_seconds(),
+            current.gp.launches
+        ));
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::tests::sample_report;
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = sample_report();
+        let cmp = compare_reports(&base, &base.clone(), &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp.warnings.is_empty());
+    }
+
+    #[test]
+    fn hpwl_regression_beyond_tolerance_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        // final_hpwl() reads the DP stage.
+        cur.dp.as_mut().unwrap().final_hpwl *= 1.10;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.failures[0].contains("HPWL regressed"),
+            "{:?}",
+            cmp.failures
+        );
+    }
+
+    #[test]
+    fn hpwl_improvement_is_a_note_not_a_failure() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.dp.as_mut().unwrap().final_hpwl *= 0.90;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed());
+        assert!(cmp.notes.iter().any(|n| n.contains("HPWL improved")));
+    }
+
+    #[test]
+    fn modeled_time_regression_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.gp.modeled_ns = (cur.gp.modeled_ns as f64 * 1.2) as u64;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("modeled GP time regressed")));
+    }
+
+    #[test]
+    fn launch_growth_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.gp.launches += cur.gp.launches / 10;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp.failures.iter().any(|f| f.contains("launches grew")));
+    }
+
+    #[test]
+    fn wall_clock_drift_only_warns() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.gp.wall_seconds *= 3.0; // a slower machine, not a regression
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed());
+        assert!(!cmp.warnings.is_empty());
+        assert!(cmp.render().contains("warn"));
+    }
+
+    #[test]
+    fn structure_mismatch_fails_before_metrics() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.design = "other".into();
+        cur.dp.as_mut().unwrap().final_hpwl *= 2.0;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert_eq!(cmp.failures.len(), 1, "{:?}", cmp.failures);
+        assert!(cmp.failures[0].contains("design mismatch"));
+    }
+
+    #[test]
+    fn iteration_count_change_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.gp.iterations += 1;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("iteration count changed")));
+    }
+}

@@ -1,0 +1,359 @@
+//! The machine-readable summary of one full placement run.
+
+use crate::ConfigEcho;
+use xplace_testkit::json::{FromJson, Json, JsonError, ToJson};
+
+/// Global-placement metrics of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpMetrics {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// HPWL at the initial (clustered) state.
+    pub initial_hpwl: f64,
+    /// HPWL of the final placement.
+    pub final_hpwl: f64,
+    /// Overflow ratio at the initial state.
+    pub initial_overflow: f64,
+    /// Overflow ratio at the final state.
+    pub final_overflow: f64,
+    /// Whether the overflow target was reached.
+    pub converged: bool,
+    /// Total modeled GPU time (ns) — deterministic.
+    pub modeled_ns: u64,
+    /// Total kernel launches — deterministic.
+    pub launches: u64,
+    /// Total host synchronizations — deterministic.
+    pub syncs: u64,
+    /// Wall-clock seconds — machine-dependent, never gated on.
+    pub wall_seconds: f64,
+}
+
+impl GpMetrics {
+    /// Modeled GPU time in seconds (the paper's "GP/s" column).
+    pub fn modeled_seconds(&self) -> f64 {
+        self.modeled_ns as f64 / 1e9
+    }
+
+    /// Mean modeled time per iteration in milliseconds (Table 3's
+    /// "GP / Iter Time").
+    pub fn modeled_ms_per_iter(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.modeled_ns as f64 / 1e6 / self.iterations as f64
+        }
+    }
+}
+
+/// Legalization metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LgMetrics {
+    /// HPWL before legalization.
+    pub initial_hpwl: f64,
+    /// HPWL after legalization.
+    pub final_hpwl: f64,
+    /// Mean displacement of movable cells.
+    pub mean_displacement: f64,
+    /// Maximum displacement of a movable cell.
+    pub max_displacement: f64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// Detailed-placement metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpMetrics {
+    /// HPWL before detailed placement.
+    pub initial_hpwl: f64,
+    /// HPWL after detailed placement.
+    pub final_hpwl: f64,
+    /// Applied intra-row slides.
+    pub slides: usize,
+    /// Applied adjacent reorders.
+    pub reorders: usize,
+    /// Applied global swaps.
+    pub swaps: usize,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// Routability metrics from the RUDY congestion estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteMetrics {
+    /// Mean utilization of the top-5% most congested gcells.
+    pub top5_overflow: f64,
+    /// Maximum gcell utilization.
+    pub max_utilization: f64,
+}
+
+/// The single-JSON report of one full GP → LG → DP run: the artifact
+/// `xplace place --report` and the bench binaries write, and the unit
+/// `scripts/check_regression.sh` compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Design name.
+    pub design: String,
+    /// Total cells.
+    pub cells: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Configuration echo (see [`ConfigEcho`] for why it excludes the
+    /// thread count).
+    pub config: ConfigEcho,
+    /// Worker-thread count of the run (wall-clock only; all metrics are
+    /// thread-count-invariant).
+    pub threads: usize,
+    /// Global placement.
+    pub gp: GpMetrics,
+    /// Legalization (absent for GP-only runs).
+    pub lg: Option<LgMetrics>,
+    /// Detailed placement (absent for GP-only runs).
+    pub dp: Option<DpMetrics>,
+    /// Routability estimate (absent when not computed).
+    pub route: Option<RouteMetrics>,
+}
+
+impl RunReport {
+    /// The HPWL of the most downstream stage the run executed
+    /// (DP, else LG, else GP).
+    pub fn final_hpwl(&self) -> f64 {
+        self.dp
+            .as_ref()
+            .map(|d| d.final_hpwl)
+            .or_else(|| self.lg.as_ref().map(|l| l.final_hpwl))
+            .unwrap_or(self.gp.final_hpwl)
+    }
+}
+
+impl ToJson for GpMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("iterations", self.iterations.to_json()),
+            ("initial_hpwl", self.initial_hpwl.to_json()),
+            ("final_hpwl", self.final_hpwl.to_json()),
+            ("initial_overflow", self.initial_overflow.to_json()),
+            ("final_overflow", self.final_overflow.to_json()),
+            ("converged", self.converged.to_json()),
+            ("modeled_ns", self.modeled_ns.to_json()),
+            ("launches", self.launches.to_json()),
+            ("syncs", self.syncs.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GpMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(GpMetrics {
+            iterations: usize::from_json(value.field("iterations")?)?,
+            initial_hpwl: f64::from_json(value.field("initial_hpwl")?)?,
+            final_hpwl: f64::from_json(value.field("final_hpwl")?)?,
+            initial_overflow: f64::from_json(value.field("initial_overflow")?)?,
+            final_overflow: f64::from_json(value.field("final_overflow")?)?,
+            converged: bool::from_json(value.field("converged")?)?,
+            modeled_ns: u64::from_json(value.field("modeled_ns")?)?,
+            launches: u64::from_json(value.field("launches")?)?,
+            syncs: u64::from_json(value.field("syncs")?)?,
+            wall_seconds: f64::from_json(value.field("wall_seconds")?)?,
+        })
+    }
+}
+
+impl ToJson for LgMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("initial_hpwl", self.initial_hpwl.to_json()),
+            ("final_hpwl", self.final_hpwl.to_json()),
+            ("mean_displacement", self.mean_displacement.to_json()),
+            ("max_displacement", self.max_displacement.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LgMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(LgMetrics {
+            initial_hpwl: f64::from_json(value.field("initial_hpwl")?)?,
+            final_hpwl: f64::from_json(value.field("final_hpwl")?)?,
+            mean_displacement: f64::from_json(value.field("mean_displacement")?)?,
+            max_displacement: f64::from_json(value.field("max_displacement")?)?,
+            wall_seconds: f64::from_json(value.field("wall_seconds")?)?,
+        })
+    }
+}
+
+impl ToJson for DpMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("initial_hpwl", self.initial_hpwl.to_json()),
+            ("final_hpwl", self.final_hpwl.to_json()),
+            ("slides", self.slides.to_json()),
+            ("reorders", self.reorders.to_json()),
+            ("swaps", self.swaps.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DpMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(DpMetrics {
+            initial_hpwl: f64::from_json(value.field("initial_hpwl")?)?,
+            final_hpwl: f64::from_json(value.field("final_hpwl")?)?,
+            slides: usize::from_json(value.field("slides")?)?,
+            reorders: usize::from_json(value.field("reorders")?)?,
+            swaps: usize::from_json(value.field("swaps")?)?,
+            wall_seconds: f64::from_json(value.field("wall_seconds")?)?,
+        })
+    }
+}
+
+impl ToJson for RouteMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("top5_overflow", self.top5_overflow.to_json()),
+            ("max_utilization", self.max_utilization.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RouteMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RouteMetrics {
+            top5_overflow: f64::from_json(value.field("top5_overflow")?)?,
+            max_utilization: f64::from_json(value.field("max_utilization")?)?,
+        })
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("cells", self.cells.to_json()),
+            ("nets", self.nets.to_json()),
+            ("config", self.config.to_json()),
+            ("threads", self.threads.to_json()),
+            ("gp", self.gp.to_json()),
+            ("lg", self.lg.to_json()),
+            ("dp", self.dp.to_json()),
+            ("route", self.route.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RunReport {
+            design: String::from_json(value.field("design")?)?,
+            cells: usize::from_json(value.field("cells")?)?,
+            nets: usize::from_json(value.field("nets")?)?,
+            config: ConfigEcho::from_json(value.field("config")?)?,
+            threads: usize::from_json(value.field("threads")?)?,
+            gp: GpMetrics::from_json(value.field("gp")?)?,
+            lg: Option::<LgMetrics>::from_json(value.field("lg")?)?,
+            dp: Option::<DpMetrics>::from_json(value.field("dp")?)?,
+            route: Option::<RouteMetrics>::from_json(value.field("route")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> RunReport {
+        RunReport {
+            design: "golden".into(),
+            cells: 500,
+            nets: 525,
+            config: ConfigEcho {
+                framework: "xplace".into(),
+                reduction: true,
+                combination: true,
+                extraction: true,
+                skipping: true,
+                stage_aware: true,
+                max_iterations: 400,
+                stop_overflow: 0.1,
+                seed: 20_220_714,
+                grid: None,
+            },
+            threads: 4,
+            gp: GpMetrics {
+                iterations: 400,
+                initial_hpwl: 4000.0,
+                final_hpwl: 14026.78,
+                initial_overflow: 0.98,
+                final_overflow: 0.2219,
+                converged: false,
+                modeled_ns: 987_654_321,
+                launches: 6_800,
+                syncs: 400,
+                wall_seconds: 1.25,
+            },
+            lg: Some(LgMetrics {
+                initial_hpwl: 14026.78,
+                final_hpwl: 14500.0,
+                mean_displacement: 1.2,
+                max_displacement: 9.5,
+                wall_seconds: 0.01,
+            }),
+            dp: Some(DpMetrics {
+                initial_hpwl: 14500.0,
+                final_hpwl: 14100.0,
+                slides: 120,
+                reorders: 30,
+                swaps: 4,
+                wall_seconds: 0.02,
+            }),
+            route: Some(RouteMetrics {
+                top5_overflow: 42.0,
+                max_utilization: 1.4,
+            }),
+        }
+    }
+
+    #[test]
+    fn run_report_round_trips() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn optional_stages_round_trip_as_null() {
+        let mut report = sample_report();
+        report.lg = None;
+        report.dp = None;
+        report.route = None;
+        let text = report.to_json_string();
+        assert!(text.contains("\"lg\":null"));
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.final_hpwl(), report.gp.final_hpwl);
+    }
+
+    #[test]
+    fn final_hpwl_prefers_the_most_downstream_stage() {
+        let mut report = sample_report();
+        assert_eq!(report.final_hpwl(), 14100.0); // DP
+        report.dp = None;
+        assert_eq!(report.final_hpwl(), 14500.0); // LG
+    }
+
+    #[test]
+    fn derived_gp_quantities() {
+        let gp = sample_report().gp;
+        assert!((gp.modeled_seconds() - 0.987654321).abs() < 1e-12);
+        assert!((gp.modeled_ms_per_iter() - 987.654321 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let err = RunReport::from_json_str("{}").unwrap_err();
+        assert!(err.to_string().contains("missing field `design`"));
+    }
+}

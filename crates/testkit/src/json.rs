@@ -93,6 +93,18 @@ impl Json {
         }
     }
 
+    /// This value as a `u64`, exact up to 2^53 (the largest integer a
+    /// JSON number can carry losslessly) — wide enough for nanosecond
+    /// counters, unlike [`Json::as_usize`]'s tighter cap.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        let v = self.as_f64()?;
+        if v >= 0.0 && v.fract() == 0.0 && v <= (1u64 << 53) as f64 {
+            Ok(v as u64)
+        } else {
+            Err(JsonError(format!("expected u64, got {v}")))
+        }
+    }
+
     /// This value as a string slice.
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
@@ -490,7 +502,19 @@ macro_rules! uint_to_json {
     )*};
 }
 
-uint_to_json!(u32, u64, usize);
+uint_to_json!(u32, usize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_u64()
+    }
+}
 
 impl<T: ToJson> ToJson for Vec<T> {
     fn to_json(&self) -> Json {
@@ -615,5 +639,16 @@ mod tests {
         assert_eq!(u32::from_json(&Json::num(7.0)).unwrap(), 7);
         assert!(u32::from_json(&Json::num(1.5)).is_err());
         assert!(u32::from_json(&Json::num(-1.0)).is_err());
+    }
+
+    #[test]
+    fn u64_round_trips_nanosecond_scale_values() {
+        // Larger than as_usize's cap, still exact as a JSON double.
+        let ns: u64 = 20_000_000_000_000; // 20,000 modeled seconds
+        assert_eq!(u64::from_json_str(&ns.to_json_string()).unwrap(), ns);
+        assert_eq!(u64::from_json(&Json::num(0.0)).unwrap(), 0);
+        assert!(u64::from_json(&Json::num(-1.0)).is_err());
+        assert!(u64::from_json(&Json::num(1.5)).is_err());
+        assert!(u64::from_json(&Json::num(2.0f64.powi(60))).is_err());
     }
 }

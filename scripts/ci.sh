@@ -21,6 +21,28 @@ cargo test -q -p xplace-ops --test properties
 cargo test -q -p xplace-fft --test parallel
 cargo test -q --test golden_flow golden_flow_is_thread_count_invariant
 
+echo "==> telemetry smoke: trace determinism across thread counts + artifact checks"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+./target/release/xplace synth ci-smoke 300 --seed 3 --out "$SMOKE" >/dev/null
+./target/release/xplace place "$SMOKE/ci-smoke.aux" --max-iters 120 --threads 1 \
+    -o "$SMOKE/t1.pl" --trace "$SMOKE/t1.jsonl" --report "$SMOKE/t1.json" >/dev/null
+./target/release/xplace place "$SMOKE/ci-smoke.aux" --max-iters 120 --threads 4 \
+    -o "$SMOKE/t4.pl" --trace "$SMOKE/t4.jsonl" --report "$SMOKE/t4.json" >/dev/null
+cmp "$SMOKE/t1.jsonl" "$SMOKE/t4.jsonl" \
+    || { echo "FAIL: traces differ across thread counts" >&2; exit 1; }
+./target/release/telemetry_check trace "$SMOKE/t1.jsonl"
+./target/release/telemetry_check report "$SMOKE/t1.json"
+
+echo "==> bench regression gate (deterministic metrics vs BENCH_baseline.json)"
+scripts/check_regression.sh
+echo "==> regression gate self-test: an injected regression must fail"
+if ./target/release/check_regression BENCH_baseline.json results/run_report.json \
+    --inject-hpwl-pct 10 >/dev/null 2>&1; then
+    echo "FAIL: the regression gate passed an injected +10% HPWL regression" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

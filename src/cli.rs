@@ -1,0 +1,195 @@
+//! Command-line argument parsing for the `xplace` binary.
+//!
+//! The binary's `main.rs` is a thin dispatcher over these helpers so the
+//! parsing rules are unit-testable. Three rules matter beyond the obvious:
+//!
+//! * A flag's value must not itself be a `--flag`: `-o --baseline` is a
+//!   missing `-o` value, not a request to write a file named
+//!   `--baseline`. Single-dash values stay legal so negative numbers
+//!   (`--seed -3` for an i64 flag) still parse.
+//! * A present-but-unparseable value is a hard error naming the flag and
+//!   the offending text — never a silent fallback to the default.
+//! * `--threads 0` is rejected up front: the worker pool needs at least
+//!   one lane, and silently clamping would misreport the run's
+//!   configuration in telemetry.
+
+/// Returns the value following `flag`, `Ok(None)` when the flag is absent,
+/// or an error when the flag is present without a usable value.
+///
+/// A following token that starts with `--` is *not* a value — it is the
+/// next flag, so the original flag is missing its value:
+///
+/// ```
+/// use xplace::cli::flag_value;
+/// let args: Vec<String> = ["-o", "--baseline"].iter().map(|s| s.to_string()).collect();
+/// assert!(flag_value(&args, "-o").is_err());
+/// ```
+pub fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("missing value for {flag}")),
+        },
+    }
+}
+
+/// True when `flag` appears anywhere in `args`.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses the value of a numeric `flag`, falling back to `default` only when
+/// the flag is absent; a present-but-unparseable value is a hard error, not
+/// a silent fallback.
+pub fn parse_flag<T>(args: &[String], flag: &str, default: T) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("invalid value '{v}' for {flag}: {e}")),
+    }
+}
+
+/// Returns the positional argument at `index`, or `None` when it is absent
+/// or is a flag (starts with `-`).
+pub fn positional(args: &[String], index: usize) -> Option<&String> {
+    args.get(index).filter(|a| !a.starts_with('-'))
+}
+
+/// Parses the positional argument at `index`. `Ok(None)` when it is absent
+/// or flag-like (so the caller can print usage); a present-but-unparseable
+/// value is a hard error naming `what`.
+pub fn parse_positional<T>(args: &[String], index: usize, what: &str) -> Result<Option<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match positional(args, index) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("invalid value '{v}' for <{what}>: {e}")),
+    }
+}
+
+/// Parses `--threads`, defaulting to `default` and rejecting zero.
+pub fn parse_threads(args: &[String], default: usize) -> Result<usize, String> {
+    let threads: usize = parse_flag(args, "--threads", default)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_returns_following_token() {
+        let args = argv(&["place", "-o", "out.pl"]);
+        assert_eq!(flag_value(&args, "-o").unwrap(), Some("out.pl".into()));
+        assert_eq!(flag_value(&args, "--seed").unwrap(), None);
+    }
+
+    #[test]
+    fn flag_value_rejects_a_following_flag_as_value() {
+        // The historical bug: `xplace place d.aux -o --baseline` wrote a
+        // file literally named `--baseline` (and dropped the baseline
+        // request). Now it is a missing-value error.
+        let args = argv(&["d.aux", "-o", "--baseline"]);
+        let err = flag_value(&args, "-o").unwrap_err();
+        assert!(err.contains("missing value for -o"), "{err}");
+    }
+
+    #[test]
+    fn flag_value_rejects_trailing_flag_without_value() {
+        let args = argv(&["d.aux", "-o"]);
+        assert!(flag_value(&args, "-o").is_err());
+    }
+
+    #[test]
+    fn flag_value_allows_single_dash_values() {
+        // Negative numbers must stay parseable; only `--`-prefixed tokens
+        // are treated as flags.
+        let args = argv(&["--offset", "-3"]);
+        assert_eq!(flag_value(&args, "--offset").unwrap(), Some("-3".into()));
+    }
+
+    #[test]
+    fn parse_flag_falls_back_only_when_absent() {
+        let args = argv(&["--density", "0.8"]);
+        assert_eq!(parse_flag(&args, "--density", 0.9).unwrap(), 0.8);
+        assert_eq!(parse_flag(&args, "--nets", 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn parse_flag_errors_on_garbage() {
+        let args = argv(&["--max-iters", "many"]);
+        let err = parse_flag(&args, "--max-iters", 10usize).unwrap_err();
+        assert!(
+            err.contains("invalid value 'many' for --max-iters"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn positional_skips_flags() {
+        let args = argv(&["mydesign", "--seed", "7"]);
+        assert_eq!(positional(&args, 0), Some(&"mydesign".to_string()));
+        assert_eq!(positional(&args, 1), None);
+    }
+
+    #[test]
+    fn parse_positional_errors_on_unparseable_cells() {
+        // The historical bug: `xplace synth chip banana` printed the
+        // generic usage text instead of saying what was wrong.
+        let args = argv(&["chip", "banana"]);
+        let err = parse_positional::<usize>(&args, 1, "cells").unwrap_err();
+        assert!(err.contains("invalid value 'banana' for <cells>"), "{err}");
+    }
+
+    #[test]
+    fn parse_positional_absent_is_none() {
+        let args = argv(&["chip"]);
+        assert_eq!(parse_positional::<usize>(&args, 1, "cells").unwrap(), None);
+        let args = argv(&["chip", "--seed", "3"]);
+        assert_eq!(parse_positional::<usize>(&args, 1, "cells").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_positional_accepts_numbers() {
+        let args = argv(&["chip", "5000"]);
+        assert_eq!(
+            parse_positional::<usize>(&args, 1, "cells").unwrap(),
+            Some(5000)
+        );
+    }
+
+    #[test]
+    fn threads_zero_is_rejected() {
+        let args = argv(&["--threads", "0"]);
+        let err = parse_threads(&args, 4).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let args = argv(&["--threads", "2"]);
+        assert_eq!(parse_threads(&args, 4).unwrap(), 2);
+        assert_eq!(parse_threads(&argv(&[]), 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn has_flag_is_exact_match() {
+        let args = argv(&["--baseline", "x"]);
+        assert!(has_flag(&args, "--baseline"));
+        assert!(!has_flag(&args, "--base"));
+    }
+}

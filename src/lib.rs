@@ -16,6 +16,7 @@
 //! | [`device`] | `xplace-device` | the GPU execution model (launch accounting, autograd tape, profiler) |
 //! | [`ops`] | `xplace-ops` | wirelength/density/preconditioner operators, fused and split |
 //! | [`core`] | `xplace-core` | the placer: gradient engine, Nesterov, scheduler, recorder |
+//! | [`telemetry`] | `xplace-telemetry` | typed event traces, run reports, and the regression comparator |
 //! | [`nn`] | `xplace-nn` | the Fourier neural operator and training loop (Xplace-NN) |
 //! | [`legal`] | `xplace-legal` | Tetris/Abacus legalization and detailed placement |
 //! | [`route`] | `xplace-route` | RUDY congestion estimation and the top5-overflow metric |
@@ -50,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod flow;
 
 pub use xplace_core as core;
@@ -61,3 +63,4 @@ pub use xplace_nn as nn;
 pub use xplace_ops as ops;
 pub use xplace_parallel as parallel;
 pub use xplace_route as route;
+pub use xplace_telemetry as telemetry;

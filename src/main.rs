@@ -2,60 +2,44 @@
 //!
 //! ```text
 //! xplace place  <design.aux> [-o out.pl] [--density 0.9] [--baseline] [--max-iters N]
+//!               [--trace out.jsonl] [--report out.json]
 //! xplace synth  <name> <cells> [--out dir] [--seed N] [--macros N]
 //! xplace stats  <design.aux>
-//! xplace plot   <design.aux> [-o out.svg] [--nets N]
+//! xplace plot   <design.aux> [-o out.svg] [--nets N] [--density D]
 //! ```
 //!
 //! `place` reads a Bookshelf benchmark, runs global placement +
 //! legalization + detailed placement, reports the metrics the paper's
-//! tables report, and writes the placed `.pl`. `synth` generates a
-//! synthetic benchmark in Bookshelf format. `stats` prints Table-1-style
+//! tables report, and writes the placed `.pl`; `--trace` streams the
+//! per-iteration telemetry events as JSON-lines and `--report` writes the
+//! run summary JSON (see DESIGN.md §"Experiment index"). `synth` generates
+//! a synthetic benchmark in Bookshelf format. `stats` prints Table-1-style
 //! statistics.
+//!
+//! Argument parsing lives in [`xplace::cli`] so its rules are unit-tested.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+use xplace::cli::{flag_value, has_flag, parse_flag, parse_positional, parse_threads, positional};
 use xplace::core::{GlobalPlacer, XplaceConfig};
 use xplace::db::synthesis::{synthesize, SynthesisSpec};
 use xplace::db::{bookshelf, DesignStats};
 use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
 use xplace::route::{estimate_congestion, RouteConfig};
+use xplace::telemetry::{
+    DpMetrics, JsonLinesSink, LgMetrics, NullSink, RouteMetrics, RunReport, ToJson,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
-         [--max-iters N] [--seed N] [--threads N]\n  xplace synth <name> <cells> [--out DIR] \
-         [--seed N] [--macros N]\n  xplace stats <design.aux> [--density D]\n  xplace plot \
-         <design.aux> [-o out.svg] [--nets N]"
+         [--max-iters N] [--seed N] [--threads N] [--trace out.jsonl] [--report out.json]\n  \
+         xplace synth <name> <cells> [--out DIR] [--seed N] [--macros N]\n  xplace stats \
+         <design.aux> [--density D]\n  xplace plot <design.aux> [-o out.svg] [--nets N] \
+         [--density D]"
     );
     std::process::exit(2)
-}
-
-/// Returns the value following `flag`, `Ok(None)` when the flag is absent,
-/// or an error when the flag is present without a value.
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
-    match args.iter().position(|a| a == flag) {
-        None => Ok(None),
-        Some(i) => match args.get(i + 1) {
-            Some(v) => Ok(Some(v.clone())),
-            None => Err(format!("missing value for {flag}")),
-        },
-    }
-}
-
-/// Parses the value of a numeric `flag`, falling back to `default` only when
-/// the flag is absent; a present-but-unparseable value is a hard error, not
-/// a silent fallback.
-fn parse_flag<T>(args: &[String], flag: &str, default: T) -> Result<T, String>
-where
-    T: std::str::FromStr,
-    T::Err: std::fmt::Display,
-{
-    match flag_value(args, flag)? {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|e| format!("invalid value '{v}' for {flag}: {e}")),
-    }
 }
 
 fn main() {
@@ -74,31 +58,39 @@ fn main() {
 }
 
 fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let aux = args
-        .first()
-        .filter(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| usage());
+    let aux = positional(args, 0).unwrap_or_else(|| usage());
     let density: f64 = parse_flag(args, "--density", 0.9)?;
     let out: PathBuf = flag_value(args, "-o")?
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new(aux).with_extension("placed.pl"));
+    let trace_path = flag_value(args, "--trace")?.map(PathBuf::from);
+    let report_path = flag_value(args, "--report")?.map(PathBuf::from);
     let mut design = bookshelf::read_aux(Path::new(aux), density)?;
     println!("loaded {}", DesignStats::of(&design));
 
-    let mut config = if args.iter().any(|a| a == "--baseline") {
+    let mut config = if has_flag(args, "--baseline") {
         XplaceConfig::dreamplace_like()
     } else {
         XplaceConfig::xplace()
     };
     config.schedule.max_iterations = parse_flag(args, "--max-iters", 1500)?;
     config.seed = parse_flag(args, "--seed", 0x5eed)?;
-    config.threads = parse_flag(args, "--threads", xplace::parallel::available_threads())?;
-    if config.threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
+    config.threads = parse_threads(args, xplace::parallel::available_threads())?;
     println!("threads: {} (deterministic for any count)", config.threads);
 
-    let gp = GlobalPlacer::new(config).place(&mut design)?;
+    // With --trace, events stream straight to disk as JSON-lines; without
+    // it the NullSink keeps the hot loop free of telemetry work.
+    let gp = match &trace_path {
+        Some(p) => {
+            let mut sink = JsonLinesSink::new(BufWriter::new(File::create(p)?));
+            let gp = GlobalPlacer::new(config.clone()).place_traced(&mut design, &mut sink)?;
+            let written = sink.written();
+            sink.finish()?.into_inner().map_err(|e| e.into_error())?;
+            println!("trace written to {} ({written} events)", p.display());
+            gp
+        }
+        None => GlobalPlacer::new(config.clone()).place_traced(&mut design, &mut NullSink)?,
+    };
     println!(
         "GP: {} iterations, overflow {:.3} -> {:.3}, HPWL {:.0} -> {:.0}, \
          modeled GPU {:.3}s ({:.3} ms/iter), wall {:.2}s",
@@ -128,20 +120,47 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         congestion.top_overflow(0.05),
         congestion.max_utilization()
     );
+
+    if let Some(p) = &report_path {
+        let report = RunReport {
+            design: design.name().to_string(),
+            cells: design.netlist().num_cells(),
+            nets: design.netlist().num_nets(),
+            config: config.echo(),
+            threads: config.threads,
+            gp: gp.gp_metrics(),
+            lg: Some(LgMetrics {
+                initial_hpwl: lg.initial_hpwl,
+                final_hpwl: lg.final_hpwl,
+                mean_displacement: lg.mean_displacement,
+                max_displacement: lg.max_displacement,
+                wall_seconds: lg.wall_seconds,
+            }),
+            dp: Some(DpMetrics {
+                initial_hpwl: dp.initial_hpwl,
+                final_hpwl: dp.final_hpwl,
+                slides: dp.slides,
+                reorders: dp.reorders,
+                swaps: dp.swaps,
+                wall_seconds: dp.wall_seconds,
+            }),
+            route: Some(RouteMetrics {
+                top5_overflow: congestion.top_overflow(0.05),
+                max_utilization: congestion.max_utilization(),
+            }),
+        };
+        std::fs::write(p, report.to_json_string())?;
+        println!("report written to {}", p.display());
+    }
+
     bookshelf::write_pl(&design, &out)?;
     println!("placement written to {}", out.display());
     Ok(())
 }
 
 fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let name = args
-        .first()
-        .filter(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| usage());
-    let cells: usize = args
-        .get(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| usage());
+    let name = positional(args, 0).unwrap_or_else(|| usage());
+    let cells: usize = parse_positional(args, 1, "cells")?.unwrap_or_else(|| usage());
     let out: PathBuf = flag_value(args, "--out")?
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
@@ -158,10 +177,7 @@ fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let aux = args
-        .first()
-        .filter(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| usage());
+    let aux = positional(args, 0).unwrap_or_else(|| usage());
     let density: f64 = parse_flag(args, "--density", 0.9)?;
     let design = bookshelf::read_aux(Path::new(aux), density)?;
     let s = DesignStats::of(&design);
@@ -173,15 +189,13 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_plot(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let aux = args
-        .first()
-        .filter(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| usage());
+    let aux = positional(args, 0).unwrap_or_else(|| usage());
     let out: PathBuf = flag_value(args, "-o")?
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new(aux).with_extension("svg"));
     let nets: usize = parse_flag(args, "--nets", 0)?;
-    let design = bookshelf::read_aux(Path::new(aux), 0.9)?;
+    let density: f64 = parse_flag(args, "--density", 0.9)?;
+    let design = bookshelf::read_aux(Path::new(aux), density)?;
     let config = xplace::db::plot::PlotConfig {
         longest_nets: nets,
         ..Default::default()
