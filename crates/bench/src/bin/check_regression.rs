@@ -1,4 +1,4 @@
-//! Compares a fresh [`RunReport`] against a committed baseline and exits
+//! Compares a fresh report against a committed baseline and exits
 //! non-zero on regression — the executable half of
 //! `scripts/check_regression.sh`.
 //!
@@ -8,24 +8,66 @@
 //!                  [--inject-hpwl-pct X]
 //! ```
 //!
-//! Deterministic quantities (final HPWL, modeled GP time, kernel launch
-//! count, iteration count, run structure) hard-fail beyond tolerance;
-//! wall-clock drift only warns. `--inject-hpwl-pct` inflates the current
-//! report's HPWL by X percent *after loading* — a self-test hook CI uses
-//! to prove the gate actually fails on a regression.
+//! Both single-run [`RunReport`]s and batch [`BatchReport`]s are
+//! accepted; the kind is auto-detected (a batch report is an object with
+//! a `jobs` array) and both sides must be the same kind. Deterministic
+//! quantities (final HPWL, modeled GP time, kernel launch count,
+//! iteration count, run structure — per job, for batches) hard-fail
+//! beyond tolerance; wall-clock drift only warns. `--inject-hpwl-pct`
+//! inflates the current report's HPWL by X percent *after loading* (every
+//! completed job of a batch) — a self-test hook CI uses to prove the gate
+//! actually fails on a regression.
 
 use xplace_bench::argv_parse;
-use xplace_telemetry::{compare_reports, FromJson, RunReport, Tolerances};
+use xplace_telemetry::{
+    compare_batch_reports, compare_reports, BatchReport, Comparison, FromJson, Json, RunReport,
+    Tolerances,
+};
 
-fn load(path: &str) -> RunReport {
+enum Loaded {
+    Run(RunReport),
+    Batch(BatchReport),
+}
+
+impl Loaded {
+    fn kind(&self) -> &'static str {
+        match self {
+            Loaded::Run(_) => "run report",
+            Loaded::Batch(_) => "batch report",
+        }
+    }
+}
+
+fn load(path: &str) -> Loaded {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
         std::process::exit(2)
     });
-    RunReport::from_json_str(&text).unwrap_or_else(|e| {
-        eprintln!("error: {path} is not a valid run report: {e}");
+    let json = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2)
+    });
+    let result = if json.get("jobs").is_some() {
+        BatchReport::from_json(&json).map(Loaded::Batch)
+    } else {
+        RunReport::from_json(&json).map(Loaded::Run)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid report: {e}");
         std::process::exit(2)
     })
+}
+
+/// Self-test hook: fake a quality regression so CI can verify the gate
+/// fails when it should.
+fn inject_hpwl(report: &mut RunReport, factor: f64) {
+    report.gp.final_hpwl *= factor;
+    if let Some(lg) = report.lg.as_mut() {
+        lg.final_hpwl *= factor;
+    }
+    if let Some(dp) = report.dp.as_mut() {
+        dp.final_hpwl *= factor;
+    }
 }
 
 fn main() {
@@ -65,20 +107,33 @@ fn main() {
 
     let inject: f64 = argv_parse("--inject-hpwl-pct", 0.0);
     if inject != 0.0 {
-        // Self-test hook: fake a quality regression so CI can verify the
-        // gate fails when it should.
         let f = 1.0 + inject / 100.0;
-        current.gp.final_hpwl *= f;
-        if let Some(lg) = current.lg.as_mut() {
-            lg.final_hpwl *= f;
-        }
-        if let Some(dp) = current.dp.as_mut() {
-            dp.final_hpwl *= f;
+        match &mut current {
+            Loaded::Run(report) => inject_hpwl(report, f),
+            Loaded::Batch(batch) => {
+                for job in &mut batch.jobs {
+                    if let Some(report) = job.report.as_mut() {
+                        inject_hpwl(report, f);
+                    }
+                }
+            }
         }
         eprintln!("(self-test: injected {inject:+.1}% HPWL into the current report)");
     }
 
-    let cmp = compare_reports(&baseline, &current, &tol);
+    let cmp: Comparison = match (&baseline, &current) {
+        (Loaded::Run(b), Loaded::Run(c)) => compare_reports(b, c, &tol),
+        (Loaded::Batch(b), Loaded::Batch(c)) => compare_batch_reports(b, c, &tol),
+        (b, c) => {
+            eprintln!(
+                "error: report kind mismatch: {baseline_path} is a {} but {current_path} \
+                 is a {}",
+                b.kind(),
+                c.kind()
+            );
+            std::process::exit(2)
+        }
+    };
     print!("{}", cmp.render());
     if cmp.passed() {
         println!("regression gate: PASS");

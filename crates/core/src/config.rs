@@ -131,6 +131,13 @@ pub struct XplaceConfig {
     /// every value**; it only changes wall-clock scheduling, not the modeled
     /// GPU time.
     pub threads: usize,
+    /// Test-only fault hook: panic at the start of this GP iteration.
+    ///
+    /// Used by failure-isolation tests to simulate a design that crashes
+    /// mid-placement. Deliberately **excluded** from [`Self::echo`]: it is
+    /// not a placement parameter, and a faulted run's trace prefix must stay
+    /// byte-identical to the healthy run's.
+    pub fail_at_iteration: Option<usize>,
 }
 
 impl XplaceConfig {
@@ -146,6 +153,7 @@ impl XplaceConfig {
             seed: 0x5eed,
             record: true,
             threads: 1,
+            fail_at_iteration: None,
         }
     }
 
@@ -296,5 +304,20 @@ mod tests {
         let c = XplaceConfig::xplace().with_grid(64).with_seed(9);
         assert_eq!(c.grid, Some(64));
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn fault_hook_is_excluded_from_the_config_echo() {
+        // A faulted run's trace prefix must stay byte-identical to the
+        // healthy run's, so the hook must not leak into the echo.
+        let healthy = XplaceConfig::xplace();
+        assert_eq!(healthy.fail_at_iteration, None);
+        use xplace_telemetry::ToJson;
+        let mut faulted = healthy.clone();
+        faulted.fail_at_iteration = Some(3);
+        assert_eq!(
+            healthy.echo().to_json_string(),
+            faulted.echo().to_json_string()
+        );
     }
 }

@@ -4,7 +4,13 @@
 
 use crate::{DensityGuidance, Framework, OperatorConfig, Parameters, PlaceError};
 use xplace_device::{Device, KernelInfo, Tape};
-use xplace_ops::{density::DensityOp, precond, wirelength, PlacementModel};
+use xplace_ops::{
+    density::DensityOp,
+    precond,
+    wirelength::{self, WaWorkspace},
+    PlacementModel,
+};
+use xplace_parallel::WorkerPool;
 
 /// Scalar results of one gradient evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +62,12 @@ pub struct GradientEngine {
     /// CPU launch width for the heavy kernel bodies (pool-scheduled;
     /// results are width-invariant).
     threads: usize,
+    /// Pool the kernel bodies launch on (the process-global pool by
+    /// default; batch schedulers inject their own handle so concurrent
+    /// placements do not contend for the same workers).
+    pool: &'static WorkerPool,
+    /// Reusable per-block scratch for the fused wirelength kernel.
+    wa_workspace: WaWorkspace,
 }
 
 impl std::fmt::Debug for GradientEngine {
@@ -106,6 +118,8 @@ impl GradientEngine {
             last_r: 0.0,
             guidance: None,
             threads: 1,
+            pool: xplace_parallel::global(),
+            wa_workspace: WaWorkspace::new(),
         })
     }
 
@@ -116,6 +130,15 @@ impl GradientEngine {
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
         self.density.set_threads(self.threads);
+    }
+
+    /// Redirects the heavy kernel bodies (fused wirelength, density
+    /// accumulation, spectral solve) onto `pool` instead of the
+    /// process-global pool. The blocked decompositions are fixed by the
+    /// design, so results are bit-identical regardless of the pool.
+    pub fn set_pool(&mut self, pool: &'static WorkerPool) {
+        self.pool = pool;
+        self.density.set_pool(pool);
     }
 
     /// Installs a neural density guidance (the Xplace-NN extension).
@@ -197,13 +220,15 @@ impl GradientEngine {
 
         // --- Wirelength operators. ---
         let (wa, hpwl) = if ops.reduction && ops.combination {
-            let out = wirelength::wa_fused_mt(
+            let out = wirelength::wa_fused_mt_ws(
                 device,
                 model,
                 params.gamma,
                 &mut self.grad_x,
                 &mut self.grad_y,
                 self.threads,
+                self.pool,
+                &mut self.wa_workspace,
             );
             (out.wa, out.hpwl)
         } else if ops.reduction {

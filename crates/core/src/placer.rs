@@ -85,6 +85,7 @@ impl PlacementReport {
 pub struct GlobalPlacer {
     config: XplaceConfig,
     guidance: Option<Box<dyn DensityGuidance>>,
+    pool: Option<&'static xplace_parallel::WorkerPool>,
 }
 
 impl GlobalPlacer {
@@ -93,7 +94,18 @@ impl GlobalPlacer {
         GlobalPlacer {
             config,
             guidance: None,
+            pool: None,
         }
+    }
+
+    /// Routes the heavy kernel bodies onto an injected worker pool instead
+    /// of the process-global one. Batch schedulers use this so concurrent
+    /// placements keep their launches on the scheduler's own pool; results
+    /// are bit-identical for any pool (the work decomposition is fixed by
+    /// the design).
+    pub fn with_pool(mut self, pool: &'static xplace_parallel::WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Installs a neural density guidance (the Xplace-NN extension of
@@ -197,6 +209,9 @@ impl GlobalPlacer {
 
         let mut engine = GradientEngine::new(self.config.framework, self.config.operators, &model)?;
         engine.set_threads(self.config.threads);
+        if let Some(pool) = self.pool {
+            engine.set_pool(pool);
+        }
         if let Some(g) = self.guidance.take() {
             engine.set_guidance(g);
         }
@@ -226,6 +241,11 @@ impl GlobalPlacer {
         let mut skip_window_open = false;
 
         for iter in 0..schedule.max_iterations {
+            if self.config.fail_at_iteration == Some(iter) {
+                // Test-only fault injection: simulates a design crashing
+                // mid-GP so failure-isolation paths can be exercised.
+                panic!("injected failure at GP iteration {iter}");
+            }
             let (eval, prof) = {
                 let (res, prof) =
                     device.scoped(|| engine.evaluate(&device, &model, &params, omega));
@@ -632,6 +652,44 @@ mod tests {
         assert_eq!(a, b, "same-seed traces differ");
         let c = trace_with(4);
         assert_eq!(a, c, "threads=4 trace differs from threads=1");
+    }
+
+    #[test]
+    fn fail_at_iteration_panics_at_the_requested_iteration() {
+        let mut design = small_design(31);
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 50;
+        cfg.fail_at_iteration = Some(5);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GlobalPlacer::new(cfg).place(&mut design)
+        }))
+        .unwrap_err();
+        let msg = xplace_parallel::panic_message(err.as_ref());
+        assert!(
+            msg.contains("injected failure at GP iteration 5"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn injected_pool_reproduces_global_pool_results_bitwise() {
+        static POOL: std::sync::OnceLock<xplace_parallel::WorkerPool> = std::sync::OnceLock::new();
+        let pool = POOL.get_or_init(|| xplace_parallel::WorkerPool::new(3));
+        let run = |pool: Option<&'static xplace_parallel::WorkerPool>| {
+            let mut design = small_design(33);
+            let mut cfg = XplaceConfig::xplace().with_threads(3);
+            cfg.schedule.max_iterations = 80;
+            let mut placer = GlobalPlacer::new(cfg);
+            if let Some(p) = pool {
+                placer = placer.with_pool(p);
+            }
+            let report = placer.place(&mut design).unwrap();
+            (report.final_hpwl, report.final_overflow)
+        };
+        let (h1, o1) = run(None);
+        let (h2, o2) = run(Some(pool));
+        assert_eq!(h1.to_bits(), h2.to_bits());
+        assert_eq!(o1.to_bits(), o2.to_bits());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! A shared read-only design cache for batch runs.
+//!
+//! A batch manifest often places the same design several times (ablation
+//! sweeps, per-config overrides) or many synthesized designs from the same
+//! spec family. Parsing a Bookshelf benchmark and synthesizing a netlist
+//! are both pure functions of their inputs, so jobs can safely share one
+//! parsed [`Design`] and clone it per run — the cache stores the pristine
+//! post-load state, and every `get` hands out an independent clone for the
+//! job to mutate.
+
+use crate::synthesis::{synthesize, SynthesisSpec};
+use crate::{bookshelf, DbError, Design};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A concurrency-safe cache of loaded designs, keyed by their source.
+///
+/// Lookups clone the cached [`Design`] (cheap relative to parsing or
+/// synthesis); the cached master copy is never mutated after insertion.
+/// Misses load under the lock, so concurrent jobs requesting the same
+/// design load it exactly once.
+#[derive(Debug, Default)]
+pub struct DesignCache {
+    entries: Mutex<HashMap<String, Design>>,
+    hits: Mutex<usize>,
+    misses: Mutex<usize>,
+}
+
+impl DesignCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            *self.hits.lock().unwrap_or_else(|e| e.into_inner()),
+            *self.misses.lock().unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    /// Number of cached designs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_load(
+        &self,
+        key: String,
+        load: impl FnOnce() -> Result<Design, DbError>,
+    ) -> Result<Design, DbError> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(design) = entries.get(&key) {
+            *self.hits.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+            return Ok(design.clone());
+        }
+        let design = load()?;
+        *self.misses.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        entries.insert(key, design.clone());
+        Ok(design)
+    }
+
+    /// Reads a Bookshelf benchmark through the cache.
+    ///
+    /// The key includes the target density bit-exactly: two jobs reading
+    /// the same `.aux` at different densities are different designs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from [`bookshelf::read_aux`] on a miss.
+    pub fn get_or_read_aux(&self, aux: &Path, target_density: f64) -> Result<Design, DbError> {
+        let key = format!("aux:{}:{:016x}", aux.display(), target_density.to_bits());
+        self.get_or_load(key, || bookshelf::read_aux(aux, target_density))
+    }
+
+    /// Synthesizes a design through the cache.
+    ///
+    /// The full spec (including seed and every shape parameter) is the
+    /// key, so distinct specs never collide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`] from [`synthesize`] on a miss.
+    pub fn get_or_synthesize(&self, spec: &SynthesisSpec) -> Result<Design, DbError> {
+        self.get_or_load(format!("synth:{spec:?}"), || synthesize(spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64) -> SynthesisSpec {
+        SynthesisSpec::new("cache", 120, 130).with_seed(seed)
+    }
+
+    #[test]
+    fn synthesis_is_cached_and_clones_are_independent() {
+        let cache = DesignCache::new();
+        let mut a = cache.get_or_synthesize(&spec(5)).unwrap();
+        let b = cache.get_or_synthesize(&spec(5)).unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.positions(), b.positions());
+        // Mutating one clone must not leak into the cached master.
+        let first = a.netlist().cell_ids().next().unwrap();
+        a.positions_mut()[0] = crate::Point {
+            x: -1234.5,
+            y: 999.0,
+        };
+        let c = cache.get_or_synthesize(&spec(5)).unwrap();
+        assert_eq!(cache.stats(), (2, 1));
+        assert_ne!(c.position(first), a.position(first));
+        assert_eq!(c.position(first), b.position(first));
+    }
+
+    #[test]
+    fn distinct_specs_are_distinct_entries() {
+        let cache = DesignCache::new();
+        cache.get_or_synthesize(&spec(1)).unwrap();
+        cache.get_or_synthesize(&spec(2)).unwrap();
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn aux_cache_keys_include_density() {
+        let dir = std::env::temp_dir().join(format!("xplace-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = synthesize(&spec(7)).unwrap();
+        let aux = bookshelf::write_design(&design, &dir).unwrap();
+        let cache = DesignCache::new();
+        let d1 = cache.get_or_read_aux(&aux, 0.9).unwrap();
+        let d2 = cache.get_or_read_aux(&aux, 0.9).unwrap();
+        let d3 = cache.get_or_read_aux(&aux, 0.8).unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(d1.target_density(), d2.target_density());
+        assert!((d3.target_density() - 0.8).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_propagate_and_are_not_cached() {
+        let cache = DesignCache::new();
+        let missing = Path::new("/nonexistent/xplace-missing.aux");
+        assert!(cache.get_or_read_aux(missing, 0.9).is_err());
+        assert!(cache.is_empty());
+    }
+}

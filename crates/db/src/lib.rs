@@ -14,8 +14,10 @@
 //!   ISPD 2015 contest releases,
 //! * [`synthesis`] — a parameterized circuit synthesizer that generates
 //!   designs matching the published statistics of each contest benchmark
-//!   (the documented substitution for the proprietary contest data), and
-//! * [`suites`] — the named `ispd2005_like` / `ispd2015_like` suites.
+//!   (the documented substitution for the proprietary contest data),
+//! * [`suites`] — the named `ispd2005_like` / `ispd2015_like` suites, and
+//! * [`cache`] — a concurrency-safe design cache so batch runs parse or
+//!   synthesize each distinct design once and hand out clones.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bookshelf;
+pub mod cache;
 pub mod def;
 pub mod design;
 mod error;
@@ -47,6 +50,7 @@ pub mod stats;
 pub mod suites;
 pub mod synthesis;
 
+pub use cache::DesignCache;
 pub use design::{Design, Row};
 pub use error::DbError;
 pub use fence::FenceRegion;

@@ -79,6 +79,31 @@ impl DctPlan {
         })
     }
 
+    /// Returns a plan of length `len`, cloned from a process-wide cache.
+    ///
+    /// Plan construction computes `O(N)` twiddle/phase tables; callers that
+    /// repeatedly build solvers for the same grid size (e.g. batch runs over
+    /// many designs) share that work through this cache. The returned plan
+    /// owns private scratch, so cached clones never contend at transform
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DctPlan::new`]; invalid lengths are never cached.
+    pub fn cached(len: usize) -> Result<Self, FftError> {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<usize, DctPlan>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = map.get(&len) {
+            return Ok(plan.clone());
+        }
+        let plan = DctPlan::new(len)?;
+        map.insert(len, plan.clone());
+        Ok(plan)
+    }
+
     /// The transform length.
     pub fn len(&self) -> usize {
         self.len
@@ -261,6 +286,33 @@ mod tests {
     fn rejects_invalid_lengths() {
         assert!(matches!(DctPlan::new(0), Err(FftError::EmptyLength)));
         assert!(matches!(DctPlan::new(10), Err(FftError::NotPowerOfTwo(10))));
+    }
+
+    #[test]
+    fn cached_plan_matches_fresh_plan_bitwise() {
+        let x = sample_signal(64);
+        let mut fresh = DctPlan::new(64).unwrap();
+        let mut cached = DctPlan::cached(64).unwrap();
+        let mut again = DctPlan::cached(64).unwrap();
+        let mut a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        let mut c = vec![0.0; 64];
+        fresh.analyze(&x, &mut a).unwrap();
+        cached.analyze(&x, &mut b).unwrap();
+        again.analyze(&x, &mut c).unwrap();
+        for ((p, q), r) in a.iter().zip(&b).zip(&c) {
+            assert_eq!(p.to_bits(), q.to_bits());
+            assert_eq!(p.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_rejects_invalid_lengths() {
+        assert!(matches!(DctPlan::cached(0), Err(FftError::EmptyLength)));
+        assert!(matches!(
+            DctPlan::cached(12),
+            Err(FftError::NotPowerOfTwo(12))
+        ));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! `idxst` kernel family; here the transforms come from [`DctPlan`].
 
 use crate::{DctPlan, FftError, Grid2};
+use xplace_parallel::WorkerPool;
 
 /// The potential and electric-field maps produced by one density solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +94,9 @@ pub struct ElectrostaticSolver {
     sbuf: Vec<f64>,
     /// Launch width for the row/column transform batches (>= 1).
     threads: usize,
+    /// Pool the transform batches launch on (the process-global pool by
+    /// default; batch schedulers inject their own handle).
+    pool: &'static WorkerPool,
     /// One transform context per potential worker; `ctxs[0]` also serves the
     /// serial path.
     ctxs: Vec<SolverCtx>,
@@ -117,6 +121,7 @@ struct SolverCtx {
 /// split; `width <= 1` (or a single row) short-circuits to a plain serial
 /// loop with no pool involvement.
 fn par_rows<F>(
+    pool: &WorkerPool,
     ctxs: &mut [SolverCtx],
     width: usize,
     dst: &mut [f64],
@@ -143,7 +148,7 @@ where
         .enumerate()
         .map(|(i, (ctx, chunk))| (i * chunk_rows, ctx, chunk))
         .collect();
-    let results = xplace_parallel::global().run_mut(&mut states, tasks, |_, state| {
+    let results = pool.run_mut(&mut states, tasks, |_, state| {
         let (row0, ctx, chunk) = state;
         for (offset, out) in chunk.chunks_mut(row_len).enumerate() {
             op(ctx, *row0 + offset, out)?;
@@ -163,8 +168,8 @@ impl ElectrostaticSolver {
     /// either dimension is not a nonzero power of two.
     pub fn new(nx: usize, ny: usize) -> Result<Self, FftError> {
         let ctx = SolverCtx {
-            plan_x: DctPlan::new(nx)?,
-            plan_y: DctPlan::new(ny)?,
+            plan_x: DctPlan::cached(nx)?,
+            plan_y: DctPlan::cached(ny)?,
             gather: vec![0.0; nx.max(ny)],
         };
         let wx = (0..nx)
@@ -183,6 +188,7 @@ impl ElectrostaticSolver {
             ybuf: vec![0.0; nx * ny],
             sbuf: vec![0.0; nx * ny],
             threads: 1,
+            pool: xplace_parallel::global(),
             ctxs: vec![ctx],
         })
     }
@@ -210,6 +216,16 @@ impl ElectrostaticSolver {
     /// Current launch width for the transform batches.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Redirects the transform batches onto `pool` (the process-global pool
+    /// is used until this is called).
+    ///
+    /// Per-row transforms are arithmetic-independent and the task-to-row
+    /// mapping is fixed, so the solution is bit-identical regardless of
+    /// which pool executes the batches.
+    pub fn set_pool(&mut self, pool: &'static WorkerPool) {
+        self.pool = pool;
     }
 
     /// Solves the electrostatic system, allocating a fresh [`FieldSolution`].
@@ -309,6 +325,7 @@ impl ElectrostaticSolver {
         let (nx, ny) = (self.nx, self.ny);
         // Transform along y (contiguous grid rows) into `ybuf` (ix, v).
         par_rows(
+            self.pool,
             &mut self.ctxs,
             self.threads,
             &mut self.ybuf,
@@ -320,6 +337,7 @@ impl ElectrostaticSolver {
         let norm = 4.0 / (nx as f64 * ny as f64);
         let ybuf = &self.ybuf;
         par_rows(
+            self.pool,
             &mut self.ctxs,
             self.threads,
             &mut self.coeffs,
@@ -354,6 +372,7 @@ impl ElectrostaticSolver {
         // `synth` (v, u); transform it into `sbuf` laid out (v, ix).
         let synth = &self.synth;
         par_rows(
+            self.pool,
             &mut self.ctxs,
             self.threads,
             &mut self.sbuf,
@@ -371,6 +390,7 @@ impl ElectrostaticSolver {
         // Then along y for each grid row ix.
         let sbuf = &self.sbuf;
         par_rows(
+            self.pool,
             &mut self.ctxs,
             self.threads,
             out.as_mut_slice(),

@@ -16,6 +16,39 @@
 
 use crate::PlacementModel;
 use xplace_device::{Device, KernelInfo};
+use xplace_parallel::WorkerPool;
+
+/// Reusable per-block scratch for [`wa_fused_blocked`].
+///
+/// The blocked kernel needs two `num_movable`-long gradient accumulators per
+/// net block. Allocating them fresh on every call puts two `Vec` allocations
+/// per block on the hottest path of every GP iteration; a workspace hoists
+/// them into slots that persist across calls (task `b` always uses slot `b`,
+/// zero-filled before each pass, so reuse is bitwise-identical to fresh
+/// buffers).
+#[derive(Debug, Clone, Default)]
+pub struct WaWorkspace {
+    /// One `(grad_x, grad_y)` accumulator pair per net block, grown on demand.
+    slots: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl WaWorkspace {
+    /// Creates an empty workspace; slots are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures at least `blocks` slots of length `nm` each.
+    fn prepare(&mut self, blocks: usize, nm: usize) {
+        if self.slots.len() < blocks {
+            self.slots.resize_with(blocks, Default::default);
+        }
+        for (gx, gy) in &mut self.slots[..blocks] {
+            gx.resize(nm, 0.0);
+            gy.resize(nm, 0.0);
+        }
+    }
+}
 
 /// Result of the fused wirelength kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -233,6 +266,28 @@ pub fn wa_fused_mt(
     wa_fused_blocked(device, model, gamma, grad_x, grad_y, threads, NET_BLOCK)
 }
 
+/// [`wa_fused_mt`] with an explicit pool handle and reusable workspace — the
+/// zero-allocation form used by the gradient engine's hot loop.
+///
+/// # Panics
+///
+/// Panics if the gradient slices are shorter than the movable-node count.
+#[allow(clippy::too_many_arguments)]
+pub fn wa_fused_mt_ws(
+    device: &Device,
+    model: &PlacementModel,
+    gamma: f64,
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+    threads: usize,
+    pool: &WorkerPool,
+    ws: &mut WaWorkspace,
+) -> FusedWirelength {
+    wa_fused_blocked_ws(
+        device, model, gamma, grad_x, grad_y, threads, NET_BLOCK, pool, ws,
+    )
+}
+
 /// [`wa_fused_mt`] with an explicit block size — the deterministic blocked
 /// core. Exposed so tests and benchmarks can force multi-block decompositions
 /// on small designs; production callers use [`wa_fused_mt`].
@@ -250,6 +305,42 @@ pub fn wa_fused_blocked(
     threads: usize,
     net_block: usize,
 ) -> FusedWirelength {
+    let mut ws = WaWorkspace::new();
+    wa_fused_blocked_ws(
+        device,
+        model,
+        gamma,
+        grad_x,
+        grad_y,
+        threads,
+        net_block,
+        xplace_parallel::global(),
+        &mut ws,
+    )
+}
+
+/// [`wa_fused_blocked`] with an explicit pool handle and a caller-owned
+/// [`WaWorkspace`]: the per-block gradient accumulators live in the
+/// workspace instead of being allocated per call. Slot `b` is zero-filled
+/// before block `b`'s pass, so a reused workspace produces bit-identical
+/// results to fresh buffers.
+///
+/// # Panics
+///
+/// Panics if the gradient slices are shorter than the movable-node count or
+/// `net_block` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn wa_fused_blocked_ws(
+    device: &Device,
+    model: &PlacementModel,
+    gamma: f64,
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+    threads: usize,
+    net_block: usize,
+    pool: &WorkerPool,
+    ws: &mut WaWorkspace,
+) -> FusedWirelength {
     assert!(net_block > 0, "net_block must be nonzero");
     let num_nets = model.num_nets();
     let blocks = num_nets.div_ceil(net_block).max(1);
@@ -262,17 +353,18 @@ pub fn wa_fused_blocked(
         .flops(model.num_pins() as u64 * 68);
     device.launch(kernel, || {
         let nm = model.num_movable();
-        let partials = xplace_parallel::global().run(blocks, threads.max(1), |b| {
+        ws.prepare(blocks, nm);
+        let partials = pool.run_mut(&mut ws.slots[..blocks], threads.max(1), |b, slot| {
             let lo = b * net_block;
             let hi = (lo + net_block).min(num_nets);
-            let mut gx = vec![0.0; nm];
-            let mut gy = vec![0.0; nm];
-            let out = wa_pass_range(model, gamma, lo, hi, &mut gx, &mut gy);
-            (out, gx, gy)
+            let (gx, gy) = slot;
+            gx.fill(0.0);
+            gy.fill(0.0);
+            wa_pass_range(model, gamma, lo, hi, gx, gy)
         });
         // Merge in block order: fixed reduction order for any thread count.
         let mut total = FusedWirelength::default();
-        for (out, gx, gy) in &partials {
+        for (out, (gx, gy)) in partials.iter().zip(&ws.slots[..blocks]) {
             total.wa += out.wa;
             total.hpwl += out.hpwl;
             for i in 0..nm {

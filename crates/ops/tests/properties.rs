@@ -183,6 +183,40 @@ props! {
         }
     }
 
+    /// A reused [`wirelength::WaWorkspace`] produces gradients bit-identical
+    /// to fresh per-call buffers: the workspace hoist is a pure allocation
+    /// optimization, never an arithmetic change. The workspace is driven
+    /// through three models of different sizes so slot reuse (including
+    /// shrinking `nm`) is exercised, then the original model is re-run and
+    /// compared bitwise against the allocate-per-call path.
+    fn wa_workspace_reuse_is_bitwise_equal(seed in 0u64..500, threads in 1usize..5) {
+        let m = scattered_model(200, seed, seed ^ 0x31);
+        let device = Device::new(DeviceConfig::instant());
+        let n = m.num_nodes();
+        let (mut gx1, mut gy1) = (vec![0.0; n], vec![0.0; n]);
+        let fresh = wirelength::wa_fused_blocked(&device, &m, 5.0, &mut gx1, &mut gy1, threads, 32);
+        let mut ws = wirelength::WaWorkspace::new();
+        let pool = xplace_parallel::global();
+        for dirty_cells in [120, 260] {
+            let dirty = scattered_model(dirty_cells, seed ^ 0x7, seed ^ 0x13);
+            let nd = dirty.num_nodes();
+            let (mut dx, mut dy) = (vec![0.0; nd], vec![0.0; nd]);
+            wirelength::wa_fused_blocked_ws(
+                &device, &dirty, 5.0, &mut dx, &mut dy, threads, 32, pool, &mut ws,
+            );
+        }
+        let (mut gx2, mut gy2) = (vec![0.0; n], vec![0.0; n]);
+        let reused = wirelength::wa_fused_blocked_ws(
+            &device, &m, 5.0, &mut gx2, &mut gy2, threads, 32, pool, &mut ws,
+        );
+        prop_assert!(fresh.wa.to_bits() == reused.wa.to_bits());
+        prop_assert!(fresh.hpwl.to_bits() == reused.hpwl.to_bits());
+        for i in 0..n {
+            prop_assert!(gx1[i].to_bits() == gx2[i].to_bits(), "gx at {}", i);
+            prop_assert!(gy1[i].to_bits() == gy2[i].to_bits(), "gy at {}", i);
+        }
+    }
+
     /// Blocked density accumulation agrees with serial (small node block
     /// forces a multi-block decomposition).
     fn density_blocked_matches_serial(seed in 0u64..500, threads in 2usize..5) {

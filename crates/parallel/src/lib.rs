@@ -272,6 +272,26 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Like [`run`](Self::run), but each task's panic is caught
+    /// *individually* and returned as `Err` in that task's result slot
+    /// instead of aborting the launch: the job-level scheduling primitive.
+    ///
+    /// [`run`](Self::run) is the right shape for data-parallel kernel
+    /// bodies, where one panicked block means the whole kernel is wrong.
+    /// A batch scheduler needs the opposite contract — one failing *job*
+    /// must not take its siblings down — so here every task is fenced by
+    /// its own `catch_unwind` and the launch always returns `tasks`
+    /// results in task order, `Ok` or `Err` per task.
+    pub fn run_isolated<R, F>(&self, tasks: usize, width: usize, f: F) -> Vec<Result<R, String>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run(tasks, width, |index| {
+            catch_unwind(AssertUnwindSafe(|| f(index))).map_err(|p| panic_message(p.as_ref()))
+        })
+    }
+
     /// Like [`run`](Self::run), but each task also gets exclusive access to
     /// one element of `states` (task `i` → `states[i]`): per-task scratch
     /// such as transform plans lives across launches without reallocation.
@@ -300,6 +320,14 @@ impl WorkerPool {
             .into_iter()
             .map(|slot| slot.expect("pool task did not produce a result"))
             .collect()
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
     }
 }
 
@@ -342,6 +370,20 @@ impl<S> SharedStates<S> {
 // SAFETY: disjoint per-task borrows, states are `Send`.
 unsafe impl<S: Send> Send for SharedStates<S> {}
 unsafe impl<S: Send> Sync for SharedStates<S> {}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` payloads; anything else gets a fixed placeholder). Used by
+/// [`WorkerPool::run_isolated`] and by job schedulers that fence work with
+/// `catch_unwind` themselves.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Number of hardware threads available to this process (≥ 1).
 pub fn available_threads() -> usize {
@@ -453,6 +495,55 @@ mod tests {
         // Pool must stay usable after a panicked launch.
         let results = pool.run(4, 4, |i| i);
         assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_isolated_reports_failures_without_aborting_siblings() {
+        let pool = WorkerPool::new(4);
+        let results = pool.run_isolated(8, 4, |i| {
+            if i == 3 {
+                panic!("job {i} exploded");
+            }
+            i * 2
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let err = r.as_ref().unwrap_err();
+                assert!(err.contains("job 3 exploded"), "{err}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2, "sibling {i} must complete");
+            }
+        }
+        // Pool stays usable afterwards.
+        assert_eq!(pool.run(3, 4, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_isolated_is_ordered_and_width_invariant() {
+        let pool = WorkerPool::new(4);
+        let run = |width: usize| {
+            pool.run_isolated(10, width, |i| {
+                if i % 4 == 1 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        };
+        let a = run(1);
+        for width in 2..=4 {
+            assert_eq!(a, run(width), "width {width} changed outcomes");
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p = catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "literal");
+        let p = catch_unwind(|| panic!("{}", String::from("formatted"))).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 
     #[test]

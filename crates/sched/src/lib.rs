@@ -1,0 +1,284 @@
+//! Batch placement scheduling for the xplace workspace.
+//!
+//! The paper's workflow evaluates a placer across a *suite* of designs;
+//! this crate runs such a suite as one batch over the persistent
+//! [`xplace_parallel`] worker pool. The contract:
+//!
+//! * **Deterministic ordering** — results are keyed by job index (manifest
+//!   order), never by completion order. Job `i`'s slot in the
+//!   [`BatchReport`] and its trace are the same for every thread count.
+//! * **Bit-identical to serial** — each job runs the exact GP → LG → DP
+//!   flow a serial `xplace place` run would, and every kernel
+//!   decomposition is thread-count-invariant, so a job's metrics and its
+//!   JSON-lines trace are byte-identical to the serial run's.
+//! * **Failure isolation** — each job is fenced by its own `catch_unwind`
+//!   ([`WorkerPool::run_isolated`](xplace_parallel::WorkerPool::run_isolated)):
+//!   a panicking or erroring design is reported as a failed [`JobRecord`]
+//!   while its siblings complete normally.
+//! * **Shared caches** — jobs share one read-only [`DesignCache`], so a
+//!   design placed under several configs is parsed or synthesized once,
+//!   and spectral solver plans are reused across jobs of the same grid
+//!   size through the process-wide DCT plan cache.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod manifest;
+
+pub use manifest::{BatchManifest, DesignSource, JobSpec};
+
+use xplace_core::GlobalPlacer;
+use xplace_db::DesignCache;
+use xplace_legal::{check_legality, detailed_place, legalize, DpConfig};
+use xplace_route::{estimate_congestion, RouteConfig};
+use xplace_telemetry::{
+    BatchReport, DpMetrics, JobRecord, LgMetrics, RouteMetrics, RunReport, VecSink,
+};
+
+/// One completed job: its run summary plus the trace text a serial
+/// `--trace` run would have written.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The run summary (same shape as `xplace place --report`).
+    pub report: RunReport,
+    /// JSON-lines telemetry trace (byte-identical to the serial run's).
+    pub trace: String,
+}
+
+/// The result of a whole batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-job records in manifest order.
+    pub report: BatchReport,
+    /// Per-job traces in manifest order; `None` for failed jobs.
+    pub traces: Vec<Option<String>>,
+    /// Design-cache `(hits, misses)` across the batch.
+    pub cache_stats: (usize, usize),
+}
+
+/// Runs one job of a manifest: load (through `cache`) → GP → LG → DP →
+/// legality check → congestion estimate.
+///
+/// `threads` is the kernel launch width; it never changes metrics, only
+/// wall-clock time. When the job runs on a pool worker (a concurrent
+/// batch), nested kernel launches degrade to inline serial execution —
+/// bit-identical by the workspace determinism contract.
+///
+/// # Errors
+///
+/// Returns the failure message that becomes the job's
+/// [`JobRecord::error`]: design load errors, placement errors, and
+/// legality-check failures. Panics (including the `fail_at` fault hook)
+/// are *not* caught here — [`run_batch`] fences them per job.
+pub fn run_job(job: &JobSpec, threads: usize, cache: &DesignCache) -> Result<JobOutcome, String> {
+    let mut design = match &job.source {
+        DesignSource::Aux { path, density } => cache
+            .get_or_read_aux(path, *density)
+            .map_err(|e| format!("loading {}: {e}", path.display()))?,
+        DesignSource::Synth { .. } => {
+            let spec = job.source.synth_spec().expect("synth source has a spec");
+            cache
+                .get_or_synthesize(&spec)
+                .map_err(|e| format!("synthesizing {}: {e}", spec.name))?
+        }
+    };
+    let config = job.config(threads);
+    let mut sink = VecSink::new();
+    let gp = GlobalPlacer::new(config.clone())
+        .place_traced(&mut design, &mut sink)
+        .map_err(|e| format!("global placement: {e}"))?;
+    let lg = legalize(&mut design).map_err(|e| format!("legalization: {e}"))?;
+    let dp = detailed_place(&mut design, &DpConfig::default());
+    check_legality(&design).map_err(|e| format!("legality check: {e}"))?;
+    let congestion = estimate_congestion(&design, &RouteConfig::default());
+    let report = RunReport {
+        design: design.name().to_string(),
+        cells: design.netlist().num_cells(),
+        nets: design.netlist().num_nets(),
+        config: config.echo(),
+        threads: config.threads,
+        gp: gp.gp_metrics(),
+        lg: Some(LgMetrics {
+            initial_hpwl: lg.initial_hpwl,
+            final_hpwl: lg.final_hpwl,
+            mean_displacement: lg.mean_displacement,
+            max_displacement: lg.max_displacement,
+            wall_seconds: lg.wall_seconds,
+        }),
+        dp: Some(DpMetrics {
+            initial_hpwl: dp.initial_hpwl,
+            final_hpwl: dp.final_hpwl,
+            slides: dp.slides,
+            reorders: dp.reorders,
+            swaps: dp.swaps,
+            wall_seconds: dp.wall_seconds,
+        }),
+        route: Some(RouteMetrics {
+            top5_overflow: congestion.top_overflow(0.05),
+            max_utilization: congestion.max_utilization(),
+        }),
+    };
+    Ok(JobOutcome {
+        report,
+        trace: sink.to_jsonl(),
+    })
+}
+
+/// Runs every job of `manifest` concurrently on up to `threads` threads
+/// of the process-wide worker pool.
+///
+/// Jobs are dispatched with the pool's fixed task→executor mapping and
+/// collected by job index, so the [`BatchOutcome`] is deterministic for
+/// any thread count. A job that panics or errors becomes a failed
+/// [`JobRecord`] (with the panic payload or error text) without
+/// affecting its siblings — the batch itself always returns.
+pub fn run_batch(manifest: &BatchManifest, threads: usize) -> BatchOutcome {
+    let cache = DesignCache::new();
+    let pool = xplace_parallel::global();
+    let results = pool.run_isolated(manifest.jobs.len(), threads.max(1), |i| {
+        run_job(&manifest.jobs[i], threads, &cache)
+    });
+    let mut jobs = Vec::with_capacity(manifest.jobs.len());
+    let mut traces = Vec::with_capacity(manifest.jobs.len());
+    for (job, result) in manifest.jobs.iter().zip(results) {
+        match result {
+            Ok(Ok(outcome)) => {
+                jobs.push(JobRecord::completed(&job.name, outcome.report));
+                traces.push(Some(outcome.trace));
+            }
+            Ok(Err(error)) | Err(error) => {
+                jobs.push(JobRecord::failed(&job.name, error));
+                traces.push(None);
+            }
+        }
+    }
+    BatchOutcome {
+        report: BatchReport::new(jobs),
+        traces,
+        cache_stats: cache.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplace_telemetry::JobStatus;
+
+    fn manifest(jobs: &str) -> BatchManifest {
+        BatchManifest::parse(&format!("{{\"jobs\": [{jobs}]}}")).expect("test manifest parses")
+    }
+
+    const TINY_A: &str =
+        r#"{"name": "a", "synth": {"cells": 200, "nets": 210, "seed": 3}, "max_iters": 60}"#;
+    const TINY_B: &str =
+        r#"{"name": "b", "synth": {"cells": 220, "nets": 230, "seed": 4}, "max_iters": 60}"#;
+
+    #[test]
+    fn batch_matches_serial_for_any_thread_count() {
+        let m = manifest(&format!("{TINY_A}, {TINY_B}"));
+        let serial_cache = DesignCache::new();
+        let serial: Vec<JobOutcome> = m
+            .jobs
+            .iter()
+            .map(|j| run_job(j, 1, &serial_cache).unwrap())
+            .collect();
+        for threads in [1, 4] {
+            let batch = run_batch(&m, threads);
+            assert!(batch.report.all_completed());
+            for (i, job) in batch.report.jobs.iter().enumerate() {
+                let got = job.report.as_ref().unwrap();
+                let want = &serial[i].report;
+                assert_eq!(
+                    got.final_hpwl().to_bits(),
+                    want.final_hpwl().to_bits(),
+                    "job {i} HPWL diverged at {threads} threads"
+                );
+                assert_eq!(
+                    got.gp.final_overflow.to_bits(),
+                    want.gp.final_overflow.to_bits()
+                );
+                assert_eq!(
+                    batch.traces[i].as_deref(),
+                    Some(serial[i].trace.as_str()),
+                    "job {i} trace diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failing_job_is_isolated_from_siblings() {
+        let broken = r#"{"name": "broken", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60, "fail_at": 5}"#;
+        let m = manifest(&format!("{TINY_A}, {broken}, {TINY_B}"));
+        let batch = run_batch(&m, 4);
+        assert_eq!(batch.report.total(), 3);
+        assert_eq!(batch.report.failed(), 1);
+        let record = batch.report.job("broken").unwrap();
+        assert_eq!(record.status, JobStatus::Failed);
+        assert!(
+            record
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("injected failure at GP iteration 5"),
+            "{:?}",
+            record.error
+        );
+        assert!(record.report.is_none());
+        assert!(batch.traces[1].is_none());
+        for name in ["a", "b"] {
+            let sibling = batch.report.job(name).unwrap();
+            assert_eq!(sibling.status, JobStatus::Completed, "{name} must finish");
+            assert!(sibling.report.as_ref().unwrap().final_hpwl() > 0.0);
+        }
+    }
+
+    #[test]
+    fn load_errors_fail_the_job_not_the_batch() {
+        let missing = r#"{"name": "missing", "aux": "/nonexistent/never.aux"}"#;
+        let m = manifest(&format!("{TINY_A}, {missing}"));
+        let batch = run_batch(&m, 2);
+        assert_eq!(batch.report.completed(), 1);
+        let record = batch.report.job("missing").unwrap();
+        assert_eq!(record.status, JobStatus::Failed);
+        assert!(
+            record.error.as_deref().unwrap().contains("never.aux"),
+            "{:?}",
+            record.error
+        );
+    }
+
+    #[test]
+    fn same_design_is_loaded_once_across_jobs() {
+        // Two jobs, same synth spec, different placer seeds: one cache
+        // miss, one hit, and the runs still differ (seed is a placer
+        // parameter, not a design parameter).
+        let m = manifest(
+            r#"{"name": "s1", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60, "seed": 1},
+               {"name": "s2", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60, "seed": 2}"#,
+        );
+        let batch = run_batch(&m, 2);
+        assert!(batch.report.all_completed());
+        assert_eq!(batch.cache_stats, (1, 1));
+        let h1 = batch.report.jobs[0].report.as_ref().unwrap().final_hpwl();
+        let h2 = batch.report.jobs[1].report.as_ref().unwrap().final_hpwl();
+        assert_ne!(h1.to_bits(), h2.to_bits());
+    }
+
+    #[test]
+    fn batch_is_reproducible_run_to_run() {
+        let m = manifest(&format!("{TINY_A}, {TINY_B}"));
+        let first = run_batch(&m, 4);
+        let second = run_batch(&m, 2);
+        assert_eq!(first.traces, second.traces);
+        let cmp = xplace_telemetry::compare_batch_reports(
+            &first.report,
+            &second.report,
+            &xplace_telemetry::Tolerances::default(),
+        );
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+    }
+}

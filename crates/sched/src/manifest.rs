@@ -1,0 +1,341 @@
+//! The batch manifest: which designs to place, under which configurations.
+//!
+//! A manifest is a single JSON object with a `jobs` array. Each job names
+//! its design source — either a Bookshelf `.aux` file or a synthesis spec —
+//! plus optional per-job placer overrides:
+//!
+//! ```json
+//! {"jobs": [
+//!   {"name": "tiny",  "synth": {"cells": 300, "nets": 320, "seed": 3},
+//!    "max_iters": 120, "seed": 7},
+//!   {"name": "board", "aux": "bench/board.aux", "density": 0.9,
+//!    "baseline": true, "grid": 64}
+//! ]}
+//! ```
+//!
+//! Job names must be unique: they key the [`JobRecord`]s of the resulting
+//! [`BatchReport`](xplace_telemetry::BatchReport), and the regression
+//! comparator pairs baseline and current jobs by name.
+//!
+//! [`JobRecord`]: xplace_telemetry::JobRecord
+
+use std::path::PathBuf;
+use xplace_core::XplaceConfig;
+use xplace_db::synthesis::SynthesisSpec;
+use xplace_telemetry::{FromJson, Json, JsonError};
+
+/// Where a job's design comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignSource {
+    /// A Bookshelf benchmark on disk (`"aux"` + optional `"density"`).
+    Aux {
+        /// Path to the `.aux` file.
+        path: PathBuf,
+        /// Target placement density (default 0.9).
+        density: f64,
+    },
+    /// A synthesized benchmark (`"synth"` object).
+    Synth {
+        /// Number of movable cells (required).
+        cells: usize,
+        /// Number of nets (default `cells + cells / 20`).
+        nets: usize,
+        /// Synthesis seed (default 1).
+        seed: u64,
+        /// Number of fixed macros (default 0).
+        macros: usize,
+    },
+}
+
+impl DesignSource {
+    /// The synthesis spec of a `Synth` source.
+    ///
+    /// The design name is derived from the parameters — not the job name —
+    /// so jobs placing the same synthetic design under different configs
+    /// share one [`DesignCache`](xplace_db::DesignCache) entry.
+    pub fn synth_spec(&self) -> Option<SynthesisSpec> {
+        match self {
+            DesignSource::Aux { .. } => None,
+            DesignSource::Synth {
+                cells,
+                nets,
+                seed,
+                macros,
+            } => {
+                let name = format!("synth_c{cells}_n{nets}_s{seed}_m{macros}");
+                Some(
+                    SynthesisSpec::new(name, *cells, *nets)
+                        .with_seed(*seed)
+                        .with_macro_count(*macros),
+                )
+            }
+        }
+    }
+}
+
+/// One job: a design source plus per-job placer overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job name (keys the batch report).
+    pub name: String,
+    /// Design source.
+    pub source: DesignSource,
+    /// GP iteration cap override (`"max_iters"`).
+    pub max_iters: Option<usize>,
+    /// Placer seed override (`"seed"`).
+    pub seed: Option<u64>,
+    /// Run the DREAMPlace-like baseline config (`"baseline"`, default
+    /// `false`).
+    pub baseline: bool,
+    /// Density-grid override (`"grid"`, power of two).
+    pub grid: Option<usize>,
+    /// Test-only fault hook: panic at this GP iteration (`"fail_at"`).
+    pub fail_at: Option<usize>,
+}
+
+impl JobSpec {
+    /// Builds this job's placer configuration.
+    ///
+    /// Starts from [`XplaceConfig::xplace`] (or
+    /// [`XplaceConfig::dreamplace_like`] with `baseline`), applies the
+    /// overrides, and sets the kernel thread width — metrics are
+    /// bit-identical for any width, so sharing the batch-level count is
+    /// safe.
+    pub fn config(&self, threads: usize) -> XplaceConfig {
+        let mut cfg = if self.baseline {
+            XplaceConfig::dreamplace_like()
+        } else {
+            XplaceConfig::xplace()
+        };
+        if let Some(n) = self.max_iters {
+            cfg.schedule.max_iterations = n;
+        }
+        if let Some(s) = self.seed {
+            cfg.seed = s;
+        }
+        if let Some(g) = self.grid {
+            cfg.grid = Some(g);
+        }
+        cfg.fail_at_iteration = self.fail_at;
+        cfg.threads = threads.max(1);
+        cfg
+    }
+}
+
+/// The parsed batch manifest: a non-empty list of uniquely named jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchManifest {
+    /// Jobs in manifest order (the order of the batch report).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl BatchManifest {
+    /// Parses manifest JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON, a missing or empty
+    /// `jobs` array, a job without exactly one design source, or a
+    /// duplicate job name.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_str(text)
+    }
+}
+
+fn opt_field<T: FromJson>(value: &Json, key: &str) -> Result<Option<T>, JsonError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => T::from_json(v)
+            .map(Some)
+            .map_err(|e| JsonError(format!("field `{key}`: {e}"))),
+    }
+}
+
+fn parse_source(value: &Json, name: &str) -> Result<DesignSource, JsonError> {
+    let aux = opt_field::<String>(value, "aux")?;
+    let synth = value.get("synth").filter(|v| !matches!(v, Json::Null));
+    match (aux, synth) {
+        (Some(path), None) => Ok(DesignSource::Aux {
+            path: PathBuf::from(path),
+            density: opt_field(value, "density")?.unwrap_or(0.9),
+        }),
+        (None, Some(spec)) => {
+            let cells: usize = spec
+                .field("cells")
+                .and_then(usize::from_json)
+                .map_err(|e| JsonError(format!("job `{name}` synth: {e}")))?;
+            Ok(DesignSource::Synth {
+                cells,
+                nets: opt_field(spec, "nets")?.unwrap_or(cells + cells / 20),
+                seed: opt_field(spec, "seed")?.unwrap_or(1),
+                macros: opt_field(spec, "macros")?.unwrap_or(0),
+            })
+        }
+        (Some(_), Some(_)) => Err(JsonError(format!(
+            "job `{name}` has both `aux` and `synth` design sources"
+        ))),
+        (None, None) => Err(JsonError(format!(
+            "job `{name}` has no design source (need `aux` or `synth`)"
+        ))),
+    }
+}
+
+impl FromJson for JobSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let name = String::from_json(value.field("name")?)?;
+        if name.is_empty() {
+            return Err(JsonError("job name must be non-empty".into()));
+        }
+        Ok(JobSpec {
+            source: parse_source(value, &name)?,
+            max_iters: opt_field(value, "max_iters")?,
+            seed: opt_field(value, "seed")?,
+            baseline: opt_field(value, "baseline")?.unwrap_or(false),
+            grid: opt_field(value, "grid")?,
+            fail_at: opt_field(value, "fail_at")?,
+            name,
+        })
+    }
+}
+
+impl FromJson for BatchManifest {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let jobs = Vec::<JobSpec>::from_json(value.field("jobs")?)?;
+        if jobs.is_empty() {
+            return Err(JsonError("manifest has no jobs".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for job in &jobs {
+            if !seen.insert(job.name.as_str()) {
+                return Err(JsonError(format!("duplicate job name `{}`", job.name)));
+            }
+        }
+        Ok(BatchManifest { jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"jobs": [
+        {"name": "tiny", "synth": {"cells": 300, "nets": 320, "seed": 3},
+         "max_iters": 120, "seed": 7},
+        {"name": "board", "aux": "bench/board.aux", "density": 0.8,
+         "baseline": true, "grid": 64, "fail_at": 5}
+    ]}"#;
+
+    #[test]
+    fn good_manifest_parses_in_order() {
+        let m = BatchManifest::parse(GOOD).unwrap();
+        assert_eq!(m.jobs.len(), 2);
+        assert_eq!(m.jobs[0].name, "tiny");
+        assert_eq!(
+            m.jobs[0].source,
+            DesignSource::Synth {
+                cells: 300,
+                nets: 320,
+                seed: 3,
+                macros: 0
+            }
+        );
+        assert_eq!(m.jobs[0].max_iters, Some(120));
+        assert_eq!(m.jobs[0].seed, Some(7));
+        assert!(!m.jobs[0].baseline);
+        assert_eq!(
+            m.jobs[1].source,
+            DesignSource::Aux {
+                path: PathBuf::from("bench/board.aux"),
+                density: 0.8
+            }
+        );
+        assert!(m.jobs[1].baseline);
+        assert_eq!(m.jobs[1].grid, Some(64));
+        assert_eq!(m.jobs[1].fail_at, Some(5));
+    }
+
+    #[test]
+    fn synth_defaults_fill_in() {
+        let m =
+            BatchManifest::parse(r#"{"jobs": [{"name": "d", "synth": {"cells": 100}}]}"#).unwrap();
+        assert_eq!(
+            m.jobs[0].source,
+            DesignSource::Synth {
+                cells: 100,
+                nets: 105,
+                seed: 1,
+                macros: 0
+            }
+        );
+        let spec = m.jobs[0].source.synth_spec().unwrap();
+        assert_eq!(spec.name, "synth_c100_n105_s1_m0");
+        assert_eq!(spec.num_cells, 100);
+    }
+
+    #[test]
+    fn config_applies_overrides() {
+        let m = BatchManifest::parse(GOOD).unwrap();
+        let cfg = m.jobs[0].config(4);
+        assert_eq!(cfg.schedule.max_iterations, 120);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.fail_at_iteration, None);
+        let cfg = m.jobs[1].config(0);
+        assert_eq!(cfg.framework, xplace_core::Framework::DreamplaceLike);
+        assert_eq!(cfg.grid, Some(64));
+        assert_eq!(cfg.fail_at_iteration, Some(5));
+        assert_eq!(cfg.threads, 1);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(BatchManifest::parse("{not json").is_err());
+        let err = BatchManifest::parse("{}").unwrap_err();
+        assert!(err.to_string().contains("jobs"), "{err}");
+    }
+
+    #[test]
+    fn empty_job_list_is_rejected() {
+        let err = BatchManifest::parse(r#"{"jobs": []}"#).unwrap_err();
+        assert!(err.to_string().contains("no jobs"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_job_names_are_rejected() {
+        let err = BatchManifest::parse(
+            r#"{"jobs": [{"name": "a", "synth": {"cells": 10}},
+                         {"name": "a", "synth": {"cells": 20}}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate job name `a`"), "{err}");
+    }
+
+    #[test]
+    fn design_source_must_be_exactly_one() {
+        let err = BatchManifest::parse(r#"{"jobs": [{"name": "a"}]}"#).unwrap_err();
+        assert!(err.to_string().contains("no design source"), "{err}");
+        let err = BatchManifest::parse(
+            r#"{"jobs": [{"name": "a", "aux": "x.aux", "synth": {"cells": 10}}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("both `aux` and `synth`"), "{err}");
+        let err = BatchManifest::parse(r#"{"jobs": [{"name": "a", "synth": {}}]}"#).unwrap_err();
+        assert!(err.to_string().contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn bad_override_types_are_rejected_with_context() {
+        let err = BatchManifest::parse(
+            r#"{"jobs": [{"name": "a", "synth": {"cells": 10}, "max_iters": "lots"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("max_iters"), "{err}");
+    }
+
+    #[test]
+    fn empty_name_is_rejected() {
+        let err = BatchManifest::parse(r#"{"jobs": [{"name": "", "synth": {"cells": 10}}]}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
+    }
+}

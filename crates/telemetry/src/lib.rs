@@ -19,7 +19,11 @@
 //! * [`compare_reports`] — the regression comparator behind
 //!   `scripts/check_regression.sh`: deterministic quantities (HPWL,
 //!   modeled time, launch counts, structure) hard-fail beyond tolerance,
-//!   wall-clock drift only warns.
+//!   wall-clock drift only warns,
+//! * [`BatchReport`] — the manifest-ordered array of per-job records
+//!   ([`JobRecord`]: status + optional [`RunReport`]) a batch run writes;
+//!   [`compare_batch_reports`] gates it job by job through the same
+//!   tolerances.
 //!
 //! Everything serializes through `xplace-testkit`'s hand-rolled
 //! [`ToJson`](xplace_testkit::json::ToJson) /
@@ -38,12 +42,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod event;
 mod recorder;
 mod regression;
 mod report;
 mod sink;
 
+pub use batch::{compare_batch_reports, BatchReport, JobRecord, JobStatus};
 pub use event::{stage_of, ConfigEcho, IterationRecord, ProfileDelta, Stage, TelemetryEvent};
 pub use recorder::Recorder;
 pub use regression::{compare_reports, Comparison, Tolerances};

@@ -6,8 +6,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -33,6 +33,41 @@ cmp "$SMOKE/t1.jsonl" "$SMOKE/t4.jsonl" \
     || { echo "FAIL: traces differ across thread counts" >&2; exit 1; }
 ./target/release/telemetry_check trace "$SMOKE/t1.jsonl"
 ./target/release/telemetry_check report "$SMOKE/t1.json"
+
+echo "==> batch smoke: 2-design batch, trace parity, batch gate, failure isolation"
+cat > "$SMOKE/suite.json" <<EOF
+{"jobs": [
+  {"name": "s1", "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120},
+  {"name": "s2", "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120, "seed": 7}
+]}
+EOF
+./target/release/xplace batch "$SMOKE/suite.json" --threads 4 \
+    --trace-dir "$SMOKE/batch-traces" --report "$SMOKE/batch1.json" >/dev/null
+# Job s1 runs the same design/config as the serial place above: the batch
+# trace must be byte-identical to the serial trace.
+cmp "$SMOKE/batch-traces/s1.jsonl" "$SMOKE/t1.jsonl" \
+    || { echo "FAIL: batch trace differs from the serial place trace" >&2; exit 1; }
+./target/release/xplace batch "$SMOKE/suite.json" --threads 2 \
+    --report "$SMOKE/batch2.json" >/dev/null
+./target/release/check_regression "$SMOKE/batch1.json" "$SMOKE/batch2.json"
+if ./target/release/check_regression "$SMOKE/batch1.json" "$SMOKE/batch2.json" \
+    --inject-hpwl-pct 10 >/dev/null 2>&1; then
+    echo "FAIL: the batch gate passed an injected +10% HPWL regression" >&2
+    exit 1
+fi
+cat > "$SMOKE/fail-suite.json" <<EOF
+{"jobs": [
+  {"name": "fine",  "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120},
+  {"name": "crash", "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120, "fail_at": 5}
+]}
+EOF
+if ./target/release/xplace batch "$SMOKE/fail-suite.json" --threads 2 \
+    --report "$SMOKE/batch-fail.json" >"$SMOKE/batch-fail.out" 2>/dev/null; then
+    echo "FAIL: a batch with a failing job exited zero" >&2
+    exit 1
+fi
+grep -q "fine .*completed" "$SMOKE/batch-fail.out" \
+    || { echo "FAIL: the healthy sibling did not complete" >&2; exit 1; }
 
 echo "==> bench regression gate (deterministic metrics vs BENCH_baseline.json)"
 scripts/check_regression.sh

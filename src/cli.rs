@@ -87,6 +87,58 @@ pub fn parse_threads(args: &[String], default: usize) -> Result<usize, String> {
     Ok(threads)
 }
 
+/// Parsed arguments of the `batch` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchArgs {
+    /// Path to the batch manifest JSON.
+    pub manifest: std::path::PathBuf,
+    /// Worker-pool width for the batch (job-level concurrency).
+    pub threads: usize,
+    /// Directory to write per-job JSON-lines traces into
+    /// (`<dir>/<job>.jsonl`), if requested.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Path to write the batch report JSON to, if requested.
+    pub report: Option<std::path::PathBuf>,
+}
+
+/// Parses `batch <manifest.json> [--threads N] [--trace-dir DIR]
+/// [--report out.json]`. Returns `Ok(None)` when the manifest positional
+/// is missing (the caller prints usage).
+///
+/// # Errors
+///
+/// Propagates flag-parsing errors (missing values, garbage numbers,
+/// `--threads 0`).
+pub fn parse_batch_args(
+    args: &[String],
+    default_threads: usize,
+) -> Result<Option<BatchArgs>, String> {
+    let Some(manifest) = positional(args, 0) else {
+        return Ok(None);
+    };
+    Ok(Some(BatchArgs {
+        manifest: std::path::PathBuf::from(manifest),
+        threads: parse_threads(args, default_threads)?,
+        trace_dir: flag_value(args, "--trace-dir")?.map(std::path::PathBuf::from),
+        report: flag_value(args, "--report")?.map(std::path::PathBuf::from),
+    }))
+}
+
+/// Reads and parses a batch manifest file, prefixing errors with the
+/// path so the CLI message names the offending file.
+///
+/// # Errors
+///
+/// Returns read failures and every manifest validation error of
+/// [`xplace_sched::BatchManifest::parse`] (malformed JSON, empty or
+/// missing job list, duplicate job names, bad design sources).
+pub fn load_manifest(path: &std::path::Path) -> Result<xplace_sched::BatchManifest, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+    xplace_sched::BatchManifest::parse(&text)
+        .map_err(|e| format!("manifest {}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +243,84 @@ mod tests {
         let args = argv(&["--baseline", "x"]);
         assert!(has_flag(&args, "--baseline"));
         assert!(!has_flag(&args, "--base"));
+    }
+
+    #[test]
+    fn batch_args_parse_with_defaults_and_flags() {
+        let args = argv(&["suite.json"]);
+        let parsed = parse_batch_args(&args, 4).unwrap().unwrap();
+        assert_eq!(parsed.manifest, std::path::PathBuf::from("suite.json"));
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.trace_dir, None);
+        assert_eq!(parsed.report, None);
+
+        let args = argv(&[
+            "suite.json",
+            "--threads",
+            "2",
+            "--trace-dir",
+            "traces",
+            "--report",
+            "batch.json",
+        ]);
+        let parsed = parse_batch_args(&args, 4).unwrap().unwrap();
+        assert_eq!(parsed.threads, 2);
+        assert_eq!(parsed.trace_dir, Some(std::path::PathBuf::from("traces")));
+        assert_eq!(parsed.report, Some(std::path::PathBuf::from("batch.json")));
+    }
+
+    #[test]
+    fn batch_args_without_manifest_ask_for_usage() {
+        assert_eq!(parse_batch_args(&argv(&[]), 4).unwrap(), None);
+        assert_eq!(
+            parse_batch_args(&argv(&["--threads", "2"]), 4).unwrap(),
+            None
+        );
+        // Bad flag values are still hard errors, not usage.
+        assert!(parse_batch_args(&argv(&["m.json", "--threads", "0"]), 4).is_err());
+    }
+
+    fn write_temp_manifest(name: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("xplace-cli-{}-{name}", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_manifest_parses_a_good_file() {
+        let path = write_temp_manifest(
+            "good.json",
+            r#"{"jobs": [{"name": "a", "synth": {"cells": 50}}]}"#,
+        );
+        let manifest = load_manifest(&path).unwrap();
+        assert_eq!(manifest.jobs.len(), 1);
+        assert_eq!(manifest.jobs[0].name, "a");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_manifest_names_the_file_on_malformed_json() {
+        let path = write_temp_manifest("bad.json", "{not json at all");
+        let err = load_manifest(&path).unwrap_err();
+        assert!(err.contains("bad.json"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_manifest_rejects_duplicate_job_names() {
+        let path = write_temp_manifest(
+            "dup.json",
+            r#"{"jobs": [{"name": "a", "synth": {"cells": 10}},
+                         {"name": "a", "synth": {"cells": 20}}]}"#,
+        );
+        let err = load_manifest(&path).unwrap_err();
+        assert!(err.contains("duplicate job name `a`"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_manifest_reports_missing_files() {
+        let err = load_manifest(std::path::Path::new("/nonexistent/suite.json")).unwrap_err();
+        assert!(err.contains("cannot read manifest"), "{err}");
     }
 }

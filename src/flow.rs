@@ -422,6 +422,47 @@ mod tests {
     }
 
     #[test]
+    fn flow_error_wraps_both_sources_with_context() {
+        let place: FlowError = PlaceError::InvalidConfig("max_iterations is zero".into()).into();
+        assert!(place.to_string().contains("placement failed"), "{place}");
+        assert!(matches!(place, FlowError::Place(_)));
+        let db: FlowError = DbError::InvalidSpec("num_cells must be positive".into()).into();
+        assert!(db.to_string().contains("design rebuild failed"), "{db}");
+        assert!(matches!(db, FlowError::Db(_)));
+        // FlowError is a real std error so `?` contexts can box it.
+        let _: &dyn std::error::Error = &place;
+    }
+
+    #[test]
+    fn empty_report_accessors_are_total() {
+        let report = RoutabilityReport { passes: Vec::new() };
+        assert_eq!(report.initial_top5(), 0.0);
+        assert_eq!(report.final_top5(), 0.0);
+    }
+
+    #[test]
+    fn invalid_placer_config_propagates_as_flow_error() {
+        let mut d = congested_design(11);
+        let mut cfg = quick_placer();
+        cfg.schedule.max_iterations = 0;
+        let err = routability_driven_place(&mut d, cfg, &RoutabilityConfig::default());
+        assert!(matches!(err, Err(FlowError::Place(_))), "{err:?}");
+    }
+
+    #[test]
+    fn zero_max_passes_still_runs_one_pass() {
+        let mut d = congested_design(5);
+        let cfg = RoutabilityConfig {
+            max_passes: 0,
+            target_top5: 1e9, // any placement satisfies it
+            ..Default::default()
+        };
+        let report = routability_driven_place(&mut d, quick_placer(), &cfg).expect("flow");
+        assert_eq!(report.passes.len(), 1);
+        assert_eq!(report.passes[0].mean_inflation, 1.0);
+    }
+
+    #[test]
     fn early_exit_when_target_met() {
         let mut d = congested_design(7);
         let cfg = RoutabilityConfig {

@@ -17,6 +17,7 @@
 //! | [`ops`] | `xplace-ops` | wirelength/density/preconditioner operators, fused and split |
 //! | [`core`] | `xplace-core` | the placer: gradient engine, Nesterov, scheduler, recorder |
 //! | [`telemetry`] | `xplace-telemetry` | typed event traces, run reports, and the regression comparator |
+//! | [`sched`] | `xplace-sched` | batch scheduler: concurrent multi-design runs with failure isolation |
 //! | [`nn`] | `xplace-nn` | the Fourier neural operator and training loop (Xplace-NN) |
 //! | [`legal`] | `xplace-legal` | Tetris/Abacus legalization and detailed placement |
 //! | [`route`] | `xplace-route` | RUDY congestion estimation and the top5-overflow metric |
@@ -63,4 +64,5 @@ pub use xplace_nn as nn;
 pub use xplace_ops as ops;
 pub use xplace_parallel as parallel;
 pub use xplace_route as route;
+pub use xplace_sched as sched;
 pub use xplace_telemetry as telemetry;

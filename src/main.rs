@@ -3,6 +3,7 @@
 //! ```text
 //! xplace place  <design.aux> [-o out.pl] [--density 0.9] [--baseline] [--max-iters N]
 //!               [--trace out.jsonl] [--report out.json]
+//! xplace batch  <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]
 //! xplace synth  <name> <cells> [--out dir] [--seed N] [--macros N]
 //! xplace stats  <design.aux>
 //! xplace plot   <design.aux> [-o out.svg] [--nets N] [--density D]
@@ -12,16 +13,21 @@
 //! legalization + detailed placement, reports the metrics the paper's
 //! tables report, and writes the placed `.pl`; `--trace` streams the
 //! per-iteration telemetry events as JSON-lines and `--report` writes the
-//! run summary JSON (see DESIGN.md §"Experiment index"). `synth` generates
-//! a synthetic benchmark in Bookshelf format. `stats` prints Table-1-style
-//! statistics.
+//! run summary JSON (see DESIGN.md §"Experiment index"). `batch` runs every
+//! job of a manifest concurrently with per-job failure isolation and exits
+//! non-zero if any job failed (see README §"Batch placement"). `synth`
+//! generates a synthetic benchmark in Bookshelf format. `stats` prints
+//! Table-1-style statistics.
 //!
 //! Argument parsing lives in [`xplace::cli`] so its rules are unit-tested.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
-use xplace::cli::{flag_value, has_flag, parse_flag, parse_positional, parse_threads, positional};
+use xplace::cli::{
+    flag_value, has_flag, load_manifest, parse_batch_args, parse_flag, parse_positional,
+    parse_threads, positional,
+};
 use xplace::core::{GlobalPlacer, XplaceConfig};
 use xplace::db::synthesis::{synthesize, SynthesisSpec};
 use xplace::db::{bookshelf, DesignStats};
@@ -35,6 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
          [--max-iters N] [--seed N] [--threads N] [--trace out.jsonl] [--report out.json]\n  \
+         xplace batch <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]\n  \
          xplace synth <name> <cells> [--out DIR] [--seed N] [--macros N]\n  xplace stats \
          <design.aux> [--density D]\n  xplace plot <design.aux> [-o out.svg] [--nets N] \
          [--density D]"
@@ -46,6 +53,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("place") => cmd_place(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
@@ -155,6 +163,64 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     bookshelf::write_pl(&design, &out)?;
     println!("placement written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed =
+        parse_batch_args(args, xplace::parallel::available_threads())?.unwrap_or_else(|| usage());
+    let manifest = load_manifest(&parsed.manifest)?;
+    println!(
+        "batch: {} job(s) from {} on {} thread(s)",
+        manifest.jobs.len(),
+        parsed.manifest.display(),
+        parsed.threads
+    );
+
+    let outcome = xplace::sched::run_batch(&manifest, parsed.threads);
+    for record in &outcome.report.jobs {
+        match (&record.report, &record.error) {
+            (Some(report), _) => println!(
+                "  {:<20} completed  HPWL {:.0}  ({} cells, {} GP iters)",
+                record.name,
+                report.final_hpwl(),
+                report.cells,
+                report.gp.iterations
+            ),
+            (None, error) => println!(
+                "  {:<20} FAILED     {}",
+                record.name,
+                error.as_deref().unwrap_or("unknown failure")
+            ),
+        }
+    }
+    let (hits, misses) = outcome.cache_stats;
+    println!("design cache: {hits} hit(s), {misses} miss(es)");
+
+    if let Some(dir) = &parsed.trace_dir {
+        std::fs::create_dir_all(dir)?;
+        let mut written = 0;
+        for (record, trace) in outcome.report.jobs.iter().zip(&outcome.traces) {
+            if let Some(text) = trace {
+                std::fs::write(dir.join(format!("{}.jsonl", record.name)), text)?;
+                written += 1;
+            }
+        }
+        println!("traces written to {} ({written} file(s))", dir.display());
+    }
+    if let Some(p) = &parsed.report {
+        std::fs::write(p, outcome.report.to_json_string())?;
+        println!("batch report written to {}", p.display());
+    }
+
+    if !outcome.report.all_completed() {
+        return Err(format!(
+            "{} of {} job(s) failed",
+            outcome.report.failed(),
+            outcome.report.total()
+        )
+        .into());
+    }
     Ok(())
 }
 
