@@ -10,6 +10,20 @@
 //! All three are computed through a single length-`2N` complex FFT plan.
 
 use crate::{Complex, FftError, FftPlan};
+use std::sync::atomic::AtomicUsize;
+
+static PLAN_CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
+static PLAN_CACHE_MISSES: AtomicUsize = AtomicUsize::new(0);
+
+/// `(hits, misses)` of the process-wide [`DctPlan::cached`] plan cache
+/// since process start. Long-running services expose these counters to
+/// show that spectral plans stay warm across requests.
+pub fn plan_cache_stats() -> (usize, usize) {
+    (
+        PLAN_CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        PLAN_CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
 
 /// A reusable plan for the DCT/DST family of a fixed power-of-two length.
 ///
@@ -97,9 +111,11 @@ impl DctPlan {
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(plan) = map.get(&len) {
+            PLAN_CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(plan.clone());
         }
         let plan = DctPlan::new(len)?;
+        PLAN_CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         map.insert(len, plan.clone());
         Ok(plan)
     }
@@ -286,6 +302,22 @@ mod tests {
     fn rejects_invalid_lengths() {
         assert!(matches!(DctPlan::new(0), Err(FftError::EmptyLength)));
         assert!(matches!(DctPlan::new(10), Err(FftError::NotPowerOfTwo(10))));
+    }
+
+    #[test]
+    fn plan_cache_stats_count_hits_and_misses() {
+        // Length 2048 is used by no other test, so this test contributes
+        // exactly one miss then one hit; concurrent tests only add to the
+        // global counters, never subtract.
+        let (h0, m0) = plan_cache_stats();
+        DctPlan::cached(2048).unwrap();
+        let (_, m1) = plan_cache_stats();
+        assert!(m1 >= m0 + 1, "first cached(2048) must be a miss");
+        DctPlan::cached(2048).unwrap();
+        let (h2, _) = plan_cache_stats();
+        assert!(h2 >= h0 + 1, "second cached(2048) must be a hit");
+        // Invalid lengths touch neither counter's cache entry.
+        assert!(DctPlan::cached(12).is_err());
     }
 
     #[test]

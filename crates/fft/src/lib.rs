@@ -42,7 +42,7 @@ mod grid;
 mod spectral;
 
 pub use complex::Complex;
-pub use dct::DctPlan;
+pub use dct::{plan_cache_stats, DctPlan};
 pub use error::FftError;
 pub use fft::FftPlan;
 pub use grid::Grid2;

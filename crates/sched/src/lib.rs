@@ -27,13 +27,21 @@ mod manifest;
 
 pub use manifest::{BatchManifest, DesignSource, JobSpec};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use xplace_core::GlobalPlacer;
 use xplace_db::DesignCache;
 use xplace_legal::{check_legality, detailed_place, legalize, DpConfig};
 use xplace_route::{estimate_congestion, RouteConfig};
 use xplace_telemetry::{
-    BatchReport, DpMetrics, JobRecord, LgMetrics, RouteMetrics, RunReport, VecSink,
+    BatchReport, CallbackSink, DpMetrics, JobRecord, LgMetrics, RouteMetrics, RunReport,
+    TelemetrySink, VecSink,
 };
+
+/// The failure message of a job skipped because its batch was cancelled
+/// before the job started. In-flight jobs are never interrupted — only
+/// not-yet-started jobs observe the cancel flag.
+pub const CANCELLED_MSG: &str = "cancelled before start";
 
 /// One completed job: its run summary plus the trace text a serial
 /// `--trace` run would have written.
@@ -71,6 +79,29 @@ pub struct BatchOutcome {
 /// legality-check failures. Panics (including the `fail_at` fault hook)
 /// are *not* caught here — [`run_batch`] fences them per job.
 pub fn run_job(job: &JobSpec, threads: usize, cache: &DesignCache) -> Result<JobOutcome, String> {
+    let mut sink = VecSink::new();
+    let report = run_job_with_sink(job, threads, cache, &mut sink)?;
+    Ok(JobOutcome {
+        report,
+        trace: sink.to_jsonl(),
+    })
+}
+
+/// Like [`run_job`], but the caller supplies the telemetry sink — the
+/// streaming entry point. With a
+/// [`CallbackSink`](xplace_telemetry::CallbackSink) the job's trace
+/// lines leave the process while GP iterates instead of buffering until
+/// the job ends; with a [`VecSink`] this is exactly [`run_job`].
+///
+/// # Errors
+///
+/// Same contract as [`run_job`].
+pub fn run_job_with_sink(
+    job: &JobSpec,
+    threads: usize,
+    cache: &DesignCache,
+    sink: &mut dyn TelemetrySink,
+) -> Result<RunReport, String> {
     let mut design = match &job.source {
         DesignSource::Aux { path, density } => cache
             .get_or_read_aux(path, *density)
@@ -83,9 +114,8 @@ pub fn run_job(job: &JobSpec, threads: usize, cache: &DesignCache) -> Result<Job
         }
     };
     let config = job.config(threads);
-    let mut sink = VecSink::new();
     let gp = GlobalPlacer::new(config.clone())
-        .place_traced(&mut design, &mut sink)
+        .place_traced(&mut design, sink)
         .map_err(|e| format!("global placement: {e}"))?;
     let lg = legalize(&mut design).map_err(|e| format!("legalization: {e}"))?;
     let dp = detailed_place(&mut design, &DpConfig::default());
@@ -118,14 +148,98 @@ pub fn run_job(job: &JobSpec, threads: usize, cache: &DesignCache) -> Result<Job
             max_utilization: congestion.max_utilization(),
         }),
     };
-    Ok(JobOutcome {
-        report,
-        trace: sink.to_jsonl(),
-    })
+    Ok(report)
+}
+
+/// One incremental progress notification of a running batch, delivered
+/// to a [`BatchSession`] observer from whichever pool thread produced
+/// it, the moment it is produced.
+#[derive(Debug)]
+pub enum BatchEvent<'a> {
+    /// One rendered JSON trace line of job `job` (no trailing newline).
+    /// Lines of a single job arrive in trace order; lines of different
+    /// jobs interleave with pool scheduling.
+    TraceLine {
+        /// Manifest index of the job the line belongs to.
+        job: usize,
+        /// The rendered JSON-lines event text.
+        line: &'a str,
+    },
+    /// Job `job` reached a terminal state.
+    JobDone {
+        /// Manifest index of the finished job.
+        job: usize,
+        /// The job's record (completed or failed), exactly as it will
+        /// appear in the final [`BatchReport`].
+        record: &'a JobRecord,
+    },
+}
+
+/// How a batch executes: thread width, which design cache to warm, an
+/// optional cancel flag, and an optional progress observer.
+///
+/// This is the manifest-source-agnostic submission path a long-running
+/// service uses: manifests arrive as in-memory values (parsed from a
+/// network request, built programmatically), the cache outlives any one
+/// batch, and progress streams out while jobs run.
+pub struct BatchSession<'a> {
+    /// Kernel launch width shared by every job (never changes metrics).
+    pub threads: usize,
+    /// The design cache jobs load through. Passing the same cache to
+    /// consecutive sessions keeps designs warm across batches; hit/miss
+    /// accounting is exact (see [`DesignCache::stats`]).
+    pub cache: &'a DesignCache,
+    /// When set before a job starts, that job fails with
+    /// [`CANCELLED_MSG`] instead of running. Jobs already in flight
+    /// finish normally — cancellation drains, it never corrupts.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Progress callback; called from pool threads, so it must be
+    /// `Sync`. `None` runs silently.
+    pub observer: Option<&'a (dyn Fn(BatchEvent<'_>) + Sync)>,
+}
+
+impl<'a> std::fmt::Debug for BatchSession<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSession")
+            .field("threads", &self.threads)
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl<'a> BatchSession<'a> {
+    /// A session over `cache` with neither cancellation nor observer.
+    pub fn new(threads: usize, cache: &'a DesignCache) -> Self {
+        BatchSession {
+            threads,
+            cache,
+            cancel: None,
+            observer: None,
+        }
+    }
+
+    /// Adds a cancel flag.
+    pub fn with_cancel(mut self, cancel: &'a AtomicBool) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Adds a progress observer.
+    pub fn with_observer(mut self, observer: &'a (dyn Fn(BatchEvent<'_>) + Sync)) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .map(|c| c.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
 }
 
 /// Runs every job of `manifest` concurrently on up to `threads` threads
-/// of the process-wide worker pool.
+/// of the process-wide worker pool, with a private design cache.
 ///
 /// Jobs are dispatched with the pool's fixed task→executor mapping and
 /// collected by job index, so the [`BatchOutcome`] is deterministic for
@@ -134,19 +248,57 @@ pub fn run_job(job: &JobSpec, threads: usize, cache: &DesignCache) -> Result<Job
 /// affecting its siblings — the batch itself always returns.
 pub fn run_batch(manifest: &BatchManifest, threads: usize) -> BatchOutcome {
     let cache = DesignCache::new();
+    run_batch_session(manifest, &BatchSession::new(threads, &cache))
+}
+
+/// [`run_batch`] against a caller-owned cache: consecutive batches share
+/// design loads, which is how a serving daemon keeps caches warm across
+/// requests. The returned [`BatchOutcome::cache_stats`] are the cache's
+/// *cumulative* counters, not this batch's delta.
+pub fn run_batch_with_cache(
+    manifest: &BatchManifest,
+    threads: usize,
+    cache: &DesignCache,
+) -> BatchOutcome {
+    run_batch_session(manifest, &BatchSession::new(threads, cache))
+}
+
+/// The full-control batch entry point: runs `manifest` under `session`
+/// (shared cache, optional cancellation, optional streaming observer).
+///
+/// Per job, the observer sees every trace line as it is emitted and one
+/// terminal [`BatchEvent::JobDone`]; the returned [`BatchOutcome`] is
+/// identical to [`run_batch`]'s for the same manifest and thread count
+/// (byte-identical traces, same report) — observation never perturbs
+/// execution.
+pub fn run_batch_session(manifest: &BatchManifest, session: &BatchSession<'_>) -> BatchOutcome {
     let pool = xplace_parallel::global();
-    let results = pool.run_isolated(manifest.jobs.len(), threads.max(1), |i| {
-        run_job(&manifest.jobs[i], threads, &cache)
+    let results = pool.run_isolated(manifest.jobs.len(), session.threads.max(1), |i| {
+        let job = &manifest.jobs[i];
+        let (record, trace) = if session.cancelled() {
+            (JobRecord::failed(&job.name, CANCELLED_MSG), None)
+        } else {
+            run_job_fenced(job, i, session)
+        };
+        if let Some(observer) = session.observer {
+            observer(BatchEvent::JobDone {
+                job: i,
+                record: &record,
+            });
+        }
+        (record, trace)
     });
     let mut jobs = Vec::with_capacity(manifest.jobs.len());
     let mut traces = Vec::with_capacity(manifest.jobs.len());
     for (job, result) in manifest.jobs.iter().zip(results) {
         match result {
-            Ok(Ok(outcome)) => {
-                jobs.push(JobRecord::completed(&job.name, outcome.report));
-                traces.push(Some(outcome.trace));
+            Ok((record, trace)) => {
+                jobs.push(record);
+                traces.push(trace);
             }
-            Ok(Err(error)) | Err(error) => {
+            // Unreachable in practice (job panics are fenced inside the
+            // task), but an observer panic still fails only its own job.
+            Err(error) => {
                 jobs.push(JobRecord::failed(&job.name, error));
                 traces.push(None);
             }
@@ -155,7 +307,35 @@ pub fn run_batch(manifest: &BatchManifest, threads: usize) -> BatchOutcome {
     BatchOutcome {
         report: BatchReport::new(jobs),
         traces,
-        cache_stats: cache.stats(),
+        cache_stats: session.cache.stats(),
+    }
+}
+
+/// Runs one job with its own panic fence, streaming trace lines to the
+/// session observer while accumulating the full trace text.
+fn run_job_fenced(
+    job: &JobSpec,
+    index: usize,
+    session: &BatchSession<'_>,
+) -> (JobRecord, Option<String>) {
+    let mut trace = String::new();
+    let result = {
+        let trace = &mut trace;
+        let mut sink = CallbackSink::new(|line: &str| {
+            trace.push_str(line);
+            trace.push('\n');
+            if let Some(observer) = session.observer {
+                observer(BatchEvent::TraceLine { job: index, line });
+            }
+        });
+        catch_unwind(AssertUnwindSafe(|| {
+            run_job_with_sink(job, session.threads, session.cache, &mut sink)
+        }))
+        .unwrap_or_else(|payload| Err(xplace_parallel::panic_message(payload.as_ref())))
+    };
+    match result {
+        Ok(report) => (JobRecord::completed(&job.name, report), Some(trace)),
+        Err(error) => (JobRecord::failed(&job.name, error), None),
     }
 }
 
@@ -266,6 +446,138 @@ mod tests {
         let h1 = batch.report.jobs[0].report.as_ref().unwrap().final_hpwl();
         let h2 = batch.report.jobs[1].report.as_ref().unwrap().final_hpwl();
         assert_ne!(h1.to_bits(), h2.to_bits());
+    }
+
+    #[test]
+    fn in_memory_manifest_runs_without_touching_disk() {
+        // The submission path a network service uses: a manifest built
+        // programmatically (no file, no JSON text) runs identically to
+        // the same manifest parsed from disk-shaped text.
+        let built = BatchManifest {
+            jobs: vec![JobSpec {
+                name: "a".into(),
+                source: DesignSource::Synth {
+                    cells: 200,
+                    nets: 210,
+                    seed: 3,
+                    macros: 0,
+                },
+                max_iters: Some(60),
+                seed: None,
+                baseline: false,
+                grid: None,
+                fail_at: None,
+            }],
+        };
+        let parsed = manifest(TINY_A);
+        assert_eq!(built, parsed, "programmatic and parsed manifests agree");
+        let from_built = run_batch(&built, 2);
+        let from_parsed = run_batch(&parsed, 2);
+        assert!(from_built.report.all_completed());
+        assert_eq!(from_built.traces, from_parsed.traces);
+    }
+
+    #[test]
+    fn warm_cache_hit_counts_are_exact_across_consecutive_batches() {
+        // Two consecutive batches over one shared cache — the serving
+        // pattern. Batch 1 (two jobs, same design): 1 miss + 1 hit.
+        // Batch 2 (same design again, twice): 2 more hits, 0 misses.
+        let m = manifest(
+            r#"{"name": "s1", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60, "seed": 1},
+               {"name": "s2", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60, "seed": 2}"#,
+        );
+        let cache = DesignCache::new();
+        let first = run_batch_with_cache(&m, 2, &cache);
+        assert!(first.report.all_completed());
+        assert_eq!(first.cache_stats, (1, 1), "cold batch: one miss, one hit");
+        let second = run_batch_with_cache(&m, 2, &cache);
+        assert!(second.report.all_completed());
+        assert_eq!(
+            second.cache_stats,
+            (3, 1),
+            "warm batch: both jobs hit, no new misses"
+        );
+        // Warm-cache runs are byte-identical to cold-cache runs.
+        assert_eq!(first.traces, second.traces);
+    }
+
+    #[test]
+    fn cancelled_batch_skips_unstarted_jobs() {
+        let m = manifest(&format!("{TINY_A}, {TINY_B}"));
+        let cancel = AtomicBool::new(true);
+        let cache = DesignCache::new();
+        let session = BatchSession::new(1, &cache).with_cancel(&cancel);
+        let outcome = run_batch_session(&m, &session);
+        assert_eq!(outcome.report.failed(), 2);
+        for record in &outcome.report.jobs {
+            assert_eq!(record.error.as_deref(), Some(CANCELLED_MSG));
+        }
+        assert_eq!(outcome.cache_stats, (0, 0), "no design was ever loaded");
+    }
+
+    #[test]
+    fn cancel_mid_batch_drains_in_flight_job_and_skips_the_rest() {
+        // Width 1 makes execution sequential: the observer cancels after
+        // job 0 completes, so job 0 must finish cleanly (drained, trace
+        // intact) and job 1 must be skipped.
+        let m = manifest(&format!("{TINY_A}, {TINY_B}"));
+        let cancel = AtomicBool::new(false);
+        let cache = DesignCache::new();
+        let observer = |event: BatchEvent<'_>| {
+            if let BatchEvent::JobDone { job: 0, .. } = event {
+                cancel.store(true, Ordering::Release);
+            }
+        };
+        let session = BatchSession::new(1, &cache)
+            .with_cancel(&cancel)
+            .with_observer(&observer);
+        let outcome = run_batch_session(&m, &session);
+        assert_eq!(outcome.report.jobs[0].status, JobStatus::Completed);
+        assert_eq!(
+            outcome.report.jobs[1].error.as_deref(),
+            Some(CANCELLED_MSG),
+            "job after the cancel point must be skipped"
+        );
+        // The drained job is bit-identical to an uncancelled run's.
+        let reference = run_batch(&m, 1);
+        assert_eq!(outcome.traces[0], reference.traces[0]);
+    }
+
+    #[test]
+    fn observer_streams_the_exact_trace_bytes() {
+        use std::sync::Mutex;
+        let m = manifest(&format!("{TINY_A}, {TINY_B}"));
+        let streamed: Mutex<Vec<String>> = Mutex::new(vec![String::new(), String::new()]);
+        let done: Mutex<Vec<bool>> = Mutex::new(vec![false, false]);
+        let observer = |event: BatchEvent<'_>| match event {
+            BatchEvent::TraceLine { job, line } => {
+                let mut s = streamed.lock().unwrap();
+                s[job].push_str(line);
+                s[job].push('\n');
+            }
+            BatchEvent::JobDone { job, record } => {
+                assert_eq!(record.status, JobStatus::Completed);
+                done.lock().unwrap()[job] = true;
+            }
+        };
+        let cache = DesignCache::new();
+        let session = BatchSession::new(4, &cache).with_observer(&observer);
+        let outcome = run_batch_session(&m, &session);
+        assert!(outcome.report.all_completed());
+        assert_eq!(*done.lock().unwrap(), vec![true, true]);
+        let streamed = streamed.lock().unwrap();
+        for (i, trace) in outcome.traces.iter().enumerate() {
+            assert_eq!(
+                Some(streamed[i].as_str()),
+                trace.as_deref(),
+                "job {i}: streamed lines must reassemble the stored trace"
+            );
+        }
+        // And observation never perturbs the run.
+        let silent = run_batch(&m, 4);
+        assert_eq!(silent.traces, outcome.traces);
     }
 
     #[test]

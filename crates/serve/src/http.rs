@@ -1,0 +1,626 @@
+//! A minimal HTTP/1.1 layer built on `std` only: an incremental request
+//! parser and a chunked-transfer-encoding response writer/reader.
+//!
+//! This is not a general web stack — it implements exactly the slice the
+//! placement daemon speaks: one request per connection, `Content-Length`
+//! bodies on requests, chunked streaming on responses. What it *does*
+//! implement is implemented carefully:
+//!
+//! * **Torn-read resilience** — [`RequestParser::feed`] accepts bytes in
+//!   arbitrary fragments (one byte at a time included) and yields the
+//!   same parse as a single whole-buffer feed.
+//! * **Case-insensitive headers** — lookups fold ASCII case, per RFC
+//!   9110; stored header names keep their original spelling.
+//! * **Bounded buffering** — the header section and the declared body
+//!   size are both capped; oversized input is rejected *before* it is
+//!   buffered, so a client cannot balloon server memory.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on request bodies (batch manifests are small).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parse-level rejection, mapped to an HTTP status by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line or header (400).
+    Malformed(String),
+    /// Declared body exceeds the configured cap (413).
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Header section exceeds [`MAX_HEAD_BYTES`] (431).
+    HeadTooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A complete parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (`/batch`, `/stats`, …).
+    pub target: String,
+    /// Headers in arrival order, original spelling preserved.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of `name`, compared ASCII-case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders this request as HTTP/1.1 wire bytes (the client side).
+    /// A `Content-Length` header is emitted iff the body is non-empty.
+    pub fn render(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.target).as_bytes());
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[derive(Debug)]
+enum ParseState {
+    /// Accumulating head bytes until the blank line.
+    Head,
+    /// Head parsed; waiting for `remaining` more body bytes.
+    Body { head: Request, remaining: usize },
+}
+
+/// An incremental HTTP/1.1 request parser.
+///
+/// Feed it whatever the socket delivers; it answers `Ok(None)` until a
+/// full request is buffered, then `Ok(Some(request))`. The parse result
+/// is a pure function of the concatenated input — fragment boundaries
+/// never matter (property-tested in `tests/http_props.rs`).
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    state: ParseState,
+    max_body: usize,
+}
+
+impl RequestParser {
+    /// A parser accepting bodies up to `max_body` bytes.
+    pub fn new(max_body: usize) -> Self {
+        RequestParser {
+            buf: Vec::new(),
+            state: ParseState::Head,
+            max_body,
+        }
+    }
+
+    /// Consumes one fragment of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HttpError`] the accumulated input exhibits;
+    /// after an error the parser must be discarded.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match &mut self.state {
+                ParseState::Head => {
+                    let Some(head_end) = find_blank_line(&self.buf) else {
+                        if self.buf.len() > MAX_HEAD_BYTES {
+                            return Err(HttpError::HeadTooLarge);
+                        }
+                        return Ok(None);
+                    };
+                    if head_end > MAX_HEAD_BYTES {
+                        return Err(HttpError::HeadTooLarge);
+                    }
+                    let head = parse_head(&self.buf[..head_end])?;
+                    let remaining = match head.header("content-length") {
+                        Some(v) => v.trim().parse::<usize>().map_err(|_| {
+                            HttpError::Malformed(format!("bad Content-Length `{v}`"))
+                        })?,
+                        None => 0,
+                    };
+                    if remaining > self.max_body {
+                        return Err(HttpError::BodyTooLarge {
+                            declared: remaining,
+                            limit: self.max_body,
+                        });
+                    }
+                    self.buf.drain(..head_end + 4);
+                    self.state = ParseState::Body { head, remaining };
+                }
+                ParseState::Body { head, remaining } => {
+                    if self.buf.len() < *remaining {
+                        return Ok(None);
+                    }
+                    let mut request = std::mem::replace(
+                        head,
+                        Request {
+                            method: String::new(),
+                            target: String::new(),
+                            headers: Vec::new(),
+                            body: Vec::new(),
+                        },
+                    );
+                    request.body = self.buf.drain(..*remaining).collect();
+                    self.state = ParseState::Head;
+                    return Ok(Some(request));
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `\r\n\r\n` separator, if buffered.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("bad header name `{name}`")));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Writes an HTTP/1.1 response head (status line + headers + blank line).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_response_head(
+    out: &mut dyn Write,
+    status: u16,
+    reason: &str,
+    headers: &[(&str, String)],
+) -> io::Result<()> {
+    write!(out, "HTTP/1.1 {status} {reason}\r\n")?;
+    for (k, v) in headers {
+        write!(out, "{k}: {v}\r\n")?;
+    }
+    write!(out, "\r\n")?;
+    out.flush()
+}
+
+/// Writes a complete non-streaming response with a `Content-Length` body.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_response(
+    out: &mut dyn Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut headers: Vec<(&str, String)> = vec![
+        ("Content-Type", content_type.to_string()),
+        ("Content-Length", body.len().to_string()),
+        ("Connection", "close".to_string()),
+    ];
+    headers.extend(extra_headers.iter().map(|(k, v)| (*k, v.clone())));
+    write_response_head(out, status, reason, &headers)?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// The chunked-transfer-encoding writer: each [`ChunkedWriter::chunk`]
+/// call becomes one `size\r\ndata\r\n` frame flushed immediately, so the
+/// peer sees progress while the batch runs; [`ChunkedWriter::finish`]
+/// writes the terminating zero-length chunk.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    out: W,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps a writer positioned just past the response head.
+    pub fn new(out: W) -> Self {
+        ChunkedWriter {
+            out,
+            finished: false,
+        }
+    }
+
+    /// Writes one chunk (empty input writes nothing: a zero-size chunk
+    /// would terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.out, "{:x}\r\n", data.len())?;
+        self.out.write_all(data)?;
+        self.out.write_all(b"\r\n")?;
+        self.out.flush()
+    }
+
+    /// Terminates the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(b"0\r\n\r\n")?;
+        self.out.flush()?;
+        self.finished = true;
+        Ok(self.out)
+    }
+}
+
+/// Reads a full chunked-encoded body from `input` (the client side of
+/// [`ChunkedWriter`]); consumes up to and including the terminating
+/// chunk and the final CRLF.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed chunk framing and propagates
+/// reader errors (including `UnexpectedEof` on truncation).
+pub fn read_chunked_body(input: &mut dyn Read) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_crlf_line(input)?;
+        let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad chunk size `{size_line}`"),
+            )
+        })?;
+        if size == 0 {
+            // Trailing CRLF after the last-chunk line.
+            let trailer = read_crlf_line(input)?;
+            if !trailer.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected chunk trailer",
+                ));
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        input.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        input.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chunk data not CRLF-terminated",
+            ));
+        }
+    }
+}
+
+/// Reads bytes up to a CRLF, returning the line without the terminator.
+fn read_crlf_line(input: &mut dyn Read) -> io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        input.read_exact(&mut byte)?;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 line"));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unterminated line",
+            ));
+        }
+    }
+}
+
+/// A parsed response head (the client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// The status code.
+    pub status: u16,
+    /// Headers in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ResponseHead {
+    /// The first value of `name`, compared ASCII-case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads a response head (status line + headers) from `input`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed status or header lines and
+/// propagates reader errors.
+pub fn read_response_head(input: &mut dyn Read) -> io::Result<ResponseHead> {
+    let status_line = read_crlf_line(input)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad status line `{status_line}`"),
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad version `{version}`"),
+        ));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad status `{code}`")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_crlf_line(input)?;
+        if line.is_empty() {
+            return Ok(ResponseHead { status, headers });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad header line `{line}`"),
+            ));
+        };
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(body: &[u8]) -> Request {
+        Request {
+            method: "POST".into(),
+            target: "/batch".into(),
+            headers: vec![("X-Client".into(), "alice".into())],
+            body: body.to_vec(),
+        }
+    }
+
+    /// `render()` synthesizes a `Content-Length` header; strip it so a
+    /// parsed request can be compared against the original.
+    fn sans_content_length(mut r: Request) -> Request {
+        r.headers
+            .retain(|(k, _)| !k.eq_ignore_ascii_case("content-length"));
+        r
+    }
+
+    #[test]
+    fn whole_buffer_round_trip() {
+        let req = request(b"{\"jobs\": []}");
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let parsed = parser.feed(&req.render()).unwrap().unwrap();
+        assert_eq!(sans_content_length(parsed), req);
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_whole_buffer() {
+        let req = request(b"abc def \r\n\r\n ghi");
+        let wire = req.render();
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let mut torn = None;
+        for &b in &wire {
+            assert!(torn.is_none(), "must not complete early");
+            torn = parser.feed(&[b]).unwrap();
+        }
+        assert_eq!(sans_content_length(torn.unwrap()), req);
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = request(b"x");
+        let parsed = RequestParser::new(1024)
+            .feed(&req.render())
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.header("x-client"), Some("alice"));
+        assert_eq!(parsed.header("X-CLIENT"), Some("alice"));
+        assert_eq!(parsed.header("content-LENGTH"), Some("1"));
+        assert_eq!(parsed.header("absent"), None);
+    }
+
+    #[test]
+    fn no_content_length_means_empty_body() {
+        let mut parser = RequestParser::new(1024);
+        let parsed = parser
+            .feed(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert_eq!(parsed.target, "/stats");
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_buffering() {
+        let mut parser = RequestParser::new(16);
+        let err = parser
+            .feed(b"POST /batch HTTP/1.1\r\nContent-Length: 17\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 17,
+                limit: 16
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut parser = RequestParser::new(1024);
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(
+            parser.feed(huge.as_bytes()).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+        // Also when the head never terminates.
+        let mut parser = RequestParser::new(1024);
+        let drip = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert_eq!(parser.feed(&drip).unwrap_err(), HttpError::HeadTooLarge);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "NOPE\r\n\r\n",
+            "GET /x HTTP/2.3\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+        ] {
+            let mut parser = RequestParser::new(1024);
+            assert!(
+                matches!(
+                    parser.feed(bad.as_bytes()),
+                    Err(HttpError::Malformed(_) | HttpError::BodyTooLarge { .. })
+                ),
+                "`{}` must be rejected",
+                bad.escape_debug()
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_writer_then_reader_round_trips() {
+        let mut wire = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut wire);
+            w.chunk(b"hello ").unwrap();
+            w.chunk(b"").unwrap(); // ignored, not a terminator
+            w.chunk(b"world").unwrap();
+            w.finish().unwrap();
+        }
+        let body = read_chunked_body(&mut wire.as_slice()).unwrap();
+        assert_eq!(body, b"hello world");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_garbage_and_truncation() {
+        assert!(read_chunked_body(&mut &b"zz\r\n"[..]).is_err());
+        // Truncated mid-chunk.
+        let mut wire = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut wire);
+            w.chunk(b"hello").unwrap();
+        }
+        wire.truncate(wire.len() - 4);
+        assert!(read_chunked_body(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn response_head_round_trips() {
+        let mut wire = Vec::new();
+        write_response_head(
+            &mut wire,
+            503,
+            "Service Unavailable",
+            &[("Retry-After", "2".to_string())],
+        )
+        .unwrap();
+        let head = read_response_head(&mut wire.as_slice()).unwrap();
+        assert_eq!(head.status, 503);
+        assert_eq!(head.header("retry-after"), Some("2"));
+    }
+
+    #[test]
+    fn full_response_carries_content_length() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 400, "Bad Request", &[], "text/plain", b"nope").unwrap();
+        let head = read_response_head(&mut wire.as_slice()).unwrap();
+        assert_eq!(head.status, 400);
+        assert_eq!(head.header("Content-Length"), Some("4"));
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.ends_with("nope"));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let a = request(b"one");
+        let b = request(b"two");
+        let mut wire = a.render();
+        wire.extend_from_slice(&b.render());
+        let mut parser = RequestParser::new(1024);
+        assert_eq!(sans_content_length(parser.feed(&wire).unwrap().unwrap()), a);
+        assert_eq!(sans_content_length(parser.feed(&[]).unwrap().unwrap()), b);
+    }
+}

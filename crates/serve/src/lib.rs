@@ -1,0 +1,44 @@
+//! Placement-as-a-service for the xplace workspace.
+//!
+//! The paper frames placement throughput as a *batch* problem: a suite
+//! of designs placed under many configurations. This crate turns the
+//! batch scheduler into a long-running daemon so that suite can arrive
+//! over the network — while keeping the workspace hermetic (the whole
+//! HTTP stack is `std`-only; zero registry dependencies).
+//!
+//! The moving parts, bottom-up:
+//!
+//! * [`http`] — an incremental, torn-read-resilient HTTP/1.1 request
+//!   parser plus a chunked-transfer response writer/reader.
+//! * [`admission`] — the bounded FIFO queue: round-robin fairness
+//!   across client identities, per-client in-flight quotas, 503/429
+//!   load shedding, graceful drain.
+//! * [`wire`] — the streamed JSON frame format of batch responses and
+//!   the client-side reassembly into per-job artifacts.
+//! * [`server`] — the daemon: `POST /batch` (streamed execution on the
+//!   persistent worker pool with warm shared caches), `GET /stats`,
+//!   `POST /shutdown`.
+//! * [`client`] — a blocking client used by the test suite, the soak
+//!   harness, and CI's serve-vs-batch parity check.
+//!
+//! # Determinism contract
+//!
+//! A manifest submitted over the wire yields per-job traces
+//! byte-identical to `xplace batch` on the same manifest and thread
+//! count, and a report equivalent under the regression comparator —
+//! for any `--threads`. See [`server`] for the precise statement.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, AdmissionStats, Reject, RunningPermit, Ticket};
+pub use client::{Client, Submission};
+pub use http::{HttpError, Request, RequestParser};
+pub use server::{ServeConfig, Server};
+pub use wire::{assemble, parse_frames, Frame, WireBatch};

@@ -1,0 +1,199 @@
+//! Property-based tests of the HTTP layer: request parsing survives
+//! arbitrary fragmentation, header lookups fold case, oversized bodies
+//! are rejected deterministically, and the chunked encoder round-trips
+//! any payload under any chunking.
+
+use xplace_serve::http::{
+    read_chunked_body, ChunkedWriter, HttpError, Request, RequestParser, DEFAULT_MAX_BODY_BYTES,
+};
+use xplace_testkit::prop::{from_fn, Config};
+use xplace_testkit::rng::Rng;
+use xplace_testkit::{prop_assert, prop_assert_eq, props};
+
+/// A random HTTP token (header names, method-ish strings).
+fn token(rng: &mut Rng, max_len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A random printable header value (no CR/LF, no leading/trailing
+/// whitespace so the parser's `trim` is identity on it).
+fn header_value(rng: &mut Rng) -> String {
+    const ALPHABET: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_./+=\"{}[]";
+    let len = rng.gen_range(1..=24);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A random request: method, target, 0..5 headers, 0..200 body bytes.
+fn request(rng: &mut Rng) -> Request {
+    let methods = ["GET", "POST", "PUT", "DELETE"];
+    let n_headers = rng.gen_range(0..5usize);
+    let headers = (0..n_headers)
+        .map(|_| {
+            // `Content-Length` is synthesized by render(); generating it
+            // would duplicate the header.
+            let mut name = token(rng, 12);
+            if name.eq_ignore_ascii_case("content-length") {
+                name.push('x');
+            }
+            (name, header_value(rng))
+        })
+        .collect();
+    let body_len = rng.gen_range(0..200usize);
+    let body = (0..body_len).map(|_| rng.gen_range(0..=255u8)).collect();
+    Request {
+        method: methods[rng.gen_range(0..methods.len())].to_string(),
+        target: format!("/{}", token(rng, 16)),
+        headers,
+        body,
+    }
+}
+
+/// Splits `wire` into random fragments (possibly empty, possibly the
+/// whole buffer).
+fn fragments(rng: &mut Rng, wire: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < wire.len() {
+        let take = rng.gen_range(0..=wire.len() - pos);
+        out.push(wire[pos..pos + take].to_vec());
+        pos += take;
+    }
+    out
+}
+
+fn sans_content_length(mut r: Request) -> Request {
+    r.headers
+        .retain(|(k, _)| !k.eq_ignore_ascii_case("content-length"));
+    r
+}
+
+props! {
+    config = Config::with_cases(96);
+
+    /// render -> parse is the identity (modulo the synthesized
+    /// Content-Length header), for any request.
+    fn request_round_trips(req in from_fn(request)) {
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let parsed = parser.feed(&req.render()).expect("renders parse");
+        let parsed = parsed.expect("a full request completes in one feed");
+        prop_assert_eq!(sans_content_length(parsed), req);
+    }
+
+    /// The parse result is a pure function of the concatenated input:
+    /// any fragmentation — including byte-at-a-time — yields the same
+    /// request, and never completes early.
+    fn torn_reads_never_change_the_parse(
+        req in from_fn(request),
+        seed in 0u64..1_000_000,
+    ) {
+        let wire = req.render();
+        let whole = RequestParser::new(DEFAULT_MAX_BODY_BYTES)
+            .feed(&wire)
+            .expect("parses whole")
+            .expect("completes whole");
+
+        // Random fragmentation.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let mut done = None;
+        for frag in fragments(&mut rng, &wire) {
+            prop_assert!(done.is_none(), "must not complete before the last byte arrives");
+            done = parser.feed(&frag).expect("fragments parse");
+        }
+        prop_assert_eq!(done.expect("completes"), whole.clone());
+
+        // Byte-at-a-time.
+        let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+        let mut done = None;
+        for &b in &wire {
+            prop_assert!(done.is_none());
+            done = parser.feed(&[b]).expect("bytes parse");
+        }
+        prop_assert_eq!(done.expect("completes byte-wise"), whole);
+    }
+
+    /// Header lookup ignores ASCII case on the name.
+    fn header_lookup_folds_case(req in from_fn(request)) {
+        let parsed = RequestParser::new(DEFAULT_MAX_BODY_BYTES)
+            .feed(&req.render())
+            .unwrap()
+            .unwrap();
+        for (name, _) in &req.headers {
+            let upper = name.to_ascii_uppercase();
+            let lower = name.to_ascii_lowercase();
+            // First-match semantics: both case variants see the same value.
+            prop_assert_eq!(parsed.header(&upper), parsed.header(&lower));
+            prop_assert!(parsed.header(&upper).is_some());
+        }
+    }
+
+    /// A declared body over the cap is rejected the moment the head is
+    /// parsed, regardless of how the bytes arrive — and sized bodies at
+    /// or under the cap are accepted.
+    fn oversized_bodies_reject_at_the_declaration(
+        limit in 1usize..64,
+        excess in 1usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let declared = limit + excess;
+        let head = format!("POST /batch HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut parser = RequestParser::new(limit);
+        let mut rejected = None;
+        for frag in fragments(&mut rng, head.as_bytes()) {
+            match parser.feed(&frag) {
+                Ok(None) => {}
+                Ok(Some(_)) => prop_assert!(false, "oversized request must not complete"),
+                Err(e) => { rejected = Some(e); break; }
+            }
+        }
+        prop_assert_eq!(
+            rejected,
+            Some(HttpError::BodyTooLarge { declared, limit })
+        );
+
+        // Exactly at the limit is fine.
+        let at_limit = Request {
+            method: "POST".into(),
+            target: "/batch".into(),
+            headers: vec![],
+            body: vec![b'x'; limit],
+        };
+        let parsed = RequestParser::new(limit)
+            .feed(&at_limit.render())
+            .expect("at-limit parses")
+            .expect("at-limit completes");
+        prop_assert_eq!(parsed.body.len(), limit);
+    }
+
+    /// Chunked write -> read is the identity for any payload split into
+    /// any chunk sizes.
+    fn chunked_encoding_round_trips(
+        payload_len in 0usize..2048,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen_range(0..=255u8)).collect();
+        let mut wire = Vec::new();
+        {
+            let mut writer = ChunkedWriter::new(&mut wire);
+            for chunk in fragments(&mut rng, &payload) {
+                writer.chunk(&chunk).expect("Vec write cannot fail");
+            }
+            writer.finish().expect("finish flushes");
+        }
+        let back = read_chunked_body(&mut wire.as_slice()).expect("well-formed stream");
+        prop_assert_eq!(back, payload);
+
+        // Truncating the terminator must be detected, never silently
+        // returned as a complete body.
+        prop_assert!(read_chunked_body(&mut &wire[..wire.len() - 1]).is_err());
+    }
+}

@@ -54,7 +54,7 @@ pub use event::{stage_of, ConfigEcho, IterationRecord, ProfileDelta, Stage, Tele
 pub use recorder::Recorder;
 pub use regression::{compare_reports, Comparison, Tolerances};
 pub use report::{DpMetrics, GpMetrics, LgMetrics, RouteMetrics, RunReport};
-pub use sink::{parse_trace, JsonLinesSink, NullSink, TelemetrySink, VecSink};
+pub use sink::{parse_trace, CallbackSink, JsonLinesSink, NullSink, TelemetrySink, VecSink};
 // Serialization traits re-exported so downstream binaries can render and
 // load telemetry artifacts without a direct `xplace-testkit` dependency.
 pub use xplace_testkit::json::{FromJson, Json, JsonError, ToJson};

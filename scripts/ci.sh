@@ -23,7 +23,8 @@ cargo test -q --test golden_flow golden_flow_is_thread_count_invariant
 
 echo "==> telemetry smoke: trace determinism across thread counts + artifact checks"
 SMOKE=$(mktemp -d)
-trap 'rm -rf "$SMOKE"' EXIT
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
 ./target/release/xplace synth ci-smoke 300 --seed 3 --out "$SMOKE" >/dev/null
 ./target/release/xplace place "$SMOKE/ci-smoke.aux" --max-iters 120 --threads 1 \
     -o "$SMOKE/t1.pl" --trace "$SMOKE/t1.jsonl" --report "$SMOKE/t1.json" >/dev/null
@@ -68,6 +69,36 @@ if ./target/release/xplace batch "$SMOKE/fail-suite.json" --threads 2 \
 fi
 grep -q "fine .*completed" "$SMOKE/batch-fail.out" \
     || { echo "FAIL: the healthy sibling did not complete" >&2; exit 1; }
+
+echo "==> serve smoke: daemon round trip, wire-vs-batch parity, soak, graceful drain"
+./target/release/xplace serve --addr 127.0.0.1:0 --threads 4 >"$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|^serving on http://\([^ ]*\) .*|\1|p' "$SMOKE/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: daemon never reported its address" >&2; exit 1; }
+./target/release/xplace submit "$SMOKE/suite.json" --addr "$ADDR" --client ci \
+    --trace-dir "$SMOKE/wire-traces" --report "$SMOKE/wire.json" >/dev/null
+# The serve determinism contract: traces from a wire submission are
+# byte-identical to the local batch run's (and so to the serial place's).
+cmp "$SMOKE/wire-traces/s1.jsonl" "$SMOKE/batch-traces/s1.jsonl" \
+    || { echo "FAIL: wire trace s1 differs from the batch trace" >&2; exit 1; }
+cmp "$SMOKE/wire-traces/s2.jsonl" "$SMOKE/batch-traces/s2.jsonl" \
+    || { echo "FAIL: wire trace s2 differs from the batch trace" >&2; exit 1; }
+cmp "$SMOKE/wire-traces/s1.jsonl" "$SMOKE/t1.jsonl" \
+    || { echo "FAIL: wire trace s1 differs from the serial place trace" >&2; exit 1; }
+# The regression gate accepts a wire-produced report as the current run.
+./target/release/check_regression "$SMOKE/batch1.json" "$SMOKE/wire.json"
+# Multi-client soak at smoke scale against the same warm daemon.
+./target/release/serve_soak --smoke --addr "$ADDR" >/dev/null
+./target/release/xplace servectl stats --addr "$ADDR" | grep -q '"batches_completed"' \
+    || { echo "FAIL: /stats is missing completion counters" >&2; exit 1; }
+./target/release/xplace servectl shutdown --addr "$ADDR" >/dev/null
+wait "$SERVE_PID" || { echo "FAIL: daemon exited non-zero after drain" >&2; exit 1; }
+SERVE_PID=""
 
 echo "==> bench regression gate (deterministic metrics vs BENCH_baseline.json)"
 scripts/check_regression.sh

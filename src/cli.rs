@@ -124,6 +124,131 @@ pub fn parse_batch_args(
     }))
 }
 
+/// Parsed arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Kernel thread width jobs run with.
+    pub threads: usize,
+    /// Maximum waiting batches before 503 load shedding.
+    pub queue_depth: usize,
+    /// Maximum queued + running batches per client before 429.
+    pub max_inflight_per_client: usize,
+}
+
+impl ServeArgs {
+    /// Converts to the daemon's configuration (remaining fields at
+    /// their [`Default`]s).
+    pub fn to_config(&self) -> xplace_serve::ServeConfig {
+        xplace_serve::ServeConfig {
+            addr: self.addr.clone(),
+            threads: self.threads,
+            queue_depth: self.queue_depth,
+            max_inflight_per_client: self.max_inflight_per_client,
+            ..Default::default()
+        }
+    }
+}
+
+/// Parses `serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
+/// [--max-inflight-per-client N]`. Every flag has a default, so there is
+/// no usage case — only hard errors.
+///
+/// # Errors
+///
+/// Propagates flag-parsing errors; like `--threads 0`, a zero queue
+/// depth or quota is rejected up front (each bound needs at least one
+/// slot to admit anything at all).
+pub fn parse_serve_args(args: &[String], default_threads: usize) -> Result<ServeArgs, String> {
+    let queue_depth: usize = parse_flag(args, "--queue-depth", 16)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    let max_inflight_per_client: usize = parse_flag(args, "--max-inflight-per-client", 4)?;
+    if max_inflight_per_client == 0 {
+        return Err("--max-inflight-per-client must be at least 1".into());
+    }
+    Ok(ServeArgs {
+        addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7333".into()),
+        threads: parse_threads(args, default_threads)?,
+        queue_depth,
+        max_inflight_per_client,
+    })
+}
+
+/// Parsed arguments of the `submit` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Path to the batch manifest JSON to submit.
+    pub manifest: std::path::PathBuf,
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// `X-Client` identity, if any (quotas and fairness key on it).
+    pub client: Option<String>,
+    /// Directory to write per-job JSON-lines traces into
+    /// (`<dir>/<job>.jsonl`), if requested.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Path to write the batch report JSON to, if requested.
+    pub report: Option<std::path::PathBuf>,
+}
+
+/// Parses `submit <manifest.json> [--addr HOST:PORT] [--client NAME]
+/// [--trace-dir DIR] [--report out.json]`. Returns `Ok(None)` when the
+/// manifest positional is missing (the caller prints usage).
+///
+/// The artifact flags mirror `batch`'s on purpose: a wire submission
+/// must be able to produce the exact files a local batch run would.
+///
+/// # Errors
+///
+/// Propagates flag-parsing errors (missing values).
+pub fn parse_submit_args(args: &[String]) -> Result<Option<SubmitArgs>, String> {
+    let Some(manifest) = positional(args, 0) else {
+        return Ok(None);
+    };
+    Ok(Some(SubmitArgs {
+        manifest: std::path::PathBuf::from(manifest),
+        addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7333".into()),
+        client: flag_value(args, "--client")?,
+        trace_dir: flag_value(args, "--trace-dir")?.map(std::path::PathBuf::from),
+        report: flag_value(args, "--report")?.map(std::path::PathBuf::from),
+    }))
+}
+
+/// An action of the `servectl` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeCtl {
+    /// Print the daemon's `GET /stats` JSON.
+    Stats,
+    /// Request graceful shutdown (`POST /shutdown`).
+    Shutdown,
+}
+
+/// Parses `servectl <stats|shutdown> [--addr HOST:PORT]`. Returns
+/// `Ok(None)` when the action positional is missing (usage); an unknown
+/// action is a hard error naming it.
+///
+/// # Errors
+///
+/// Unknown actions and flag-parsing errors.
+pub fn parse_servectl_args(args: &[String]) -> Result<Option<(ServeCtl, String)>, String> {
+    let Some(action) = positional(args, 0) else {
+        return Ok(None);
+    };
+    let action = match action.as_str() {
+        "stats" => ServeCtl::Stats,
+        "shutdown" => ServeCtl::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown servectl action '{other}' (stats|shutdown)"
+            ))
+        }
+    };
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7333".into());
+    Ok(Some((action, addr)))
+}
+
 /// Reads and parses a batch manifest file, prefixing errors with the
 /// path so the CLI message names the offending file.
 ///
@@ -278,6 +403,102 @@ mod tests {
         );
         // Bad flag values are still hard errors, not usage.
         assert!(parse_batch_args(&argv(&["m.json", "--threads", "0"]), 4).is_err());
+    }
+
+    #[test]
+    fn serve_args_defaults_and_flags() {
+        let parsed = parse_serve_args(&argv(&[]), 4).unwrap();
+        assert_eq!(parsed.addr, "127.0.0.1:7333");
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.queue_depth, 16);
+        assert_eq!(parsed.max_inflight_per_client, 4);
+
+        let parsed = parse_serve_args(
+            &argv(&[
+                "--addr",
+                "0.0.0.0:8080",
+                "--threads",
+                "2",
+                "--queue-depth",
+                "3",
+                "--max-inflight-per-client",
+                "1",
+            ]),
+            4,
+        )
+        .unwrap();
+        assert_eq!(parsed.addr, "0.0.0.0:8080");
+        assert_eq!(parsed.threads, 2);
+        assert_eq!(parsed.queue_depth, 3);
+        assert_eq!(parsed.max_inflight_per_client, 1);
+        let config = parsed.to_config();
+        assert_eq!(config.addr, "0.0.0.0:8080");
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.queue_depth, 3);
+        assert_eq!(config.max_inflight_per_client, 1);
+        assert_eq!(config.concurrency, 1, "defaults fill the rest");
+    }
+
+    #[test]
+    fn serve_args_reject_zero_bounds_and_garbage() {
+        let err = parse_serve_args(&argv(&["--queue-depth", "0"]), 4).unwrap_err();
+        assert!(err.contains("--queue-depth must be at least 1"), "{err}");
+        let err = parse_serve_args(&argv(&["--max-inflight-per-client", "0"]), 4).unwrap_err();
+        assert!(
+            err.contains("--max-inflight-per-client must be at least 1"),
+            "{err}"
+        );
+        let err = parse_serve_args(&argv(&["--threads", "0"]), 4).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse_serve_args(&argv(&["--queue-depth", "many"]), 4).is_err());
+        assert!(parse_serve_args(&argv(&["--addr"]), 4).is_err());
+    }
+
+    #[test]
+    fn submit_args_defaults_and_flags() {
+        assert_eq!(parse_submit_args(&argv(&[])).unwrap(), None);
+        assert_eq!(parse_submit_args(&argv(&["--addr", "x:1"])).unwrap(), None);
+
+        let parsed = parse_submit_args(&argv(&["suite.json"])).unwrap().unwrap();
+        assert_eq!(parsed.manifest, std::path::PathBuf::from("suite.json"));
+        assert_eq!(parsed.addr, "127.0.0.1:7333");
+        assert_eq!(parsed.client, None);
+        assert_eq!(parsed.trace_dir, None);
+        assert_eq!(parsed.report, None);
+
+        let parsed = parse_submit_args(&argv(&[
+            "suite.json",
+            "--addr",
+            "127.0.0.1:9000",
+            "--client",
+            "ci",
+            "--trace-dir",
+            "traces",
+            "--report",
+            "wire.json",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.addr, "127.0.0.1:9000");
+        assert_eq!(parsed.client, Some("ci".into()));
+        assert_eq!(parsed.trace_dir, Some(std::path::PathBuf::from("traces")));
+        assert_eq!(parsed.report, Some(std::path::PathBuf::from("wire.json")));
+        assert!(parse_submit_args(&argv(&["suite.json", "--addr"])).is_err());
+    }
+
+    #[test]
+    fn servectl_args_parse_actions() {
+        assert_eq!(parse_servectl_args(&argv(&[])).unwrap(), None);
+        assert_eq!(
+            parse_servectl_args(&argv(&["stats"])).unwrap(),
+            Some((ServeCtl::Stats, "127.0.0.1:7333".into()))
+        );
+        assert_eq!(
+            parse_servectl_args(&argv(&["shutdown", "--addr", "h:1"])).unwrap(),
+            Some((ServeCtl::Shutdown, "h:1".into()))
+        );
+        let err = parse_servectl_args(&argv(&["restart"])).unwrap_err();
+        assert!(err.contains("unknown servectl action 'restart'"), "{err}");
     }
 
     fn write_temp_manifest(name: &str, text: &str) -> std::path::PathBuf {

@@ -18,6 +18,7 @@
 //! | [`core`] | `xplace-core` | the placer: gradient engine, Nesterov, scheduler, recorder |
 //! | [`telemetry`] | `xplace-telemetry` | typed event traces, run reports, and the regression comparator |
 //! | [`sched`] | `xplace-sched` | batch scheduler: concurrent multi-design runs with failure isolation |
+//! | [`serve`] | `xplace-serve` | placement-as-a-service: std-only HTTP daemon with fair admission and streamed telemetry |
 //! | [`nn`] | `xplace-nn` | the Fourier neural operator and training loop (Xplace-NN) |
 //! | [`legal`] | `xplace-legal` | Tetris/Abacus legalization and detailed placement |
 //! | [`route`] | `xplace-route` | RUDY congestion estimation and the top5-overflow metric |
@@ -65,4 +66,5 @@ pub use xplace_ops as ops;
 pub use xplace_parallel as parallel;
 pub use xplace_route as route;
 pub use xplace_sched as sched;
+pub use xplace_serve as serve;
 pub use xplace_telemetry as telemetry;

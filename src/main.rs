@@ -4,6 +4,11 @@
 //! xplace place  <design.aux> [-o out.pl] [--density 0.9] [--baseline] [--max-iters N]
 //!               [--trace out.jsonl] [--report out.json]
 //! xplace batch  <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]
+//! xplace serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
+//!               [--max-inflight-per-client N]
+//! xplace submit <manifest.json> [--addr HOST:PORT] [--client NAME]
+//!               [--trace-dir DIR] [--report out.json]
+//! xplace servectl <stats|shutdown> [--addr HOST:PORT]
 //! xplace synth  <name> <cells> [--out dir] [--seed N] [--macros N]
 //! xplace stats  <design.aux>
 //! xplace plot   <design.aux> [-o out.svg] [--nets N] [--density D]
@@ -17,7 +22,13 @@
 //! job of a manifest concurrently with per-job failure isolation and exits
 //! non-zero if any job failed (see README §"Batch placement"). `synth`
 //! generates a synthetic benchmark in Bookshelf format. `stats` prints
-//! Table-1-style statistics.
+//! Table-1-style statistics. `serve` runs the placement daemon: batch
+//! manifests arrive as `POST /batch` bodies, execute on the persistent
+//! worker pool with warm shared caches, and stream their telemetry back
+//! while jobs run (see README §"Serving"). `submit` is the matching wire
+//! client: it sends a manifest to a running daemon and writes the same
+//! artifacts `batch` would — byte-identical traces, a comparator-equal
+//! report. `servectl` inspects (`stats`) or drains (`shutdown`) a daemon.
 //!
 //! Argument parsing lives in [`xplace::cli`] so its rules are unit-tested.
 
@@ -26,7 +37,7 @@ use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use xplace::cli::{
     flag_value, has_flag, load_manifest, parse_batch_args, parse_flag, parse_positional,
-    parse_threads, positional,
+    parse_serve_args, parse_servectl_args, parse_submit_args, parse_threads, positional, ServeCtl,
 };
 use xplace::core::{GlobalPlacer, XplaceConfig};
 use xplace::db::synthesis::{synthesize, SynthesisSpec};
@@ -42,6 +53,11 @@ fn usage() -> ! {
         "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
          [--max-iters N] [--seed N] [--threads N] [--trace out.jsonl] [--report out.json]\n  \
          xplace batch <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]\n  \
+         xplace serve [--addr HOST:PORT] [--threads N] [--queue-depth N] \
+         [--max-inflight-per-client N]\n  \
+         xplace submit <manifest.json> [--addr HOST:PORT] [--client NAME] \
+         [--trace-dir DIR] [--report out.json]\n  \
+         xplace servectl <stats|shutdown> [--addr HOST:PORT]\n  \
          xplace synth <name> <cells> [--out DIR] [--seed N] [--macros N]\n  xplace stats \
          <design.aux> [--density D]\n  xplace plot <design.aux> [-o out.svg] [--nets N] \
          [--density D]"
@@ -54,6 +70,9 @@ fn main() {
     let result = match args.first().map(String::as_str) {
         Some("place") => cmd_place(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("servectl") => cmd_servectl(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("plot") => cmd_plot(&args[1..]),
@@ -220,6 +239,102 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             outcome.report.total()
         )
         .into());
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed = parse_serve_args(args, xplace::parallel::available_threads())?;
+    let server = xplace::serve::Server::bind(parsed.to_config())?;
+    println!(
+        "serving on http://{} ({} thread(s), queue depth {}, {} in-flight per client)",
+        server.local_addr(),
+        parsed.threads,
+        parsed.queue_depth,
+        parsed.max_inflight_per_client
+    );
+    println!("endpoints: POST /batch, GET /stats, POST /shutdown");
+    server.run()?;
+    println!("drained; goodbye");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed = parse_submit_args(args)?.unwrap_or_else(|| usage());
+    // Parse locally first so a bad manifest is a clear local error, not a
+    // wire rejection — then submit the raw text, not a re-rendering.
+    load_manifest(&parsed.manifest)?;
+    let text = std::fs::read_to_string(&parsed.manifest)?;
+    let mut client = xplace::serve::Client::new(parsed.addr.clone());
+    if let Some(identity) = &parsed.client {
+        client = client.with_identity(identity.clone());
+    }
+    println!(
+        "submitting {} to {}",
+        parsed.manifest.display(),
+        parsed.addr
+    );
+    let wire = match client.submit(&text)? {
+        xplace::serve::Submission::Completed(wire) => wire,
+        xplace::serve::Submission::Rejected {
+            status, message, ..
+        } => return Err(format!("daemon rejected the batch ({status}): {message}").into()),
+    };
+    for record in &wire.report.jobs {
+        match (&record.report, &record.error) {
+            (Some(report), _) => println!(
+                "  {:<20} completed  HPWL {:.0}  ({} cells, {} GP iters)",
+                record.name,
+                report.final_hpwl(),
+                report.cells,
+                report.gp.iterations
+            ),
+            (None, error) => println!(
+                "  {:<20} FAILED     {}",
+                record.name,
+                error.as_deref().unwrap_or("unknown failure")
+            ),
+        }
+    }
+    let (hits, misses) = wire.cache_stats;
+    println!("daemon design cache: {hits} hit(s), {misses} miss(es) cumulative");
+
+    if let Some(dir) = &parsed.trace_dir {
+        std::fs::create_dir_all(dir)?;
+        let mut written = 0;
+        for (record, trace) in wire.report.jobs.iter().zip(&wire.traces) {
+            if let Some(text) = trace {
+                std::fs::write(dir.join(format!("{}.jsonl", record.name)), text)?;
+                written += 1;
+            }
+        }
+        println!("traces written to {} ({written} file(s))", dir.display());
+    }
+    if let Some(p) = &parsed.report {
+        std::fs::write(p, wire.report.to_json_string())?;
+        println!("batch report written to {}", p.display());
+    }
+
+    if !wire.report.all_completed() {
+        return Err(format!(
+            "{} of {} job(s) failed",
+            wire.report.failed(),
+            wire.report.total()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn cmd_servectl(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (action, addr) = parse_servectl_args(args)?.unwrap_or_else(|| usage());
+    let client = xplace::serve::Client::new(addr);
+    match action {
+        ServeCtl::Stats => println!("{}", client.stats()?.render()),
+        ServeCtl::Shutdown => {
+            client.shutdown()?;
+            println!("drain requested; in-flight batches will finish");
+        }
     }
     Ok(())
 }

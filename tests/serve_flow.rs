@@ -1,0 +1,363 @@
+//! End-to-end tests of the placement daemon: the serve-vs-batch
+//! determinism contract, load shedding, per-client quotas, contextual
+//! rejections, graceful drain, and warm caches across requests.
+//!
+//! The core claim under test: a manifest submitted over TCP yields
+//! per-job traces **byte-identical** to `xplace batch` on the same
+//! manifest and thread count, and a report equivalent under
+//! [`compare_batch_reports`] — for any `--threads`.
+
+use std::time::{Duration, Instant};
+use xplace::sched::{run_batch, BatchManifest, CANCELLED_MSG};
+use xplace::serve::{Client, ServeConfig, Server, Submission};
+use xplace::telemetry::{compare_batch_reports, JobStatus, Json, Tolerances};
+
+const MAX_ITERS: usize = 120;
+
+fn parity_manifest() -> String {
+    format!(
+        r#"{{"jobs": [
+            {{"name": "job0", "synth": {{"cells": 300, "nets": 320, "seed": 3}}, "max_iters": {MAX_ITERS}, "seed": 103}},
+            {{"name": "job1", "synth": {{"cells": 260, "nets": 280, "seed": 4}}, "max_iters": {MAX_ITERS}, "seed": 104}},
+            {{"name": "doomed", "synth": {{"cells": 340, "nets": 360, "seed": 5}}, "max_iters": {MAX_ITERS}, "seed": 105, "fail_at": 9}}
+        ]}}"#
+    )
+}
+
+/// A single-job manifest slow enough (in a debug build) to still be
+/// running when a follow-up request arrives a few milliseconds later.
+fn slow_manifest(name: &str) -> String {
+    format!(
+        r#"{{"jobs": [{{"name": "{name}", "synth": {{"cells": 420, "nets": 450, "seed": 9}}, "max_iters": 900, "seed": 7}}]}}"#
+    )
+}
+
+fn tiny_manifest(name: &str) -> String {
+    format!(
+        r#"{{"jobs": [{{"name": "{name}", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}}]}}"#
+    )
+}
+
+fn serve(config: ServeConfig) -> (Client, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let (addr, handle) = server.spawn();
+    (Client::new(addr.to_string()), handle)
+}
+
+fn stat(stats: &Json, key: &str) -> usize {
+    stats
+        .field(key)
+        .and_then(|v| v.as_usize())
+        .unwrap_or_else(|e| panic!("stats field {key}: {e}"))
+}
+
+/// Polls `/stats` until `pred` holds (30 s cap — generous for debug
+/// builds; the typical wait is milliseconds).
+fn wait_for_stats(client: &Client, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("/stats responds");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last stats: {}",
+            stats.render()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn wire_submission_matches_batch_bytewise_for_any_thread_count() {
+    let manifest_text = parity_manifest();
+    let manifest = BatchManifest::parse(&manifest_text).expect("manifest parses");
+    for threads in [1usize, 4] {
+        let reference = run_batch(&manifest, threads);
+        let (client, handle) = serve(ServeConfig {
+            threads,
+            ..Default::default()
+        });
+        let wire = client
+            .submit(&manifest_text)
+            .expect("submission flows")
+            .expect_completed();
+        assert_eq!(wire.threads, threads, "hello frame echoes the width");
+
+        // Per-job traces: byte-identical, including the failed job's
+        // absence (None on both sides).
+        assert_eq!(
+            wire.traces, reference.traces,
+            "wire traces must be byte-identical to xplace batch at {threads} thread(s)"
+        );
+        // Reports: equivalent under the regression comparator (which
+        // hard-compares every deterministic quantity and the config
+        // echo, and only warns on wall-clock drift).
+        let cmp = compare_batch_reports(&reference.report, &wire.report, &Tolerances::default());
+        assert!(
+            cmp.passed(),
+            "wire report diverged at {threads} thread(s): {:?}",
+            cmp.failures
+        );
+        assert_eq!(wire.report.failed(), 1, "the injected fault is preserved");
+        assert_eq!(wire.report.job("doomed").unwrap().status, JobStatus::Failed);
+
+        client.shutdown().expect("shutdown");
+        handle.join().unwrap().expect("server exits cleanly");
+    }
+}
+
+#[test]
+fn second_submission_runs_warm_and_identical() {
+    let manifest_text = parity_manifest();
+    let (client, handle) = serve(ServeConfig::default());
+
+    let first = client.submit(&manifest_text).unwrap().expect_completed();
+    let (h1, m1) = first.cache_stats;
+    let second = client.submit(&manifest_text).unwrap().expect_completed();
+    let (h2, m2) = second.cache_stats;
+
+    // Exact accounting: the second submission re-reads the same three
+    // designs from the warm cache — three more hits, zero new misses.
+    assert_eq!(m1, 3, "cold submission loads every design");
+    assert_eq!(m2, m1, "warm submission loads nothing new");
+    assert_eq!(h2, h1 + 3, "warm submission hits once per job");
+    // Warm results are byte-identical to cold results.
+    assert_eq!(second.traces, first.traces);
+
+    // /stats agrees with the wire-reported counters.
+    let stats = client.stats().expect("/stats responds");
+    let design = stats.field("design_cache").unwrap();
+    assert_eq!(stat(design, "hits"), h2);
+    assert_eq!(stat(design, "misses"), m2);
+    assert_eq!(stat(design, "entries"), 3);
+    assert_eq!(stat(&stats, "batches_completed"), 2);
+    assert_eq!(stat(&stats, "jobs_completed"), 4);
+    assert_eq!(stat(&stats, "jobs_failed"), 2);
+    let plan = stats.field("plan_cache").unwrap();
+    assert!(
+        stat(plan, "hits") > 0,
+        "repeated grids must reuse DCT plans"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    let (client, handle) = serve(ServeConfig {
+        queue_depth: 1,
+        max_inflight_per_client: 8,
+        ..Default::default()
+    });
+
+    // Occupy the run slot (client a), then the single queue slot
+    // (client b); each step is confirmed via /stats before the next so
+    // the shed is deterministic.
+    let a = {
+        let client = client.clone().with_identity("a");
+        std::thread::spawn(move || client.submit(&slow_manifest("slow-a")).unwrap())
+    };
+    wait_for_stats(&client, "the slow batch to start", |s| {
+        stat(s, "running") == 1
+    });
+    let b = {
+        let client = client.clone().with_identity("b");
+        std::thread::spawn(move || client.submit(&tiny_manifest("tiny-b")).unwrap())
+    };
+    wait_for_stats(&client, "the second batch to queue", |s| {
+        stat(s, "queued") == 1
+    });
+
+    match client
+        .clone()
+        .with_identity("c")
+        .submit(&tiny_manifest("tiny-c"))
+        .unwrap()
+    {
+        Submission::Rejected {
+            status,
+            retry_after,
+            message,
+        } => {
+            assert_eq!(status, 503);
+            assert_eq!(retry_after, Some(1), "503 must carry Retry-After");
+            assert!(message.contains("queue full"), "{message}");
+        }
+        Submission::Completed(_) => panic!("third batch must be shed"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(stats.field("shed").unwrap(), "queue_full"), 1);
+
+    // The admitted batches still complete.
+    a.join().unwrap().expect_completed();
+    b.join().unwrap().expect_completed();
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn per_client_quota_rejects_with_429_without_touching_other_clients() {
+    let (client, handle) = serve(ServeConfig {
+        max_inflight_per_client: 1,
+        ..Default::default()
+    });
+
+    let alice_first = {
+        let client = client.clone().with_identity("alice");
+        std::thread::spawn(move || client.submit(&slow_manifest("slow-alice")).unwrap())
+    };
+    wait_for_stats(&client, "alice's batch to start", |s| {
+        stat(s, "running") == 1
+    });
+
+    // Alice is at her quota: a second submission is rejected…
+    match client
+        .clone()
+        .with_identity("alice")
+        .submit(&tiny_manifest("tiny-alice"))
+        .unwrap()
+    {
+        Submission::Rejected {
+            status, message, ..
+        } => {
+            assert_eq!(status, 429);
+            assert!(message.contains("quota"), "{message}");
+        }
+        Submission::Completed(_) => panic!("over-quota submission must be rejected"),
+    }
+    // …while bob is admitted (queued behind alice, then runs).
+    let bob = client
+        .clone()
+        .with_identity("bob")
+        .submit(&tiny_manifest("tiny-bob"))
+        .unwrap()
+        .expect_completed();
+    assert!(bob.report.all_completed());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(stats.field("shed").unwrap(), "quota"), 1);
+    alice_first.join().unwrap().expect_completed();
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_contextual_rejections() {
+    let (client, handle) = serve(ServeConfig {
+        max_body_bytes: 4096,
+        ..Default::default()
+    });
+
+    // Malformed JSON names the parse problem.
+    match client.submit("{not json at all").unwrap() {
+        Submission::Rejected {
+            status, message, ..
+        } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("manifest rejected"), "{message}");
+        }
+        Submission::Completed(_) => panic!("garbage must be rejected"),
+    }
+    // Valid JSON, invalid manifest: the message names the exact rule.
+    let dup = r#"{"jobs": [{"name": "a", "synth": {"cells": 10}},
+                           {"name": "a", "synth": {"cells": 20}}]}"#;
+    match client.submit(dup).unwrap() {
+        Submission::Rejected {
+            status, message, ..
+        } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("duplicate job name `a`"), "{message}");
+        }
+        Submission::Completed(_) => panic!("duplicate names must be rejected"),
+    }
+    // A body over the configured cap is refused before buffering.
+    let huge = format!(
+        r#"{{"jobs": [{{"name": "pad", "synth": {{"cells": 10}}, "comment": "{}"}}]}}"#,
+        "x".repeat(8192)
+    );
+    match client.submit(&huge).unwrap() {
+        Submission::Rejected {
+            status, message, ..
+        } => {
+            assert_eq!(status, 413);
+            assert!(message.contains("exceeds"), "{message}");
+        }
+        Submission::Completed(_) => panic!("oversized body must be rejected"),
+    }
+    // No jobs ran; nothing was admitted.
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "admitted"), 0);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_in_flight_job_and_cancels_the_rest() {
+    // threads=1 serializes the batch's jobs, so exactly one is in
+    // flight when the drain begins.
+    let (client, handle) = serve(ServeConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let manifest_text = format!(
+        r#"{{"jobs": [
+            {{"name": "inflight", "synth": {{"cells": 420, "nets": 450, "seed": 9}}, "max_iters": 900, "seed": 7}},
+            {{"name": "notstarted", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}}
+        ]}}"#
+    );
+    let submitter = {
+        let client = client.clone().with_identity("a");
+        let manifest_text = manifest_text.clone();
+        std::thread::spawn(move || client.submit(&manifest_text).unwrap())
+    };
+    // `running == 1` alone fires at permit-acquire, which can precede the
+    // first job's cancel check; a design-cache miss proves job 0 is past
+    // that check and actually executing.
+    wait_for_stats(&client, "the first job to be in flight", |s| {
+        stat(s, "running") == 1 && stat(s.field("design_cache").unwrap(), "misses") >= 1
+    });
+
+    client.shutdown().expect("shutdown accepted");
+
+    // While draining, new work is shed with 503 (the daemon may also
+    // already be gone if the drain won the race — both are acceptable
+    // terminal behaviours, but the stream below must complete either
+    // way).
+    if let Ok(Submission::Rejected { status, .. }) = client.submit(&tiny_manifest("late")) {
+        assert_eq!(status, 503);
+    }
+
+    // The drain guarantee: the admitted stream completes. The job that
+    // was in flight finished normally — byte-identical to an
+    // undisturbed run — and the job that had not started is reported
+    // cancelled, not silently dropped.
+    let wire = submitter.join().unwrap().expect_completed();
+    assert_eq!(
+        wire.report.job("inflight").unwrap().status,
+        JobStatus::Completed,
+        "the in-flight job must drain to completion"
+    );
+    assert_eq!(
+        wire.report.job("notstarted").unwrap().error.as_deref(),
+        Some(CANCELLED_MSG),
+        "the unstarted job must be reported cancelled"
+    );
+    let reference = run_batch(
+        &BatchManifest::parse(&slow_manifest("inflight")).unwrap(),
+        1,
+    );
+    assert_eq!(
+        wire.traces[0], reference.traces[0],
+        "the drained job's trace must match an undisturbed run's"
+    );
+
+    handle
+        .join()
+        .unwrap()
+        .expect("server exits after the drain");
+    // Fully gone: connections are now refused.
+    assert!(client.stats().is_err(), "daemon must be down after drain");
+}
