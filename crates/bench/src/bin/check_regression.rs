@@ -8,25 +8,32 @@
 //!                  [--inject-hpwl-pct X]
 //! ```
 //!
-//! Both single-run [`RunReport`]s and batch [`BatchReport`]s are
-//! accepted; the kind is auto-detected (a batch report is an object with
-//! a `jobs` array) and both sides must be the same kind. Deterministic
-//! quantities (final HPWL, modeled GP time, kernel launch count,
-//! iteration count, run structure — per job, for batches) hard-fail
-//! beyond tolerance; wall-clock drift only warns. `--inject-hpwl-pct`
-//! inflates the current report's HPWL by X percent *after loading* (every
-//! completed job of a batch) — a self-test hook CI uses to prove the gate
-//! actually fails on a regression.
+//! Single-run [`RunReport`]s, batch [`BatchReport`]s and bare spectral
+//! reports (`spectral_bench` output) are accepted; the kind is
+//! auto-detected (a batch report is an object with a `jobs` array, a
+//! spectral report one with a top-level `grids` array). Both sides must
+//! be the same kind, except that a spectral *current* may be gated
+//! against the `spectral` section of a run-report *baseline* — the CI
+//! smoke path against `BENCH_baseline.json`. Deterministic quantities
+//! (final HPWL, modeled GP time, kernel launch count, iteration count,
+//! run structure — per job, for batches; per-grid modeled transform ns
+//! for spectral sections) hard-fail beyond tolerance; wall-clock drift
+//! only warns. `--inject-hpwl-pct` inflates the current report's HPWL by
+//! X percent *after loading* (every completed job of a batch), and
+//! `--inject-spectral-pct` does the same to the per-grid modeled
+//! transform times — self-test hooks CI uses to prove the gate actually
+//! fails on a regression.
 
 use xplace_bench::argv_parse;
 use xplace_telemetry::{
-    compare_batch_reports, compare_reports, BatchReport, Comparison, FromJson, Json, RunReport,
-    Tolerances,
+    compare_batch_reports, compare_reports, compare_spectral, BatchReport, Comparison, FromJson,
+    Json, RunReport, SpectralMetrics, Tolerances,
 };
 
 enum Loaded {
     Run(RunReport),
     Batch(BatchReport),
+    Spectral(SpectralMetrics),
 }
 
 impl Loaded {
@@ -34,6 +41,7 @@ impl Loaded {
         match self {
             Loaded::Run(_) => "run report",
             Loaded::Batch(_) => "batch report",
+            Loaded::Spectral(_) => "spectral report",
         }
     }
 }
@@ -49,6 +57,8 @@ fn load(path: &str) -> Loaded {
     });
     let result = if json.get("jobs").is_some() {
         BatchReport::from_json(&json).map(Loaded::Batch)
+    } else if json.get("grids").is_some() {
+        SpectralMetrics::from_json(&json).map(Loaded::Spectral)
     } else {
         RunReport::from_json(&json).map(Loaded::Run)
     };
@@ -67,6 +77,14 @@ fn inject_hpwl(report: &mut RunReport, factor: f64) {
     }
     if let Some(dp) = report.dp.as_mut() {
         dp.final_hpwl *= factor;
+    }
+}
+
+/// Self-test hook for the spectral gate: fake a modeled-transform-time
+/// regression on every grid.
+fn inject_spectral(spectral: &mut SpectralMetrics, factor: f64) {
+    for grid in &mut spectral.grids {
+        grid.modeled_ns = (grid.modeled_ns as f64 * factor) as u64;
     }
 }
 
@@ -89,7 +107,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: check_regression <baseline.json> <current.json> \
-                 [--hpwl-pct X] [--time-pct X] [--launches-pct X] [--inject-hpwl-pct X]"
+                 [--hpwl-pct X] [--time-pct X] [--launches-pct X] \
+                 [--inject-hpwl-pct X] [--inject-spectral-pct X]"
             );
             std::process::exit(2)
         }
@@ -117,13 +136,60 @@ fn main() {
                     }
                 }
             }
+            Loaded::Spectral(_) => {
+                eprintln!("error: --inject-hpwl-pct does not apply to a spectral report");
+                std::process::exit(2)
+            }
         }
         eprintln!("(self-test: injected {inject:+.1}% HPWL into the current report)");
+    }
+
+    let inject_sp: f64 = argv_parse("--inject-spectral-pct", 0.0);
+    if inject_sp != 0.0 {
+        let f = 1.0 + inject_sp / 100.0;
+        match &mut current {
+            Loaded::Spectral(spectral) => inject_spectral(spectral, f),
+            Loaded::Run(report) => match report.spectral.as_mut() {
+                Some(spectral) => inject_spectral(spectral, f),
+                None => {
+                    eprintln!("error: current run report has no spectral section to inject into");
+                    std::process::exit(2)
+                }
+            },
+            Loaded::Batch(_) => {
+                eprintln!("error: --inject-spectral-pct does not apply to a batch report");
+                std::process::exit(2)
+            }
+        }
+        eprintln!(
+            "(self-test: injected {inject_sp:+.1}% modeled transform time into the current \
+             spectral report)"
+        );
     }
 
     let cmp: Comparison = match (&baseline, &current) {
         (Loaded::Run(b), Loaded::Run(c)) => compare_reports(b, c, &tol),
         (Loaded::Batch(b), Loaded::Batch(c)) => compare_batch_reports(b, c, &tol),
+        (Loaded::Spectral(b), Loaded::Spectral(c)) => {
+            let mut cmp = Comparison::default();
+            compare_spectral(b, c, &tol, &mut cmp);
+            cmp
+        }
+        // CI smoke path: a bare spectral_bench report gated against the
+        // spectral section of the committed run-report baseline.
+        (Loaded::Run(b), Loaded::Spectral(c)) => match b.spectral.as_ref() {
+            Some(base) => {
+                let mut cmp = Comparison::default();
+                compare_spectral(base, c, &tol, &mut cmp);
+                cmp
+            }
+            None => {
+                eprintln!(
+                    "error: baseline {baseline_path} has no spectral section to gate against"
+                );
+                std::process::exit(2)
+            }
+        },
         (b, c) => {
             eprintln!(
                 "error: report kind mismatch: {baseline_path} is a {} but {current_path} \

@@ -10,7 +10,12 @@
 //! ```text
 //! run_report [--out results/run_report.json] [--max-iters 400]
 //!            [--cells 500] [--nets 525] [--seed 20220714] [--threads N]
+//!            [--no-spectral] [--spectral-reps 3]
 //! ```
+//!
+//! The report also embeds the spectral microbench section (unless
+//! `--no-spectral`), so the committed baseline carries per-grid modeled
+//! transform times for the spectral regression gate.
 //!
 //! Regenerating the committed baseline after an intentional change:
 //! `cargo run --release -p xplace-bench --bin run_report -- --out BENCH_baseline.json`
@@ -48,7 +53,18 @@ fn main() {
         eprintln!("error: flow failed: {e}");
         std::process::exit(1)
     });
-    let report = report_from_flow(&config, &flow);
+    let mut report = report_from_flow(&config, &flow);
+    if !std::env::args().any(|a| a == "--no-spectral") {
+        let reps: usize = argv_parse("--spectral-reps", 3);
+        eprintln!(
+            "measuring the spectral microbench (grids {:?}, {reps} reps)...",
+            xplace_bench::spectral::SPECTRAL_GRIDS
+        );
+        report.spectral = Some(xplace_bench::spectral::measure_spectral(
+            &xplace_bench::spectral::SPECTRAL_GRIDS,
+            reps,
+        ));
+    }
     eprintln!(
         "GP {} iters, HPWL {:.1}, modeled {:.3}s, {} launches; final HPWL {:.1}",
         report.gp.iterations,

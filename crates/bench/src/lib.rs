@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod spectral;
+
 use xplace_core::{GlobalPlacer, PlacementReport, XplaceConfig};
 use xplace_db::suites::SuiteEntry;
 use xplace_db::synthesis::synthesize;
@@ -101,6 +103,7 @@ pub fn report_from_flow(config: &XplaceConfig, flow: &FlowResult) -> RunReport {
             top5_overflow: congestion.top_overflow(0.05),
             max_utilization: congestion.max_utilization(),
         }),
+        spectral: None,
     }
 }
 

@@ -23,8 +23,10 @@ use std::sync::Mutex;
 #[derive(Debug, Default)]
 pub struct DesignCache {
     entries: Mutex<HashMap<String, Design>>,
-    hits: Mutex<usize>,
-    misses: Mutex<usize>,
+    /// `(hits, misses)` behind one lock so [`DesignCache::stats`] always
+    /// observes a consistent pair (two separate counters could be read
+    /// mid-update by a concurrent `get_or_load`).
+    stats: Mutex<(usize, usize)>,
 }
 
 impl DesignCache {
@@ -33,12 +35,10 @@ impl DesignCache {
         Self::default()
     }
 
-    /// `(hits, misses)` counters since construction.
+    /// `(hits, misses)` counters since construction, read atomically as a
+    /// pair.
     pub fn stats(&self) -> (usize, usize) {
-        (
-            *self.hits.lock().unwrap_or_else(|e| e.into_inner()),
-            *self.misses.lock().unwrap_or_else(|e| e.into_inner()),
-        )
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of cached designs.
@@ -58,11 +58,11 @@ impl DesignCache {
     ) -> Result<Design, DbError> {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(design) = entries.get(&key) {
-            *self.hits.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+            self.stats.lock().unwrap_or_else(|e| e.into_inner()).0 += 1;
             return Ok(design.clone());
         }
         let design = load()?;
-        *self.misses.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).1 += 1;
         entries.insert(key, design.clone());
         Ok(design)
     }

@@ -7,28 +7,130 @@
 //! * **cosine synthesis**:  `f[n] = sum_k c[k] cos(theta_k(n))`
 //! * **sine synthesis** (a.k.a. `idxst`): `f[n] = sum_k c[k] sin(theta_k(n))`
 //!
-//! All three are computed through a single length-`2N` complex FFT plan.
+//! All three run through a single length-`N` complex FFT by way of the
+//! packed real transform [`RealFftPlan`]: the even extension of the input
+//! (analysis) and the Hermitian coefficient spectrum (synthesis) are real /
+//! conjugate-symmetric, so only the non-redundant half of the length-`2N`
+//! spectrum is ever computed or stored. See `DESIGN.md` ("Real-FFT spectral
+//! engine") for the derivation; [`reference::ComplexDct`] preserves the
+//! previous length-`2N` complex-FFT path for property tests and benchmarks.
 
-use crate::{Complex, FftError, FftPlan};
-use std::sync::atomic::AtomicUsize;
+use crate::{Complex, FftError, RealFftPlan};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-static PLAN_CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
-static PLAN_CACHE_MISSES: AtomicUsize = AtomicUsize::new(0);
+/// A cache of [`DctPlan`]s keyed by length, with tear-free hit/miss stats.
+///
+/// Plan construction computes `O(N)` twiddle/phase tables; callers that
+/// repeatedly build solvers for the same grid size (batch runs over many
+/// designs, a serving daemon) share that work through a cache. Lookups
+/// clone the cached plan, so cached clones never contend at transform time.
+///
+/// Both counters live in one `AtomicU64` (hits in the high 32 bits, misses
+/// in the low 32), so a [`PlanCache::stats`] snapshot is always a
+/// consistent pair — a concurrent lookup can never be observed in one
+/// counter but not the other. Tests that assert exact deltas should use a
+/// private instance instead of the process-wide [`DctPlan::cached`] cache,
+/// whose counters are shared by the whole process.
+///
+/// ```
+/// use xplace_fft::PlanCache;
+///
+/// let cache = PlanCache::new();
+/// cache.get(64).unwrap();
+/// cache.get(64).unwrap();
+/// assert_eq!(cache.stats(), (1, 1)); // one miss, then one hit
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<usize, DctPlan>>,
+    /// Packed `(hits << 32) | misses`; saturating per half.
+    stats: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` since construction, read as one consistent pair.
+    ///
+    /// Each counter saturates at `u32::MAX` instead of wrapping into its
+    /// neighbor's half.
+    pub fn stats(&self) -> (usize, usize) {
+        let packed = self.stats.load(Ordering::Relaxed);
+        (
+            (packed >> 32) as usize,
+            (packed & u64::from(u32::MAX)) as usize,
+        )
+    }
+
+    fn bump(&self, hit: bool) {
+        let _ = self
+            .stats
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |packed| {
+                let hits = packed >> 32;
+                let misses = packed & u64::from(u32::MAX);
+                let (hits, misses) = if hit {
+                    ((hits + 1).min(u64::from(u32::MAX)), misses)
+                } else {
+                    (hits, (misses + 1).min(u64::from(u32::MAX)))
+                };
+                Some(hits << 32 | misses)
+            });
+    }
+
+    /// Returns a plan of length `len`, cloned from the cache (loading it on
+    /// first use). The returned plan owns private scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DctPlan::new`]; invalid lengths are never cached and touch
+    /// neither counter.
+    pub fn get(&self, len: usize) -> Result<DctPlan, FftError> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = map.get(&len) {
+            self.bump(true);
+            return Ok(plan.clone());
+        }
+        let plan = DctPlan::new(len)?;
+        self.bump(false);
+        map.insert(len, plan.clone());
+        Ok(plan)
+    }
+
+    /// Number of cached plan lengths.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn global_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new)
+}
 
 /// `(hits, misses)` of the process-wide [`DctPlan::cached`] plan cache
-/// since process start. Long-running services expose these counters to
-/// show that spectral plans stay warm across requests.
+/// since process start, read as one consistent snapshot. Long-running
+/// services expose these counters to show that spectral plans stay warm
+/// across requests.
 pub fn plan_cache_stats() -> (usize, usize) {
-    (
-        PLAN_CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
-        PLAN_CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
-    )
+    global_cache().stats()
 }
 
 /// A reusable plan for the DCT/DST family of a fixed power-of-two length.
 ///
-/// All transforms are `O(N log N)` and allocation-free after construction.
-/// Methods take `&mut self` because the plan owns scratch buffers.
+/// All transforms are `O(N log N)` and allocation-free after construction,
+/// computed through one length-`N` complex FFT via the packed real path of
+/// [`RealFftPlan`]. Methods take `&mut self` because the plan owns scratch
+/// buffers.
 ///
 /// ```
 /// use xplace_fft::DctPlan;
@@ -55,12 +157,15 @@ pub fn plan_cache_stats() -> (usize, usize) {
 #[derive(Debug, Clone)]
 pub struct DctPlan {
     len: usize,
-    fft: FftPlan,
-    /// e^{-i pi k / (2N)} for k in 0..2N.
+    rfft: RealFftPlan,
+    /// e^{-i pi k / (2N)} for k in 0..N.
     phase_fwd: Vec<Complex>,
     /// e^{+i pi k / (2N)} for k in 0..N.
     phase_inv: Vec<Complex>,
-    scratch: Vec<Complex>,
+    /// Half-spectrum scratch, N + 1 slots.
+    spec: Vec<Complex>,
+    /// Real even-extension scratch, 2N samples.
+    ext: Vec<f64>,
 }
 
 impl DctPlan {
@@ -77,8 +182,8 @@ impl DctPlan {
         if !crate::is_power_of_two(len) {
             return Err(FftError::NotPowerOfTwo(len));
         }
-        let fft = FftPlan::new(2 * len)?;
-        let phase_fwd = (0..2 * len)
+        let rfft = RealFftPlan::new(2 * len)?;
+        let phase_fwd = (0..len)
             .map(|k| Complex::from_angle(-std::f64::consts::PI * k as f64 / (2.0 * len as f64)))
             .collect();
         let phase_inv = (0..len)
@@ -86,38 +191,27 @@ impl DctPlan {
             .collect();
         Ok(DctPlan {
             len,
-            fft,
+            rfft,
             phase_fwd,
             phase_inv,
-            scratch: vec![Complex::ZERO; 2 * len],
+            spec: vec![Complex::ZERO; len + 1],
+            ext: vec![0.0; 2 * len],
         })
     }
 
-    /// Returns a plan of length `len`, cloned from a process-wide cache.
+    /// Returns a plan of length `len`, cloned from a process-wide cache —
+    /// a convenience wrapper over a global [`PlanCache`].
     ///
-    /// Plan construction computes `O(N)` twiddle/phase tables; callers that
-    /// repeatedly build solvers for the same grid size (e.g. batch runs over
-    /// many designs) share that work through this cache. The returned plan
-    /// owns private scratch, so cached clones never contend at transform
-    /// time.
+    /// The returned plan owns private scratch, so cached clones never
+    /// contend at transform time. Tests asserting exact hit/miss deltas
+    /// should construct their own [`PlanCache`]: the global counters are
+    /// shared by every caller in the process.
     ///
     /// # Errors
     ///
     /// Same as [`DctPlan::new`]; invalid lengths are never cached.
     pub fn cached(len: usize) -> Result<Self, FftError> {
-        use std::collections::HashMap;
-        use std::sync::{Mutex, OnceLock};
-        static CACHE: OnceLock<Mutex<HashMap<usize, DctPlan>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(plan) = map.get(&len) {
-            PLAN_CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Ok(plan.clone());
-        }
-        let plan = DctPlan::new(len)?;
-        PLAN_CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        map.insert(len, plan.clone());
-        Ok(plan)
+        global_cache().get(len)
     }
 
     /// The transform length.
@@ -156,15 +250,18 @@ impl DctPlan {
     pub fn analyze(&mut self, input: &[f64], output: &mut [f64]) -> Result<(), FftError> {
         self.check(input, output)?;
         let n = self.len;
-        // Even extension: y[n] = x[n], y[2N-1-n] = x[n].
-        for (i, &x) in input.iter().enumerate() {
-            self.scratch[i] = Complex::new(x, 0.0);
-            self.scratch[2 * n - 1 - i] = Complex::new(x, 0.0);
+        // Even extension: y[n] = x[n], y[2N-1-n] = x[n]. The extension is
+        // real, so the forward transform runs through the packed real path.
+        let (head, tail) = self.ext.split_at_mut(n);
+        head.copy_from_slice(input);
+        for (t, &x) in tail.iter_mut().rev().zip(input) {
+            *t = x;
         }
-        self.fft.forward(&mut self.scratch)?;
-        // C[k] = Re(Y[k] * e^{-i pi k / 2N}) / 2
-        for k in 0..n {
-            output[k] = 0.5 * (self.scratch[k] * self.phase_fwd[k]).re;
+        self.rfft.forward(&self.ext, &mut self.spec)?;
+        // C[k] = Re(Y[k] * e^{-i pi k / 2N}) / 2; only the half spectrum
+        // k < N is needed, and only the real part of the product.
+        for ((out, y), p) in output.iter_mut().zip(&self.spec).zip(&self.phase_fwd) {
+            *out = 0.5 * (y.re * p.re - y.im * p.im);
         }
         Ok(())
     }
@@ -182,19 +279,22 @@ impl DctPlan {
     pub fn cosine_synthesis(&mut self, coeffs: &[f64], output: &mut [f64]) -> Result<(), FftError> {
         self.check(coeffs, output)?;
         let n = self.len;
-        // Build the Hermitian length-2N spectrum Z with Z[k] = c[k] e^{i pi k/2N}.
-        self.scratch[0] = Complex::new(coeffs[0], 0.0);
-        self.scratch[n] = Complex::ZERO;
-        for k in 1..n {
-            let z = self.phase_inv[k].scale(coeffs[k]);
-            self.scratch[k] = z;
-            self.scratch[2 * n - k] = z.conj();
+        // Hermitian half spectrum Z[k] = c[k] e^{i pi k/2N} for k < N; the
+        // conjugate half is implied and never materialized.
+        self.spec[0] = Complex::new(coeffs[0], 0.0);
+        self.spec[n] = Complex::ZERO;
+        for ((z, p), &c) in self.spec[1..n]
+            .iter_mut()
+            .zip(&self.phase_inv[1..])
+            .zip(&coeffs[1..])
+        {
+            *z = p.scale(c);
         }
-        self.fft.inverse_unscaled(&mut self.scratch)?;
-        // z_unscaled[n] = c[0] + 2 sum_{k>=1} c[k] cos(theta) ; recover the sum.
+        self.rfft.inverse_unscaled(&self.spec, &mut self.ext)?;
+        // ext[n] = c[0] + 2 sum_{k>=1} c[k] cos(theta) ; recover the sum.
         let c0 = coeffs[0];
-        for i in 0..n {
-            output[i] = 0.5 * (self.scratch[i].re + c0);
+        for (out, &e) in output.iter_mut().zip(self.ext.iter()) {
+            *out = 0.5 * (e + c0);
         }
         Ok(())
     }
@@ -213,26 +313,133 @@ impl DctPlan {
         // Identity: sum_k c[k] sin(pi k (2n+1)/(2N))
         //         = (-1)^n * sum_m c'[m] cos(pi m (2n+1)/(2N))
         // with c'[0] = 0, c'[m] = c[N-m].
-        // Build the Hermitian spectrum for c' directly.
-        self.scratch[0] = Complex::ZERO;
-        self.scratch[n] = Complex::ZERO;
-        for m in 1..n {
-            let z = self.phase_inv[m].scale(coeffs[n - m]);
-            self.scratch[m] = z;
-            self.scratch[2 * n - m] = z.conj();
+        // Build the Hermitian half spectrum for c' directly.
+        self.spec[0] = Complex::ZERO;
+        self.spec[n] = Complex::ZERO;
+        for (m, z) in self.spec[1..n].iter_mut().enumerate() {
+            *z = self.phase_inv[m + 1].scale(coeffs[n - 1 - m]);
         }
-        self.fft.inverse_unscaled(&mut self.scratch)?;
-        for i in 0..n {
-            let cos_sum = 0.5 * self.scratch[i].re;
-            output[i] = if i % 2 == 0 { cos_sum } else { -cos_sum };
+        self.rfft.inverse_unscaled(&self.spec, &mut self.ext)?;
+        for (pair, out) in self.ext.chunks_exact(2).zip(output.chunks_mut(2)) {
+            out[0] = 0.5 * pair[0];
+            if let Some(o) = out.get_mut(1) {
+                *o = -0.5 * pair[1];
+            }
         }
         Ok(())
     }
 }
 
-/// Reference `O(N^2)` implementations used to validate the FFT-backed path.
-#[cfg(test)]
-pub(crate) mod naive {
+/// The pre-real-FFT transform path: every DCT/DST through one length-`2N`
+/// **complex** FFT. Kept as a second independent implementation for
+/// property tests (real vs complex path) and speedup benchmarks; not used
+/// by the solver.
+#[doc(hidden)]
+pub mod reference {
+    use crate::{Complex, FftError, FftPlan};
+
+    /// [`super::DctPlan`]'s previous implementation: DCT-II analysis and
+    /// cosine/sine synthesis through a full length-`2N` complex FFT.
+    #[derive(Debug, Clone)]
+    pub struct ComplexDct {
+        len: usize,
+        fft: FftPlan,
+        /// e^{-i pi k / (2N)} for k in 0..2N.
+        phase_fwd: Vec<Complex>,
+        /// e^{+i pi k / (2N)} for k in 0..N.
+        phase_inv: Vec<Complex>,
+        scratch: Vec<Complex>,
+    }
+
+    impl ComplexDct {
+        /// Creates a plan of length `len` (must be a nonzero power of two).
+        pub fn new(len: usize) -> Result<Self, FftError> {
+            if len == 0 {
+                return Err(FftError::EmptyLength);
+            }
+            if !crate::is_power_of_two(len) {
+                return Err(FftError::NotPowerOfTwo(len));
+            }
+            let fft = FftPlan::new(2 * len)?;
+            let phase_fwd = (0..2 * len)
+                .map(|k| Complex::from_angle(-std::f64::consts::PI * k as f64 / (2.0 * len as f64)))
+                .collect();
+            let phase_inv = (0..len)
+                .map(|k| Complex::from_angle(std::f64::consts::PI * k as f64 / (2.0 * len as f64)))
+                .collect();
+            Ok(ComplexDct {
+                len,
+                fft,
+                phase_fwd,
+                phase_inv,
+                scratch: vec![Complex::ZERO; 2 * len],
+            })
+        }
+
+        /// Unnormalized DCT-II analysis (complex-FFT path).
+        pub fn analyze(&mut self, input: &[f64], output: &mut [f64]) -> Result<(), FftError> {
+            let n = self.len;
+            for (i, &x) in input.iter().enumerate() {
+                self.scratch[i] = Complex::new(x, 0.0);
+                self.scratch[2 * n - 1 - i] = Complex::new(x, 0.0);
+            }
+            self.fft.forward(&mut self.scratch)?;
+            for k in 0..n {
+                output[k] = 0.5 * (self.scratch[k] * self.phase_fwd[k]).re;
+            }
+            Ok(())
+        }
+
+        /// Cosine synthesis (complex-FFT path).
+        pub fn cosine_synthesis(
+            &mut self,
+            coeffs: &[f64],
+            output: &mut [f64],
+        ) -> Result<(), FftError> {
+            let n = self.len;
+            self.scratch[0] = Complex::new(coeffs[0], 0.0);
+            self.scratch[n] = Complex::ZERO;
+            for k in 1..n {
+                let z = self.phase_inv[k].scale(coeffs[k]);
+                self.scratch[k] = z;
+                self.scratch[2 * n - k] = z.conj();
+            }
+            self.fft.inverse_unscaled(&mut self.scratch)?;
+            let c0 = coeffs[0];
+            for i in 0..n {
+                output[i] = 0.5 * (self.scratch[i].re + c0);
+            }
+            Ok(())
+        }
+
+        /// Sine synthesis (complex-FFT path).
+        pub fn sine_synthesis(
+            &mut self,
+            coeffs: &[f64],
+            output: &mut [f64],
+        ) -> Result<(), FftError> {
+            let n = self.len;
+            self.scratch[0] = Complex::ZERO;
+            self.scratch[n] = Complex::ZERO;
+            for m in 1..n {
+                let z = self.phase_inv[m].scale(coeffs[n - m]);
+                self.scratch[m] = z;
+                self.scratch[2 * n - m] = z.conj();
+            }
+            self.fft.inverse_unscaled(&mut self.scratch)?;
+            for i in 0..n {
+                let cos_sum = 0.5 * self.scratch[i].re;
+                output[i] = if i % 2 == 0 { cos_sum } else { -cos_sum };
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Reference `O(N^2)` implementations used to validate the FFT-backed
+/// paths (unit, property and solver tests).
+#[doc(hidden)]
+pub mod naive {
     /// Unnormalized DCT-II.
     pub fn analyze(input: &[f64]) -> Vec<f64> {
         let n = input.len();
@@ -305,19 +512,55 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_stats_count_hits_and_misses() {
-        // Length 2048 is used by no other test, so this test contributes
-        // exactly one miss then one hit; concurrent tests only add to the
-        // global counters, never subtract.
+    fn private_plan_cache_counts_exact_hits_and_misses() {
+        // A private cache has delta-scoped counters: no other test can
+        // touch them, so the assertions are exact and order-independent.
+        let cache = PlanCache::new();
+        assert_eq!(cache.stats(), (0, 0));
+        assert!(cache.is_empty());
+        cache.get(64).unwrap();
+        assert_eq!(cache.stats(), (0, 1), "first get(64) must be a miss");
+        cache.get(64).unwrap();
+        assert_eq!(cache.stats(), (1, 1), "second get(64) must be a hit");
+        cache.get(32).unwrap();
+        cache.get(32).unwrap();
+        cache.get(32).unwrap();
+        assert_eq!(cache.stats(), (3, 2));
+        assert_eq!(cache.len(), 2);
+        // Invalid lengths touch neither counter.
+        assert!(cache.get(12).is_err());
+        assert!(cache.get(0).is_err());
+        assert_eq!(cache.stats(), (3, 2));
+    }
+
+    #[test]
+    fn plan_cache_stats_snapshot_is_monotone_and_consistent() {
+        // The process-wide counters are shared across the test binary, so
+        // only monotone (>=) deltas can be asserted here; exact deltas live
+        // in `private_plan_cache_counts_exact_hits_and_misses`.
         let (h0, m0) = plan_cache_stats();
         DctPlan::cached(2048).unwrap();
-        let (_, m1) = plan_cache_stats();
-        assert!(m1 >= m0 + 1, "first cached(2048) must be a miss");
         DctPlan::cached(2048).unwrap();
-        let (h2, _) = plan_cache_stats();
-        assert!(h2 >= h0 + 1, "second cached(2048) must be a hit");
-        // Invalid lengths touch neither counter's cache entry.
+        let (h1, m1) = plan_cache_stats();
+        assert!(h1 + m1 >= h0 + m0 + 2, "two lookups must be counted");
+        assert!(h1 >= h0 + 1, "the second cached(2048) must be a hit");
+        assert!(m1 >= m0, "misses never decrease");
         assert!(DctPlan::cached(12).is_err());
+    }
+
+    #[test]
+    fn plan_cache_stats_saturate_instead_of_carrying() {
+        // Force the miss half to the saturation point and verify further
+        // misses neither wrap nor spill a carry into the hit half.
+        let cache = PlanCache::new();
+        cache
+            .stats
+            .store(u64::from(u32::MAX) - 1, Ordering::Relaxed);
+        cache.get(16).unwrap(); // miss -> u32::MAX
+        cache.get(8).unwrap(); // miss -> saturates
+        assert_eq!(cache.stats(), (0, u32::MAX as usize));
+        cache.get(16).unwrap(); // hit half still counts normally
+        assert_eq!(cache.stats(), (1, u32::MAX as usize));
     }
 
     #[test]
@@ -349,7 +592,7 @@ mod tests {
 
     #[test]
     fn analyze_matches_naive() {
-        for &n in &[2usize, 4, 8, 32, 128] {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
             let mut plan = DctPlan::new(n).unwrap();
             let x = sample_signal(n);
             let mut fast = vec![0.0; n];
@@ -363,7 +606,7 @@ mod tests {
 
     #[test]
     fn cosine_synthesis_matches_naive() {
-        for &n in &[2usize, 8, 64] {
+        for &n in &[1usize, 2, 8, 64] {
             let mut plan = DctPlan::new(n).unwrap();
             let c = sample_signal(n);
             let mut fast = vec![0.0; n];
@@ -377,7 +620,7 @@ mod tests {
 
     #[test]
     fn sine_synthesis_matches_naive() {
-        for &n in &[2usize, 8, 64, 256] {
+        for &n in &[1usize, 2, 8, 64, 256] {
             let mut plan = DctPlan::new(n).unwrap();
             let c = sample_signal(n);
             let mut fast = vec![0.0; n];
@@ -387,6 +630,43 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn real_path_matches_complex_reference_path() {
+        for &n in &[1usize, 2, 4, 16, 128] {
+            let mut real = DctPlan::new(n).unwrap();
+            let mut complex = reference::ComplexDct::new(n).unwrap();
+            let x = sample_signal(n);
+            let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+            real.analyze(&x, &mut a).unwrap();
+            complex.analyze(&x, &mut b).unwrap();
+            for (p, q) in a.iter().zip(&b) {
+                assert!((p - q).abs() < 1e-9, "analyze n={n}: {p} vs {q}");
+            }
+            real.cosine_synthesis(&x, &mut a).unwrap();
+            complex.cosine_synthesis(&x, &mut b).unwrap();
+            for (p, q) in a.iter().zip(&b) {
+                assert!((p - q).abs() < 1e-9, "cosine n={n}: {p} vs {q}");
+            }
+            real.sine_synthesis(&x, &mut a).unwrap();
+            complex.sine_synthesis(&x, &mut b).unwrap();
+            for (p, q) in a.iter().zip(&b) {
+                assert!((p - q).abs() < 1e-9, "sine n={n}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_plans_are_exact() {
+        let mut plan = DctPlan::new(1).unwrap();
+        let (mut out, x) = ([0.0], [2.75]);
+        plan.analyze(&x, &mut out).unwrap();
+        assert_eq!(out, [2.75]); // C[0] = x[0]
+        plan.cosine_synthesis(&x, &mut out).unwrap();
+        assert_eq!(out, [2.75]); // f[0] = c[0]
+        plan.sine_synthesis(&x, &mut out).unwrap();
+        assert_eq!(out, [0.0]); // sin(0) basis
     }
 
     #[test]

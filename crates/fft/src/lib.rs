@@ -5,6 +5,9 @@
 //!
 //! * [`Complex`] — a minimal double-precision complex number,
 //! * [`FftPlan`] — an iterative radix-2 complex FFT with precomputed twiddles,
+//! * [`RealFftPlan`] — a packed real-input FFT: a length-`N` complex plan
+//!   computing a length-`2N` real transform over the non-redundant half
+//!   spectrum,
 //! * [`DctPlan`] — FFT-backed DCT-II analysis and DCT-III / DXST synthesis
 //!   transforms (the `dct2`/`idct`/`idxst` family used by ePlace-style
 //!   electrostatic placers),
@@ -42,9 +45,11 @@ mod grid;
 mod spectral;
 
 pub use complex::Complex;
-pub use dct::{plan_cache_stats, DctPlan};
+#[doc(hidden)]
+pub use dct::{naive, reference};
+pub use dct::{plan_cache_stats, DctPlan, PlanCache};
 pub use error::FftError;
-pub use fft::FftPlan;
+pub use fft::{FftPlan, RealFftPlan};
 pub use grid::Grid2;
 pub use spectral::{ElectrostaticSolver, FieldSolution};
 

@@ -54,8 +54,10 @@ impl FieldSolution {
 /// Spectral Poisson solver for the placement density system.
 ///
 /// The solver owns all transform plans and scratch memory; a `solve` call
-/// performs one DCT-II analysis and three syntheses (potential, `Ex`, `Ey`)
-/// with no allocation when used through [`ElectrostaticSolver::solve_into`].
+/// performs one DCT-II analysis batch and one fused synthesis pass that
+/// scales the spectrum for the potential, `Ex` and `Ey` in a single sweep
+/// and transforms all three streams together, with no allocation when used
+/// through [`ElectrostaticSolver::solve_into`].
 ///
 /// ```
 /// use xplace_fft::{ElectrostaticSolver, Grid2};
@@ -86,12 +88,14 @@ pub struct ElectrostaticSolver {
     /// Normalized analysis coefficients a_uv, laid out `v * nx + u` so each
     /// x-transform reads/writes one contiguous row.
     coeffs: Vec<f64>,
-    /// Scratch coefficient buffer for the synthesis passes (`v * nx + u`).
-    synth: Vec<f64>,
     /// y-analysis scratch, laid out `ix * ny + v` (one row per grid row).
     ybuf: Vec<f64>,
-    /// x-synthesis scratch, laid out `v * nx + ix`.
-    sbuf: Vec<f64>,
+    /// x-synthesis scratch for the potential, laid out `v * nx + ix`.
+    sbuf_pot: Vec<f64>,
+    /// x-synthesis scratch for `Ex` (same layout).
+    sbuf_ex: Vec<f64>,
+    /// x-synthesis scratch for `Ey` (same layout).
+    sbuf_ey: Vec<f64>,
     /// Launch width for the row/column transform batches (>= 1).
     threads: usize,
     /// Pool the transform batches launch on (the process-global pool by
@@ -102,14 +106,22 @@ pub struct ElectrostaticSolver {
     ctxs: Vec<SolverCtx>,
 }
 
-/// Per-worker transform state: private `DctPlan` scratch plus a gather
-/// buffer, so parallel row batches never contend on plan internals.
+/// Per-worker transform state: private `DctPlan` scratch plus staging
+/// buffers, so parallel row batches never contend on plan internals.
 #[derive(Debug, Clone)]
 struct SolverCtx {
     plan_x: DctPlan,
     plan_y: DctPlan,
-    /// Strided-read staging buffer, `max(nx, ny)` long.
+    /// Strided-read staging buffer, `3 * max(nx, ny)` long — one row for
+    /// each of the potential/`Ex`/`Ey` streams of the fused passes.
     gather: Vec<f64>,
+}
+
+/// Splits a staging buffer into three disjoint `len`-sample rows.
+fn split3(buf: &mut [f64], len: usize) -> (&mut [f64], &mut [f64], &mut [f64]) {
+    let (a, rest) = buf.split_at_mut(len);
+    let (b, rest) = rest.split_at_mut(len);
+    (a, b, &mut rest[..len])
 }
 
 /// Runs `op(ctx, row, dst_row)` for every `row in 0..rows`, where `dst` is a
@@ -159,6 +171,76 @@ where
     Ok(())
 }
 
+/// The three-stream sibling of [`par_rows`]: runs
+/// `op(ctx, row, d0_row, d1_row, d2_row)` for every `row in 0..rows`, where
+/// `d0`/`d1`/`d2` are three dense `rows x row_len` buffers advancing in
+/// lockstep (the potential/`Ex`/`Ey` streams of the fused field passes).
+///
+/// The row-range decomposition is identical to [`par_rows`] — fixed by
+/// `rows` and `width`, never by completion order — so the result is
+/// bit-identical for any thread count.
+fn par_rows3<F>(
+    pool: &WorkerPool,
+    ctxs: &mut [SolverCtx],
+    width: usize,
+    d0: &mut [f64],
+    d1: &mut [f64],
+    d2: &mut [f64],
+    row_len: usize,
+    rows: usize,
+    op: F,
+) -> Result<(), FftError>
+where
+    F: Fn(&mut SolverCtx, usize, &mut [f64], &mut [f64], &mut [f64]) -> Result<(), FftError> + Sync,
+{
+    debug_assert_eq!(d0.len(), rows * row_len);
+    debug_assert_eq!(d1.len(), rows * row_len);
+    debug_assert_eq!(d2.len(), rows * row_len);
+    let tasks = width.min(rows).min(ctxs.len()).max(1);
+    if tasks <= 1 {
+        let ctx = &mut ctxs[0];
+        for (row, ((o0, o1), o2)) in d0
+            .chunks_mut(row_len)
+            .zip(d1.chunks_mut(row_len))
+            .zip(d2.chunks_mut(row_len))
+            .enumerate()
+        {
+            op(ctx, row, o0, o1, o2)?;
+        }
+        return Ok(());
+    }
+    let chunk_rows = rows.div_ceil(tasks);
+    type Chunk3<'a> = (
+        usize,
+        &'a mut SolverCtx,
+        &'a mut [f64],
+        &'a mut [f64],
+        &'a mut [f64],
+    );
+    let mut states: Vec<Chunk3> = ctxs
+        .iter_mut()
+        .zip(d0.chunks_mut(chunk_rows * row_len))
+        .zip(d1.chunks_mut(chunk_rows * row_len))
+        .zip(d2.chunks_mut(chunk_rows * row_len))
+        .enumerate()
+        .map(|(i, (((ctx, c0), c1), c2))| (i * chunk_rows, ctx, c0, c1, c2))
+        .collect();
+    let results = pool.run_mut(&mut states, tasks, |_, state| {
+        let (row0, ctx, c0, c1, c2) = state;
+        for (offset, ((o0, o1), o2)) in c0
+            .chunks_mut(row_len)
+            .zip(c1.chunks_mut(row_len))
+            .zip(c2.chunks_mut(row_len))
+            .enumerate()
+        {
+            op(ctx, *row0 + offset, o0, o1, o2)?;
+        }
+        Ok(())
+    });
+    results.into_iter().collect::<Result<Vec<()>, _>>()?;
+    Ok(())
+}
+
 impl ElectrostaticSolver {
     /// Creates a solver for an `nx`-by-`ny` bin grid.
     ///
@@ -170,7 +252,7 @@ impl ElectrostaticSolver {
         let ctx = SolverCtx {
             plan_x: DctPlan::cached(nx)?,
             plan_y: DctPlan::cached(ny)?,
-            gather: vec![0.0; nx.max(ny)],
+            gather: vec![0.0; 3 * nx.max(ny)],
         };
         let wx = (0..nx)
             .map(|u| std::f64::consts::PI * u as f64 / nx as f64)
@@ -184,9 +266,10 @@ impl ElectrostaticSolver {
             wx,
             wy,
             coeffs: vec![0.0; nx * ny],
-            synth: vec![0.0; nx * ny],
             ybuf: vec![0.0; nx * ny],
-            sbuf: vec![0.0; nx * ny],
+            sbuf_pot: vec![0.0; nx * ny],
+            sbuf_ex: vec![0.0; nx * ny],
+            sbuf_ey: vec![0.0; nx * ny],
             threads: 1,
             pool: xplace_parallel::global(),
             ctxs: vec![ctx],
@@ -243,6 +326,13 @@ impl ElectrostaticSolver {
     /// Solves the electrostatic system into a caller-provided buffer,
     /// performing no allocation.
     ///
+    /// One DCT-II analysis batch is followed by a single fused pass over
+    /// the spectrum: each coefficient row is scaled into the
+    /// potential/`Ex`/`Ey` streams in one sweep (`psi = a/w^2`,
+    /// `Ex = a w_u/w^2`, `Ey = a w_v/w^2`) and all three streams are
+    /// synthesized together — two fused transform batches instead of three
+    /// independent scale-plus-synthesize passes.
+    ///
     /// # Errors
     ///
     /// Returns [`FftError::GridMismatch`] if `density` or any buffer grid
@@ -254,46 +344,7 @@ impl ElectrostaticSolver {
         self.check_grid(&out.field_y)?;
 
         self.analyze(density)?;
-
-        let (nx, ny) = (self.nx, self.ny);
-        // Potential coefficients: a_uv / (w_u^2 + w_v^2); (0,0) dropped.
-        for v in 0..ny {
-            for u in 0..nx {
-                let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[v * nx + u] = if w2 == 0.0 {
-                    0.0
-                } else {
-                    self.coeffs[v * nx + u] / w2
-                };
-            }
-        }
-        self.synthesize(false, false, &mut out.potential)?;
-
-        // Ex coefficients: a_uv * w_u / (w^2), sine basis along x.
-        for v in 0..ny {
-            for u in 0..nx {
-                let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[v * nx + u] = if w2 == 0.0 {
-                    0.0
-                } else {
-                    self.coeffs[v * nx + u] * self.wx[u] / w2
-                };
-            }
-        }
-        self.synthesize(true, false, &mut out.field_x)?;
-
-        // Ey coefficients: a_uv * w_v / (w^2), sine basis along y.
-        for v in 0..ny {
-            for u in 0..nx {
-                let w2 = self.wx[u] * self.wx[u] + self.wy[v] * self.wy[v];
-                self.synth[v * nx + u] = if w2 == 0.0 {
-                    0.0
-                } else {
-                    self.coeffs[v * nx + u] * self.wy[v] / w2
-                };
-            }
-        }
-        self.synthesize(false, true, &mut out.field_y)?;
+        self.synthesize_fused(out)?;
 
         out.energy = 0.5
             * density
@@ -364,48 +415,84 @@ impl ElectrostaticSolver {
         )
     }
 
-    /// Synthesizes `self.synth` coefficients into `out`, choosing a sine or
-    /// cosine basis per dimension. Parallel structure mirrors [`Self::analyze`].
-    fn synthesize(&mut self, sin_x: bool, sin_y: bool, out: &mut Grid2) -> Result<(), FftError> {
+    /// Fused synthesis of all three field maps out of `self.coeffs`.
+    ///
+    /// The x-stage walks each coefficient row once, producing the scaled
+    /// potential/`Ex`/`Ey` coefficient rows in a single autovectorizable
+    /// sweep over the spectrum, then runs the three x-transforms (cosine,
+    /// sine, cosine) back to back while the row is hot in cache. The
+    /// y-stage gathers the three columns together and finishes with the
+    /// cosine/cosine/sine y-transforms straight into the output grids.
+    /// Parallel structure mirrors [`Self::analyze`].
+    fn synthesize_fused(&mut self, out: &mut FieldSolution) -> Result<(), FftError> {
         let (nx, ny) = (self.nx, self.ny);
-        // Synthesize along x first: coefficient row v is contiguous in
-        // `synth` (v, u); transform it into `sbuf` laid out (v, ix).
-        let synth = &self.synth;
-        par_rows(
+        let (coeffs, wx, wy) = (&self.coeffs, &self.wx, &self.wy);
+        par_rows3(
             self.pool,
             &mut self.ctxs,
             self.threads,
-            &mut self.sbuf,
+            &mut self.sbuf_pot,
+            &mut self.sbuf_ex,
+            &mut self.sbuf_ey,
             nx,
             ny,
-            |ctx, v, dst| {
-                let coeffs = &synth[v * nx..(v + 1) * nx];
-                if sin_x {
-                    ctx.plan_x.sine_synthesis(coeffs, dst)
+            |ctx, v, d_pot, d_ex, d_ey| {
+                let row = &coeffs[v * nx..(v + 1) * nx];
+                let wv = wy[v];
+                let wv2 = wv * wv;
+                let (c_pot, c_ex, c_ey) = split3(&mut ctx.gather, nx);
+                // One pass over the coefficient row produces all three
+                // scaled streams; the (0,0) mode is dropped (w^2 = 0).
+                let u0 = if wv2 == 0.0 {
+                    c_pot[0] = 0.0;
+                    c_ex[0] = 0.0;
+                    c_ey[0] = 0.0;
+                    1
                 } else {
-                    ctx.plan_x.cosine_synthesis(coeffs, dst)
+                    0
+                };
+                for ((((p, ex), ey), &a), &wu) in c_pot[u0..]
+                    .iter_mut()
+                    .zip(c_ex[u0..].iter_mut())
+                    .zip(c_ey[u0..].iter_mut())
+                    .zip(&row[u0..])
+                    .zip(&wx[u0..])
+                {
+                    let s = a / (wu * wu + wv2);
+                    *p = s;
+                    *ex = s * wu;
+                    *ey = s * wv;
                 }
+                ctx.plan_x.cosine_synthesis(c_pot, d_pot)?;
+                ctx.plan_x.sine_synthesis(c_ex, d_ex)?;
+                ctx.plan_x.cosine_synthesis(c_ey, d_ey)
             },
         )?;
-        // Then along y for each grid row ix.
-        let sbuf = &self.sbuf;
-        par_rows(
+        let (sb_pot, sb_ex, sb_ey) = (&self.sbuf_pot, &self.sbuf_ex, &self.sbuf_ey);
+        par_rows3(
             self.pool,
             &mut self.ctxs,
             self.threads,
-            out.as_mut_slice(),
+            out.potential.as_mut_slice(),
+            out.field_x.as_mut_slice(),
+            out.field_y.as_mut_slice(),
             ny,
             nx,
-            |ctx, ix, dst| {
-                let gather = &mut ctx.gather[..ny];
-                for (v, g) in gather.iter_mut().enumerate() {
-                    *g = sbuf[v * nx + ix];
+            |ctx, ix, d_pot, d_ex, d_ey| {
+                let (g_pot, g_ex, g_ey) = split3(&mut ctx.gather, ny);
+                for (v, ((gp, ge), gy)) in g_pot
+                    .iter_mut()
+                    .zip(g_ex.iter_mut())
+                    .zip(g_ey.iter_mut())
+                    .enumerate()
+                {
+                    *gp = sb_pot[v * nx + ix];
+                    *ge = sb_ex[v * nx + ix];
+                    *gy = sb_ey[v * nx + ix];
                 }
-                if sin_y {
-                    ctx.plan_y.sine_synthesis(gather, dst)
-                } else {
-                    ctx.plan_y.cosine_synthesis(gather, dst)
-                }
+                ctx.plan_y.cosine_synthesis(g_pot, d_pot)?;
+                ctx.plan_y.cosine_synthesis(g_ex, d_ex)?;
+                ctx.plan_y.sine_synthesis(g_ey, d_ey)
             },
         )
     }

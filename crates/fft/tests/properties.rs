@@ -1,6 +1,6 @@
 //! Property-based tests of the spectral transforms.
 
-use xplace_fft::{Complex, DctPlan, ElectrostaticSolver, FftPlan, Grid2};
+use xplace_fft::{naive, reference, Complex, DctPlan, ElectrostaticSolver, FftPlan, Grid2};
 use xplace_testkit::prop::{self, Config, Strategy};
 use xplace_testkit::rng::Rng;
 use xplace_testkit::{prop_assert, props};
@@ -87,6 +87,87 @@ props! {
             for j in 0..n {
                 let expect = a * sx.field_x[(i, j)] + b * sy.field_x[(i, j)];
                 prop_assert!((sc.field_x[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// The packed-real DCT path agrees with both the retained complex-FFT
+    /// reference path and the naive O(N^2) sums on every transform.
+    fn real_path_matches_complex_and_naive(values in signal_strategy(8)) {
+        let n = values.len();
+        let mut real = DctPlan::new(n).expect("power-of-two length");
+        let mut complex = reference::ComplexDct::new(n).expect("power-of-two length");
+        let scale = values.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let tol = 1e-9 * scale * n as f64;
+
+        let mut cr = vec![0.0; n];
+        let mut cc = vec![0.0; n];
+        real.analyze(&values, &mut cr).expect("real analyze");
+        complex.analyze(&values, &mut cc).expect("complex analyze");
+        let cn = naive::analyze(&values);
+        for k in 0..n {
+            prop_assert!((cr[k] - cc[k]).abs() < tol, "analyze k={} real {} complex {}", k, cr[k], cc[k]);
+            prop_assert!((cr[k] - cn[k]).abs() < tol, "analyze k={} real {} naive {}", k, cr[k], cn[k]);
+        }
+
+        let mut sr = vec![0.0; n];
+        let mut sc = vec![0.0; n];
+        real.cosine_synthesis(&cr, &mut sr).expect("real idct");
+        complex.cosine_synthesis(&cr, &mut sc).expect("complex idct");
+        let sn = naive::cosine_synthesis(&cr);
+        for i in 0..n {
+            prop_assert!((sr[i] - sc[i]).abs() < tol);
+            prop_assert!((sr[i] - sn[i]).abs() < tol);
+        }
+
+        real.sine_synthesis(&cr, &mut sr).expect("real idxst");
+        complex.sine_synthesis(&cr, &mut sc).expect("complex idxst");
+        let sn = naive::sine_synthesis(&cr);
+        for i in 0..n {
+            prop_assert!((sr[i] - sc[i]).abs() < tol);
+            prop_assert!((sr[i] - sn[i]).abs() < tol);
+        }
+    }
+
+    /// `sine_synthesis` ignores `coeffs[0]` as documented — on both the
+    /// packed-real path and the complex reference path.
+    fn sine_synthesis_ignores_k0_on_both_paths(values in signal_strategy(6)) {
+        let n = values.len();
+        let mut perturbed = values.clone();
+        perturbed[0] += 1234.5;
+        let mut real = DctPlan::new(n).expect("power-of-two length");
+        let mut complex = reference::ComplexDct::new(n).expect("power-of-two length");
+        let mut a = vec![0.0; n];
+        let mut b = vec![0.0; n];
+        real.sine_synthesis(&values, &mut a).expect("idxst");
+        real.sine_synthesis(&perturbed, &mut b).expect("idxst");
+        prop_assert!(a == b, "real path must ignore coeffs[0]");
+        complex.sine_synthesis(&values, &mut a).expect("idxst");
+        complex.sine_synthesis(&perturbed, &mut b).expect("idxst");
+        prop_assert!(a == b, "complex reference path must ignore coeffs[0]");
+    }
+
+    /// Non-square grids through the fused solver match a solve of the
+    /// transposed density on the transposed solver (x/y symmetry of the
+    /// electrostatic system).
+    fn rectangular_solver_is_transpose_symmetric(seed in 0u64..1000) {
+        let (nx, ny) = (32, 8);
+        let density = Grid2::from_fn(nx, ny, |ix, iy| {
+            (((ix * 29 + iy * 41) as u64 ^ seed) % 19) as f64 / 19.0
+        });
+        let transposed = Grid2::from_fn(ny, nx, |ix, iy| density[(iy, ix)]);
+        let mut solver = ElectrostaticSolver::new(nx, ny).expect("grid ok");
+        let mut solver_t = ElectrostaticSolver::new(ny, nx).expect("grid ok");
+        let sol = solver.solve(&density).expect("solve");
+        let sol_t = solver_t.solve(&transposed).expect("solve transposed");
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let dp = (sol.potential[(ix, iy)] - sol_t.potential[(iy, ix)]).abs();
+                prop_assert!(dp < 1e-9, "potential ({ix},{iy}) differs by {dp}");
+                let dx = (sol.field_x[(ix, iy)] - sol_t.field_y[(iy, ix)]).abs();
+                prop_assert!(dx < 1e-9, "Ex/Ey^T ({ix},{iy}) differs by {dx}");
+                let dy = (sol.field_y[(ix, iy)] - sol_t.field_x[(iy, ix)]).abs();
+                prop_assert!(dy < 1e-9, "Ey/Ex^T ({ix},{iy}) differs by {dy}");
             }
         }
     }

@@ -147,6 +147,7 @@ pub fn run_job_with_sink(
             top5_overflow: congestion.top_overflow(0.05),
             max_utilization: congestion.max_utilization(),
         }),
+        spectral: None,
     };
     Ok(report)
 }

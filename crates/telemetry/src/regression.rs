@@ -5,7 +5,7 @@
 //! quantities hard-fail: there is no run-to-run noise to absorb. Only
 //! wall-clock times are machine-dependent, and those merely warn.
 
-use crate::RunReport;
+use crate::{RunReport, SpectralMetrics};
 
 /// Relative tolerances, in percent, for the gated quantities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,6 +166,20 @@ pub fn compare_reports(baseline: &RunReport, current: &RunReport, tol: &Toleranc
         ));
     }
 
+    // --- Spectral microbench (when the baseline recorded one). ---
+    match (&baseline.spectral, &current.spectral) {
+        (Some(base), Some(cur)) => compare_spectral(base, cur, tol, &mut cmp),
+        (Some(_), None) => cmp.failures.push(
+            "spectral microbench missing from current report (baseline has one) — \
+             coverage was lost"
+                .into(),
+        ),
+        (None, Some(_)) => cmp
+            .notes
+            .push("spectral microbench added (baseline has none)".into()),
+        (None, None) => {}
+    }
+
     if cmp.passed() {
         cmp.notes.push(format!(
             "HPWL {:.1}, modeled GP {:.3}s, {} launches — within tolerance of baseline",
@@ -175,6 +189,71 @@ pub fn compare_reports(baseline: &RunReport, current: &RunReport, tol: &Toleranc
         ));
     }
     cmp
+}
+
+/// Compares two spectral-microbench sections into `cmp`.
+///
+/// The grid set must match exactly (dropping a grid silently would hide a
+/// regression). Per grid, `modeled_ns` is deterministic cost-model output
+/// and hard-gates at `tol.modeled_time_pct`; `solve_wall_ns` is
+/// machine-dependent and warns at `tol.wall_warn_pct`; the real-vs-complex
+/// wall numbers are purely informational and never gate.
+pub fn compare_spectral(
+    baseline: &SpectralMetrics,
+    current: &SpectralMetrics,
+    tol: &Tolerances,
+    cmp: &mut Comparison,
+) {
+    let base_grids: Vec<usize> = baseline.grids.iter().map(|g| g.n).collect();
+    let cur_grids: Vec<usize> = current.grids.iter().map(|g| g.n).collect();
+    if base_grids != cur_grids {
+        cmp.failures.push(format!(
+            "spectral grid set changed: baseline {base_grids:?} vs current {cur_grids:?} \
+             (re-record the baseline if intentional)"
+        ));
+        return;
+    }
+    for (base, cur) in baseline.grids.iter().zip(&current.grids) {
+        let modeled = pct_change(base.modeled_ns as f64, cur.modeled_ns as f64);
+        if modeled > tol.modeled_time_pct {
+            cmp.failures.push(format!(
+                "spectral {n}x{n} modeled transform time regressed {modeled:+.2}% \
+                 ({} -> {} ns/iter), tolerance {}%",
+                base.modeled_ns,
+                cur.modeled_ns,
+                tol.modeled_time_pct,
+                n = base.n
+            ));
+        } else if modeled < -0.01 {
+            cmp.notes.push(format!(
+                "spectral {n}x{n} modeled transform time improved {modeled:+.2}% \
+                 ({} -> {} ns/iter)",
+                base.modeled_ns,
+                cur.modeled_ns,
+                n = base.n
+            ));
+        }
+        let wall = pct_change(base.solve_wall_ns as f64, cur.solve_wall_ns as f64);
+        if wall > tol.wall_warn_pct {
+            cmp.warnings.push(format!(
+                "spectral {n}x{n} solve wall {wall:+.1}% ({} -> {} ns) — \
+                 machine-dependent, not gated",
+                base.solve_wall_ns,
+                cur.solve_wall_ns,
+                n = base.n
+            ));
+        }
+        if cur.complex_wall_ns > 0 {
+            cmp.notes.push(format!(
+                "spectral {n}x{n} real path {:.2}x vs complex reference \
+                 ({} vs {} ns, informational)",
+                cur.complex_wall_ns as f64 / (cur.real_wall_ns.max(1)) as f64,
+                cur.real_wall_ns,
+                cur.complex_wall_ns,
+                n = base.n
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,5 +349,89 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("iteration count changed")));
+    }
+
+    #[test]
+    fn spectral_modeled_regression_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        let grid = &mut cur.spectral.as_mut().unwrap().grids[1];
+        grid.modeled_ns = (grid.modeled_ns as f64 * 1.10) as u64;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.failures
+                .iter()
+                .any(|f| f.contains("spectral 512x512 modeled transform time regressed")),
+            "{:?}",
+            cmp.failures
+        );
+    }
+
+    #[test]
+    fn spectral_modeled_improvement_is_a_note() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        for g in &mut cur.spectral.as_mut().unwrap().grids {
+            g.modeled_ns = (g.modeled_ns as f64 * 0.8) as u64;
+        }
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("spectral 256x256 modeled transform time improved")));
+    }
+
+    #[test]
+    fn spectral_wall_drift_only_warns() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.spectral.as_mut().unwrap().grids[0].solve_wall_ns *= 3;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp
+            .warnings
+            .iter()
+            .any(|w| w.contains("spectral 256x256 solve wall")));
+    }
+
+    #[test]
+    fn dropping_the_spectral_section_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.spectral = None;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("spectral microbench missing")));
+    }
+
+    #[test]
+    fn changing_the_spectral_grid_set_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.spectral.as_mut().unwrap().grids.pop();
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("spectral grid set changed")));
+    }
+
+    #[test]
+    fn adding_a_spectral_section_is_a_note() {
+        let mut base = sample_report();
+        base.spectral = None;
+        let cur = sample_report();
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("spectral microbench added")));
     }
 }

@@ -86,6 +86,39 @@ pub struct RouteMetrics {
     pub max_utilization: f64,
 }
 
+/// One grid size of the spectral microbench: the per-iteration transform
+/// cost of the electrostatic Poisson solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralGrid {
+    /// Grid edge length (the solve covers an `n x n` grid).
+    pub n: usize,
+    /// Modeled device time (ns) of the two spectral kernels — deterministic
+    /// (pure cost-model arithmetic) and therefore gated.
+    pub modeled_ns: u64,
+    /// Wall-clock ns per full `solve_into` — machine-dependent, warn-only.
+    pub solve_wall_ns: u64,
+    /// Wall-clock ns for a row batch of packed-real DCT transforms —
+    /// informational evidence for the real-vs-complex speedup.
+    pub real_wall_ns: u64,
+    /// Wall-clock ns for the same batch through the retained complex-FFT
+    /// reference path — informational.
+    pub complex_wall_ns: u64,
+}
+
+/// The spectral-microbench section of a report: one entry per grid size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralMetrics {
+    /// Per-grid measurements, ascending by `n`.
+    pub grids: Vec<SpectralGrid>,
+}
+
+impl SpectralMetrics {
+    /// The entry for grid size `n`, if measured.
+    pub fn grid(&self, n: usize) -> Option<&SpectralGrid> {
+        self.grids.iter().find(|g| g.n == n)
+    }
+}
+
 /// The single-JSON report of one full GP → LG → DP run: the artifact
 /// `xplace place --report` and the bench binaries write, and the unit
 /// `scripts/check_regression.sh` compares.
@@ -111,6 +144,9 @@ pub struct RunReport {
     pub dp: Option<DpMetrics>,
     /// Routability estimate (absent when not computed).
     pub route: Option<RouteMetrics>,
+    /// Spectral microbench (absent unless the run recorded it). Reports
+    /// written before this field existed parse as `None`.
+    pub spectral: Option<SpectralMetrics>,
 }
 
 impl RunReport {
@@ -227,6 +263,44 @@ impl FromJson for RouteMetrics {
     }
 }
 
+impl ToJson for SpectralGrid {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", self.n.to_json()),
+            ("modeled_ns", self.modeled_ns.to_json()),
+            ("solve_wall_ns", self.solve_wall_ns.to_json()),
+            ("real_wall_ns", self.real_wall_ns.to_json()),
+            ("complex_wall_ns", self.complex_wall_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SpectralGrid {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SpectralGrid {
+            n: usize::from_json(value.field("n")?)?,
+            modeled_ns: u64::from_json(value.field("modeled_ns")?)?,
+            solve_wall_ns: u64::from_json(value.field("solve_wall_ns")?)?,
+            real_wall_ns: u64::from_json(value.field("real_wall_ns")?)?,
+            complex_wall_ns: u64::from_json(value.field("complex_wall_ns")?)?,
+        })
+    }
+}
+
+impl ToJson for SpectralMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([("grids", self.grids.to_json())])
+    }
+}
+
+impl FromJson for SpectralMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SpectralMetrics {
+            grids: Vec::<SpectralGrid>::from_json(value.field("grids")?)?,
+        })
+    }
+}
+
 impl ToJson for RunReport {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -239,6 +313,7 @@ impl ToJson for RunReport {
             ("lg", self.lg.to_json()),
             ("dp", self.dp.to_json()),
             ("route", self.route.to_json()),
+            ("spectral", self.spectral.to_json()),
         ])
     }
 }
@@ -255,6 +330,11 @@ impl FromJson for RunReport {
             lg: Option::<LgMetrics>::from_json(value.field("lg")?)?,
             dp: Option::<DpMetrics>::from_json(value.field("dp")?)?,
             route: Option::<RouteMetrics>::from_json(value.field("route")?)?,
+            // Tolerant of pre-spectral reports where the key is absent.
+            spectral: match value.get("spectral") {
+                Some(v) => Option::<SpectralMetrics>::from_json(v)?,
+                None => None,
+            },
         })
     }
 }
@@ -312,6 +392,24 @@ pub(crate) mod tests {
                 top5_overflow: 42.0,
                 max_utilization: 1.4,
             }),
+            spectral: Some(SpectralMetrics {
+                grids: vec![
+                    SpectralGrid {
+                        n: 256,
+                        modeled_ns: 12_000,
+                        solve_wall_ns: 300_000,
+                        real_wall_ns: 90_000,
+                        complex_wall_ns: 160_000,
+                    },
+                    SpectralGrid {
+                        n: 512,
+                        modeled_ns: 40_000,
+                        solve_wall_ns: 1_400_000,
+                        real_wall_ns: 420_000,
+                        complex_wall_ns: 760_000,
+                    },
+                ],
+            }),
         }
     }
 
@@ -355,5 +453,26 @@ pub(crate) mod tests {
     fn missing_fields_are_named() {
         let err = RunReport::from_json_str("{}").unwrap_err();
         assert!(err.to_string().contains("missing field `design`"));
+    }
+
+    #[test]
+    fn reports_without_a_spectral_key_still_parse() {
+        // Reports written before the spectral section existed have no
+        // "spectral" key at all (not even null) — they must parse as None.
+        let mut report = sample_report();
+        report.spectral = None;
+        let text = report.to_json_string();
+        let stripped = text.replace(",\"spectral\":null", "");
+        assert_ne!(stripped, text, "fixture must contain the null key");
+        let back = RunReport::from_json_str(&stripped).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn spectral_grid_lookup_finds_by_size() {
+        let report = sample_report();
+        let spectral = report.spectral.as_ref().unwrap();
+        assert_eq!(spectral.grid(512).unwrap().modeled_ns, 40_000);
+        assert!(spectral.grid(1024).is_none());
     }
 }

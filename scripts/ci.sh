@@ -109,6 +109,16 @@ if ./target/release/check_regression BENCH_baseline.json results/run_report.json
     exit 1
 fi
 
+echo "==> spectral bench gate: smoke microbench vs the baseline's spectral section"
+./target/release/spectral_bench --smoke --out "$SMOKE/spectral.json"
+./target/release/check_regression BENCH_baseline.json "$SMOKE/spectral.json"
+echo "==> spectral gate self-test: injected transform-time regression must fail"
+if ./target/release/check_regression BENCH_baseline.json "$SMOKE/spectral.json" \
+    --inject-spectral-pct 10 >/dev/null 2>&1; then
+    echo "FAIL: the spectral gate passed an injected +10% transform-time regression" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -175,6 +175,7 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 top5_overflow: congestion.top_overflow(0.05),
                 max_utilization: congestion.max_utilization(),
             }),
+            spectral: None,
         };
         std::fs::write(p, report.to_json_string())?;
         println!("report written to {}", p.display());

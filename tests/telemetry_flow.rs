@@ -118,6 +118,7 @@ fn run_report_round_trips_through_testkit_json() {
             wall_seconds: dp.wall_seconds,
         }),
         route: None,
+        spectral: None,
     };
 
     let text = report.to_json_string();
@@ -146,6 +147,7 @@ fn comparator_passes_identical_runs_and_fails_injected_regressions() {
             lg: None,
             dp: None,
             route: None,
+            spectral: None,
         }
     };
     let baseline = run();
