@@ -8,32 +8,36 @@
 //!                  [--inject-hpwl-pct X]
 //! ```
 //!
-//! Single-run [`RunReport`]s, batch [`BatchReport`]s and bare spectral
-//! reports (`spectral_bench` output) are accepted; the kind is
-//! auto-detected (a batch report is an object with a `jobs` array, a
-//! spectral report one with a top-level `grids` array). Both sides must
-//! be the same kind, except that a spectral *current* may be gated
-//! against the `spectral` section of a run-report *baseline* — the CI
-//! smoke path against `BENCH_baseline.json`. Deterministic quantities
-//! (final HPWL, modeled GP time, kernel launch count, iteration count,
-//! run structure — per job, for batches; per-grid modeled transform ns
-//! for spectral sections) hard-fail beyond tolerance; wall-clock drift
-//! only warns. `--inject-hpwl-pct` inflates the current report's HPWL by
-//! X percent *after loading* (every completed job of a batch), and
-//! `--inject-spectral-pct` does the same to the per-grid modeled
-//! transform times — self-test hooks CI uses to prove the gate actually
-//! fails on a regression.
+//! Single-run [`RunReport`]s, batch [`BatchReport`]s, bare spectral
+//! reports (`spectral_bench` output) and bare scaling reports
+//! (`scaling_bench` output) are accepted; the kind is auto-detected (a
+//! batch report is an object with a `jobs` array, a spectral report one
+//! with a top-level `grids` array, a scaling report one with a top-level
+//! `points` array). Both sides must be the same kind, except that a
+//! spectral or scaling *current* may be gated against the matching
+//! section of a run-report *baseline* — the CI smoke paths against
+//! `BENCH_baseline.json`. Deterministic quantities (final HPWL, modeled
+//! GP time, kernel launch count, iteration count, run structure — per
+//! job, for batches; per-grid modeled transform ns for spectral
+//! sections; per-cell modeled ns for scaling points) hard-fail beyond
+//! tolerance; wall-clock drift only warns. `--inject-hpwl-pct` inflates
+//! the current report's HPWL by X percent *after loading* (every
+//! completed job of a batch), `--inject-spectral-pct` does the same to
+//! the per-grid modeled transform times, and `--inject-scaling-pct` to
+//! the per-point modeled GP times — self-test hooks CI uses to prove
+//! the gate actually fails on a regression.
 
 use xplace_bench::argv_parse;
 use xplace_telemetry::{
-    compare_batch_reports, compare_reports, compare_spectral, BatchReport, Comparison, FromJson,
-    Json, RunReport, SpectralMetrics, Tolerances,
+    compare_batch_reports, compare_reports, compare_scaling, compare_spectral, BatchReport,
+    Comparison, FromJson, Json, RunReport, ScalingMetrics, SpectralMetrics, Tolerances,
 };
 
 enum Loaded {
     Run(RunReport),
     Batch(BatchReport),
     Spectral(SpectralMetrics),
+    Scaling(ScalingMetrics),
 }
 
 impl Loaded {
@@ -42,6 +46,7 @@ impl Loaded {
             Loaded::Run(_) => "run report",
             Loaded::Batch(_) => "batch report",
             Loaded::Spectral(_) => "spectral report",
+            Loaded::Scaling(_) => "scaling report",
         }
     }
 }
@@ -59,6 +64,8 @@ fn load(path: &str) -> Loaded {
         BatchReport::from_json(&json).map(Loaded::Batch)
     } else if json.get("grids").is_some() {
         SpectralMetrics::from_json(&json).map(Loaded::Spectral)
+    } else if json.get("points").is_some() {
+        ScalingMetrics::from_json(&json).map(Loaded::Scaling)
     } else {
         RunReport::from_json(&json).map(Loaded::Run)
     };
@@ -88,6 +95,14 @@ fn inject_spectral(spectral: &mut SpectralMetrics, factor: f64) {
     }
 }
 
+/// Self-test hook for the scaling gate: fake a per-cell modeled-cost
+/// regression on every point.
+fn inject_scaling(scaling: &mut ScalingMetrics, factor: f64) {
+    for point in &mut scaling.points {
+        point.modeled_ns = (point.modeled_ns as f64 * factor) as u64;
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positionals are the tokens that are neither flags nor flag values.
@@ -108,7 +123,8 @@ fn main() {
             eprintln!(
                 "usage: check_regression <baseline.json> <current.json> \
                  [--hpwl-pct X] [--time-pct X] [--launches-pct X] \
-                 [--inject-hpwl-pct X] [--inject-spectral-pct X]"
+                 [--inject-hpwl-pct X] [--inject-spectral-pct X] \
+                 [--inject-scaling-pct X]"
             );
             std::process::exit(2)
         }
@@ -136,8 +152,8 @@ fn main() {
                     }
                 }
             }
-            Loaded::Spectral(_) => {
-                eprintln!("error: --inject-hpwl-pct does not apply to a spectral report");
+            Loaded::Spectral(_) | Loaded::Scaling(_) => {
+                eprintln!("error: --inject-hpwl-pct only applies to run and batch reports");
                 std::process::exit(2)
             }
         }
@@ -156,8 +172,8 @@ fn main() {
                     std::process::exit(2)
                 }
             },
-            Loaded::Batch(_) => {
-                eprintln!("error: --inject-spectral-pct does not apply to a batch report");
+            Loaded::Batch(_) | Loaded::Scaling(_) => {
+                eprintln!("error: --inject-spectral-pct only applies to spectral and run reports");
                 std::process::exit(2)
             }
         }
@@ -167,12 +183,40 @@ fn main() {
         );
     }
 
+    let inject_sc: f64 = argv_parse("--inject-scaling-pct", 0.0);
+    if inject_sc != 0.0 {
+        let f = 1.0 + inject_sc / 100.0;
+        match &mut current {
+            Loaded::Scaling(scaling) => inject_scaling(scaling, f),
+            Loaded::Run(report) => match report.scaling.as_mut() {
+                Some(scaling) => inject_scaling(scaling, f),
+                None => {
+                    eprintln!("error: current run report has no scaling section to inject into");
+                    std::process::exit(2)
+                }
+            },
+            Loaded::Batch(_) | Loaded::Spectral(_) => {
+                eprintln!("error: --inject-scaling-pct only applies to scaling and run reports");
+                std::process::exit(2)
+            }
+        }
+        eprintln!(
+            "(self-test: injected {inject_sc:+.1}% modeled GP time into the current \
+             scaling report)"
+        );
+    }
+
     let cmp: Comparison = match (&baseline, &current) {
         (Loaded::Run(b), Loaded::Run(c)) => compare_reports(b, c, &tol),
         (Loaded::Batch(b), Loaded::Batch(c)) => compare_batch_reports(b, c, &tol),
         (Loaded::Spectral(b), Loaded::Spectral(c)) => {
             let mut cmp = Comparison::default();
             compare_spectral(b, c, &tol, &mut cmp);
+            cmp
+        }
+        (Loaded::Scaling(b), Loaded::Scaling(c)) => {
+            let mut cmp = Comparison::default();
+            compare_scaling(b, c, &tol, &mut cmp);
             cmp
         }
         // CI smoke path: a bare spectral_bench report gated against the
@@ -187,6 +231,18 @@ fn main() {
                 eprintln!(
                     "error: baseline {baseline_path} has no spectral section to gate against"
                 );
+                std::process::exit(2)
+            }
+        },
+        // Same smoke path for a bare scaling_bench report.
+        (Loaded::Run(b), Loaded::Scaling(c)) => match b.scaling.as_ref() {
+            Some(base) => {
+                let mut cmp = Comparison::default();
+                compare_scaling(base, c, &tol, &mut cmp);
+                cmp
+            }
+            None => {
+                eprintln!("error: baseline {baseline_path} has no scaling section to gate against");
                 std::process::exit(2)
             }
         },

@@ -10,12 +10,14 @@
 //! ```text
 //! run_report [--out results/run_report.json] [--max-iters 400]
 //!            [--cells 500] [--nets 525] [--seed 20220714] [--threads N]
-//!            [--no-spectral] [--spectral-reps 3]
+//!            [--no-spectral] [--spectral-reps 3] [--no-scaling]
 //! ```
 //!
 //! The report also embeds the spectral microbench section (unless
 //! `--no-spectral`), so the committed baseline carries per-grid modeled
-//! transform times for the spectral regression gate.
+//! transform times for the spectral regression gate, and the scaling
+//! bench's smoke point set (unless `--no-scaling`), so the baseline
+//! carries per-cell modeled GP costs for the scaling regression gate.
 //!
 //! Regenerating the committed baseline after an intentional change:
 //! `cargo run --release -p xplace-bench --bin run_report -- --out BENCH_baseline.json`
@@ -64,6 +66,16 @@ fn main() {
             &xplace_bench::spectral::SPECTRAL_GRIDS,
             reps,
         ));
+    }
+    if !std::env::args().any(|a| a == "--no-scaling") {
+        let cases = xplace_bench::scaling::smoke_cases();
+        eprintln!("measuring the scaling bench ({} case(s))...", cases.len());
+        report.scaling = Some(
+            xplace_bench::scaling::measure_scaling(&cases).unwrap_or_else(|e| {
+                eprintln!("error: scaling bench failed: {e}");
+                std::process::exit(1)
+            }),
+        );
     }
     eprintln!(
         "GP {} iters, HPWL {:.1}, modeled {:.3}s, {} launches; final HPWL {:.1}",

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod scaling;
 pub mod spectral;
 
 use xplace_core::{GlobalPlacer, PlacementReport, XplaceConfig};
@@ -104,6 +105,7 @@ pub fn report_from_flow(config: &XplaceConfig, flow: &FlowResult) -> RunReport {
             max_utilization: congestion.max_utilization(),
         }),
         spectral: None,
+        scaling: None,
     }
 }
 

@@ -105,6 +105,46 @@ impl Default for ScheduleConfig {
     }
 }
 
+/// Multilevel (coarsen/uncoarsen) placement controls.
+///
+/// When enabled and the design has more movable cells than `min_cells`,
+/// the placer builds a clustering hierarchy
+/// ([`xplace_db::build_hierarchy`]), places the coarsest level with a
+/// short ω-driven schedule, seeds each finer level from the coarser
+/// solution, and runs the configured full schedule only on the original
+/// netlist. Determinism is preserved level by level: coarsening is
+/// RNG-free, seeding jitter is hash-derived from the placement seed, and
+/// coarse levels trace nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultilevelConfig {
+    /// Run multilevel placement (off by default: small designs gain
+    /// nothing from the hierarchy).
+    pub enabled: bool,
+    /// Hierarchy floor: coarsening stops at this many movable cells, and
+    /// designs at or below it place flat even when `enabled`.
+    pub min_cells: usize,
+    /// Hard cap on coarse levels.
+    pub max_levels: usize,
+    /// Iteration cap per coarse level (the full schedule only runs at the
+    /// finest level).
+    pub coarse_max_iterations: usize,
+    /// Relaxed overflow stop for coarse levels; the effective coarse
+    /// target is `max(coarse_stop_overflow, schedule.stop_overflow)`.
+    pub coarse_stop_overflow: f64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            enabled: false,
+            min_cells: 5_000,
+            max_levels: 8,
+            coarse_max_iterations: 200,
+            coarse_stop_overflow: 0.15,
+        }
+    }
+}
+
 /// Complete configuration of a [`crate::GlobalPlacer`].
 #[derive(Debug, Clone)]
 pub struct XplaceConfig {
@@ -131,6 +171,8 @@ pub struct XplaceConfig {
     /// every value**; it only changes wall-clock scheduling, not the modeled
     /// GPU time.
     pub threads: usize,
+    /// Multilevel coarsen/uncoarsen controls.
+    pub multilevel: MultilevelConfig,
     /// Test-only fault hook: panic at the start of this GP iteration.
     ///
     /// Used by failure-isolation tests to simulate a design that crashes
@@ -153,6 +195,7 @@ impl XplaceConfig {
             seed: 0x5eed,
             record: true,
             threads: 1,
+            multilevel: MultilevelConfig::default(),
             fail_at_iteration: None,
         }
     }
@@ -199,6 +242,12 @@ impl XplaceConfig {
         self
     }
 
+    /// Enables (or disables) multilevel placement with default controls.
+    pub fn with_multilevel(mut self, enabled: bool) -> Self {
+        self.multilevel.enabled = enabled;
+        self
+    }
+
     /// The telemetry configuration echo embedded in traces and reports.
     ///
     /// Excludes the thread count on purpose: metrics are bit-identical
@@ -221,6 +270,7 @@ impl XplaceConfig {
             stop_overflow: self.schedule.stop_overflow,
             seed: self.seed,
             grid: self.grid,
+            multilevel: self.multilevel.enabled,
         }
     }
 
@@ -257,6 +307,23 @@ impl XplaceConfig {
                 return Err(crate::PlaceError::InvalidConfig(format!(
                     "grid override {g} is not a power of two"
                 )));
+            }
+        }
+        if self.multilevel.enabled {
+            if self.multilevel.coarse_max_iterations == 0 {
+                return Err(crate::PlaceError::InvalidConfig(
+                    "multilevel coarse_max_iterations is zero".into(),
+                ));
+            }
+            if self.multilevel.max_levels == 0 {
+                return Err(crate::PlaceError::InvalidConfig(
+                    "multilevel max_levels is zero".into(),
+                ));
+            }
+            if !(self.multilevel.coarse_stop_overflow > 0.0) {
+                return Err(crate::PlaceError::InvalidConfig(
+                    "multilevel coarse_stop_overflow must be positive".into(),
+                ));
             }
         }
         Ok(())

@@ -3,6 +3,7 @@
 //! selected by [`Framework`] and [`OperatorConfig`].
 
 use crate::{DensityGuidance, Framework, OperatorConfig, Parameters, PlaceError};
+use xplace_db::Design;
 use xplace_device::{Device, KernelInfo, Tape};
 use xplace_ops::{
     density::DensityOp,
@@ -438,6 +439,42 @@ impl GradientEngine {
             skip_window,
             energy: self.cached_energy,
         })
+    }
+}
+
+/// Deterministic unit-interval hash used for uncoarsening jitter; the same
+/// mix as the placer's symmetry-breaking noise.
+fn unit_hash(i: usize, salt: u64) -> f64 {
+    let mut h = (i as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// Seeds a finer level's movable cells from a coarser placed solution.
+///
+/// Each movable cell starts at its cluster's position (`map[cell]` indexes
+/// the coarse design, as produced by [`xplace_db::coarsen`]), displaced by
+/// a deterministic hash jitter of up to half a row height so co-clustered
+/// cells separate immediately instead of sharing identical gradients.
+/// Fixed cells and terminals keep their own positions. Results depend only
+/// on `(finer, coarse, map, seed)` — never on thread count.
+pub fn seed_from_coarse(finer: &mut Design, coarse: &Design, map: &[u32], seed: u64) {
+    let amp = finer.rows().first().map_or(1.0, |r| r.height) * 0.5;
+    let region = finer.region();
+    let movable: Vec<usize> = {
+        let nl = finer.netlist();
+        (0..nl.num_cells())
+            .filter(|&i| nl.cells()[i].is_movable())
+            .collect()
+    };
+    let positions = finer.positions_mut();
+    for i in movable {
+        let target = coarse.position(xplace_db::CellId(map[i]));
+        positions[i] = region.clamp_point(xplace_db::Point::new(
+            target.x + amp * unit_hash(i, seed ^ 0x756e_636f),
+            target.y + amp * unit_hash(i, seed ^ 0x6172_7365),
+        ));
     }
 }
 

@@ -16,6 +16,8 @@ pub enum PlaceError {
     },
     /// The configuration is inconsistent; describes the problem.
     InvalidConfig(String),
+    /// Multilevel coarsening could not build or assemble a level.
+    Coarsening(String),
 }
 
 impl fmt::Display for PlaceError {
@@ -26,6 +28,7 @@ impl fmt::Display for PlaceError {
                 write!(f, "optimization diverged at iteration {iteration}")
             }
             PlaceError::InvalidConfig(msg) => write!(f, "invalid placer configuration: {msg}"),
+            PlaceError::Coarsening(msg) => write!(f, "multilevel coarsening failure: {msg}"),
         }
     }
 }

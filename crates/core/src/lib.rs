@@ -54,8 +54,8 @@ mod optimizer;
 mod params;
 mod placer;
 
-pub use config::{Framework, OperatorConfig, ScheduleConfig, XplaceConfig};
-pub use engine::{EvalResult, GradientEngine};
+pub use config::{Framework, MultilevelConfig, OperatorConfig, ScheduleConfig, XplaceConfig};
+pub use engine::{seed_from_coarse, EvalResult, GradientEngine};
 pub use error::PlaceError;
 pub use guidance::{sigma_blend, DensityGuidance};
 pub use optimizer::NesterovOptimizer;

@@ -76,6 +76,18 @@ impl PlacementReport {
     }
 }
 
+/// Field-wise sum of two device profiles; snapshots from the per-level
+/// devices of a multilevel run combine into one whole-run profile.
+fn accumulate_profile(into: &mut ProfileSnapshot, other: ProfileSnapshot) {
+    into.launches += other.launches;
+    into.syncs += other.syncs;
+    into.launch_overhead_ns += other.launch_overhead_ns;
+    into.exec_ns += other.exec_ns;
+    into.pipelined_ns += other.pipelined_ns;
+    into.sync_stall_ns += other.sync_stall_ns;
+    into.cpu_ns += other.cpu_ns;
+}
+
 /// The Xplace global placer.
 ///
 /// See the crate-level example. Construct with a [`XplaceConfig`] preset,
@@ -147,8 +159,87 @@ impl GlobalPlacer {
     ///
     /// # Errors
     ///
-    /// Same contract as [`GlobalPlacer::place`].
+    /// Same contract as [`GlobalPlacer::place`], plus
+    /// [`PlaceError::Coarsening`] when multilevel clustering fails.
     pub fn place_traced(
+        &mut self,
+        design: &mut Design,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<PlacementReport, PlaceError> {
+        self.config.validate()?;
+        let ml = self.config.multilevel;
+        if ml.enabled && design.netlist().num_movable() > ml.min_cells {
+            self.place_multilevel(design, sink)
+        } else {
+            self.place_flat(design, sink)
+        }
+    }
+
+    /// Multilevel driver: coarsen, place the hierarchy coarsest-first with
+    /// the short relaxed schedule, seed each finer level from the coarser
+    /// solution ([`crate::seed_from_coarse`]), then run the full configured
+    /// schedule on the original netlist — the only traced run, so the
+    /// event schema is identical to flat placement. The returned report
+    /// covers the whole multilevel run: iterations and the modeled-device
+    /// profile accumulate across levels, while the quality fields
+    /// (HPWL/overflow) are those of the final full-netlist run.
+    fn place_multilevel(
+        &mut self,
+        design: &mut Design,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<PlacementReport, PlaceError> {
+        let ml = self.config.multilevel;
+        let opts = xplace_db::HierarchyOptions {
+            min_cells: ml.min_cells,
+            max_levels: ml.max_levels,
+            stall_fraction: 0.9,
+        };
+        let mut levels = xplace_db::build_hierarchy(design, &opts)
+            .map_err(|e| PlaceError::Coarsening(e.to_string()))?;
+
+        let mut coarse_iterations = 0usize;
+        let mut coarse_profile = ProfileSnapshot::default();
+        for li in (0..levels.len()).rev() {
+            let mut cfg = self.config.clone();
+            cfg.multilevel.enabled = false;
+            cfg.record = false;
+            cfg.fail_at_iteration = None;
+            cfg.schedule.max_iterations = ml.coarse_max_iterations;
+            cfg.schedule.min_iterations = cfg.schedule.min_iterations.min(ml.coarse_max_iterations);
+            cfg.schedule.stop_overflow = ml
+                .coarse_stop_overflow
+                .max(self.config.schedule.stop_overflow);
+            let mut placer = GlobalPlacer::new(cfg);
+            if let Some(pool) = self.pool {
+                placer = placer.with_pool(pool);
+            }
+            let report = placer.place_flat(&mut levels[li].design, &mut NullSink)?;
+            coarse_iterations += report.iterations;
+            accumulate_profile(&mut coarse_profile, report.profile);
+
+            if li == 0 {
+                let level = &levels[0];
+                crate::seed_from_coarse(design, &level.design, &level.map, self.config.seed);
+            } else {
+                let (finer, coarser) = levels.split_at_mut(li);
+                crate::seed_from_coarse(
+                    &mut finer[li - 1].design,
+                    &coarser[0].design,
+                    &coarser[0].map,
+                    self.config.seed,
+                );
+            }
+        }
+
+        let mut report = self.place_flat(design, sink)?;
+        report.iterations += coarse_iterations;
+        accumulate_profile(&mut report.profile, coarse_profile);
+        Ok(report)
+    }
+
+    /// Single-level global placement (the pre-multilevel `place_traced`
+    /// body).
+    fn place_flat(
         &mut self,
         design: &mut Design,
         sink: &mut dyn TelemetrySink,
@@ -690,6 +781,74 @@ mod tests {
         let (h2, o2) = run(Some(pool));
         assert_eq!(h1.to_bits(), h2.to_bits());
         assert_eq!(o1.to_bits(), o2.to_bits());
+    }
+
+    fn multilevel_cfg(max_final_iters: usize) -> XplaceConfig {
+        let mut cfg = XplaceConfig::xplace();
+        cfg.multilevel.enabled = true;
+        cfg.multilevel.min_cells = 300;
+        cfg.multilevel.coarse_max_iterations = 60;
+        cfg.schedule.max_iterations = max_final_iters;
+        cfg
+    }
+
+    #[test]
+    fn multilevel_places_a_design_end_to_end() {
+        let mut design = synthesize(&SynthesisSpec::new("ml", 1500, 1600).with_seed(41)).unwrap();
+        let report = GlobalPlacer::new(multilevel_cfg(400))
+            .place(&mut design)
+            .unwrap();
+        assert!(report.final_hpwl.is_finite() && report.final_hpwl > 0.0);
+        assert!(
+            report.final_overflow < 0.35,
+            "overflow {}",
+            report.final_overflow
+        );
+        // The reported iterations include the coarse levels, so they
+        // exceed the final-level cap only when coarse work happened; at
+        // minimum they exceed the flat minimum.
+        assert!(report.iterations > 0);
+        // All cells inside the region.
+        let r = design.region();
+        for p in design.positions() {
+            assert!(p.x.is_finite() && p.y.is_finite());
+            assert!(p.x >= r.lx - 1e-6 && p.x <= r.ux + 1e-6);
+            assert!(p.y >= r.ly - 1e-6 && p.y <= r.uy + 1e-6);
+        }
+    }
+
+    #[test]
+    fn multilevel_traces_are_byte_identical_across_thread_counts() {
+        let trace_with = |threads: usize| {
+            let mut design =
+                synthesize(&SynthesisSpec::new("ml", 1200, 1300).with_seed(43)).unwrap();
+            let mut sink = xplace_telemetry::VecSink::new();
+            GlobalPlacer::new(multilevel_cfg(80).with_threads(threads))
+                .place_traced(&mut design, &mut sink)
+                .unwrap();
+            (sink.to_jsonl(), design.positions().to_vec())
+        };
+        let (t1, p1) = trace_with(1);
+        let (t4, p4) = trace_with(4);
+        assert_eq!(t1, t4, "multilevel trace differs across thread counts");
+        assert_eq!(p1, p4, "multilevel positions differ across thread counts");
+        // The trace records that multilevel ran, with the flat event schema.
+        assert!(t1.contains("\"multilevel\":true"));
+    }
+
+    #[test]
+    fn small_designs_place_flat_even_when_multilevel_is_enabled() {
+        // Below the hierarchy floor the multilevel path must not perturb
+        // results at all.
+        let run = |enabled: bool| {
+            let mut design = small_design(47);
+            let mut cfg = XplaceConfig::xplace();
+            cfg.schedule.max_iterations = 90;
+            cfg.multilevel.enabled = enabled; // min_cells default 5000 > 400
+            GlobalPlacer::new(cfg).place(&mut design).unwrap();
+            design.positions().to_vec()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

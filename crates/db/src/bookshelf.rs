@@ -411,7 +411,7 @@ pub fn write_design(design: &Design, dir: &Path) -> Result<PathBuf, DbError> {
     let _ = writeln!(nets, "NumPins : {}", nl.num_pins());
     for net in nl.nets() {
         let _ = writeln!(nets, "NetDegree : {} {}", net.degree(), net.name());
-        for &pid in net.pins() {
+        for pid in net.pins() {
             let pin = nl.pin(pid);
             let cell = nl.cell(pin.cell);
             let _ = writeln!(
@@ -598,8 +598,8 @@ mod tests {
         parse_pl("a 0 0 : N\nb 5 5 : N\n", &mut data).unwrap();
         let d = assemble("w", data, 0.9).unwrap();
         let nl = d.netlist();
-        let crit = nl.nets().iter().find(|n| n.name() == "crit").unwrap();
-        let plain = nl.nets().iter().find(|n| n.name() == "plain").unwrap();
+        let crit = nl.nets().find(|n| n.name() == "crit").unwrap();
+        let plain = nl.nets().find(|n| n.name() == "plain").unwrap();
         assert_eq!(crit.weight(), 3.5);
         assert_eq!(plain.weight(), 1.0);
     }

@@ -488,7 +488,7 @@ pub fn write_def(design: &Design) -> String {
     let _ = writeln!(out, "NETS {} ;", nl.num_nets());
     for net in nl.nets() {
         let mut line = format!("- {}", net.name());
-        for &pid in net.pins() {
+        for pid in net.pins() {
             let pin = nl.pin(pid);
             let cell = nl.cell(pin.cell);
             if cell.width() > 0.0 {
@@ -590,7 +590,7 @@ END DESIGN
         let d = parse_def(DEF, &lib, 0.9).unwrap();
         // n1's first pin is u1/Z with LEF offset (1.7-1, 6-6) = (0.7, 0).
         let n1 = d.netlist().net(crate::NetId(0));
-        let pin = d.netlist().pin(n1.pins()[0]);
+        let pin = d.netlist().pin(n1.pins().next().unwrap());
         assert!((pin.offset.x - 0.7).abs() < 1e-12);
     }
 

@@ -198,30 +198,44 @@ impl Design {
     ///
     /// Returns 0 for single-pin nets.
     pub fn net_hpwl(&self, net: NetId) -> f64 {
-        let net = self.netlist.net(net);
-        if net.degree() < 2 {
+        let range = self.netlist.net_pin_range(net);
+        self.span_hpwl(range)
+    }
+
+    /// HPWL of one net-major CSR span, streaming the flat pin arrays.
+    fn span_hpwl(&self, range: std::ops::Range<usize>) -> f64 {
+        if range.len() < 2 {
             return 0.0;
         }
+        let cells = self.netlist.pin_cells();
+        let dx = self.netlist.pin_dx();
+        let dy = self.netlist.pin_dy();
         let mut min_x = f64::INFINITY;
         let mut max_x = f64::NEG_INFINITY;
         let mut min_y = f64::INFINITY;
         let mut max_y = f64::NEG_INFINITY;
-        for &pid in net.pins() {
-            let p = self.pin_position(pid);
-            min_x = min_x.min(p.x);
-            max_x = max_x.max(p.x);
-            min_y = min_y.min(p.y);
-            max_y = max_y.max(p.y);
+        for i in range {
+            let c = self.positions[cells[i].index()];
+            let x = c.x + dx[i];
+            let y = c.y + dy[i];
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
         }
         (max_x - min_x) + (max_y - min_y)
     }
 
     /// Total weighted HPWL over all nets (Eq. (1a)/(2) of the paper).
+    /// One contiguous pass over the net-major CSR arrays.
     pub fn total_hpwl(&self) -> f64 {
-        self.netlist
-            .net_ids()
-            .map(|n| self.netlist.net(n).weight() * self.net_hpwl(n))
-            .sum()
+        let starts = self.netlist.net_start();
+        let weights = self.netlist.net_weights();
+        let mut total = 0.0;
+        for e in 0..self.netlist.num_nets() {
+            total += weights[e] * self.span_hpwl(starts[e] as usize..starts[e + 1] as usize);
+        }
+        total
     }
 
     /// Area of the die region.

@@ -39,6 +39,7 @@
 
 pub mod bookshelf;
 pub mod cache;
+pub mod cluster;
 pub mod def;
 pub mod design;
 mod error;
@@ -51,9 +52,10 @@ pub mod suites;
 pub mod synthesis;
 
 pub use cache::DesignCache;
+pub use cluster::{build_hierarchy, coarsen, CoarseLevel, HierarchyOptions};
 pub use design::{Design, Row};
 pub use error::DbError;
 pub use fence::FenceRegion;
 pub use geom::{Point, Rect};
-pub use netlist::{Cell, CellId, CellKind, Net, NetId, Netlist, Pin, PinId};
+pub use netlist::{Cell, CellId, CellKind, NetId, NetRef, Netlist, Pin, PinId};
 pub use stats::DesignStats;

@@ -1,14 +1,20 @@
 //! The logical netlist: cells, pins and nets with typed ids.
 //!
 //! A [`Netlist`] is an immutable, index-based structure built once through
-//! [`NetlistBuilder`] and then shared by every stage of the flow. Pin
-//! connectivity is stored both net-major (each [`Net`] lists its pins) and
-//! cell-major (a CSR adjacency from cells to pins) because the wirelength
-//! operators walk nets while the preconditioner and legalizer walk cells.
+//! [`NetlistBuilder`] and then shared by every stage of the flow. Pin data
+//! is stored struct-of-arrays in **net-major CSR form**: the pins of net
+//! `e` occupy the contiguous span `net_start[e]..net_start[e+1]` of the
+//! flat `pin_cell`/`pin_net`/`pin_dx`/`pin_dy` arrays, mirroring the
+//! cell-major CSR (`cell_pin_start`/`cell_pin_list`) that the
+//! preconditioner and legalizer walk. The wirelength and density kernels
+//! stream the net-major arrays contiguously with no per-net indirection;
+//! [`NetRef`] and the by-value [`Pin`] are cheap views reconstructed from
+//! the arrays for call sites that want the object-shaped API.
 
 use crate::{DbError, Point};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 use xplace_testkit::{FromJson, Json, JsonError, ToJson};
 
 macro_rules! typed_id {
@@ -60,7 +66,8 @@ typed_id!(
     NetId
 );
 typed_id!(
-    /// Identifier of a pin within a [`Netlist`].
+    /// Identifier of a pin within a [`Netlist`]. Pin ids are net-major:
+    /// the pins of net `e` are the consecutive ids of its CSR span.
     PinId
 );
 
@@ -138,7 +145,8 @@ impl Cell {
 /// A pin: the connection point of a cell on a net.
 ///
 /// `offset` is measured from the owning cell's **center**; the pin's
-/// absolute location is `cell_center + offset`.
+/// absolute location is `cell_center + offset`. Materialized by value
+/// from the netlist's flat pin arrays.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pin {
     /// Owning cell.
@@ -149,47 +157,87 @@ pub struct Pin {
     pub offset: Point,
 }
 
-/// A net: a set of electrically connected pins.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Net {
-    name: String,
-    pins: Vec<PinId>,
-    weight: f64,
+/// A borrowed view of one net: name, weight and the CSR pin span.
+#[derive(Debug, Clone, Copy)]
+pub struct NetRef<'a> {
+    nl: &'a Netlist,
+    id: NetId,
 }
 
-impl Net {
-    /// The net's name.
-    pub fn name(&self) -> &str {
-        &self.name
+impl<'a> NetRef<'a> {
+    /// The net's id.
+    pub fn id(&self) -> NetId {
+        self.id
     }
 
-    /// The pins on this net.
-    pub fn pins(&self) -> &[PinId] {
-        &self.pins
+    /// The net's name.
+    pub fn name(&self) -> &'a str {
+        &self.nl.net_names[self.id.index()]
     }
 
     /// Number of pins (the net degree).
     pub fn degree(&self) -> usize {
-        self.pins.len()
+        self.pin_range().len()
     }
 
     /// The net weight (1.0 unless the benchmark specifies otherwise).
     pub fn weight(&self) -> f64 {
-        self.weight
+        self.nl.net_weight[self.id.index()]
+    }
+
+    /// The net's span in the flat pin arrays.
+    pub fn pin_range(&self) -> Range<usize> {
+        self.nl.net_pin_range(self.id)
+    }
+
+    /// Iterator over the net's pin ids (consecutive, net-major).
+    pub fn pins(&self) -> impl ExactSizeIterator<Item = PinId> + 'a {
+        self.pin_range().map(|i| PinId(i as u32))
     }
 }
 
-/// An immutable netlist. Construct with [`NetlistBuilder`].
-#[derive(Debug, Clone, Default)]
+/// An immutable netlist in struct-of-arrays form. Construct with
+/// [`NetlistBuilder`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Netlist {
     cells: Vec<Cell>,
-    nets: Vec<Net>,
-    pins: Vec<Pin>,
-    /// CSR start offsets: pins of cell `c` are
+    net_names: Vec<String>,
+    net_weight: Vec<f64>,
+    /// Net-major CSR starts: pins of net `e` occupy the flat-array span
+    /// `net_start[e]..net_start[e+1]`. Length `num_nets() + 1`.
+    net_start: Vec<u32>,
+    /// Owning cell per pin, net-major.
+    pin_cell: Vec<CellId>,
+    /// Owning net per pin (redundant with the spans; kept so `pin()` is
+    /// O(1) and the cell-major walk recovers nets without a search).
+    pin_net: Vec<NetId>,
+    /// Pin x-offset from the owning cell's center, net-major.
+    pin_dx: Vec<f64>,
+    /// Pin y-offset from the owning cell's center, net-major.
+    pin_dy: Vec<f64>,
+    /// Cell-major CSR starts: pins of cell `c` are
     /// `cell_pin_list[cell_pin_start[c]..cell_pin_start[c+1]]`.
     cell_pin_start: Vec<u32>,
     cell_pin_list: Vec<PinId>,
     name_to_cell: HashMap<String, CellId>,
+}
+
+impl Default for Netlist {
+    fn default() -> Self {
+        Netlist {
+            cells: Vec::new(),
+            net_names: Vec::new(),
+            net_weight: Vec::new(),
+            net_start: vec![0],
+            pin_cell: Vec::new(),
+            pin_net: Vec::new(),
+            pin_dx: Vec::new(),
+            pin_dy: Vec::new(),
+            cell_pin_start: vec![0],
+            cell_pin_list: Vec::new(),
+            name_to_cell: HashMap::new(),
+        }
+    }
 }
 
 impl Netlist {
@@ -200,12 +248,12 @@ impl Netlist {
 
     /// Number of nets.
     pub fn num_nets(&self) -> usize {
-        self.nets.len()
+        self.net_names.len()
     }
 
     /// Number of pins.
     pub fn num_pins(&self) -> usize {
-        self.pins.len()
+        self.pin_cell.len()
     }
 
     /// Number of movable cells.
@@ -222,22 +270,28 @@ impl Netlist {
         &self.cells[id.index()]
     }
 
-    /// Borrow a net by id.
+    /// View a net by id.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
-    pub fn net(&self, id: NetId) -> &Net {
-        &self.nets[id.index()]
+    pub fn net(&self, id: NetId) -> NetRef<'_> {
+        assert!(id.index() < self.num_nets(), "net id {id} out of range");
+        NetRef { nl: self, id }
     }
 
-    /// Borrow a pin by id.
+    /// Materialize a pin by id.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
-    pub fn pin(&self, id: PinId) -> &Pin {
-        &self.pins[id.index()]
+    pub fn pin(&self, id: PinId) -> Pin {
+        let i = id.index();
+        Pin {
+            cell: self.pin_cell[i],
+            net: self.pin_net[i],
+            offset: Point::new(self.pin_dx[i], self.pin_dy[i]),
+        }
     }
 
     /// All cells in id order.
@@ -245,14 +299,12 @@ impl Netlist {
         &self.cells
     }
 
-    /// All nets in id order.
-    pub fn nets(&self) -> &[Net] {
-        &self.nets
-    }
-
-    /// All pins in id order.
-    pub fn pins(&self) -> &[Pin] {
-        &self.pins
+    /// Iterator over net views in id order.
+    pub fn nets(&self) -> impl ExactSizeIterator<Item = NetRef<'_>> {
+        (0..self.num_nets() as u32).map(move |e| NetRef {
+            nl: self,
+            id: NetId(e),
+        })
     }
 
     /// Iterator over cell ids.
@@ -262,7 +314,46 @@ impl Netlist {
 
     /// Iterator over net ids.
     pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
-        (0..self.nets.len() as u32).map(NetId)
+        (0..self.num_nets() as u32).map(NetId)
+    }
+
+    /// The net-major CSR start offsets (length `num_nets() + 1`).
+    pub fn net_start(&self) -> &[u32] {
+        &self.net_start
+    }
+
+    /// The flat span of net `id` in the pin arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net_pin_range(&self, id: NetId) -> Range<usize> {
+        self.net_start[id.index()] as usize..self.net_start[id.index() + 1] as usize
+    }
+
+    /// Owning cell per pin, net-major.
+    pub fn pin_cells(&self) -> &[CellId] {
+        &self.pin_cell
+    }
+
+    /// Owning net per pin, net-major.
+    pub fn pin_nets(&self) -> &[NetId] {
+        &self.pin_net
+    }
+
+    /// Pin x-offsets from the owning cell's center, net-major.
+    pub fn pin_dx(&self) -> &[f64] {
+        &self.pin_dx
+    }
+
+    /// Pin y-offsets from the owning cell's center, net-major.
+    pub fn pin_dy(&self) -> &[f64] {
+        &self.pin_dy
+    }
+
+    /// Per-net weights in id order.
+    pub fn net_weights(&self) -> &[f64] {
+        &self.net_weight
     }
 
     /// The pins attached to a cell.
@@ -299,10 +390,52 @@ impl Netlist {
 
     /// Average degree over all nets.
     pub fn average_net_degree(&self) -> f64 {
-        if self.nets.is_empty() {
+        if self.num_nets() == 0 {
             0.0
         } else {
-            self.pins.len() as f64 / self.nets.len() as f64
+            self.num_pins() as f64 / self.num_nets() as f64
+        }
+    }
+
+    /// Builds the cell-major CSR and name map from the net-major arrays.
+    fn finalize(
+        cells: Vec<Cell>,
+        net_names: Vec<String>,
+        net_weight: Vec<f64>,
+        net_start: Vec<u32>,
+        pin_cell: Vec<CellId>,
+        pin_net: Vec<NetId>,
+        pin_dx: Vec<f64>,
+        pin_dy: Vec<f64>,
+        name_to_cell: HashMap<String, CellId>,
+    ) -> Netlist {
+        let mut counts = vec![0u32; cells.len() + 1];
+        for cell in &pin_cell {
+            counts[cell.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let cell_pin_start = counts.clone();
+        let mut cursor = counts;
+        let mut cell_pin_list = vec![PinId(0); pin_cell.len()];
+        for (i, cell) in pin_cell.iter().enumerate() {
+            let slot = cursor[cell.index()] as usize;
+            cell_pin_list[slot] = PinId(i as u32);
+            cursor[cell.index()] += 1;
+        }
+        Netlist {
+            cells,
+            net_names,
+            net_weight,
+            net_start,
+            pin_cell,
+            pin_net,
+            pin_dx,
+            pin_dy,
+            cell_pin_start,
+            cell_pin_list,
+            name_to_cell,
         }
     }
 }
@@ -370,34 +503,32 @@ impl FromJson for Pin {
     }
 }
 
-impl ToJson for Net {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("name", Json::str(&self.name)),
-            ("pins", self.pins.to_json()),
-            ("weight", Json::Num(self.weight)),
-        ])
-    }
-}
-
-impl FromJson for Net {
-    fn from_json(value: &Json) -> Result<Self, JsonError> {
-        Ok(Net {
-            name: value.field("name")?.as_str()?.to_string(),
-            pins: Vec::from_json(value.field("pins")?)?,
-            weight: value.field("weight")?.as_f64()?,
-        })
-    }
-}
-
 impl ToJson for Netlist {
     fn to_json(&self) -> Json {
-        // The CSR adjacency and the name map are derived data: encode only
-        // the primary cells/nets/pins and rebuild the rest on decode.
+        // The wire format predates the SoA layout: cells, object-shaped
+        // nets (with explicit pin-id lists) and object-shaped pins. The
+        // CSR adjacency and the name map are derived data, rebuilt on
+        // decode.
+        let nets = Json::Arr(
+            self.nets()
+                .map(|net| {
+                    Json::obj([
+                        ("name", Json::str(net.name())),
+                        ("pins", net.pins().collect::<Vec<_>>().to_json()),
+                        ("weight", Json::Num(net.weight())),
+                    ])
+                })
+                .collect(),
+        );
+        let pins = Json::Arr(
+            (0..self.num_pins())
+                .map(|i| self.pin(PinId(i as u32)).to_json())
+                .collect(),
+        );
         Json::obj([
             ("cells", self.cells.to_json()),
-            ("nets", self.nets.to_json()),
-            ("pins", self.pins.to_json()),
+            ("nets", nets),
+            ("pins", pins),
         ])
     }
 }
@@ -405,7 +536,6 @@ impl ToJson for Netlist {
 impl FromJson for Netlist {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let cells: Vec<Cell> = Vec::from_json(value.field("cells")?)?;
-        let nets: Vec<Net> = Vec::from_json(value.field("nets")?)?;
         let pins: Vec<Pin> = Vec::from_json(value.field("pins")?)?;
         for pin in &pins {
             if pin.cell.index() >= cells.len() {
@@ -415,34 +545,62 @@ impl FromJson for Netlist {
                 )));
             }
         }
+        let net_values = value.field("nets")?.as_arr()?;
+        let mut net_names = Vec::with_capacity(net_values.len());
+        let mut net_weight = Vec::with_capacity(net_values.len());
+        let mut net_start: Vec<u32> = Vec::with_capacity(net_values.len() + 1);
+        net_start.push(0);
+        let mut pin_cell = Vec::with_capacity(pins.len());
+        let mut pin_net = Vec::with_capacity(pins.len());
+        let mut pin_dx = Vec::with_capacity(pins.len());
+        let mut pin_dy = Vec::with_capacity(pins.len());
+        for (e, net) in net_values.iter().enumerate() {
+            let name = net.field("name")?.as_str()?.to_string();
+            let ids: Vec<PinId> = Vec::from_json(net.field("pins")?)?;
+            for id in &ids {
+                // Pin ids must be the net's own contiguous net-major span
+                // (the only shape the builder and encoder ever produce):
+                // that is what makes the flat arrays a valid CSR.
+                if id.index() != pin_cell.len() {
+                    return Err(JsonError(format!(
+                        "net `{name}` pin ids are not net-major contiguous \
+                         (expected pin {}, found {id})",
+                        pin_cell.len()
+                    )));
+                }
+                let pin = &pins[id.index()];
+                pin_cell.push(pin.cell);
+                pin_net.push(NetId(e as u32));
+                pin_dx.push(pin.offset.x);
+                pin_dy.push(pin.offset.y);
+            }
+            net_names.push(name);
+            net_weight.push(net.field("weight")?.as_f64()?);
+            net_start.push(pin_cell.len() as u32);
+        }
+        if pin_cell.len() != pins.len() {
+            return Err(JsonError(format!(
+                "{} of {} pins are not referenced by any net",
+                pins.len() - pin_cell.len(),
+                pins.len()
+            )));
+        }
         let name_to_cell = cells
             .iter()
             .enumerate()
             .map(|(i, c)| (c.name.clone(), CellId(i as u32)))
             .collect();
-        let mut counts = vec![0u32; cells.len() + 1];
-        for pin in &pins {
-            counts[pin.cell.index() + 1] += 1;
-        }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let cell_pin_start = counts.clone();
-        let mut cursor = counts;
-        let mut cell_pin_list = vec![PinId(0); pins.len()];
-        for (i, pin) in pins.iter().enumerate() {
-            let slot = cursor[pin.cell.index()] as usize;
-            cell_pin_list[slot] = PinId(i as u32);
-            cursor[pin.cell.index()] += 1;
-        }
-        Ok(Netlist {
+        Ok(Netlist::finalize(
             cells,
-            nets,
-            pins,
-            cell_pin_start,
-            cell_pin_list,
+            net_names,
+            net_weight,
+            net_start,
+            pin_cell,
+            pin_net,
+            pin_dx,
+            pin_dy,
             name_to_cell,
-        })
+        ))
     }
 }
 
@@ -463,12 +621,23 @@ impl FromJson for Netlist {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NetlistBuilder {
     cells: Vec<Cell>,
-    nets: Vec<Net>,
-    pins: Vec<Pin>,
+    net_names: Vec<String>,
+    net_weight: Vec<f64>,
+    net_start: Vec<u32>,
+    pin_cell: Vec<CellId>,
+    pin_net: Vec<NetId>,
+    pin_dx: Vec<f64>,
+    pin_dy: Vec<f64>,
     name_to_cell: HashMap<String, CellId>,
+}
+
+impl Default for NetlistBuilder {
+    fn default() -> Self {
+        Self::with_capacity(0, 0, 0)
+    }
 }
 
 impl NetlistBuilder {
@@ -479,10 +648,17 @@ impl NetlistBuilder {
 
     /// Creates a builder with capacity hints.
     pub fn with_capacity(cells: usize, nets: usize, pins: usize) -> Self {
+        let mut net_start = Vec::with_capacity(nets + 1);
+        net_start.push(0);
         NetlistBuilder {
             cells: Vec::with_capacity(cells),
-            nets: Vec::with_capacity(nets),
-            pins: Vec::with_capacity(pins),
+            net_names: Vec::with_capacity(nets),
+            net_weight: Vec::with_capacity(nets),
+            net_start,
+            pin_cell: Vec::with_capacity(pins),
+            pin_net: Vec::with_capacity(pins),
+            pin_dx: Vec::with_capacity(pins),
+            pin_dy: Vec::with_capacity(pins),
             name_to_cell: HashMap::with_capacity(cells),
         }
     }
@@ -533,27 +709,23 @@ impl NetlistBuilder {
         if pins.is_empty() {
             return Err(DbError::InvalidDesign(format!("net `{name}` has no pins")));
         }
-        let net_id = NetId(self.nets.len() as u32);
-        let mut pin_ids = Vec::with_capacity(pins.len());
-        for (cell, offset) in pins {
+        for (cell, _) in &pins {
             if cell.index() >= self.cells.len() {
                 return Err(DbError::UnknownCell(format!(
                     "cell id {cell} in net `{name}`"
                 )));
             }
-            let pin_id = PinId(self.pins.len() as u32);
-            self.pins.push(Pin {
-                cell,
-                net: net_id,
-                offset,
-            });
-            pin_ids.push(pin_id);
         }
-        self.nets.push(Net {
-            name,
-            pins: pin_ids,
-            weight,
-        });
+        let net_id = NetId(self.net_names.len() as u32);
+        for (cell, offset) in pins {
+            self.pin_cell.push(cell);
+            self.pin_net.push(net_id);
+            self.pin_dx.push(offset.x);
+            self.pin_dy.push(offset.y);
+        }
+        self.net_names.push(name);
+        self.net_weight.push(weight);
+        self.net_start.push(self.pin_cell.len() as u32);
         Ok(net_id)
     }
 
@@ -589,29 +761,17 @@ impl NetlistBuilder {
                 )));
             }
         }
-        let mut counts = vec![0u32; self.cells.len() + 1];
-        for pin in &self.pins {
-            counts[pin.cell.index() + 1] += 1;
-        }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let cell_pin_start = counts.clone();
-        let mut cursor = counts;
-        let mut cell_pin_list = vec![PinId(0); self.pins.len()];
-        for (i, pin) in self.pins.iter().enumerate() {
-            let slot = cursor[pin.cell.index()] as usize;
-            cell_pin_list[slot] = PinId(i as u32);
-            cursor[pin.cell.index()] += 1;
-        }
-        Ok(Netlist {
-            cells: self.cells,
-            nets: self.nets,
-            pins: self.pins,
-            cell_pin_start,
-            cell_pin_list,
-            name_to_cell: self.name_to_cell,
-        })
+        Ok(Netlist::finalize(
+            self.cells,
+            self.net_names,
+            self.net_weight,
+            self.net_start,
+            self.pin_cell,
+            self.pin_net,
+            self.pin_dx,
+            self.pin_dy,
+            self.name_to_cell,
+        ))
     }
 }
 
@@ -659,10 +819,40 @@ mod tests {
     #[test]
     fn net_major_and_cell_major_views_agree() {
         let nl = tiny();
-        let from_nets: usize = nl.nets().iter().map(Net::degree).sum();
+        let from_nets: usize = nl.nets().map(|n| n.degree()).sum();
         let from_cells: usize = nl.cell_ids().map(|c| nl.pins_of_cell(c).len()).sum();
         assert_eq!(from_nets, from_cells);
         assert_eq!(from_nets, nl.num_pins());
+    }
+
+    #[test]
+    fn csr_spans_are_monotone_and_cover_all_pins() {
+        let nl = tiny();
+        assert_eq!(nl.net_start().len(), nl.num_nets() + 1);
+        assert_eq!(nl.net_start()[0], 0);
+        for w in nl.net_start().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*nl.net_start().last().unwrap() as usize, nl.num_pins());
+        // pin_net agrees with the span that contains the pin.
+        for net in nl.nets() {
+            for pid in net.pins() {
+                assert_eq!(nl.pin(pid).net, net.id());
+                assert_eq!(nl.pin_nets()[pid.index()], net.id());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_arrays_match_materialized_pins() {
+        let nl = tiny();
+        for i in 0..nl.num_pins() {
+            let pin = nl.pin(PinId(i as u32));
+            assert_eq!(nl.pin_cells()[i], pin.cell);
+            assert_eq!(nl.pin_dx()[i], pin.offset.x);
+            assert_eq!(nl.pin_dy()[i], pin.offset.y);
+        }
+        assert_eq!(nl.net_weights(), &[1.0, 1.0]);
     }
 
     #[test]
@@ -682,6 +872,25 @@ mod tests {
             .add_net("n", vec![(CellId(5), Point::default())])
             .unwrap_err();
         assert!(matches!(err, DbError::UnknownCell(_)));
+    }
+
+    #[test]
+    fn rejected_net_leaves_the_builder_consistent() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        // A net whose *second* pin is bad must not leave half a span.
+        assert!(b
+            .add_net(
+                "bad",
+                vec![(a, Point::default()), (CellId(9), Point::default())]
+            )
+            .is_err());
+        b.add_net("ok", vec![(a, Point::default()), (a, Point::new(0.5, 0.0))])
+            .unwrap();
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.num_nets(), 1);
+        assert_eq!(nl.num_pins(), 2);
+        assert_eq!(nl.net(NetId(0)).degree(), 2);
     }
 
     #[test]
@@ -725,9 +934,7 @@ mod tests {
     fn netlist_json_round_trip_rebuilds_adjacency() {
         let nl = tiny();
         let decoded = Netlist::from_json_str(&nl.to_json_string()).unwrap();
-        assert_eq!(decoded.cells(), nl.cells());
-        assert_eq!(decoded.nets(), nl.nets());
-        assert_eq!(decoded.pins(), nl.pins());
+        assert_eq!(decoded, nl);
         // Derived structures are rebuilt, not transported.
         assert_eq!(decoded.cell_by_name("c"), Some(CellId(1)));
         for c in nl.cell_ids() {
@@ -740,5 +947,16 @@ mod tests {
         let text = r#"{"cells":[],"nets":[],"pins":[
             {"cell":3,"net":0,"offset":{"x":0,"y":0}}]}"#;
         assert!(Netlist::from_json_str(text).is_err());
+    }
+
+    #[test]
+    fn netlist_decode_rejects_non_contiguous_pin_ids() {
+        // Net lists its pins out of net-major order: not a valid CSR.
+        let text = r#"{"cells":[{"name":"a","width":1,"height":1,"kind":"Movable"}],
+            "nets":[{"name":"n","pins":[1,0],"weight":1}],
+            "pins":[{"cell":0,"net":0,"offset":{"x":0,"y":0}},
+                    {"cell":0,"net":0,"offset":{"x":1,"y":0}}]}"#;
+        let err = Netlist::from_json_str(text).unwrap_err();
+        assert!(err.to_string().contains("net-major"), "{err}");
     }
 }

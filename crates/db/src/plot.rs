@@ -105,7 +105,7 @@ pub fn to_svg(design: &Design, config: &PlotConfig) -> String {
             let mut max_x = f64::NEG_INFINITY;
             let mut min_y = f64::INFINITY;
             let mut max_y = f64::NEG_INFINITY;
-            for &pid in nl.net(net).pins() {
+            for pid in nl.net(net).pins() {
                 let p = design.pin_position(pid);
                 min_x = min_x.min(p.x);
                 max_x = max_x.max(p.x);

@@ -12,8 +12,49 @@
 //! [`crate::def`] when available.
 
 use crate::netlist::NetlistBuilder;
-use crate::{CellKind, DbError, Design, Point, Rect, Row};
+use crate::{CellId, CellKind, DbError, Design, Point, Rect, Row};
 use xplace_testkit::Rng;
+
+/// Connectivity structure of a generated design.
+///
+/// The random topology reproduces contest-style statistics (power-law
+/// degrees, Rent-style locality); the array/dataflow topologies reproduce
+/// the *regular* structure of accelerator designs (DG-RePlAce's
+/// observation) so the multilevel clustering and the scaling bench have
+/// realistic 100k–1M-cell inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Power-law degrees with log-uniform net windows (the default).
+    #[default]
+    Random,
+    /// A 2-D systolic array: nearest-neighbour 2-pin nets along rows and
+    /// columns of an `R x C` processing-element grid.
+    SystolicGrid,
+    /// An FFT dataflow graph: `w` lanes by `log2(w)+1` stages with 4-pin
+    /// butterfly nets between consecutive stages.
+    FftButterfly,
+}
+
+impl Topology {
+    /// Parses a CLI/manifest name (`random`, `systolic`, `butterfly`).
+    pub fn parse(name: &str) -> Option<Topology> {
+        match name {
+            "random" => Some(Topology::Random),
+            "systolic" => Some(Topology::SystolicGrid),
+            "butterfly" => Some(Topology::FftButterfly),
+            _ => None,
+        }
+    }
+
+    /// The CLI/manifest name of this topology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Random => "random",
+            Topology::SystolicGrid => "systolic",
+            Topology::FftButterfly => "butterfly",
+        }
+    }
+}
 
 /// Parameters controlling synthetic circuit generation.
 ///
@@ -61,6 +102,9 @@ pub struct SynthesisSpec {
     /// Number of fence regions (each confines a contiguous slice of cells
     /// to a band along the top edge of the die).
     pub num_fences: usize,
+    /// Connectivity structure ([`Topology::Random`] unless overridden;
+    /// the structured topologies treat `num_nets` as advisory).
+    pub topology: Topology,
     /// RNG seed; the generator is fully deterministic given the spec.
     pub seed: u64,
 }
@@ -83,6 +127,7 @@ impl SynthesisSpec {
             max_net_degree: 24,
             aspect: 1.0,
             num_fences: 0,
+            topology: Topology::Random,
             seed: 1,
         }
     }
@@ -134,6 +179,12 @@ impl SynthesisSpec {
         self
     }
 
+    /// Sets the connectivity structure.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     fn validate(&self) -> Result<(), DbError> {
         if self.num_cells == 0 {
             return Err(DbError::InvalidSpec("num_cells must be positive".into()));
@@ -168,6 +219,11 @@ impl SynthesisSpec {
     }
 }
 
+/// A random pin offset within `0.8 * (w, h)` of the owning cell's center.
+fn pin_offset(rng: &mut Rng, w: f64, h: f64) -> Point {
+    Point::new((rng.f64() - 0.5) * w * 0.8, (rng.f64() - 0.5) * h * 0.8)
+}
+
 /// Samples a net degree from a truncated power law `p(d) ~ d^-gamma`.
 fn sample_degree(rng: &mut Rng, gamma: f64, max_degree: usize) -> usize {
     // Inverse-CDF sampling over the discrete support 2..=max.
@@ -184,6 +240,149 @@ fn sample_degree(rng: &mut Rng, gamma: f64, max_degree: usize) -> usize {
         }
     }
     max_degree
+}
+
+/// Systolic-array dataflow: cells form an `R x C` grid of processing
+/// elements, each wired to its right and down neighbour with a 2-pin net.
+/// Terminals tap the array cyclically (dataflow in/out at the boundary).
+///
+/// `spec.num_nets` is advisory here — the topology dictates the net count.
+#[allow(clippy::too_many_arguments)]
+fn build_systolic_nets(
+    builder: &mut NetlistBuilder,
+    rng: &mut Rng,
+    spec: &SynthesisSpec,
+    cell_ids: &[CellId],
+    terminal_ids: &[CellId],
+    connected: &mut [bool],
+    nets_made: &mut usize,
+) -> Result<(), DbError> {
+    let n = cell_ids.len();
+    if n < 2 {
+        return Ok(());
+    }
+    let cols = ((n as f64).sqrt().ceil() as usize).max(1);
+    for i in 0..n {
+        let c = i % cols;
+        if c + 1 < cols && i + 1 < n {
+            let pins = vec![
+                (cell_ids[i], pin_offset(rng, 2.0, spec.row_height)),
+                (cell_ids[i + 1], pin_offset(rng, 2.0, spec.row_height)),
+            ];
+            builder.add_net(format!("n{nets_made}"), pins)?;
+            connected[i] = true;
+            connected[i + 1] = true;
+            *nets_made += 1;
+        }
+        if i + cols < n {
+            let pins = vec![
+                (cell_ids[i], pin_offset(rng, 2.0, spec.row_height)),
+                (cell_ids[i + cols], pin_offset(rng, 2.0, spec.row_height)),
+            ];
+            builder.add_net(format!("n{nets_made}"), pins)?;
+            connected[i] = true;
+            connected[i + cols] = true;
+            *nets_made += 1;
+        }
+    }
+    if !terminal_ids.is_empty() {
+        let stride = (n / terminal_ids.len()).max(1);
+        for (t, &tid) in terminal_ids.iter().enumerate() {
+            let i = (t * stride) % n;
+            let pins = vec![
+                (cell_ids[i], pin_offset(rng, 2.0, spec.row_height)),
+                (tid, Point::default()),
+            ];
+            builder.add_net(format!("n{nets_made}"), pins)?;
+            connected[i] = true;
+            *nets_made += 1;
+        }
+    }
+    Ok(())
+}
+
+/// FFT dataflow: the largest power-of-two lane count `w` whose full
+/// butterfly network `w * (log2(w) + 1)` fits in the design becomes a stack
+/// of 4-pin butterfly nets `{(t, j), (t, j^bit), (t+1, j), (t+1, j^bit)}`;
+/// leftover cells are chained in, and terminals alternate between the first
+/// and last stages (transform inputs and outputs).
+///
+/// `spec.num_nets` is advisory here — the topology dictates the net count.
+#[allow(clippy::too_many_arguments)]
+fn build_butterfly_nets(
+    builder: &mut NetlistBuilder,
+    rng: &mut Rng,
+    spec: &SynthesisSpec,
+    cell_ids: &[CellId],
+    terminal_ids: &[CellId],
+    connected: &mut [bool],
+    nets_made: &mut usize,
+) -> Result<(), DbError> {
+    let n = cell_ids.len();
+    if n < 2 {
+        return Ok(());
+    }
+    // Largest power-of-two lane count whose full network fits; 0 when even
+    // the 2-lane network (4 cells) does not.
+    let mut w = 0usize;
+    let mut cand = 2usize;
+    loop {
+        let stages = cand.trailing_zeros() as usize + 1;
+        if cand * stages > n {
+            break;
+        }
+        w = cand;
+        cand *= 2;
+    }
+    let stages = if w == 0 {
+        0
+    } else {
+        w.trailing_zeros() as usize
+    };
+    let used = w * (stages + 1);
+    for t in 0..stages {
+        let bit = 1usize << t;
+        for j in 0..w {
+            if j & bit != 0 {
+                continue;
+            }
+            let k = j | bit;
+            let quad = [t * w + j, t * w + k, (t + 1) * w + j, (t + 1) * w + k];
+            let mut pins = Vec::with_capacity(4);
+            for &i in &quad {
+                connected[i] = true;
+                pins.push((cell_ids[i], pin_offset(rng, 2.0, spec.row_height)));
+            }
+            builder.add_net(format!("n{nets_made}"), pins)?;
+            *nets_made += 1;
+        }
+    }
+    // Chain cells outside the butterfly network into the design.
+    let chain_from = used.max(1);
+    for i in chain_from..n {
+        let pins = vec![
+            (cell_ids[i - 1], pin_offset(rng, 2.0, spec.row_height)),
+            (cell_ids[i], pin_offset(rng, 2.0, spec.row_height)),
+        ];
+        builder.add_net(format!("n{nets_made}"), pins)?;
+        connected[i - 1] = true;
+        connected[i] = true;
+        *nets_made += 1;
+    }
+    if !terminal_ids.is_empty() && w > 0 {
+        for (t, &tid) in terminal_ids.iter().enumerate() {
+            let j = (t / 2) % w;
+            let i = if t % 2 == 0 { j } else { stages * w + j };
+            let pins = vec![
+                (cell_ids[i], pin_offset(rng, 2.0, spec.row_height)),
+                (tid, Point::default()),
+            ];
+            builder.add_net(format!("n{nets_made}"), pins)?;
+            connected[i] = true;
+            *nets_made += 1;
+        }
+    }
+    Ok(())
 }
 
 /// Generates a placement design from a spec.
@@ -208,16 +407,19 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     // --- Standard cells: width 1..=8 sites, geometric-ish distribution. ---
     let site_width = 1.0;
     let mut movable_area = 0.0;
+    let mut widest_cell = 0.0f64;
     let mut cell_ids = Vec::with_capacity(spec.num_cells);
     for i in 0..spec.num_cells {
         let sites = {
             let u: f64 = rng.f64();
-            // ~55% 1-2 sites, tail up to 8.
-            1 + (7.0 * u * u * u) as usize
+            // ~55% 1-2 sites, tail up to 8. Round (not floor) so the top
+            // of the truncated distribution is actually drawable.
+            1 + (7.0 * u * u * u).round() as usize
         };
         let w = sites as f64 * site_width;
         let id = builder.add_cell(format!("o{i}"), w, spec.row_height, CellKind::Movable);
         movable_area += w * spec.row_height;
+        widest_cell = widest_cell.max(w);
         cell_ids.push(id);
     }
 
@@ -231,7 +433,9 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
     let height = (die_area / spec.aspect).sqrt();
     let num_rows = (height / spec.row_height).ceil().max(4.0) as usize;
     let height = num_rows as f64 * spec.row_height;
-    let width = die_area / height;
+    // Tiny designs can size a die narrower than their widest cell (the
+    // row-count floor above stretches the height); widen to fit.
+    let width = (die_area / height).max(widest_cell);
     let region = Rect::new(0.0, 0.0, width, height);
     let rows: Vec<Row> = (0..num_rows)
         .map(|r| Row {
@@ -293,76 +497,108 @@ pub fn synthesize(spec: &SynthesisSpec) -> Result<Design, DbError> {
         terminal_pos.push(p);
     }
 
-    // --- Nets with Rent-style locality over the linear cell ordering. ---
+    // --- Nets. ---
     let n = spec.num_cells;
     let mut connected = vec![false; n];
-    let pin_offset = |rng: &mut Rng, w: f64, h: f64| {
-        Point::new((rng.f64() - 0.5) * w * 0.8, (rng.f64() - 0.5) * h * 0.8)
-    };
     let mut nets_made = 0usize;
-    let reserve = n / 16; // leave headroom for the connectivity fix-up pass
-    while nets_made < spec.num_nets.saturating_sub(reserve.min(spec.num_nets / 8)) {
-        let degree = sample_degree(&mut rng, spec.degree_exponent, spec.max_net_degree);
-        let center = rng.gen_range(0..n);
-        // Log-uniform window between the degree and the whole design: most
-        // nets are local, a few span the hierarchy.
-        let span_min = (degree * 4).min(n);
-        let ratio = n as f64 / span_min.max(1) as f64;
-        let window = (span_min as f64 * ratio.powf(rng.f64().powi(2))) as usize;
-        let window = window.clamp(degree, n);
-        let lo = center.saturating_sub(window / 2).min(n - window);
-        let mut members = Vec::with_capacity(degree + 1);
-        let mut tries = 0;
-        while members.len() < degree && tries < degree * 8 {
-            let idx = lo + rng.gen_range(0..window);
-            if !members.contains(&idx) {
-                members.push(idx);
+    match spec.topology {
+        Topology::Random => {
+            // Rent-style locality over the linear cell ordering. A design
+            // with fewer than 2 movable cells cannot host a random net at
+            // all — the fix-up pass below wires the lone cell.
+            let reserve = n / 16; // headroom for the connectivity fix-up pass
+            let target = spec.num_nets.saturating_sub(reserve.min(spec.num_nets / 8));
+            while n >= 2 && nets_made < target {
+                // Degree clamped to the distinct cells available so the
+                // member sampling below can never demand duplicates.
+                let degree =
+                    sample_degree(&mut rng, spec.degree_exponent, spec.max_net_degree).min(n);
+                let center = rng.gen_range(0..n);
+                // Log-uniform window between the degree and the whole
+                // design: most nets are local, a few span the hierarchy.
+                // The `as usize` cast floors (window 0 would yield
+                // single-pin nets) and an oversampled window must not
+                // exceed `n` (the `n - window` below would underflow):
+                // clamp into [degree, n].
+                let span_min = (degree * 4).min(n);
+                let ratio = n as f64 / span_min.max(1) as f64;
+                let window = (span_min as f64 * ratio.powf(rng.f64().powi(2))) as usize;
+                let window = window.clamp(degree, n);
+                let lo = center.saturating_sub(window / 2).min(n - window);
+                let mut members = Vec::with_capacity(degree + 1);
+                let mut tries = 0;
+                while members.len() < degree && tries < degree * 8 {
+                    let idx = lo + rng.gen_range(0..window);
+                    if !members.contains(&idx) {
+                        members.push(idx);
+                    }
+                    tries += 1;
+                }
+                if members.len() < 2 {
+                    continue;
+                }
+                let mut pins: Vec<(CellId, Point)> = Vec::with_capacity(members.len() + 1);
+                for &idx in &members {
+                    connected[idx] = true;
+                    pins.push((cell_ids[idx], pin_offset(&mut rng, 2.0, spec.row_height)));
+                }
+                // Occasionally attach a macro or terminal pin.
+                if !macro_ids.is_empty() && rng.f64() < 0.04 {
+                    let m = macro_ids[rng.gen_range(0..macro_ids.len())];
+                    pins.push((m, pin_offset(&mut rng, 4.0, 4.0)));
+                } else if !terminal_ids.is_empty() && rng.f64() < 0.03 {
+                    let t = terminal_ids[rng.gen_range(0..terminal_ids.len())];
+                    pins.push((t, Point::default()));
+                }
+                builder.add_net(format!("n{nets_made}"), pins)?;
+                nets_made += 1;
             }
-            tries += 1;
         }
-        if members.len() < 2 {
-            continue;
-        }
-        let mut pins: Vec<(crate::CellId, Point)> = Vec::with_capacity(members.len() + 1);
-        for &idx in &members {
-            connected[idx] = true;
-            let cell = builder.num_cells(); // placeholder to appease the borrow checker
-            let _ = cell;
-            let c = cell_ids[idx];
-            let w = site_width * 8.0; // offsets kept small relative to cells
-            let _ = w;
-            pins.push((c, pin_offset(&mut rng, 2.0, spec.row_height)));
-        }
-        // Occasionally attach a macro or terminal pin.
-        if !macro_ids.is_empty() && rng.f64() < 0.04 {
-            let m = macro_ids[rng.gen_range(0..macro_ids.len())];
-            pins.push((m, pin_offset(&mut rng, 4.0, 4.0)));
-        } else if !terminal_ids.is_empty() && rng.f64() < 0.03 {
-            let t = terminal_ids[rng.gen_range(0..terminal_ids.len())];
-            pins.push((t, Point::default()));
-        }
-        builder.add_net(format!("n{nets_made}"), pins)?;
-        nets_made += 1;
+        Topology::SystolicGrid => build_systolic_nets(
+            &mut builder,
+            &mut rng,
+            spec,
+            &cell_ids,
+            &terminal_ids,
+            &mut connected,
+            &mut nets_made,
+        )?,
+        Topology::FftButterfly => build_butterfly_nets(
+            &mut builder,
+            &mut rng,
+            spec,
+            &cell_ids,
+            &terminal_ids,
+            &mut connected,
+            &mut nets_made,
+        )?,
     }
 
     // --- Connectivity fix-up: every movable cell gets at least one net. ---
     for idx in 0..n {
         if !connected[idx] {
-            let partner = if idx + 1 < n {
-                idx + 1
-            } else {
-                idx.saturating_sub(1)
-            };
-            let pins = vec![
-                (cell_ids[idx], pin_offset(&mut rng, 2.0, spec.row_height)),
-                (
+            let mut pins = vec![(cell_ids[idx], pin_offset(&mut rng, 2.0, spec.row_height))];
+            if n >= 2 {
+                let partner = if idx + 1 < n { idx + 1 } else { idx - 1 };
+                pins.push((
                     cell_ids[partner],
                     pin_offset(&mut rng, 2.0, spec.row_height),
-                ),
-            ];
+                ));
+                connected[partner] = true;
+            } else if let Some(&t) = terminal_ids.first() {
+                // A single movable cell has no movable partner: wire it to
+                // a terminal instead of duplicating its own pin on the net.
+                pins.push((t, Point::default()));
+            } else if let Some(&m) = macro_ids.first() {
+                pins.push((m, pin_offset(&mut rng, 4.0, 4.0)));
+            } else {
+                // No second endpoint exists anywhere; a duplicate-cell or
+                // single-pin net would be worse than leaving the lone cell
+                // unconnected.
+                continue;
+            }
             builder.add_net(format!("n{nets_made}"), pins)?;
             connected[idx] = true;
-            connected[partner] = true;
             nets_made += 1;
         }
     }
@@ -541,10 +777,10 @@ mod tests {
     fn degree_distribution_is_power_law_ish() {
         let d = synthesize(&SynthesisSpec::new("t", 3000, 3200).with_seed(17)).unwrap();
         let nl = d.netlist();
-        let two_pin = nl.nets().iter().filter(|n| n.degree() == 2).count();
+        let two_pin = nl.nets().filter(|n| n.degree() == 2).count();
         let frac = two_pin as f64 / nl.num_nets() as f64;
         assert!(frac > 0.4 && frac < 0.9, "2-pin fraction {frac}");
-        let max = nl.nets().iter().map(crate::Net::degree).max().unwrap();
+        let max = nl.nets().map(|n| n.degree()).max().unwrap();
         assert!(max > 4, "no high-degree nets at all");
     }
 
@@ -561,6 +797,125 @@ mod tests {
         let mut s = SynthesisSpec::new("t", 10, 10);
         s.max_net_degree = 1;
         assert!(synthesize(&s).is_err());
+    }
+
+    /// Regression: tiny designs used to panic — with the default degree cap
+    /// of 24 the sampled degree routinely exceeds the cell count, and
+    /// `window.clamp(degree, n)` (then `n - window`) blew up. Pinned seeds
+    /// so the exact draws replay forever.
+    #[test]
+    fn tiny_design_window_does_not_underflow() {
+        for seed in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            for cells in [2usize, 3, 5, 8] {
+                let d = synthesize(&SynthesisSpec::new("t", cells, cells + 2).with_seed(seed))
+                    .unwrap_or_else(|e| panic!("cells={cells} seed={seed}: {e}"));
+                d.validate().unwrap();
+            }
+        }
+    }
+
+    /// Regression: a 1-cell design used to pair the lone cell with itself
+    /// in the connectivity fix-up, putting the same cell twice on one net.
+    /// It must wire to a terminal (or macro) instead, and with no fixed
+    /// geometry at all the cell stays unconnected rather than degenerate.
+    #[test]
+    fn single_cell_design_wires_to_fixed_geometry() {
+        let d = synthesize(&SynthesisSpec::new("t", 1, 1).with_seed(31)).unwrap();
+        let nl = d.netlist();
+        assert_eq!(nl.num_nets(), 1);
+        let net = nl.nets().next().unwrap();
+        assert_eq!(net.degree(), 2);
+        let cells: Vec<_> = net.pins().map(|p| nl.pin(p).cell).collect();
+        assert_ne!(cells[0], cells[1], "net repeats the lone cell");
+
+        let bare = synthesize(
+            &SynthesisSpec::new("t", 1, 1)
+                .with_seed(31)
+                .with_terminals(0),
+        )
+        .unwrap();
+        assert_eq!(bare.netlist().num_nets(), 0);
+    }
+
+    /// Regression: the cell-width sites sampler truncated `7 * u^3` toward
+    /// zero, so the 8-site top of the distribution was unreachable. With
+    /// rounding, a large design draws the full 1..=8 range.
+    #[test]
+    fn sites_sampler_reaches_the_distribution_top() {
+        let d = synthesize(&SynthesisSpec::new("t", 4000, 4100).with_seed(37)).unwrap();
+        let nl = d.netlist();
+        let widths: Vec<f64> = nl
+            .cell_ids()
+            .filter(|&c| nl.cell(c).is_movable())
+            .map(|c| nl.cell(c).width())
+            .collect();
+        let min = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = widths.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(min, 1.0, "narrowest cell should be one site");
+        assert_eq!(max, 8.0, "8-site tail never drawn");
+    }
+
+    /// Regression: a degenerate zero-width window could emit single-pin
+    /// (zero-HPWL) nets; the window is now floored at the degree.
+    #[test]
+    fn no_single_pin_nets_at_pinned_seeds() {
+        for seed in [41u64, 43, 47, 53] {
+            let d = synthesize(&SynthesisSpec::new("t", 64, 80).with_seed(seed)).unwrap();
+            for net in d.netlist().nets() {
+                assert!(
+                    net.degree() >= 2,
+                    "seed {seed}: net {} degenerate",
+                    net.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_grid_wires_nearest_neighbours() {
+        let spec = SynthesisSpec::new("sys", 9, 9)
+            .with_seed(59)
+            .with_terminals(4)
+            .with_topology(Topology::SystolicGrid);
+        let d = synthesize(&spec).unwrap();
+        let nl = d.netlist();
+        // A 3x3 grid has 6 right + 6 down neighbour nets plus 4 I/O taps.
+        assert_eq!(nl.num_nets(), 16);
+        assert!(nl.nets().all(|n| n.degree() == 2));
+        for c in nl.cell_ids() {
+            if nl.cell(c).is_movable() {
+                assert!(!nl.pins_of_cell(c).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_builds_four_pin_stages() {
+        // 12 cells fit a 4-lane, 3-stage butterfly exactly: 2 stages of
+        // 2 butterflies, all degree 4.
+        let spec = SynthesisSpec::new("fft", 12, 12)
+            .with_seed(61)
+            .with_terminals(0)
+            .with_topology(Topology::FftButterfly);
+        let d = synthesize(&spec).unwrap();
+        let nl = d.netlist();
+        let quads = nl.nets().filter(|n| n.degree() == 4).count();
+        assert_eq!(quads, 4);
+        for c in nl.cell_ids() {
+            assert!(!nl.pins_of_cell(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn topology_names_round_trip() {
+        for t in [
+            Topology::Random,
+            Topology::SystolicGrid,
+            Topology::FftButterfly,
+        ] {
+            assert_eq!(Topology::parse(t.name()), Some(t));
+        }
+        assert_eq!(Topology::parse("mesh"), None);
     }
 
     #[test]

@@ -1,10 +1,41 @@
 //! Property-based tests of geometry, synthesis and the Bookshelf
 //! round trip.
 
-use xplace_db::synthesis::{synthesize, SynthesisSpec};
-use xplace_db::{bookshelf, DesignStats, Point, Rect};
+use xplace_db::synthesis::{synthesize, SynthesisSpec, Topology};
+use xplace_db::{bookshelf, DesignStats, Netlist, Point, Rect};
 use xplace_testkit::prop::Config;
 use xplace_testkit::{prop_assert, prop_assert_eq, props, Strategy};
+
+/// Structural invariants of the flat CSR netlist layout, checked on every
+/// synthesized design: monotone net spans covering all pins exactly once,
+/// back-pointers consistent, no duplicate cell on a net, degree >= 2.
+fn assert_csr_valid(nl: &Netlist) {
+    let starts = nl.net_start();
+    assert_eq!(starts.len(), nl.num_nets() + 1);
+    assert_eq!(starts[0], 0);
+    assert_eq!(*starts.last().unwrap() as usize, nl.num_pins());
+    for net in nl.nets() {
+        let span = net.pin_range();
+        assert!(span.start <= span.end, "net {} span reversed", net.id());
+        assert!(
+            net.degree() >= 2,
+            "net {} has degree {}",
+            net.id(),
+            net.degree()
+        );
+        let mut cells: Vec<_> = nl.pin_cells()[span.clone()].to_vec();
+        for &p in &nl.pin_nets()[span.clone()] {
+            assert_eq!(p, net.id(), "pin back-pointer disagrees with its span");
+        }
+        cells.sort();
+        let before = cells.len();
+        cells.dedup();
+        assert_eq!(before, cells.len(), "net {} repeats a cell", net.id());
+    }
+    // Every pin is reachable through exactly one cell's pin list.
+    let total: usize = nl.cell_ids().map(|c| nl.pins_of_cell(c).len()).sum();
+    assert_eq!(total, nl.num_pins());
+}
 
 fn rect_strategy() -> impl Strategy<Value = Rect> {
     (
@@ -72,6 +103,78 @@ props! {
         for c in nl.cell_ids() {
             if nl.cell(c).is_movable() {
                 prop_assert!(!nl.pins_of_cell(c).is_empty());
+            }
+        }
+    }
+
+    /// Tiny designs (1-8 cells) synthesize without panicking — the
+    /// net-window math used to underflow (`n - window`) whenever the
+    /// sampled degree exceeded the cell count — and stay CSR-valid.
+    fn tiny_designs_synthesize(
+        cells in 1usize..9,
+        seed in 0u64..1_000_000,
+        terminals in 0usize..9,
+    ) {
+        let spec = SynthesisSpec::new("tiny", cells, cells + 2)
+            .with_seed(seed)
+            .with_terminals(terminals);
+        let design = synthesize(&spec).expect("tiny spec synthesizes");
+        design.validate().expect("tiny design validates");
+        assert_csr_valid(design.netlist());
+    }
+
+    /// Degree caps far beyond the cell count are clamped, never drawn as
+    /// duplicate pins on one net.
+    fn huge_degree_specs_synthesize(
+        cells in 3usize..120,
+        seed in 0u64..1_000_000,
+        max_degree in 2usize..400,
+    ) {
+        let mut spec = SynthesisSpec::new("deg", cells, cells + 8).with_seed(seed);
+        spec.max_net_degree = max_degree;
+        let design = synthesize(&spec).expect("huge-degree spec synthesizes");
+        assert_csr_valid(design.netlist());
+        let nl = design.netlist();
+        for net in nl.nets() {
+            prop_assert!(net.degree() <= max_degree.max(2) + 1);
+        }
+    }
+
+    /// Macro- and fence-heavy floorplans still produce CSR-valid designs.
+    fn macro_and_fence_heavy_specs_synthesize(
+        cells in 100usize..400,
+        seed in 0u64..1_000_000,
+        macros in 5usize..16,
+        fences in 1usize..6,
+    ) {
+        let spec = SynthesisSpec::new("heavy", cells, cells + cells / 8)
+            .with_seed(seed)
+            .with_macro_count(macros)
+            .with_fences(fences);
+        let design = synthesize(&spec).expect("heavy spec synthesizes");
+        design.validate().expect("heavy design validates");
+        assert_csr_valid(design.netlist());
+        prop_assert_eq!(DesignStats::of(&design).num_fixed, macros);
+    }
+
+    /// The structured array/dataflow topologies connect every movable cell
+    /// and keep the CSR invariants at any size.
+    fn structured_topologies_synthesize(
+        cells in 1usize..600,
+        seed in 0u64..1_000_000,
+        which in 0usize..2,
+    ) {
+        let topo = [Topology::SystolicGrid, Topology::FftButterfly][which];
+        let spec = SynthesisSpec::new("arr", cells, cells)
+            .with_seed(seed)
+            .with_topology(topo);
+        let design = synthesize(&spec).expect("structured spec synthesizes");
+        design.validate().expect("structured design validates");
+        assert_csr_valid(design.netlist());
+        let nl = design.netlist();
+        for c in nl.cell_ids() {
+            if nl.cell(c).is_movable() {
+                prop_assert!(!nl.pins_of_cell(c).is_empty(), "unconnected PE");
             }
         }
     }

@@ -76,7 +76,7 @@ impl<'a> DpState<'a> {
         }
         let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
-        for &pid in n.pins() {
+        for pid in n.pins() {
             let pin = nl.pin(pid);
             let p = self.positions[pin.cell.index()] + pin.offset;
             min_x = min_x.min(p.x);
@@ -96,7 +96,7 @@ impl<'a> DpState<'a> {
         let nl = self.design.netlist();
         let mut xs: Vec<f64> = Vec::new();
         for &net in &self.cell_nets[cell.index()] {
-            for &pid in nl.net(net).pins() {
+            for pid in nl.net(net).pins() {
                 let pin = nl.pin(pid);
                 if pin.cell != cell {
                     xs.push(self.positions[pin.cell.index()].x + pin.offset.x);

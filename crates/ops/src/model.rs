@@ -133,23 +133,18 @@ impl PlacementModel {
             h.push(c.height());
         }
 
-        // CSR nets.
-        let mut net_start = Vec::with_capacity(nl.num_nets() + 1);
-        let mut pin_node = Vec::with_capacity(nl.num_pins());
-        let mut pin_dx = Vec::with_capacity(nl.num_pins());
-        let mut pin_dy = Vec::with_capacity(nl.num_pins());
-        let mut net_weight = Vec::with_capacity(nl.num_nets());
-        net_start.push(0u32);
-        for net in nl.nets() {
-            for &pid in net.pins() {
-                let pin = nl.pin(pid);
-                pin_node.push(node_of_cell[pin.cell.index()]);
-                pin_dx.push(pin.offset.x);
-                pin_dy.push(pin.offset.y);
-            }
-            net_start.push(pin_node.len() as u32);
-            net_weight.push(net.weight());
-        }
+        // CSR nets: the netlist is already net-major SoA, so the spans,
+        // offsets and weights copy straight through; only the cell ids are
+        // remapped to the movable-first node order.
+        let net_start: Vec<u32> = nl.net_start().to_vec();
+        let pin_node: Vec<u32> = nl
+            .pin_cells()
+            .iter()
+            .map(|c| node_of_cell[c.index()])
+            .collect();
+        let pin_dx: Vec<f64> = nl.pin_dx().to_vec();
+        let pin_dy: Vec<f64> = nl.pin_dy().to_vec();
+        let net_weight: Vec<f64> = nl.net_weights().to_vec();
 
         // Grid sizing: roughly one bin per few movable cells, power of two.
         let nx = match grid {

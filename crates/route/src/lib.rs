@@ -183,7 +183,7 @@ pub fn estimate_congestion(design: &Design, config: &RouteConfig) -> CongestionM
         }
         let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
-        for &pid in net.pins() {
+        for pid in net.pins() {
             let p = design.pin_position(pid);
             min_x = min_x.min(p.x);
             max_x = max_x.max(p.x);

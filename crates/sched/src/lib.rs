@@ -148,6 +148,7 @@ pub fn run_job_with_sink(
             max_utilization: congestion.max_utilization(),
         }),
         spectral: None,
+        scaling: None,
     };
     Ok(report)
 }

@@ -204,6 +204,8 @@ pub struct ConfigEcho {
     pub seed: u64,
     /// Density-grid override (`None` = auto).
     pub grid: Option<usize>,
+    /// Multilevel (coarsen/uncoarsen) global placement.
+    pub multilevel: bool,
 }
 
 impl ToJson for ConfigEcho {
@@ -219,6 +221,7 @@ impl ToJson for ConfigEcho {
             ("stop_overflow", self.stop_overflow.to_json()),
             ("seed", self.seed.to_json()),
             ("grid", self.grid.to_json()),
+            ("multilevel", self.multilevel.to_json()),
         ])
     }
 }
@@ -236,6 +239,12 @@ impl FromJson for ConfigEcho {
             stop_overflow: f64::from_json(value.field("stop_overflow")?)?,
             seed: u64::from_json(value.field("seed")?)?,
             grid: Option::<usize>::from_json(value.field("grid")?)?,
+            // Absent in traces recorded before multilevel placement
+            // existed; those ran flat.
+            multilevel: match value.get("multilevel") {
+                Some(v) => bool::from_json(v)?,
+                None => false,
+            },
         })
     }
 }
@@ -499,6 +508,7 @@ mod tests {
             stop_overflow: 0.1,
             seed: 0x5eed,
             grid: None,
+            multilevel: false,
         }
     }
 

@@ -5,7 +5,7 @@
 //! quantities hard-fail: there is no run-to-run noise to absorb. Only
 //! wall-clock times are machine-dependent, and those merely warn.
 
-use crate::{RunReport, SpectralMetrics};
+use crate::{RunReport, ScalingMetrics, SpectralMetrics};
 
 /// Relative tolerances, in percent, for the gated quantities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,6 +180,20 @@ pub fn compare_reports(baseline: &RunReport, current: &RunReport, tol: &Toleranc
         (None, None) => {}
     }
 
+    // --- Scaling bench (when the baseline recorded one). ---
+    match (&baseline.scaling, &current.scaling) {
+        (Some(base), Some(cur)) => compare_scaling(base, cur, tol, &mut cmp),
+        (Some(_), None) => cmp.failures.push(
+            "scaling bench missing from current report (baseline has one) — \
+             coverage was lost"
+                .into(),
+        ),
+        (None, Some(_)) => cmp
+            .notes
+            .push("scaling bench added (baseline has none)".into()),
+        (None, None) => {}
+    }
+
     if cmp.passed() {
         cmp.notes.push(format!(
             "HPWL {:.1}, modeled GP {:.3}s, {} launches — within tolerance of baseline",
@@ -252,6 +266,110 @@ pub fn compare_spectral(
                 cur.complex_wall_ns,
                 n = base.n
             ));
+        }
+    }
+}
+
+/// Compares two scaling-bench sections into `cmp`.
+///
+/// The point set — identified by (cells, topology, multilevel) — must
+/// match exactly in order (dropping a size silently would hide a
+/// regression). Per point, the iteration count must match exactly (the
+/// flow is deterministic) and the per-cell modeled cost hard-gates at
+/// `tol.modeled_time_pct`; wall-clock drift warns at `tol.wall_warn_pct`.
+/// Additionally, whenever the current report carries a flat point, every
+/// multilevel point's per-cell cost must stay at or below the *smallest*
+/// flat point's (the anchor) beyond tolerance — small grids are
+/// launch-latency-bound, so per-cell cost can only be amortized by
+/// growing the design; the multilevel phase exists to keep that
+/// amortization alive at the 100k–1M scale, and this pins the claim into
+/// the gate.
+pub fn compare_scaling(
+    baseline: &ScalingMetrics,
+    current: &ScalingMetrics,
+    tol: &Tolerances,
+    cmp: &mut Comparison,
+) {
+    let base_keys: Vec<_> = baseline.points.iter().map(|p| p.key()).collect();
+    let cur_keys: Vec<_> = current.points.iter().map(|p| p.key()).collect();
+    if base_keys != cur_keys {
+        cmp.failures.push(format!(
+            "scaling point set changed: baseline {base_keys:?} vs current {cur_keys:?} \
+             (re-record the baseline if intentional)"
+        ));
+        return;
+    }
+    for (base, cur) in baseline.points.iter().zip(&current.points) {
+        let label = format!(
+            "scaling {}c/{}{}",
+            base.cells,
+            base.topology,
+            if base.multilevel { "/multilevel" } else { "" }
+        );
+        if base.iterations != cur.iterations {
+            cmp.failures.push(format!(
+                "{label} iteration count changed: {} -> {} (the flow is deterministic; \
+                 re-record the baseline if this is intentional)",
+                base.iterations, cur.iterations
+            ));
+            continue;
+        }
+        let per_cell = pct_change(base.ns_per_cell_iter(), cur.ns_per_cell_iter());
+        if per_cell > tol.modeled_time_pct {
+            cmp.failures.push(format!(
+                "{label} per-cell modeled cost regressed {per_cell:+.2}% \
+                 ({:.3} -> {:.3} ns/cell/iter), tolerance {}%",
+                base.ns_per_cell_iter(),
+                cur.ns_per_cell_iter(),
+                tol.modeled_time_pct
+            ));
+        } else if per_cell < -0.01 {
+            cmp.notes.push(format!(
+                "{label} per-cell modeled cost improved {per_cell:+.2}% \
+                 ({:.3} -> {:.3} ns/cell/iter)",
+                base.ns_per_cell_iter(),
+                cur.ns_per_cell_iter()
+            ));
+        }
+        let wall = pct_change(base.wall_seconds, cur.wall_seconds);
+        if wall > tol.wall_warn_pct {
+            cmp.warnings.push(format!(
+                "{label} wall time {wall:+.1}% ({:.2}s -> {:.2}s) — \
+                 machine-dependent, not gated",
+                base.wall_seconds, cur.wall_seconds
+            ));
+        }
+    }
+    // The multilevel-vs-flat-anchor invariant, checked on the current
+    // report: per-cell cost at scale must not exceed the flat baseline.
+    let anchor = current
+        .points
+        .iter()
+        .filter(|p| !p.multilevel)
+        .min_by_key(|p| p.cells);
+    if let Some(anchor) = anchor {
+        for ml in current.points.iter().filter(|p| p.multilevel) {
+            let delta = pct_change(anchor.ns_per_cell_iter(), ml.ns_per_cell_iter());
+            if delta > tol.modeled_time_pct {
+                cmp.failures.push(format!(
+                    "scaling {}c: multilevel per-cell modeled cost exceeds the flat \
+                     {}c anchor {delta:+.2}% ({:.3} vs {:.3} ns/cell/iter), tolerance {}%",
+                    ml.cells,
+                    anchor.cells,
+                    ml.ns_per_cell_iter(),
+                    anchor.ns_per_cell_iter(),
+                    tol.modeled_time_pct
+                ));
+            } else {
+                cmp.notes.push(format!(
+                    "scaling {}c: multilevel per-cell modeled cost {:.3} vs flat {}c \
+                     anchor {:.3} ns/cell/iter ({delta:+.2}%)",
+                    ml.cells,
+                    ml.ns_per_cell_iter(),
+                    anchor.cells,
+                    anchor.ns_per_cell_iter()
+                ));
+            }
         }
     }
 }
@@ -420,6 +538,111 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("spectral grid set changed")));
+    }
+
+    #[test]
+    fn scaling_per_cell_regression_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        let point = &mut cur.scaling.as_mut().unwrap().points[0];
+        point.modeled_ns = (point.modeled_ns as f64 * 1.10) as u64;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.failures
+                .iter()
+                .any(|f| f.contains("scaling 10000c/random per-cell modeled cost regressed")),
+            "{:?}",
+            cmp.failures
+        );
+    }
+
+    #[test]
+    fn scaling_improvement_is_a_note() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        for p in &mut cur.scaling.as_mut().unwrap().points {
+            p.modeled_ns = (p.modeled_ns as f64 * 0.8) as u64;
+        }
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("per-cell modeled cost improved")));
+    }
+
+    #[test]
+    fn scaling_iteration_change_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.scaling.as_mut().unwrap().points[1].iterations += 1;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("scaling 100000c/systolic/multilevel iteration count changed")));
+    }
+
+    #[test]
+    fn scaling_wall_drift_only_warns() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.scaling.as_mut().unwrap().points[0].wall_seconds *= 3.0;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp.warnings.iter().any(|w| w.contains("scaling 10000c")));
+    }
+
+    #[test]
+    fn dropping_the_scaling_section_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.scaling = None;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("scaling bench missing")));
+    }
+
+    #[test]
+    fn changing_the_scaling_point_set_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.scaling.as_mut().unwrap().points.pop();
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("scaling point set changed")));
+    }
+
+    #[test]
+    fn multilevel_costlier_than_flat_fails_even_when_matching_its_baseline() {
+        // The multilevel-vs-flat invariant is an absolute property of the
+        // current report: it must fail even when baseline and current agree.
+        let mut base = sample_report();
+        {
+            let points = &mut base.scaling.as_mut().unwrap().points;
+            // Make the multilevel per-cell cost 2x the flat anchor's in
+            // *both* reports (anchor is 6.0 ns/cell/iter).
+            let ml = &mut points[1];
+            ml.modeled_ns = (ml.cells * ml.iterations) as u64 * 12;
+        }
+        let cur = base.clone();
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.failures
+                .iter()
+                .any(|f| f.contains("multilevel per-cell modeled cost exceeds the flat")),
+            "{:?}",
+            cmp.failures
+        );
     }
 
     #[test]

@@ -119,6 +119,63 @@ impl SpectralMetrics {
     }
 }
 
+/// One design size of the scaling bench: the per-cell modeled cost of a
+/// global-placement run at that scale, flat or multilevel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Movable + fixed cell count of the synthesized design.
+    pub cells: usize,
+    /// Net count of the synthesized design.
+    pub nets: usize,
+    /// Synthesis topology name (`random` / `systolic` / `butterfly`).
+    pub topology: String,
+    /// Whether the run used the multilevel (coarsen/uncoarsen) phase.
+    pub multilevel: bool,
+    /// Total GP iterations (multilevel runs include coarse-level
+    /// iterations) — deterministic.
+    pub iterations: usize,
+    /// Total modeled GPU time (ns) of the run — deterministic.
+    pub modeled_ns: u64,
+    /// Final density overflow — deterministic, informational.
+    pub final_overflow: f64,
+    /// Wall-clock seconds — machine-dependent, warn-only.
+    pub wall_seconds: f64,
+}
+
+impl ScalingPoint {
+    /// Modeled ns per cell per GP iteration — the gated per-cell cost.
+    /// Coarse-level iterations of a multilevel run touch fewer cells and
+    /// are charged against the full cell count, so multilevel runs must
+    /// come out *at or below* the flat path at the same size.
+    pub fn ns_per_cell_iter(&self) -> f64 {
+        let denom = (self.cells * self.iterations.max(1)) as f64;
+        self.modeled_ns as f64 / denom.max(1.0)
+    }
+
+    /// A stable identity for point-set matching across reports.
+    pub fn key(&self) -> (usize, String, bool) {
+        (self.cells, self.topology.clone(), self.multilevel)
+    }
+}
+
+/// The scaling-bench section of a report: one entry per (size, topology,
+/// multilevel) case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingMetrics {
+    /// Per-case measurements, in recorded order.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingMetrics {
+    /// The entry for `cells` with the given multilevel setting, if
+    /// measured (topology-agnostic lookup).
+    pub fn point(&self, cells: usize, multilevel: bool) -> Option<&ScalingPoint> {
+        self.points
+            .iter()
+            .find(|p| p.cells == cells && p.multilevel == multilevel)
+    }
+}
+
 /// The single-JSON report of one full GP → LG → DP run: the artifact
 /// `xplace place --report` and the bench binaries write, and the unit
 /// `scripts/check_regression.sh` compares.
@@ -147,6 +204,9 @@ pub struct RunReport {
     /// Spectral microbench (absent unless the run recorded it). Reports
     /// written before this field existed parse as `None`.
     pub spectral: Option<SpectralMetrics>,
+    /// Scaling bench (absent unless the run recorded it). Reports written
+    /// before this field existed parse as `None`.
+    pub scaling: Option<ScalingMetrics>,
 }
 
 impl RunReport {
@@ -301,6 +361,50 @@ impl FromJson for SpectralMetrics {
     }
 }
 
+impl ToJson for ScalingPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cells", self.cells.to_json()),
+            ("nets", self.nets.to_json()),
+            ("topology", self.topology.to_json()),
+            ("multilevel", self.multilevel.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("modeled_ns", self.modeled_ns.to_json()),
+            ("final_overflow", self.final_overflow.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScalingPoint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ScalingPoint {
+            cells: usize::from_json(value.field("cells")?)?,
+            nets: usize::from_json(value.field("nets")?)?,
+            topology: String::from_json(value.field("topology")?)?,
+            multilevel: bool::from_json(value.field("multilevel")?)?,
+            iterations: usize::from_json(value.field("iterations")?)?,
+            modeled_ns: u64::from_json(value.field("modeled_ns")?)?,
+            final_overflow: f64::from_json(value.field("final_overflow")?)?,
+            wall_seconds: f64::from_json(value.field("wall_seconds")?)?,
+        })
+    }
+}
+
+impl ToJson for ScalingMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([("points", self.points.to_json())])
+    }
+}
+
+impl FromJson for ScalingMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ScalingMetrics {
+            points: Vec::<ScalingPoint>::from_json(value.field("points")?)?,
+        })
+    }
+}
+
 impl ToJson for RunReport {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -314,6 +418,7 @@ impl ToJson for RunReport {
             ("dp", self.dp.to_json()),
             ("route", self.route.to_json()),
             ("spectral", self.spectral.to_json()),
+            ("scaling", self.scaling.to_json()),
         ])
     }
 }
@@ -333,6 +438,11 @@ impl FromJson for RunReport {
             // Tolerant of pre-spectral reports where the key is absent.
             spectral: match value.get("spectral") {
                 Some(v) => Option::<SpectralMetrics>::from_json(v)?,
+                None => None,
+            },
+            // Likewise tolerant of pre-scaling reports.
+            scaling: match value.get("scaling") {
+                Some(v) => Option::<ScalingMetrics>::from_json(v)?,
                 None => None,
             },
         })
@@ -359,6 +469,7 @@ pub(crate) mod tests {
                 stop_overflow: 0.1,
                 seed: 20_220_714,
                 grid: None,
+                multilevel: false,
             },
             threads: 4,
             gp: GpMetrics {
@@ -407,6 +518,30 @@ pub(crate) mod tests {
                         solve_wall_ns: 1_400_000,
                         real_wall_ns: 420_000,
                         complex_wall_ns: 760_000,
+                    },
+                ],
+            }),
+            scaling: Some(ScalingMetrics {
+                points: vec![
+                    ScalingPoint {
+                        cells: 10_000,
+                        nets: 10_500,
+                        topology: "random".into(),
+                        multilevel: false,
+                        iterations: 60,
+                        modeled_ns: 3_600_000,
+                        final_overflow: 0.6,
+                        wall_seconds: 0.8,
+                    },
+                    ScalingPoint {
+                        cells: 100_000,
+                        nets: 105_000,
+                        topology: "systolic".into(),
+                        multilevel: true,
+                        iterations: 340,
+                        modeled_ns: 20_400_000,
+                        final_overflow: 0.5,
+                        wall_seconds: 30.0,
                     },
                 ],
             }),
@@ -466,6 +601,38 @@ pub(crate) mod tests {
         assert_ne!(stripped, text, "fixture must contain the null key");
         let back = RunReport::from_json_str(&stripped).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_a_scaling_key_still_parse() {
+        // Reports written before the scaling section existed have no
+        // "scaling" key at all (not even null) — they must parse as None.
+        let mut report = sample_report();
+        report.scaling = None;
+        let text = report.to_json_string();
+        let stripped = text.replace(",\"scaling\":null", "");
+        assert_ne!(stripped, text, "fixture must contain the null key");
+        let back = RunReport::from_json_str(&stripped).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn scaling_point_lookup_and_per_cell_cost() {
+        let report = sample_report();
+        let scaling = report.scaling.as_ref().unwrap();
+        let flat = scaling.point(10_000, false).unwrap();
+        let ml = scaling.point(100_000, true).unwrap();
+        assert!((flat.ns_per_cell_iter() - 6.0).abs() < 1e-12);
+        assert!((ml.ns_per_cell_iter() - 0.6).abs() < 1e-12);
+        assert!(scaling.point(10_000, true).is_none());
+        assert_ne!(flat.key(), ml.key());
+    }
+
+    #[test]
+    fn scaling_per_cell_cost_survives_zero_iterations() {
+        let mut p = sample_report().scaling.unwrap().points[0].clone();
+        p.iterations = 0;
+        assert!(p.ns_per_cell_iter().is_finite());
     }
 
     #[test]

@@ -119,6 +119,31 @@ if ./target/release/check_regression BENCH_baseline.json "$SMOKE/spectral.json" 
     exit 1
 fi
 
+echo "==> scaling bench gate: smoke point set vs the baseline's scaling section"
+./target/release/scaling_bench --smoke --out "$SMOKE/scaling.json"
+./target/release/check_regression BENCH_baseline.json "$SMOKE/scaling.json"
+echo "==> scaling gate self-test: injected per-cell-cost regression must fail"
+if ./target/release/check_regression BENCH_baseline.json "$SMOKE/scaling.json" \
+    --inject-scaling-pct 10 >/dev/null 2>&1; then
+    echo "FAIL: the scaling gate passed an injected +10% per-cell-cost regression" >&2
+    exit 1
+fi
+
+echo "==> multilevel smoke: 100k-cell place, trace parity across thread counts"
+./target/release/xplace synth ci-ml 100000 --seed 11 --topology systolic \
+    --out "$SMOKE" >/dev/null
+./target/release/xplace place "$SMOKE/ci-ml.aux" --multilevel --coarse-iters 60 \
+    --max-iters 40 --threads 1 -o "$SMOKE/ml1.pl" --trace "$SMOKE/ml1.jsonl" >/dev/null
+./target/release/xplace place "$SMOKE/ci-ml.aux" --multilevel --coarse-iters 60 \
+    --max-iters 40 --threads 4 -o "$SMOKE/ml4.pl" --trace "$SMOKE/ml4.jsonl" >/dev/null
+cmp "$SMOKE/ml1.jsonl" "$SMOKE/ml4.jsonl" \
+    || { echo "FAIL: multilevel traces differ across thread counts" >&2; exit 1; }
+cmp "$SMOKE/ml1.pl" "$SMOKE/ml4.pl" \
+    || { echo "FAIL: multilevel placements differ across thread counts" >&2; exit 1; }
+
+echo "==> coarsening smoke: 1M-cell hierarchy construction completes"
+./target/release/scaling_bench --coarsen-smoke 1000000 --topology systolic
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -240,8 +240,7 @@ fn inflated_design(design: &Design, inflation: &[f64]) -> Result<Design, DbError
     for net in nl.nets() {
         let pins: Vec<(xplace_db::CellId, Point)> = net
             .pins()
-            .iter()
-            .map(|&p| (nl.pin(p).cell, nl.pin(p).offset))
+            .map(|p| (nl.pin(p).cell, nl.pin(p).offset))
             .collect();
         b.add_net_weighted(net.name(), pins, net.weight())?;
     }

@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! xplace place  <design.aux> [-o out.pl] [--density 0.9] [--baseline] [--max-iters N]
-//!               [--trace out.jsonl] [--report out.json]
+//!               [--multilevel] [--coarse-iters N] [--trace out.jsonl] [--report out.json]
 //! xplace batch  <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]
 //! xplace serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
 //!               [--max-inflight-per-client N]
 //! xplace submit <manifest.json> [--addr HOST:PORT] [--client NAME]
 //!               [--trace-dir DIR] [--report out.json]
 //! xplace servectl <stats|shutdown> [--addr HOST:PORT]
-//! xplace synth  <name> <cells> [--out dir] [--seed N] [--macros N]
+//! xplace synth  <name> <cells> [--out dir] [--seed N] [--macros N] [--nets N]
+//!               [--topology random|systolic|butterfly]
 //! xplace stats  <design.aux>
 //! xplace plot   <design.aux> [-o out.svg] [--nets N] [--density D]
 //! ```
@@ -40,7 +41,7 @@ use xplace::cli::{
     parse_serve_args, parse_servectl_args, parse_submit_args, parse_threads, positional, ServeCtl,
 };
 use xplace::core::{GlobalPlacer, XplaceConfig};
-use xplace::db::synthesis::{synthesize, SynthesisSpec};
+use xplace::db::synthesis::{synthesize, SynthesisSpec, Topology};
 use xplace::db::{bookshelf, DesignStats};
 use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
 use xplace::route::{estimate_congestion, RouteConfig};
@@ -51,14 +52,16 @@ use xplace::telemetry::{
 fn usage() -> ! {
     eprintln!(
         "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
-         [--max-iters N] [--seed N] [--threads N] [--trace out.jsonl] [--report out.json]\n  \
+         [--max-iters N] [--seed N] [--threads N] [--multilevel] [--coarse-iters N] \
+         [--trace out.jsonl] [--report out.json]\n  \
          xplace batch <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]\n  \
          xplace serve [--addr HOST:PORT] [--threads N] [--queue-depth N] \
          [--max-inflight-per-client N]\n  \
          xplace submit <manifest.json> [--addr HOST:PORT] [--client NAME] \
          [--trace-dir DIR] [--report out.json]\n  \
          xplace servectl <stats|shutdown> [--addr HOST:PORT]\n  \
-         xplace synth <name> <cells> [--out DIR] [--seed N] [--macros N]\n  xplace stats \
+         xplace synth <name> <cells> [--out DIR] [--seed N] [--macros N] [--nets N] \
+         [--topology random|systolic|butterfly]\n  xplace stats \
          <design.aux> [--density D]\n  xplace plot <design.aux> [-o out.svg] [--nets N] \
          [--density D]"
     );
@@ -103,7 +106,19 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     config.schedule.max_iterations = parse_flag(args, "--max-iters", 1500)?;
     config.seed = parse_flag(args, "--seed", 0x5eed)?;
     config.threads = parse_threads(args, xplace::parallel::available_threads())?;
+    config.multilevel.enabled = has_flag(args, "--multilevel");
+    config.multilevel.coarse_max_iterations = parse_flag(
+        args,
+        "--coarse-iters",
+        config.multilevel.coarse_max_iterations,
+    )?;
     println!("threads: {} (deterministic for any count)", config.threads);
+    if config.multilevel.enabled {
+        println!(
+            "multilevel: enabled (floor {} movable cells, {} coarse iters/level)",
+            config.multilevel.min_cells, config.multilevel.coarse_max_iterations
+        );
+    }
 
     // With --trace, events stream straight to disk as JSON-lines; without
     // it the NullSink keeps the hot loop free of telemetry work.
@@ -176,6 +191,7 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 max_utilization: congestion.max_utilization(),
             }),
             spectral: None,
+            scaling: None,
         };
         std::fs::write(p, report.to_json_string())?;
         println!("report written to {}", p.display());
@@ -348,9 +364,16 @@ fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| PathBuf::from("."));
     let seed: u64 = parse_flag(args, "--seed", 1)?;
     let macros: usize = parse_flag(args, "--macros", 0)?;
-    let spec = SynthesisSpec::new(name.clone(), cells, cells + cells / 20)
+    let nets: usize = parse_flag(args, "--nets", cells + cells / 20)?;
+    let topology = match flag_value(args, "--topology")? {
+        None => Topology::Random,
+        Some(name) => Topology::parse(&name)
+            .ok_or_else(|| format!("unknown topology '{name}' (random|systolic|butterfly)"))?,
+    };
+    let spec = SynthesisSpec::new(name.clone(), cells, nets)
         .with_seed(seed)
-        .with_macro_count(macros);
+        .with_macro_count(macros)
+        .with_topology(topology);
     let design = synthesize(&spec)?;
     println!("generated {}", DesignStats::of(&design));
     let aux = bookshelf::write_design(&design, &out)?;

@@ -119,6 +119,7 @@ fn run_report_round_trips_through_testkit_json() {
         }),
         route: None,
         spectral: None,
+        scaling: None,
     };
 
     let text = report.to_json_string();
@@ -148,6 +149,7 @@ fn comparator_passes_identical_runs_and_fails_injected_regressions() {
             dp: None,
             route: None,
             spectral: None,
+            scaling: None,
         }
     };
     let baseline = run();
