@@ -106,6 +106,7 @@ pub fn report_from_flow(config: &XplaceConfig, flow: &FlowResult) -> RunReport {
         }),
         spectral: None,
         scaling: None,
+        trace_error: None,
     }
 }
 

@@ -1,0 +1,688 @@
+//! GP checkpoint/resume: a complete, JSON-serialized snapshot of the
+//! Nesterov loop state, taken every C iterations, from which a killed
+//! run restarts and replays a **byte-identical trace suffix** and final
+//! placement versus the uninterrupted run — at any `--threads`.
+//!
+//! The snapshot captures everything the loop carries across iterations:
+//! the reference solution held in the model (`x`/`y`, fillers included),
+//! the optimizer's main solution / BB history / momentum scalars, the
+//! scheduler parameters (γ, λ and their private update bookkeeping), ω,
+//! the best-overflow rollback snapshot, the telemetry edge-trigger state
+//! (current stage, skip-window flag), the previous evaluation, the
+//! engine's skip-window bookkeeping **including the cached electrostatic
+//! field** (skipped iterations serve gradients from it), and the modeled
+//! device profile accumulated so far (so `RunEnd` totals match).
+//!
+//! Saving emits no telemetry and reads no clocks, so a checkpointing
+//! run's trace is byte-identical to a non-checkpointing run's.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::EngineState;
+use crate::optimizer::OptimizerState;
+use crate::params::ParamState;
+use crate::{EvalResult, PlaceError, XplaceConfig};
+use xplace_db::Design;
+use xplace_device::ProfileSnapshot;
+use xplace_telemetry::{ConfigEcho, FromJson, Json, JsonError, Stage, ToJson};
+
+/// Format tag embedded in every checkpoint payload.
+const FORMAT: &str = "xplace-checkpoint";
+/// Payload version; bumped on any layout change.
+const VERSION: usize = 1;
+
+/// A complete snapshot of the GP loop at the top of one iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Design name (resume validates it).
+    pub design: String,
+    /// Total cell count of the design.
+    pub cells: usize,
+    /// Movable cell count.
+    pub movable: usize,
+    /// Configuration echo of the run that saved the checkpoint; resume
+    /// refuses a mismatched configuration (the trace suffix could not be
+    /// byte-identical).
+    pub config: ConfigEcho,
+    /// The iteration the snapshot was taken at (the resume point).
+    pub iteration: usize,
+    /// Model x positions over all nodes (cells + fillers) — the Nesterov
+    /// reference solution `v`.
+    pub x: Vec<f64>,
+    /// Model y positions.
+    pub y: Vec<f64>,
+    /// Scheduler parameters (γ, λ, update bookkeeping).
+    pub params: ParamState,
+    /// Precondition weighted ratio ω after the previous step.
+    pub omega: f64,
+    /// Optimizer state; `None` if the first step had not happened yet.
+    pub optimizer: Option<OptimizerState>,
+    /// HPWL at iteration 0.
+    pub initial_hpwl: f64,
+    /// Overflow at iteration 0.
+    pub initial_overflow: f64,
+    /// Best overflow seen so far (`INFINITY` encodes as `null`).
+    pub best_overflow: f64,
+    /// Iteration of the best overflow.
+    pub best_iter: usize,
+    /// Best-solution snapshot (`u` over optimizable nodes).
+    pub best_u: Option<(Vec<f64>, Vec<f64>)>,
+    /// Telemetry edge-trigger: current ω stage.
+    pub stage: Stage,
+    /// Telemetry edge-trigger: whether the skip window was open.
+    pub skip_window_open: bool,
+    /// Result of the previous iteration's evaluation.
+    pub last_eval: Option<EvalResult>,
+    /// Engine cross-iteration state (skip bookkeeping + cached field).
+    pub engine: EngineState,
+    /// Modeled device profile accumulated up to the snapshot.
+    pub profile: ProfileSnapshot,
+}
+
+fn stage_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Early => "early",
+        Stage::Intermediate => "intermediate",
+        Stage::Final => "final",
+    }
+}
+
+fn stage_from(name: &str) -> Result<Stage, JsonError> {
+    match name {
+        "early" => Ok(Stage::Early),
+        "intermediate" => Ok(Stage::Intermediate),
+        "final" => Ok(Stage::Final),
+        other => Err(JsonError(format!("unknown stage `{other}`"))),
+    }
+}
+
+/// Decodes a float that may have been `INFINITY` at save time (JSON has
+/// no Infinity; the encoder renders it as `null`).
+fn f64_or_inf(value: &Json) -> Result<f64, JsonError> {
+    match value {
+        Json::Null => Ok(f64::INFINITY),
+        other => other.as_f64(),
+    }
+}
+
+fn eval_to_json(eval: &EvalResult) -> Json {
+    Json::obj([
+        ("wa", Json::num(eval.wa)),
+        ("hpwl", Json::num(eval.hpwl)),
+        ("overflow", Json::num(eval.overflow)),
+        ("wl_grad_l1", Json::num(eval.wl_grad_l1)),
+        ("density_grad_l1", Json::num(eval.density_grad_l1)),
+        ("r_ratio", Json::num(eval.r_ratio)),
+        ("density_skipped", Json::Bool(eval.density_skipped)),
+        ("skip_window", Json::Bool(eval.skip_window)),
+        ("energy", Json::num(eval.energy)),
+    ])
+}
+
+fn eval_from_json(value: &Json) -> Result<EvalResult, JsonError> {
+    Ok(EvalResult {
+        wa: value.field("wa")?.as_f64()?,
+        hpwl: value.field("hpwl")?.as_f64()?,
+        overflow: value.field("overflow")?.as_f64()?,
+        wl_grad_l1: value.field("wl_grad_l1")?.as_f64()?,
+        density_grad_l1: value.field("density_grad_l1")?.as_f64()?,
+        r_ratio: value.field("r_ratio")?.as_f64()?,
+        density_skipped: value.field("density_skipped")?.as_bool()?,
+        skip_window: value.field("skip_window")?.as_bool()?,
+        energy: value.field("energy")?.as_f64()?,
+    })
+}
+
+fn params_to_json(p: &ParamState) -> Json {
+    Json::obj([
+        ("gamma", Json::num(p.gamma)),
+        ("lambda", Json::num(p.lambda)),
+        ("iteration", Json::num(p.iteration as f64)),
+        ("last_hpwl", Json::num(p.last_hpwl)),
+        ("last_overflow", Json::num(p.last_overflow)),
+        ("lambda_initialized", Json::Bool(p.lambda_initialized)),
+    ])
+}
+
+fn params_from_json(value: &Json) -> Result<ParamState, JsonError> {
+    Ok(ParamState {
+        gamma: value.field("gamma")?.as_f64()?,
+        lambda: value.field("lambda")?.as_f64()?,
+        iteration: value.field("iteration")?.as_usize()?,
+        last_hpwl: f64_or_inf(value.field("last_hpwl")?)?,
+        last_overflow: f64_or_inf(value.field("last_overflow")?)?,
+        lambda_initialized: value.field("lambda_initialized")?.as_bool()?,
+    })
+}
+
+fn optimizer_to_json(o: &OptimizerState) -> Json {
+    Json::obj([
+        ("u_x", o.u_x.to_json()),
+        ("u_y", o.u_y.to_json()),
+        ("prev_v_x", o.prev_v_x.to_json()),
+        ("prev_v_y", o.prev_v_y.to_json()),
+        ("prev_g_x", o.prev_g_x.to_json()),
+        ("prev_g_y", o.prev_g_y.to_json()),
+        ("a", Json::num(o.a)),
+        ("have_prev", Json::Bool(o.have_prev)),
+        ("initial_step", Json::num(o.initial_step)),
+        ("max_disp", Json::num(o.max_disp)),
+        ("last_step", Json::num(o.last_step)),
+    ])
+}
+
+fn optimizer_from_json(value: &Json) -> Result<OptimizerState, JsonError> {
+    Ok(OptimizerState {
+        u_x: Vec::<f64>::from_json(value.field("u_x")?)?,
+        u_y: Vec::<f64>::from_json(value.field("u_y")?)?,
+        prev_v_x: Vec::<f64>::from_json(value.field("prev_v_x")?)?,
+        prev_v_y: Vec::<f64>::from_json(value.field("prev_v_y")?)?,
+        prev_g_x: Vec::<f64>::from_json(value.field("prev_g_x")?)?,
+        prev_g_y: Vec::<f64>::from_json(value.field("prev_g_y")?)?,
+        a: value.field("a")?.as_f64()?,
+        have_prev: value.field("have_prev")?.as_bool()?,
+        initial_step: value.field("initial_step")?.as_f64()?,
+        max_disp: value.field("max_disp")?.as_f64()?,
+        last_step: value.field("last_step")?.as_f64()?,
+    })
+}
+
+fn engine_to_json(e: &EngineState) -> Json {
+    Json::obj([
+        ("last_r", Json::num(e.last_r)),
+        ("field_age", Json::num(e.field_age as f64)),
+        ("has_field", Json::Bool(e.has_field)),
+        ("cached_overflow", Json::num(e.cached_overflow)),
+        ("cached_energy", Json::num(e.cached_energy)),
+        ("field_x", e.field_x.to_json()),
+        ("field_y", e.field_y.to_json()),
+    ])
+}
+
+fn engine_from_json(value: &Json) -> Result<EngineState, JsonError> {
+    Ok(EngineState {
+        last_r: value.field("last_r")?.as_f64()?,
+        field_age: value.field("field_age")?.as_usize()?,
+        has_field: value.field("has_field")?.as_bool()?,
+        cached_overflow: value.field("cached_overflow")?.as_f64()?,
+        cached_energy: value.field("cached_energy")?.as_f64()?,
+        field_x: Vec::<f64>::from_json(value.field("field_x")?)?,
+        field_y: Vec::<f64>::from_json(value.field("field_y")?)?,
+    })
+}
+
+fn profile_to_json(p: &ProfileSnapshot) -> Json {
+    Json::obj([
+        ("launches", p.launches.to_json()),
+        ("syncs", p.syncs.to_json()),
+        ("launch_overhead_ns", p.launch_overhead_ns.to_json()),
+        ("exec_ns", p.exec_ns.to_json()),
+        ("pipelined_ns", p.pipelined_ns.to_json()),
+        ("sync_stall_ns", p.sync_stall_ns.to_json()),
+        ("cpu_ns", p.cpu_ns.to_json()),
+    ])
+}
+
+fn profile_from_json(value: &Json) -> Result<ProfileSnapshot, JsonError> {
+    Ok(ProfileSnapshot {
+        launches: value.field("launches")?.as_u64()?,
+        syncs: value.field("syncs")?.as_u64()?,
+        launch_overhead_ns: value.field("launch_overhead_ns")?.as_u64()?,
+        exec_ns: value.field("exec_ns")?.as_u64()?,
+        pipelined_ns: value.field("pipelined_ns")?.as_u64()?,
+        sync_stall_ns: value.field("sync_stall_ns")?.as_u64()?,
+        cpu_ns: value.field("cpu_ns")?.as_u64()?,
+    })
+}
+
+impl ToJson for Checkpoint {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("format", Json::str(FORMAT)),
+            ("version", Json::num(VERSION as f64)),
+            ("design", Json::str(&self.design)),
+            ("cells", Json::num(self.cells as f64)),
+            ("movable", Json::num(self.movable as f64)),
+            ("config", self.config.to_json()),
+            ("iteration", Json::num(self.iteration as f64)),
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+            ("params", params_to_json(&self.params)),
+            ("omega", Json::num(self.omega)),
+            (
+                "optimizer",
+                match &self.optimizer {
+                    Some(o) => optimizer_to_json(o),
+                    None => Json::Null,
+                },
+            ),
+            ("initial_hpwl", Json::num(self.initial_hpwl)),
+            ("initial_overflow", Json::num(self.initial_overflow)),
+            ("best_overflow", Json::num(self.best_overflow)),
+            ("best_iter", Json::num(self.best_iter as f64)),
+            ("stage", Json::str(stage_name(self.stage))),
+            ("skip_window_open", Json::Bool(self.skip_window_open)),
+            (
+                "last_eval",
+                match &self.last_eval {
+                    Some(e) => eval_to_json(e),
+                    None => Json::Null,
+                },
+            ),
+            ("engine", engine_to_json(&self.engine)),
+            ("profile", profile_to_json(&self.profile)),
+        ];
+        if let Some((ux, uy)) = &self.best_u {
+            pairs.push(("best_u_x", ux.to_json()));
+            pairs.push(("best_u_y", uy.to_json()));
+        }
+        Json::obj(pairs)
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let format = value.field("format")?.as_str()?;
+        if format != FORMAT {
+            return Err(JsonError(format!("not a checkpoint (format `{format}`)")));
+        }
+        let version = value.field("version")?.as_usize()?;
+        if version != VERSION {
+            return Err(JsonError(format!(
+                "unsupported checkpoint version {version} (this build reads {VERSION})"
+            )));
+        }
+        let best_u = match (value.get("best_u_x"), value.get("best_u_y")) {
+            (Some(ux), Some(uy)) => Some((Vec::<f64>::from_json(ux)?, Vec::<f64>::from_json(uy)?)),
+            (None, None) => None,
+            _ => {
+                return Err(JsonError(
+                    "checkpoint has only one of best_u_x/best_u_y".to_string(),
+                ))
+            }
+        };
+        Ok(Checkpoint {
+            design: value.field("design")?.as_str()?.to_string(),
+            cells: value.field("cells")?.as_usize()?,
+            movable: value.field("movable")?.as_usize()?,
+            config: ConfigEcho::from_json(value.field("config")?)?,
+            iteration: value.field("iteration")?.as_usize()?,
+            x: Vec::<f64>::from_json(value.field("x")?)?,
+            y: Vec::<f64>::from_json(value.field("y")?)?,
+            params: params_from_json(value.field("params")?)?,
+            omega: value.field("omega")?.as_f64()?,
+            optimizer: match value.field("optimizer")? {
+                Json::Null => None,
+                other => Some(optimizer_from_json(other)?),
+            },
+            initial_hpwl: value.field("initial_hpwl")?.as_f64()?,
+            initial_overflow: value.field("initial_overflow")?.as_f64()?,
+            best_overflow: f64_or_inf(value.field("best_overflow")?)?,
+            best_iter: value.field("best_iter")?.as_usize()?,
+            best_u,
+            stage: stage_from(value.field("stage")?.as_str()?)?,
+            skip_window_open: value.field("skip_window_open")?.as_bool()?,
+            last_eval: match value.field("last_eval")? {
+                Json::Null => None,
+                other => Some(eval_from_json(other)?),
+            },
+            engine: engine_from_json(value.field("engine")?)?,
+            profile: profile_from_json(value.field("profile")?)?,
+        })
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to its JSON payload.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a checkpoint payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::Checkpoint`] for malformed JSON, a wrong
+    /// format tag, or an unsupported version.
+    pub fn parse(text: &str) -> Result<Checkpoint, PlaceError> {
+        let value = Json::parse(text).map_err(|e| PlaceError::Checkpoint(format!("parse: {e}")))?;
+        Checkpoint::from_json(&value).map_err(|e| PlaceError::Checkpoint(e.to_string()))
+    }
+
+    /// Reads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::Checkpoint`] for I/O failures and malformed
+    /// payloads.
+    pub fn load(path: &Path) -> Result<Checkpoint, PlaceError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PlaceError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        Checkpoint::parse(&text)
+    }
+
+    /// Validates that this checkpoint belongs to `design` placed under
+    /// `config`. Resume refuses mismatches: a different design or
+    /// configuration could not replay a byte-identical trace suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::Checkpoint`] naming the first mismatch.
+    pub fn validate(&self, design: &Design, config: &XplaceConfig) -> Result<(), PlaceError> {
+        if self.design != design.name() {
+            return Err(PlaceError::Checkpoint(format!(
+                "checkpoint is for design `{}`, run is `{}`",
+                self.design,
+                design.name()
+            )));
+        }
+        let nl = design.netlist();
+        if self.cells != nl.num_cells() || self.movable != nl.num_movable() {
+            return Err(PlaceError::Checkpoint(format!(
+                "checkpoint design shape {}/{} cells does not match {}/{}",
+                self.cells,
+                self.movable,
+                nl.num_cells(),
+                nl.num_movable()
+            )));
+        }
+        let current = config.echo().to_json().render();
+        let saved = self.config.to_json().render();
+        if current != saved {
+            return Err(PlaceError::Checkpoint(
+                "checkpoint configuration does not match the run configuration".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Where checkpoints go. Implementations take `&self` (interior
+/// mutability) so a store can outlive a panicking placement attempt and
+/// hand the latest snapshot to a retry.
+pub trait CheckpointStore {
+    /// Persists the payload snapshotted at `iteration`. Implementations
+    /// replace any previous snapshot (only the latest is ever resumed).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors propagate; the placer surfaces them as
+    /// [`PlaceError::Checkpoint`] and fails the run rather than silently
+    /// continuing without durability.
+    fn save(&self, iteration: usize, payload: &str) -> io::Result<()>;
+}
+
+/// A checkpoint store writing each snapshot to one file, atomically
+/// (write to `<path>.tmp`, then rename): a crash mid-save leaves the
+/// previous snapshot intact.
+#[derive(Debug)]
+pub struct FileCheckpointStore {
+    path: PathBuf,
+    saves: AtomicUsize,
+}
+
+impl FileCheckpointStore {
+    /// A store writing to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> FileCheckpointStore {
+        FileCheckpointStore {
+            path: path.into(),
+            saves: AtomicUsize::new(0),
+        }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of snapshots saved.
+    pub fn saves(&self) -> usize {
+        self.saves.load(Ordering::Relaxed)
+    }
+}
+
+impl CheckpointStore for FileCheckpointStore {
+    fn save(&self, _iteration: usize, payload: &str) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// An in-memory checkpoint store keeping the latest snapshot — the
+/// scheduler's retry loop resumes crashed attempts from it.
+#[derive(Debug, Default)]
+pub struct MemoryCheckpointStore {
+    latest: Mutex<Option<(usize, String)>>,
+    saves: AtomicUsize,
+}
+
+impl MemoryCheckpointStore {
+    /// An empty store.
+    pub fn new() -> MemoryCheckpointStore {
+        MemoryCheckpointStore::default()
+    }
+
+    /// The latest snapshot, parsed, if any was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::Checkpoint`] if the stored payload does not
+    /// parse (cannot happen for payloads the placer saved).
+    pub fn latest(&self) -> Result<Option<(usize, Checkpoint)>, PlaceError> {
+        let guard = self.latest.lock().unwrap();
+        match guard.as_ref() {
+            Some((iter, payload)) => Ok(Some((*iter, Checkpoint::parse(payload)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of snapshots saved.
+    pub fn saves(&self) -> usize {
+        self.saves.load(Ordering::Relaxed)
+    }
+}
+
+impl CheckpointStore for MemoryCheckpointStore {
+    fn save(&self, iteration: usize, payload: &str) -> io::Result<()> {
+        *self.latest.lock().unwrap() = Some((iteration, payload.to_string()));
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Per-call checkpointing options for
+/// [`crate::GlobalPlacer::place_traced_opts`].
+#[derive(Clone, Copy, Default)]
+#[allow(missing_debug_implementations)] // `&dyn CheckpointStore` is not Debug
+pub struct CheckpointOptions<'a> {
+    /// Snapshot cadence in iterations; `0` disables saving.
+    pub every: usize,
+    /// Where snapshots go (required when `every > 0`).
+    pub store: Option<&'a dyn CheckpointStore>,
+    /// Resume point: restart the loop from this snapshot instead of
+    /// iteration 0.
+    pub resume: Option<&'a Checkpoint>,
+}
+
+impl<'a> CheckpointOptions<'a> {
+    /// No checkpointing, no resume (the plain placement path).
+    pub fn none() -> CheckpointOptions<'static> {
+        CheckpointOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_checkpoint() -> Checkpoint {
+        Checkpoint {
+            design: "d".to_string(),
+            cells: 4,
+            movable: 3,
+            config: XplaceConfig::xplace().echo(),
+            iteration: 7,
+            x: vec![1.0, 2.5, -0.125, 9.0],
+            y: vec![0.0, 4.0, 8.0, -1.5],
+            params: ParamState {
+                gamma: 3.5,
+                lambda: 1e-4,
+                iteration: 7,
+                last_hpwl: f64::INFINITY,
+                last_overflow: 0.8,
+                lambda_initialized: true,
+            },
+            omega: 0.25,
+            optimizer: Some(OptimizerState {
+                u_x: vec![1.0, 2.0],
+                u_y: vec![3.0, 4.0],
+                prev_v_x: vec![0.5, 0.5],
+                prev_v_y: vec![0.25, 0.25],
+                prev_g_x: vec![0.0, -1.0],
+                prev_g_y: vec![1.0, 0.0],
+                a: 1.5,
+                have_prev: true,
+                initial_step: 0.1,
+                max_disp: 10.0,
+                last_step: 0.2,
+            }),
+            initial_hpwl: 100.0,
+            initial_overflow: 0.9,
+            best_overflow: f64::INFINITY,
+            best_iter: 0,
+            best_u: Some((vec![1.0], vec![2.0])),
+            stage: Stage::Intermediate,
+            skip_window_open: true,
+            last_eval: Some(EvalResult {
+                wa: 1.0,
+                hpwl: 2.0,
+                overflow: 0.5,
+                wl_grad_l1: 3.0,
+                density_grad_l1: 4.0,
+                r_ratio: 0.001,
+                density_skipped: true,
+                skip_window: true,
+                energy: 5.0,
+            }),
+            engine: EngineState {
+                last_r: 0.001,
+                field_age: 3,
+                has_field: true,
+                cached_overflow: 0.5,
+                cached_energy: 5.0,
+                field_x: vec![0.125; 4],
+                field_y: vec![-0.25; 4],
+            },
+            profile: ProfileSnapshot {
+                launches: 10,
+                syncs: 2,
+                launch_overhead_ns: 100,
+                exec_ns: 200,
+                pipelined_ns: 300,
+                sync_stall_ns: 400,
+                cpu_ns: 500,
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let cp = tiny_checkpoint();
+        let text = cp.render();
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(cp, back);
+        // Infinity survives the null encoding.
+        assert!(back.best_overflow.is_infinite());
+        assert!(back.params.last_hpwl.is_infinite());
+        // Floats are bit-exact (testkit renders shortest round-trip).
+        assert_eq!(cp.x[2].to_bits(), back.x[2].to_bits());
+        // Idempotent re-render.
+        assert_eq!(text, back.render());
+    }
+
+    #[test]
+    fn parse_rejects_foreign_payloads() {
+        assert!(matches!(
+            Checkpoint::parse("{}"),
+            Err(PlaceError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            Checkpoint::parse("not json"),
+            Err(PlaceError::Checkpoint(_))
+        ));
+        let mut wrong_version = tiny_checkpoint().to_json();
+        if let Json::Obj(pairs) = &mut wrong_version {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = Json::num(99.0);
+                }
+            }
+        }
+        assert!(Checkpoint::parse(&wrong_version.render()).is_err());
+    }
+
+    #[test]
+    fn memory_store_keeps_only_the_latest() {
+        let store = MemoryCheckpointStore::new();
+        assert!(store.latest().unwrap().is_none());
+        let cp = tiny_checkpoint();
+        store.save(7, &cp.render()).unwrap();
+        let mut later = cp.clone();
+        later.iteration = 14;
+        store.save(14, &later.render()).unwrap();
+        let (iter, loaded) = store.latest().unwrap().unwrap();
+        assert_eq!(iter, 14);
+        assert_eq!(loaded, later);
+        assert_eq!(store.saves(), 2);
+    }
+
+    #[test]
+    fn file_store_round_trips_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("xplace-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let store = FileCheckpointStore::new(&path);
+        let cp = tiny_checkpoint();
+        store.save(7, &cp.render()).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, cp);
+        let mut later = cp.clone();
+        later.iteration = 21;
+        store.save(21, &later.render()).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().iteration, 21);
+        assert_eq!(store.saves(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_catches_mismatches() {
+        use xplace_db::synthesis::{synthesize, SynthesisSpec};
+        let design = synthesize(&SynthesisSpec::new("d", 40, 45).with_seed(1)).unwrap();
+        let cfg = XplaceConfig::xplace();
+        let mut cp = tiny_checkpoint();
+        cp.design = design.name().to_string();
+        cp.cells = design.netlist().num_cells();
+        cp.movable = design.netlist().num_movable();
+        cp.config = cfg.echo();
+        assert!(cp.validate(&design, &cfg).is_ok());
+
+        let mut wrong = cp.clone();
+        wrong.design = "other".to_string();
+        assert!(wrong.validate(&design, &cfg).is_err());
+        let mut wrong = cp.clone();
+        wrong.cells += 1;
+        assert!(wrong.validate(&design, &cfg).is_err());
+        let other_cfg = XplaceConfig::xplace().with_seed(999);
+        assert!(cp.validate(&design, &other_cfg).is_err());
+    }
+}

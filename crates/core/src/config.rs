@@ -1,4 +1,5 @@
 use xplace_device::DeviceConfig;
+use xplace_fault::GpFault;
 
 /// Which operator stream the engine emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,13 +174,14 @@ pub struct XplaceConfig {
     pub threads: usize,
     /// Multilevel coarsen/uncoarsen controls.
     pub multilevel: MultilevelConfig,
-    /// Test-only fault hook: panic at the start of this GP iteration.
+    /// Injected fault resolved from a [`xplace_fault::FaultPlan`] for the
+    /// current job attempt (the scheduler fills this in; standalone runs
+    /// leave it at [`GpFault::NONE`]).
     ///
-    /// Used by failure-isolation tests to simulate a design that crashes
-    /// mid-placement. Deliberately **excluded** from [`Self::echo`]: it is
-    /// not a placement parameter, and a faulted run's trace prefix must stay
+    /// Deliberately **excluded** from [`Self::echo`]: it is not a
+    /// placement parameter, and a faulted run's trace prefix must stay
     /// byte-identical to the healthy run's.
-    pub fail_at_iteration: Option<usize>,
+    pub fault: GpFault,
 }
 
 impl XplaceConfig {
@@ -196,7 +198,7 @@ impl XplaceConfig {
             record: true,
             threads: 1,
             multilevel: MultilevelConfig::default(),
-            fail_at_iteration: None,
+            fault: GpFault::NONE,
         }
     }
 
@@ -378,10 +380,10 @@ mod tests {
         // A faulted run's trace prefix must stay byte-identical to the
         // healthy run's, so the hook must not leak into the echo.
         let healthy = XplaceConfig::xplace();
-        assert_eq!(healthy.fail_at_iteration, None);
+        assert_eq!(healthy.fault, GpFault::NONE);
         use xplace_telemetry::ToJson;
         let mut faulted = healthy.clone();
-        faulted.fail_at_iteration = Some(3);
+        faulted.fault.panic_at = Some(3);
         assert_eq!(
             healthy.echo().to_json_string(),
             faulted.echo().to_json_string()

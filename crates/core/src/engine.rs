@@ -85,6 +85,27 @@ impl std::fmt::Debug for GradientEngine {
     }
 }
 
+/// A plain-data snapshot of the engine's cross-iteration state used by
+/// GP checkpoints: skip-window bookkeeping plus the cached electrostatic
+/// field it serves gradients from on skipped iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Skip ratio `r` of the previous evaluation.
+    pub last_r: f64,
+    /// Iterations the cached field has served.
+    pub field_age: usize,
+    /// Whether a cached field exists.
+    pub has_field: bool,
+    /// Overflow ratio of the last fresh density evaluation.
+    pub cached_overflow: f64,
+    /// Electrostatic energy of the last solve.
+    pub cached_energy: f64,
+    /// Cached field x-component, row-major over the density grid.
+    pub field_x: Vec<f64>,
+    /// Cached field y-component.
+    pub field_y: Vec<f64>,
+}
+
 /// How many iterations a cached field may serve under operator skipping.
 const SKIP_PERIOD: usize = 20;
 /// Operator skipping only applies below this iteration (§3.1.4).
@@ -160,6 +181,41 @@ impl GradientEngine {
     /// The density operator (for inspection in tests and tools).
     pub fn density_op(&self) -> &DensityOp {
         &self.density
+    }
+
+    /// Snapshots the cross-iteration engine state for checkpointing: the
+    /// §3.1.4 skip-window bookkeeping plus the cached field it serves
+    /// gradients from. Resuming inside a skip window must replay the same
+    /// cached field the interrupted run held, or the resumed trace would
+    /// diverge from the uninterrupted one.
+    pub fn state(&self) -> EngineState {
+        let field = self.density.field();
+        EngineState {
+            last_r: self.last_r,
+            field_age: self.field_age,
+            has_field: self.has_field,
+            cached_overflow: self.cached_overflow,
+            cached_energy: self.cached_energy,
+            field_x: field.field_x.as_slice().to_vec(),
+            field_y: field.field_y.as_slice().to_vec(),
+        }
+    }
+
+    /// Restores the cross-iteration state captured by [`Self::state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlaceError::Ops`] if the field snapshot does not
+    /// match this engine's density grid.
+    pub fn restore_state(&mut self, state: &EngineState) -> Result<(), PlaceError> {
+        self.density
+            .restore_field(&state.field_x, &state.field_y, state.cached_energy)?;
+        self.last_r = state.last_r;
+        self.field_age = state.field_age;
+        self.has_field = state.has_field;
+        self.cached_overflow = state.cached_overflow;
+        self.cached_energy = state.cached_energy;
+        Ok(())
     }
 
     fn effective_ops(&self) -> OperatorConfig {

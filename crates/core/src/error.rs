@@ -18,6 +18,9 @@ pub enum PlaceError {
     InvalidConfig(String),
     /// Multilevel coarsening could not build or assemble a level.
     Coarsening(String),
+    /// A checkpoint could not be saved, parsed, or applied to this run
+    /// (corrupt payload, mismatched design, or storage I/O failure).
+    Checkpoint(String),
 }
 
 impl fmt::Display for PlaceError {
@@ -29,6 +32,7 @@ impl fmt::Display for PlaceError {
             }
             PlaceError::InvalidConfig(msg) => write!(f, "invalid placer configuration: {msg}"),
             PlaceError::Coarsening(msg) => write!(f, "multilevel coarsening failure: {msg}"),
+            PlaceError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod config;
 mod engine;
 mod error;
@@ -54,12 +55,15 @@ mod optimizer;
 mod params;
 mod placer;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointOptions, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
+};
 pub use config::{Framework, MultilevelConfig, OperatorConfig, ScheduleConfig, XplaceConfig};
-pub use engine::{seed_from_coarse, EvalResult, GradientEngine};
+pub use engine::{seed_from_coarse, EngineState, EvalResult, GradientEngine};
 pub use error::PlaceError;
 pub use guidance::{sigma_blend, DensityGuidance};
-pub use optimizer::NesterovOptimizer;
-pub use params::Parameters;
+pub use optimizer::{NesterovOptimizer, OptimizerState};
+pub use params::{ParamState, Parameters};
 pub use placer::{GlobalPlacer, PlacementReport};
 // The recorder block and its record type live in `xplace-telemetry` since
 // the telemetry subsystem landed; re-exported here so `xplace_core`

@@ -177,6 +177,66 @@ impl NesterovOptimizer {
         self.u_y.copy_from_slice(uy);
     }
 
+    /// Snapshots the full optimizer state for checkpointing. The gather
+    /// index list is *not* included: it is a pure function of the model
+    /// and is rebuilt on restore.
+    pub fn state(&self) -> OptimizerState {
+        OptimizerState {
+            u_x: self.u_x.clone(),
+            u_y: self.u_y.clone(),
+            prev_v_x: self.prev_v_x.clone(),
+            prev_v_y: self.prev_v_y.clone(),
+            prev_g_x: self.prev_g_x.clone(),
+            prev_g_y: self.prev_g_y.clone(),
+            a: self.a,
+            have_prev: self.have_prev,
+            initial_step: self.initial_step,
+            max_disp: self.max_disp,
+            last_step: self.last_step,
+        }
+    }
+
+    /// Rebuilds an optimizer from a checkpointed [`OptimizerState`],
+    /// regathering the index list from `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the snapshot's vector lengths do not match
+    /// the model's optimizable-node count.
+    pub fn from_state(model: &PlacementModel, state: OptimizerState) -> Result<Self, String> {
+        let idx: Vec<u32> = model.optimizable_indices().map(|i| i as u32).collect();
+        let n = idx.len();
+        for (name, v) in [
+            ("u_x", &state.u_x),
+            ("u_y", &state.u_y),
+            ("prev_v_x", &state.prev_v_x),
+            ("prev_v_y", &state.prev_v_y),
+            ("prev_g_x", &state.prev_g_x),
+            ("prev_g_y", &state.prev_g_y),
+        ] {
+            if v.len() != n {
+                return Err(format!(
+                    "optimizer snapshot {name} has {} entries, model has {n} optimizable nodes",
+                    v.len()
+                ));
+            }
+        }
+        Ok(NesterovOptimizer {
+            idx,
+            u_x: state.u_x,
+            u_y: state.u_y,
+            prev_v_x: state.prev_v_x,
+            prev_v_y: state.prev_v_y,
+            prev_g_x: state.prev_g_x,
+            prev_g_y: state.prev_g_y,
+            a: state.a,
+            have_prev: state.have_prev,
+            initial_step: state.initial_step,
+            max_disp: state.max_disp,
+            last_step: state.last_step,
+        })
+    }
+
     /// Copies the main solution `u` (not the lookahead `v`) into the
     /// model — call once after the final iteration so the reported
     /// placement is the converged solution.
@@ -188,6 +248,35 @@ impl NesterovOptimizer {
         }
         model.clamp_to_region();
     }
+}
+
+/// A plain-data snapshot of a [`NesterovOptimizer`] used by GP
+/// checkpoints: the main solution `u`, the previous reference point and
+/// gradient (for BB step prediction), and the momentum scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerState {
+    /// Main solution x over optimizable nodes.
+    pub u_x: Vec<f64>,
+    /// Main solution y over optimizable nodes.
+    pub u_y: Vec<f64>,
+    /// Previous reference-point x (BB numerator).
+    pub prev_v_x: Vec<f64>,
+    /// Previous reference-point y.
+    pub prev_v_y: Vec<f64>,
+    /// Previous gradient x (BB denominator).
+    pub prev_g_x: Vec<f64>,
+    /// Previous gradient y.
+    pub prev_g_y: Vec<f64>,
+    /// Nesterov momentum scalar `a`.
+    pub a: f64,
+    /// Whether a previous reference point/gradient is stored.
+    pub have_prev: bool,
+    /// First-step length before BB prediction kicks in.
+    pub initial_step: f64,
+    /// Per-iteration displacement cap.
+    pub max_disp: f64,
+    /// The last step length used.
+    pub last_step: f64,
 }
 
 #[cfg(test)]

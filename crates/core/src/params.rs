@@ -91,6 +91,51 @@ impl Parameters {
     pub fn advance(&mut self) {
         self.iteration += 1;
     }
+
+    /// Snapshots the full parameter state (including the private update
+    /// bookkeeping) for checkpointing.
+    pub fn state(&self) -> ParamState {
+        ParamState {
+            gamma: self.gamma,
+            lambda: self.lambda,
+            iteration: self.iteration,
+            last_hpwl: self.last_hpwl,
+            last_overflow: self.last_overflow,
+            lambda_initialized: self.lambda_initialized,
+        }
+    }
+
+    /// Rebuilds parameters from a checkpointed [`ParamState`]; the exact
+    /// inverse of [`Self::state`].
+    pub fn from_state(state: &ParamState) -> Parameters {
+        Parameters {
+            gamma: state.gamma,
+            lambda: state.lambda,
+            iteration: state.iteration,
+            last_hpwl: state.last_hpwl,
+            last_overflow: state.last_overflow,
+            lambda_initialized: state.lambda_initialized,
+        }
+    }
+}
+
+/// A plain-data snapshot of [`Parameters`] used by GP checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamState {
+    /// WA smoothing parameter γ.
+    pub gamma: f64,
+    /// Density penalty weight λ.
+    pub lambda: f64,
+    /// Iteration counter.
+    pub iteration: usize,
+    /// HPWL at the previous parameter update (`INFINITY` before the
+    /// first update).
+    pub last_hpwl: f64,
+    /// Overflow at the previous parameter update (`INFINITY` before the
+    /// first update).
+    pub last_overflow: f64,
+    /// Whether λ has been initialized from gradient norms.
+    pub lambda_initialized: bool,
 }
 
 /// The ePlace γ schedule: `gamma_scale * bin_size * 10^(k * ovfl + b)`.

@@ -3,8 +3,8 @@
 
 use crate::params::{gamma_for, update_period};
 use crate::{
-    DensityGuidance, Framework, GradientEngine, IterationRecord, NesterovOptimizer, Parameters,
-    PlaceError, Recorder, XplaceConfig,
+    Checkpoint, CheckpointOptions, DensityGuidance, Framework, GradientEngine, IterationRecord,
+    NesterovOptimizer, Parameters, PlaceError, Recorder, XplaceConfig,
 };
 use std::time::Instant;
 use xplace_db::Design;
@@ -166,12 +166,48 @@ impl GlobalPlacer {
         design: &mut Design,
         sink: &mut dyn TelemetrySink,
     ) -> Result<PlacementReport, PlaceError> {
+        self.place_traced_opts(design, sink, CheckpointOptions::none())
+    }
+
+    /// Runs global placement like [`GlobalPlacer::place_traced`] with
+    /// checkpoint/resume control.
+    ///
+    /// With `ckpt.every > 0` and a store, the full Nesterov loop state is
+    /// snapshotted every `every` iterations ([`Checkpoint`]); saving emits
+    /// no telemetry, so the trace stays byte-identical to an unmonitored
+    /// run. With `ckpt.resume`, the loop restarts from the snapshot and —
+    /// this is the determinism contract CI pins — emits a trace whose
+    /// post-`run_start` lines are an exact byte suffix of the
+    /// uninterrupted run's trace, with a bit-identical final placement,
+    /// at any `--threads`. Resume goes straight to the flat loop: the
+    /// snapshot already carries post-coarsening positions, so multilevel
+    /// coarse levels are not replayed (the coarse iteration/profile
+    /// totals are carried inside the snapshot's profile instead).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GlobalPlacer::place_traced`], plus
+    /// [`PlaceError::Checkpoint`] when a snapshot cannot be saved or a
+    /// resume snapshot does not match the design/configuration.
+    pub fn place_traced_opts(
+        &mut self,
+        design: &mut Design,
+        sink: &mut dyn TelemetrySink,
+        ckpt: CheckpointOptions<'_>,
+    ) -> Result<PlacementReport, PlaceError> {
         self.config.validate()?;
+        if ckpt.every > 0 && ckpt.store.is_none() {
+            return Err(PlaceError::InvalidConfig(
+                "checkpoint cadence set but no checkpoint store given".into(),
+            ));
+        }
         let ml = self.config.multilevel;
-        if ml.enabled && design.netlist().num_movable() > ml.min_cells {
-            self.place_multilevel(design, sink)
+        if ckpt.resume.is_some() {
+            self.place_flat(design, sink, ckpt)
+        } else if ml.enabled && design.netlist().num_movable() > ml.min_cells {
+            self.place_multilevel(design, sink, ckpt)
         } else {
-            self.place_flat(design, sink)
+            self.place_flat(design, sink, ckpt)
         }
     }
 
@@ -187,6 +223,7 @@ impl GlobalPlacer {
         &mut self,
         design: &mut Design,
         sink: &mut dyn TelemetrySink,
+        ckpt: CheckpointOptions<'_>,
     ) -> Result<PlacementReport, PlaceError> {
         let ml = self.config.multilevel;
         let opts = xplace_db::HierarchyOptions {
@@ -203,7 +240,7 @@ impl GlobalPlacer {
             let mut cfg = self.config.clone();
             cfg.multilevel.enabled = false;
             cfg.record = false;
-            cfg.fail_at_iteration = None;
+            cfg.fault = xplace_fault::GpFault::NONE;
             cfg.schedule.max_iterations = ml.coarse_max_iterations;
             cfg.schedule.min_iterations = cfg.schedule.min_iterations.min(ml.coarse_max_iterations);
             cfg.schedule.stop_overflow = ml
@@ -213,7 +250,11 @@ impl GlobalPlacer {
             if let Some(pool) = self.pool {
                 placer = placer.with_pool(pool);
             }
-            let report = placer.place_flat(&mut levels[li].design, &mut NullSink)?;
+            let report = placer.place_flat(
+                &mut levels[li].design,
+                &mut NullSink,
+                CheckpointOptions::none(),
+            )?;
             coarse_iterations += report.iterations;
             accumulate_profile(&mut coarse_profile, report.profile);
 
@@ -231,7 +272,7 @@ impl GlobalPlacer {
             }
         }
 
-        let mut report = self.place_flat(design, sink)?;
+        let mut report = self.place_flat(design, sink, ckpt)?;
         report.iterations += coarse_iterations;
         accumulate_profile(&mut report.profile, coarse_profile);
         Ok(report)
@@ -243,8 +284,12 @@ impl GlobalPlacer {
         &mut self,
         design: &mut Design,
         sink: &mut dyn TelemetrySink,
+        ckpt: CheckpointOptions<'_>,
     ) -> Result<PlacementReport, PlaceError> {
         self.config.validate()?;
+        if let Some(cp) = ckpt.resume {
+            cp.validate(design, &self.config)?;
+        }
         let tracing = sink.enabled();
         if tracing {
             sink.emit(&TelemetryEvent::RunStart {
@@ -265,7 +310,9 @@ impl GlobalPlacer {
         // reason): cells at exactly coincident positions receive identical
         // gradients and would move in lockstep forever. A deterministic,
         // sub-bin jitter separates them without perturbing real starts.
-        {
+        // A resumed run skips it: the snapshot positions overwrite the
+        // fresh model below.
+        if ckpt.resume.is_none() {
             let bin = 0.5 * (model.bin_w() + model.bin_h());
             // Degenerate inputs (everything in a couple of bins) need a
             // jitter large enough that cells land in *different* bins and
@@ -330,11 +377,79 @@ impl GlobalPlacer {
         // Telemetry state: transitions are emitted on change only.
         let mut cur_stage = Stage::Early;
         let mut skip_window_open = false;
+        // Resume state: loop start index and the modeled profile the
+        // interrupted run had already accumulated (this run's device
+        // starts from zero, so totals add the base back at the end).
+        let mut start_iter = 0usize;
+        let mut profile_base = ProfileSnapshot::default();
 
-        for iter in 0..schedule.max_iterations {
-            if self.config.fail_at_iteration == Some(iter) {
-                // Test-only fault injection: simulates a design crashing
-                // mid-GP so failure-isolation paths can be exercised.
+        if let Some(cp) = ckpt.resume {
+            if cp.x.len() != model.num_nodes() || cp.y.len() != model.num_nodes() {
+                return Err(PlaceError::Checkpoint(format!(
+                    "checkpoint has {} nodes, model has {}",
+                    cp.x.len(),
+                    model.num_nodes()
+                )));
+            }
+            model.x.copy_from_slice(&cp.x);
+            model.y.copy_from_slice(&cp.y);
+            params = Parameters::from_state(&cp.params);
+            omega = cp.omega;
+            optimizer = match &cp.optimizer {
+                Some(state) => Some(
+                    NesterovOptimizer::from_state(&model, state.clone())
+                        .map_err(PlaceError::Checkpoint)?,
+                ),
+                None => None,
+            };
+            initial_hpwl = cp.initial_hpwl;
+            initial_overflow = cp.initial_overflow;
+            iterations = cp.iteration;
+            best_overflow = cp.best_overflow;
+            best_iter = cp.best_iter;
+            best_u = cp.best_u.clone();
+            cur_stage = cp.stage;
+            skip_window_open = cp.skip_window_open;
+            last_eval = cp.last_eval;
+            engine.restore_state(&cp.engine)?;
+            profile_base = cp.profile;
+            start_iter = cp.iteration;
+        }
+
+        for iter in start_iter..schedule.max_iterations {
+            if ckpt.every > 0 && iter > start_iter && iter.is_multiple_of(ckpt.every) {
+                if let Some(store) = ckpt.store {
+                    let snapshot = self.snapshot(
+                        design,
+                        iter,
+                        &model,
+                        &params,
+                        omega,
+                        optimizer.as_ref(),
+                        initial_hpwl,
+                        initial_overflow,
+                        best_overflow,
+                        best_iter,
+                        &best_u,
+                        cur_stage,
+                        skip_window_open,
+                        last_eval,
+                        &engine,
+                        {
+                            let mut p = profile_base;
+                            accumulate_profile(&mut p, device.profile());
+                            p
+                        },
+                    );
+                    store.save(iter, &snapshot.render()).map_err(|e| {
+                        PlaceError::Checkpoint(format!("save at iteration {iter}: {e}"))
+                    })?;
+                }
+            }
+            if self.config.fault.panic_at == Some(iter) {
+                // Injected fault (resolved from a fault plan): simulates a
+                // design crashing mid-GP so failure-isolation and retry
+                // paths can be exercised.
                 panic!("injected failure at GP iteration {iter}");
             }
             let (eval, prof) = {
@@ -488,6 +603,15 @@ impl GlobalPlacer {
             .unwrap_or(1.0)
             .min(best_overflow);
 
+        // Whole-run profile: what this process ran plus whatever the
+        // interrupted run had accumulated before the resume point — so a
+        // resumed run's `run_end` totals match the uninterrupted run's.
+        let total_profile = {
+            let mut p = profile_base;
+            accumulate_profile(&mut p, device.profile());
+            p
+        };
+
         if tracing {
             sink.emit(&TelemetryEvent::RunEnd {
                 iterations,
@@ -499,8 +623,8 @@ impl GlobalPlacer {
                 } else {
                     final_overflow
                 },
-                modeled_ns: device.profile().modeled_ns(),
-                launches: device.profile().launches,
+                modeled_ns: total_profile.modeled_ns(),
+                launches: total_profile.launches,
             });
         }
 
@@ -513,10 +637,56 @@ impl GlobalPlacer {
             final_overflow,
             converged,
             best_overflow,
-            profile: device.profile(),
+            profile: total_profile,
             wall_seconds: start.elapsed().as_secs_f64(),
             recorder,
         })
+    }
+
+    /// Assembles the [`Checkpoint`] snapshot of the loop state at the top
+    /// of iteration `iteration`.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        design: &Design,
+        iteration: usize,
+        model: &PlacementModel,
+        params: &Parameters,
+        omega: f64,
+        optimizer: Option<&NesterovOptimizer>,
+        initial_hpwl: f64,
+        initial_overflow: f64,
+        best_overflow: f64,
+        best_iter: usize,
+        best_u: &Option<(Vec<f64>, Vec<f64>)>,
+        stage: Stage,
+        skip_window_open: bool,
+        last_eval: Option<crate::EvalResult>,
+        engine: &GradientEngine,
+        profile: ProfileSnapshot,
+    ) -> Checkpoint {
+        Checkpoint {
+            design: design.name().to_string(),
+            cells: design.netlist().num_cells(),
+            movable: design.netlist().num_movable(),
+            config: self.config.echo(),
+            iteration,
+            x: model.x.clone(),
+            y: model.y.clone(),
+            params: params.state(),
+            omega,
+            optimizer: optimizer.map(|o| o.state()),
+            initial_hpwl,
+            initial_overflow,
+            best_overflow,
+            best_iter,
+            best_u: best_u.clone(),
+            stage,
+            skip_window_open,
+            last_eval,
+            engine: engine.state(),
+            profile,
+        }
     }
 }
 
@@ -746,11 +916,11 @@ mod tests {
     }
 
     #[test]
-    fn fail_at_iteration_panics_at_the_requested_iteration() {
+    fn gp_panic_fault_fires_at_the_requested_iteration() {
         let mut design = small_design(31);
         let mut cfg = XplaceConfig::xplace();
         cfg.schedule.max_iterations = 50;
-        cfg.fail_at_iteration = Some(5);
+        cfg.fault.panic_at = Some(5);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             GlobalPlacer::new(cfg).place(&mut design)
         }))
@@ -849,6 +1019,180 @@ mod tests {
             design.positions().to_vec()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_trace() {
+        use crate::MemoryCheckpointStore;
+        let run = |every: usize| {
+            let mut design = small_design(51);
+            let mut cfg = XplaceConfig::xplace();
+            cfg.schedule.max_iterations = 80;
+            let store = MemoryCheckpointStore::new();
+            let mut sink = xplace_telemetry::VecSink::new();
+            GlobalPlacer::new(cfg)
+                .place_traced_opts(
+                    &mut design,
+                    &mut sink,
+                    CheckpointOptions {
+                        every,
+                        store: if every > 0 { Some(&store) } else { None },
+                        resume: None,
+                    },
+                )
+                .unwrap();
+            (sink.to_jsonl(), store.saves())
+        };
+        let (plain, saves0) = run(0);
+        let (monitored, saves25) = run(25);
+        assert_eq!(saves0, 0);
+        assert!(saves25 >= 2, "expected saves at 25/50/75, got {saves25}");
+        assert_eq!(plain, monitored, "checkpoint saves perturbed the trace");
+    }
+
+    /// The resume determinism contract: a run killed at iteration N and
+    /// resumed from its last checkpoint emits a trace whose
+    /// post-`run_start` lines are an exact byte suffix of the
+    /// uninterrupted run's trace, and lands on a bit-identical placement.
+    fn assert_resume_suffix(threads: usize) {
+        use crate::MemoryCheckpointStore;
+        let mut cfg = XplaceConfig::xplace().with_threads(threads);
+        cfg.schedule.max_iterations = 90;
+
+        // Uninterrupted run, checkpointing every 20 iterations.
+        let store = MemoryCheckpointStore::new();
+        let mut full_design = small_design(53);
+        let mut full_sink = xplace_telemetry::VecSink::new();
+        let full_report = GlobalPlacer::new(cfg.clone())
+            .place_traced_opts(
+                &mut full_design,
+                &mut full_sink,
+                CheckpointOptions {
+                    every: 20,
+                    store: Some(&store),
+                    resume: None,
+                },
+            )
+            .unwrap();
+        let full_trace = full_sink.to_jsonl();
+        let (at, checkpoint) = store.latest().unwrap().unwrap();
+        assert!(at >= 40, "expected a late checkpoint, got {at}");
+
+        // Resume from the snapshot ("the machine died" — the design is
+        // reloaded from scratch, positions come from the checkpoint).
+        let mut resumed_design = small_design(53);
+        let mut resumed_sink = xplace_telemetry::VecSink::new();
+        let resumed_report = GlobalPlacer::new(cfg)
+            .place_traced_opts(
+                &mut resumed_design,
+                &mut resumed_sink,
+                CheckpointOptions {
+                    every: 0,
+                    store: None,
+                    resume: Some(&checkpoint),
+                },
+            )
+            .unwrap();
+        let resumed_trace = resumed_sink.to_jsonl();
+
+        // The resumed trace re-emits run_start, then replays the tail.
+        let resumed_lines: Vec<&str> = resumed_trace.lines().collect();
+        let full_lines: Vec<&str> = full_trace.lines().collect();
+        assert!(resumed_lines[0].contains("run_start"));
+        assert_eq!(resumed_lines[0], full_lines[0], "run_start differs");
+        let tail = &resumed_lines[1..];
+        assert!(
+            tail.len() < full_lines.len(),
+            "resume replayed the whole run"
+        );
+        assert_eq!(
+            &full_lines[full_lines.len() - tail.len()..],
+            tail,
+            "resumed trace is not a byte suffix of the full trace"
+        );
+        assert_eq!(
+            full_report.final_hpwl.to_bits(),
+            resumed_report.final_hpwl.to_bits()
+        );
+        assert_eq!(full_design.positions(), resumed_design.positions());
+    }
+
+    #[test]
+    fn resume_replays_a_byte_identical_trace_suffix_single_threaded() {
+        assert_resume_suffix(1);
+    }
+
+    #[test]
+    fn resume_replays_a_byte_identical_trace_suffix_multi_threaded() {
+        assert_resume_suffix(4);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_design_or_config() {
+        use crate::MemoryCheckpointStore;
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 40;
+        let store = MemoryCheckpointStore::new();
+        let mut design = small_design(57);
+        GlobalPlacer::new(cfg.clone())
+            .place_traced_opts(
+                &mut design,
+                &mut NullSink,
+                CheckpointOptions {
+                    every: 10,
+                    store: Some(&store),
+                    resume: None,
+                },
+            )
+            .unwrap();
+        let (_, checkpoint) = store.latest().unwrap().unwrap();
+
+        // Different seed => different config echo => refused.
+        let mut other = small_design(57);
+        let err = GlobalPlacer::new(cfg.clone().with_seed(4242))
+            .place_traced_opts(
+                &mut other,
+                &mut NullSink,
+                CheckpointOptions {
+                    every: 0,
+                    store: None,
+                    resume: Some(&checkpoint),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::Checkpoint(_)), "{err}");
+
+        // Different design => refused.
+        let mut other = synthesize(&SynthesisSpec::new("other", 300, 320).with_seed(5)).unwrap();
+        let err = GlobalPlacer::new(cfg)
+            .place_traced_opts(
+                &mut other,
+                &mut NullSink,
+                CheckpointOptions {
+                    every: 0,
+                    store: None,
+                    resume: Some(&checkpoint),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_cadence_without_a_store_is_rejected() {
+        let mut design = small_design(59);
+        let err = GlobalPlacer::new(XplaceConfig::xplace())
+            .place_traced_opts(
+                &mut design,
+                &mut NullSink,
+                CheckpointOptions {
+                    every: 10,
+                    store: None,
+                    resume: None,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidConfig(_)));
     }
 
     #[test]

@@ -14,25 +14,71 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Mutex;
 
-/// A concurrency-safe cache of loaded designs, keyed by their source.
+/// Default [`DesignCache`] capacity, in designs.
+pub const DEFAULT_DESIGN_CACHE_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct Entries {
+    map: HashMap<String, (Design, u64)>,
+    /// Logical LRU clock: bumped on every hit or insert, so recency is a
+    /// pure function of access order — no wall-clock nondeterminism.
+    tick: u64,
+    evictions: usize,
+}
+
+/// A concurrency-safe, bounded cache of loaded designs, keyed by their
+/// source.
 ///
 /// Lookups clone the cached [`Design`] (cheap relative to parsing or
 /// synthesis); the cached master copy is never mutated after insertion.
 /// Misses load under the lock, so concurrent jobs requesting the same
 /// design load it exactly once.
-#[derive(Debug, Default)]
+///
+/// The cache holds at most `capacity` designs (default
+/// [`DEFAULT_DESIGN_CACHE_CAPACITY`]). Inserting beyond the cap evicts
+/// the least-recently-used entry, where recency is a logical access
+/// counter bumped under the cache lock — eviction order is a
+/// deterministic function of the access sequence, never of timing.
+#[derive(Debug)]
 pub struct DesignCache {
-    entries: Mutex<HashMap<String, Design>>,
+    entries: Mutex<Entries>,
+    capacity: usize,
     /// `(hits, misses)` behind one lock so [`DesignCache::stats`] always
     /// observes a consistent pair (two separate counters could be read
     /// mid-update by a concurrent `get_or_load`).
     stats: Mutex<(usize, usize)>,
 }
 
+impl Default for DesignCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_DESIGN_CACHE_CAPACITY)
+    }
+}
+
 impl DesignCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` designs (a cap
+    /// of 0 is clamped to 1 so the most recent design is always
+    /// reusable).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DesignCache {
+            entries: Mutex::new(Entries {
+                map: HashMap::new(),
+                tick: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+            stats: Mutex::new((0, 0)),
+        }
+    }
+
+    /// The maximum number of designs the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// `(hits, misses)` counters since construction, read atomically as a
@@ -41,9 +87,21 @@ impl DesignCache {
         *self.stats.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Number of entries evicted to stay within capacity.
+    pub fn evictions(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .evictions
+    }
+
     /// Number of cached designs.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
     }
 
     /// `true` when nothing has been cached yet.
@@ -57,13 +115,30 @@ impl DesignCache {
         load: impl FnOnce() -> Result<Design, DbError>,
     ) -> Result<Design, DbError> {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(design) = entries.get(&key) {
+        entries.tick += 1;
+        let now = entries.tick;
+        if let Some((design, used)) = entries.map.get_mut(&key) {
+            *used = now;
+            let design = design.clone();
             self.stats.lock().unwrap_or_else(|e| e.into_inner()).0 += 1;
-            return Ok(design.clone());
+            return Ok(design);
         }
         let design = load()?;
         self.stats.lock().unwrap_or_else(|e| e.into_inner()).1 += 1;
-        entries.insert(key, design.clone());
+        if entries.map.len() >= self.capacity {
+            // Ticks are unique under the lock, so the minimum is unique
+            // and eviction order is deterministic.
+            if let Some(victim) = entries
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                entries.map.remove(&victim);
+                entries.evictions += 1;
+            }
+        }
+        entries.map.insert(key, (design.clone(), now));
         Ok(design)
     }
 
@@ -144,6 +219,37 @@ mod tests {
         assert_eq!(d1.target_density(), d2.target_density());
         assert!((d3.target_density() - 0.8).abs() < 1e-12);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_deterministically() {
+        let cache = DesignCache::with_capacity(2);
+        cache.get_or_synthesize(&spec(1)).unwrap();
+        cache.get_or_synthesize(&spec(2)).unwrap();
+        // Touch seed 1 so seed 2 is the LRU victim when seed 3 arrives.
+        cache.get_or_synthesize(&spec(1)).unwrap();
+        cache.get_or_synthesize(&spec(3)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Seed 1 survived (hit); seed 2 was evicted (miss again).
+        let (hits, misses) = cache.stats();
+        cache.get_or_synthesize(&spec(1)).unwrap();
+        assert_eq!(cache.stats(), (hits + 1, misses));
+        cache.get_or_synthesize(&spec(2)).unwrap();
+        assert_eq!(cache.stats(), (hits + 1, misses + 1));
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = DesignCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.get_or_synthesize(&spec(1)).unwrap();
+        cache.get_or_synthesize(&spec(1)).unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+        cache.get_or_synthesize(&spec(2)).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

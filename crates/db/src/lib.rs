@@ -51,7 +51,7 @@ pub mod stats;
 pub mod suites;
 pub mod synthesis;
 
-pub use cache::DesignCache;
+pub use cache::{DesignCache, DEFAULT_DESIGN_CACHE_CAPACITY};
 pub use cluster::{build_hierarchy, coarsen, CoarseLevel, HierarchyOptions};
 pub use design::{Design, Row};
 pub use error::DbError;

@@ -42,17 +42,61 @@ use std::sync::{Mutex, OnceLock};
 /// cache.get(64).unwrap();
 /// assert_eq!(cache.stats(), (1, 1)); // one miss, then one hit
 /// ```
-#[derive(Debug, Default)]
+///
+/// The cache holds at most `capacity` plans (default
+/// [`DEFAULT_PLAN_CACHE_CAPACITY`]); inserting beyond the cap evicts the
+/// least-recently-used length. Recency is a logical access counter bumped
+/// under the cache lock, so eviction order is a deterministic function of
+/// the access sequence.
+#[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<usize, DctPlan>>,
+    map: Mutex<PlanEntries>,
+    capacity: usize,
     /// Packed `(hits << 32) | misses`; saturating per half.
     stats: AtomicU64,
 }
 
+/// Default [`PlanCache`] capacity, in distinct plan lengths.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
+
+#[derive(Debug, Default)]
+struct PlanEntries {
+    map: HashMap<usize, (DctPlan, u64)>,
+    /// Logical LRU clock (see [`PlanCache`] docs).
+    tick: u64,
+    evictions: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` plan lengths (a
+    /// cap of 0 is clamped to 1 so the most recent plan stays reusable).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            map: Mutex::new(PlanEntries::default()),
+            capacity: capacity.max(1),
+            stats: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of plan lengths the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans evicted to stay within capacity.
+    pub fn evictions(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).evictions
     }
 
     /// `(hits, misses)` since construction, read as one consistent pair.
@@ -90,20 +134,37 @@ impl PlanCache {
     /// Same as [`DctPlan::new`]; invalid lengths are never cached and touch
     /// neither counter.
     pub fn get(&self, len: usize) -> Result<DctPlan, FftError> {
-        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(plan) = map.get(&len) {
+        let mut entries = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        entries.tick += 1;
+        let now = entries.tick;
+        if let Some((plan, used)) = entries.map.get_mut(&len) {
+            *used = now;
+            let plan = plan.clone();
             self.bump(true);
-            return Ok(plan.clone());
+            return Ok(plan);
         }
         let plan = DctPlan::new(len)?;
         self.bump(false);
-        map.insert(len, plan.clone());
+        if entries.map.len() >= self.capacity {
+            // Ticks are unique under the lock, so the LRU victim is
+            // unique and eviction order is deterministic.
+            if let Some(victim) = entries
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                entries.map.remove(&victim);
+                entries.evictions += 1;
+            }
+        }
+        entries.map.insert(len, (plan.clone(), now));
         Ok(plan)
     }
 
     /// Number of cached plan lengths.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).map.len()
     }
 
     /// `true` when nothing has been cached yet.
@@ -123,6 +184,13 @@ fn global_cache() -> &'static PlanCache {
 /// across requests.
 pub fn plan_cache_stats() -> (usize, usize) {
     global_cache().stats()
+}
+
+/// Evictions from the process-wide [`DctPlan::cached`] plan cache since
+/// process start. Nonzero means more distinct grid sizes were in play
+/// than [`DEFAULT_PLAN_CACHE_CAPACITY`] — plans are being rebuilt.
+pub fn plan_cache_evictions() -> usize {
+    global_cache().evictions()
 }
 
 /// A reusable plan for the DCT/DST family of a fixed power-of-two length.
@@ -531,6 +599,28 @@ mod tests {
         assert!(cache.get(12).is_err());
         assert!(cache.get(0).is_err());
         assert_eq!(cache.stats(), (3, 2));
+    }
+
+    #[test]
+    fn plan_cache_capacity_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.get(8).unwrap();
+        cache.get(16).unwrap();
+        // Touch 8 so 16 is the LRU victim when 32 arrives.
+        cache.get(8).unwrap();
+        cache.get(32).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // 8 survived (hit); 16 was evicted (miss again, evicting 8,
+        // which is now the LRU after 32's insert touched the clock).
+        cache.get(8).unwrap();
+        let (hits, misses) = cache.stats();
+        cache.get(16).unwrap();
+        assert_eq!(cache.stats(), (hits, misses + 1));
+        assert_eq!(cache.evictions(), 2);
+        // Zero capacity clamps to 1.
+        assert_eq!(PlanCache::with_capacity(0).capacity(), 1);
     }
 
     #[test]

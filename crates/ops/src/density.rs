@@ -182,6 +182,43 @@ impl DensityOp {
         &self.solution
     }
 
+    /// Restores the cached field solution from checkpointed data — the
+    /// write-side counterpart of [`DensityOp::field`], used when a GP run
+    /// resumes inside a skip window and must serve gradients from the
+    /// same cached field the interrupted run held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpsError::InvalidModel`] if the slice lengths do not
+    /// match this operator's grid.
+    pub fn restore_field(
+        &mut self,
+        field_x: &[f64],
+        field_y: &[f64],
+        energy: f64,
+    ) -> Result<(), OpsError> {
+        let want = self.nx * self.ny;
+        if field_x.len() != want || field_y.len() != want {
+            return Err(OpsError::InvalidModel(format!(
+                "field snapshot has {}x{} entries, grid is {}x{}",
+                field_x.len(),
+                field_y.len(),
+                self.nx,
+                self.ny
+            )));
+        }
+        self.solution
+            .field_x
+            .as_mut_slice()
+            .copy_from_slice(field_x);
+        self.solution
+            .field_y
+            .as_mut_slice()
+            .copy_from_slice(field_y);
+        self.solution.energy = energy;
+        Ok(())
+    }
+
     fn accumulate(&mut self, model: &PlacementModel, subset: Subset, map_kind: Subset) {
         let map = match map_kind {
             Subset::MovableAndFixed => &mut self.movable_map,

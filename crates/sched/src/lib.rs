@@ -15,6 +15,17 @@
 //!   ([`WorkerPool::run_isolated`](xplace_parallel::WorkerPool::run_isolated)):
 //!   a panicking or erroring design is reported as a failed [`JobRecord`]
 //!   while its siblings complete normally.
+//! * **Retry & recovery** — crashes (panics, injected sink write
+//!   failures) are *retryable* up to the manifest's `retries` budget,
+//!   with deterministic exponential backoff charged in modeled time;
+//!   structured errors (load failures, divergence, poisoned manifest
+//!   entries) are *fatal*. With `checkpoint_every > 0` each attempt
+//!   snapshots GP state in memory, and a retry resumes from the latest
+//!   snapshot — the resumed run's metrics are bit-identical to an
+//!   uninterrupted run's by the core resume contract.
+//! * **Deadlines** — a job whose modeled cost (GP modeled-ns + injected
+//!   stalls + retry backoff) exceeds its modeled-ns deadline fails with
+//!   [`DEADLINE_MSG`] and `deadline_exceeded` set in its record.
 //! * **Shared caches** — jobs share one read-only [`DesignCache`], so a
 //!   design placed under several configs is parsed or synthesized once,
 //!   and spectral solver plans are reused across jobs of the same grid
@@ -29,8 +40,9 @@ pub use manifest::{BatchManifest, DesignSource, JobSpec};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use xplace_core::GlobalPlacer;
+use xplace_core::{Checkpoint, CheckpointOptions, GlobalPlacer, MemoryCheckpointStore};
 use xplace_db::DesignCache;
+use xplace_fault::{FaultPlan, GpFault};
 use xplace_legal::{check_legality, detailed_place, legalize, DpConfig};
 use xplace_route::{estimate_congestion, RouteConfig};
 use xplace_telemetry::{
@@ -42,6 +54,26 @@ use xplace_telemetry::{
 /// before the job started. In-flight jobs are never interrupted — only
 /// not-yet-started jobs observe the cancel flag.
 pub const CANCELLED_MSG: &str = "cancelled before start";
+
+/// The failure message of a job skipped because its requesting client
+/// disconnected before the job started.
+pub const DISCONNECTED_MSG: &str = "client disconnected before start";
+
+/// The failure message of a job whose manifest entry is poisoned by the
+/// fault plan: it fails fatally before any work starts and is never
+/// retried.
+pub const POISONED_MSG: &str = "poisoned manifest entry";
+
+/// The failure-message prefix of a job that blew its modeled-ns deadline
+/// (its record also sets [`JobRecord::deadline_exceeded`]).
+pub const DEADLINE_MSG: &str = "deadline exceeded";
+
+/// Deterministic retry backoff charged in modeled time: 1 ms doubling
+/// per retry, capped at 64 ms. Pure arithmetic — no clocks — so retry
+/// accounting is bit-identical on every run.
+pub fn backoff_ns(retry: usize) -> u64 {
+    (1_000_000u64 << retry.min(6)).min(64_000_000)
+}
 
 /// One completed job: its run summary plus the trace text a serial
 /// `--trace` run would have written.
@@ -76,8 +108,8 @@ pub struct BatchOutcome {
 ///
 /// Returns the failure message that becomes the job's
 /// [`JobRecord::error`]: design load errors, placement errors, and
-/// legality-check failures. Panics (including the `fail_at` fault hook)
-/// are *not* caught here — [`run_batch`] fences them per job.
+/// legality-check failures. Panics (including injected GP faults) are
+/// *not* caught here — [`run_batch`] fences them per job.
 pub fn run_job(job: &JobSpec, threads: usize, cache: &DesignCache) -> Result<JobOutcome, String> {
     let mut sink = VecSink::new();
     let report = run_job_with_sink(job, threads, cache, &mut sink)?;
@@ -102,6 +134,28 @@ pub fn run_job_with_sink(
     cache: &DesignCache,
     sink: &mut dyn TelemetrySink,
 ) -> Result<RunReport, String> {
+    run_job_attempt(
+        job,
+        threads,
+        cache,
+        sink,
+        GpFault::NONE,
+        CheckpointOptions::none(),
+    )
+}
+
+/// One attempt of a job under the scheduler's fault machinery: `fault`
+/// is the GP fault resolved from the batch plan for this attempt, and
+/// `ckpt` carries the checkpoint cadence/store plus an optional snapshot
+/// to resume from.
+fn run_job_attempt(
+    job: &JobSpec,
+    threads: usize,
+    cache: &DesignCache,
+    sink: &mut dyn TelemetrySink,
+    fault: GpFault,
+    ckpt: CheckpointOptions<'_>,
+) -> Result<RunReport, String> {
     let mut design = match &job.source {
         DesignSource::Aux { path, density } => cache
             .get_or_read_aux(path, *density)
@@ -113,9 +167,10 @@ pub fn run_job_with_sink(
                 .map_err(|e| format!("synthesizing {}: {e}", spec.name))?
         }
     };
-    let config = job.config(threads);
+    let mut config = job.config(threads);
+    config.fault = fault;
     let gp = GlobalPlacer::new(config.clone())
-        .place_traced(&mut design, sink)
+        .place_traced_opts(&mut design, sink, ckpt)
         .map_err(|e| format!("global placement: {e}"))?;
     let lg = legalize(&mut design).map_err(|e| format!("legalization: {e}"))?;
     let dp = detailed_place(&mut design, &DpConfig::default());
@@ -149,6 +204,7 @@ pub fn run_job_with_sink(
         }),
         spectral: None,
         scaling: None,
+        trace_error: None,
     };
     Ok(report)
 }
@@ -195,6 +251,12 @@ pub struct BatchSession<'a> {
     /// [`CANCELLED_MSG`] instead of running. Jobs already in flight
     /// finish normally — cancellation drains, it never corrupts.
     pub cancel: Option<&'a AtomicBool>,
+    /// Request-scoped cancel: set when the requesting client
+    /// disconnects mid-stream. Unstarted jobs of *this* session fail
+    /// with [`DISCONNECTED_MSG`]; in-flight jobs still drain to their
+    /// bit-identical completion, and sessions sharing the pool or cache
+    /// are untouched.
+    pub client_gone: Option<&'a AtomicBool>,
     /// Progress callback; called from pool threads, so it must be
     /// `Sync`. `None` runs silently.
     pub observer: Option<&'a (dyn Fn(BatchEvent<'_>) + Sync)>,
@@ -205,6 +267,10 @@ impl<'a> std::fmt::Debug for BatchSession<'a> {
         f.debug_struct("BatchSession")
             .field("threads", &self.threads)
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field(
+                "client_gone",
+                &self.client_gone.map(|c| c.load(Ordering::Relaxed)),
+            )
             .field("observer", &self.observer.is_some())
             .finish()
     }
@@ -217,6 +283,7 @@ impl<'a> BatchSession<'a> {
             threads,
             cache,
             cancel: None,
+            client_gone: None,
             observer: None,
         }
     }
@@ -227,16 +294,30 @@ impl<'a> BatchSession<'a> {
         self
     }
 
+    /// Adds a request-scoped client-disconnect flag.
+    pub fn with_client_gone(mut self, client_gone: &'a AtomicBool) -> Self {
+        self.client_gone = Some(client_gone);
+        self
+    }
+
     /// Adds a progress observer.
     pub fn with_observer(mut self, observer: &'a (dyn Fn(BatchEvent<'_>) + Sync)) -> Self {
         self.observer = Some(observer);
         self
     }
 
-    fn cancelled(&self) -> bool {
-        self.cancel
-            .map(|c| c.load(Ordering::Acquire))
-            .unwrap_or(false)
+    /// The skip message an unstarted job should fail with, if either
+    /// cancel flag is set (batch-wide cancel wins).
+    fn skip_reason(&self) -> Option<&'static str> {
+        let raised =
+            |flag: Option<&AtomicBool>| flag.map(|c| c.load(Ordering::Acquire)).unwrap_or(false);
+        if raised(self.cancel) {
+            Some(CANCELLED_MSG)
+        } else if raised(self.client_gone) {
+            Some(DISCONNECTED_MSG)
+        } else {
+            None
+        }
     }
 }
 
@@ -277,10 +358,16 @@ pub fn run_batch_session(manifest: &BatchManifest, session: &BatchSession<'_>) -
     let pool = xplace_parallel::global();
     let results = pool.run_isolated(manifest.jobs.len(), session.threads.max(1), |i| {
         let job = &manifest.jobs[i];
-        let (record, trace) = if session.cancelled() {
-            (JobRecord::failed(&job.name, CANCELLED_MSG), None)
+        let policy = JobPolicy {
+            plan: &manifest.faults,
+            retries: manifest.retries,
+            deadline_ns: job.deadline_ns.or(manifest.deadline_ns),
+            checkpoint_every: job.checkpoint_every.unwrap_or(manifest.checkpoint_every),
+        };
+        let (record, trace) = if let Some(reason) = session.skip_reason() {
+            (JobRecord::failed(&job.name, reason), None)
         } else {
-            run_job_fenced(job, i, session)
+            run_job_fenced(job, i, session, &policy)
         };
         if let Some(observer) = session.observer {
             observer(BatchEvent::JobDone {
@@ -313,17 +400,155 @@ pub fn run_batch_session(manifest: &BatchManifest, session: &BatchSession<'_>) -
     }
 }
 
-/// Runs one job with its own panic fence, streaming trace lines to the
-/// session observer while accumulating the full trace text.
+/// Per-job robustness policy, resolved from the manifest.
+struct JobPolicy<'a> {
+    plan: &'a FaultPlan,
+    retries: usize,
+    deadline_ns: Option<u64>,
+    checkpoint_every: usize,
+}
+
+/// How one attempt of a job ended.
+enum AttemptEnd {
+    /// The full flow finished and produced a report.
+    Completed(RunReport),
+    /// The attempt crashed (panic — including injected sink write
+    /// failures). Retryable.
+    Crashed(String),
+    /// The attempt returned a structured error (load failure,
+    /// divergence, legality failure). Fatal.
+    Errored(String),
+}
+
+/// Runs one job with its own panic fence, retry loop, and deadline
+/// accounting, streaming trace lines to the session observer while
+/// accumulating the trace text of the current attempt.
+///
+/// Classification: *crashes* (panics, which is how injected GP faults
+/// and sink write faults surface) are retried up to `policy.retries`
+/// times with deterministic modeled-time backoff; *structured errors*
+/// are fatal on first sight. With a checkpoint cadence, retries resume
+/// from the latest in-memory snapshot of the crashed attempt, so a
+/// recovered job's metrics are bit-identical to an uninterrupted run's;
+/// its stored trace is the successful attempt's trace (a resume suffix
+/// when a snapshot was available).
 fn run_job_fenced(
     job: &JobSpec,
     index: usize,
     session: &BatchSession<'_>,
+    policy: &JobPolicy<'_>,
 ) -> (JobRecord, Option<String>) {
+    if policy.plan.poisoned(&job.name) {
+        return (JobRecord::failed(&job.name, POISONED_MSG), None);
+    }
+    let store = MemoryCheckpointStore::new();
+    // Modeled-time cost of the job beyond placement itself: injected
+    // stalls plus retry backoff. Charged against the deadline.
+    let mut overhead_ns: u64 = 0;
+    let mut attempt = 0;
+    loop {
+        overhead_ns += policy.plan.stall_ns(&job.name, attempt);
+        let resumed: Option<(usize, Checkpoint)> = if attempt > 0 && policy.checkpoint_every > 0 {
+            store.latest().ok().flatten()
+        } else {
+            None
+        };
+        let (end, trace) = run_one_attempt(job, index, session, policy, attempt, &store, &resumed);
+        match end {
+            AttemptEnd::Completed(report) => {
+                let total_ns = overhead_ns.saturating_add(report.gp.modeled_ns);
+                if let Some(deadline) = policy.deadline_ns {
+                    if total_ns > deadline {
+                        let record = JobRecord::failed(
+                            &job.name,
+                            format!("{DEADLINE_MSG}: {total_ns} modeled ns > {deadline} ns"),
+                        )
+                        .with_fault_stats(attempt, store.saves(), true);
+                        return (record, None);
+                    }
+                }
+                let record = JobRecord::completed(&job.name, report).with_fault_stats(
+                    attempt,
+                    store.saves(),
+                    false,
+                );
+                return (record, Some(trace));
+            }
+            AttemptEnd::Errored(error) => {
+                let record = JobRecord::failed(&job.name, error).with_fault_stats(
+                    attempt,
+                    store.saves(),
+                    false,
+                );
+                return (record, None);
+            }
+            AttemptEnd::Crashed(error) => {
+                if attempt >= policy.retries {
+                    let record = JobRecord::failed(&job.name, error).with_fault_stats(
+                        attempt,
+                        store.saves(),
+                        false,
+                    );
+                    return (record, None);
+                }
+                overhead_ns += backoff_ns(attempt);
+                if let Some(deadline) = policy.deadline_ns {
+                    if overhead_ns > deadline {
+                        let record = JobRecord::failed(
+                            &job.name,
+                            format!(
+                                "{DEADLINE_MSG} during retry backoff: \
+                                 {overhead_ns} modeled ns > {deadline} ns ({error})"
+                            ),
+                        )
+                        .with_fault_stats(attempt, store.saves(), true);
+                        return (record, None);
+                    }
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One fenced attempt: resolves the attempt's faults from the plan,
+/// wires the checkpoint store (and any resume snapshot) into the run,
+/// and injects the sink byte budget into the trace callback.
+fn run_one_attempt(
+    job: &JobSpec,
+    index: usize,
+    session: &BatchSession<'_>,
+    policy: &JobPolicy<'_>,
+    attempt: usize,
+    store: &MemoryCheckpointStore,
+    resumed: &Option<(usize, Checkpoint)>,
+) -> (AttemptEnd, String) {
+    let gp_fault = policy.plan.gp_fault(&job.name, attempt);
+    let sink_budget = policy.plan.sink_error_after(&job.name, attempt);
+    let ckpt = if policy.checkpoint_every > 0 {
+        CheckpointOptions {
+            every: policy.checkpoint_every,
+            store: Some(store),
+            resume: resumed.as_ref().map(|(_, cp)| cp),
+        }
+    } else {
+        CheckpointOptions::none()
+    };
     let mut trace = String::new();
     let result = {
         let trace = &mut trace;
+        let mut budget = sink_budget;
         let mut sink = CallbackSink::new(|line: &str| {
+            // The injected sink fault: once the byte budget is spent,
+            // the next line "fails to write" — surfaced as a crash so
+            // the retry loop classifies it as retryable.
+            if let Some(remaining) = budget.as_mut() {
+                let bytes = line.len() + 1;
+                if bytes > *remaining {
+                    panic!("{}", xplace_fault::INJECTED_WRITE_ERROR);
+                }
+                *remaining -= bytes;
+            }
             trace.push_str(line);
             trace.push('\n');
             if let Some(observer) = session.observer {
@@ -331,20 +556,28 @@ fn run_job_fenced(
             }
         });
         catch_unwind(AssertUnwindSafe(|| {
-            run_job_with_sink(job, session.threads, session.cache, &mut sink)
+            run_job_attempt(
+                job,
+                session.threads,
+                session.cache,
+                &mut sink,
+                gp_fault,
+                ckpt,
+            )
         }))
-        .unwrap_or_else(|payload| Err(xplace_parallel::panic_message(payload.as_ref())))
     };
-    match result {
-        Ok(report) => (JobRecord::completed(&job.name, report), Some(trace)),
-        Err(error) => (JobRecord::failed(&job.name, error), None),
-    }
+    let end = match result {
+        Ok(Ok(report)) => AttemptEnd::Completed(report),
+        Ok(Err(error)) => AttemptEnd::Errored(error),
+        Err(payload) => AttemptEnd::Crashed(xplace_parallel::panic_message(payload.as_ref())),
+    };
+    (end, trace)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xplace_telemetry::JobStatus;
+    use xplace_telemetry::{JobStatus, ToJson};
 
     fn manifest(jobs: &str) -> BatchManifest {
         BatchManifest::parse(&format!("{{\"jobs\": [{jobs}]}}")).expect("test manifest parses")
@@ -391,8 +624,12 @@ mod tests {
     #[test]
     fn failing_job_is_isolated_from_siblings() {
         let broken = r#"{"name": "broken", "synth": {"cells": 200, "nets": 210, "seed": 3},
-                "max_iters": 60, "fail_at": 5}"#;
-        let m = manifest(&format!("{TINY_A}, {broken}, {TINY_B}"));
+                "max_iters": 60}"#;
+        let m = BatchManifest::parse(&format!(
+            r#"{{"jobs": [{TINY_A}, {broken}, {TINY_B}],
+                 "faults": [{{"target": "broken", "kind": "gp_panic", "iteration": 5}}]}}"#
+        ))
+        .unwrap();
         let batch = run_batch(&m, 4);
         assert_eq!(batch.report.total(), 3);
         assert_eq!(batch.report.failed(), 1);
@@ -408,12 +645,141 @@ mod tests {
             record.error
         );
         assert!(record.report.is_none());
+        assert_eq!(record.retries, 0, "no retry budget was configured");
         assert!(batch.traces[1].is_none());
         for name in ["a", "b"] {
             let sibling = batch.report.job(name).unwrap();
             assert_eq!(sibling.status, JobStatus::Completed, "{name} must finish");
             assert!(sibling.report.as_ref().unwrap().final_hpwl() > 0.0);
         }
+    }
+
+    #[test]
+    fn transient_crash_is_retried_to_a_bit_identical_completion() {
+        // The fault fires on attempt 0 only; with one retry and a
+        // checkpoint cadence, the job recovers by resuming the crashed
+        // attempt's latest snapshot. The recovered report must be
+        // bit-identical to a fault-free run's.
+        let flaky = r#"{"name": "flaky", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60}"#;
+        let faulted = BatchManifest::parse(&format!(
+            r#"{{"jobs": [{flaky}],
+                 "faults": [{{"target": "flaky", "kind": "gp_panic",
+                              "iteration": 40, "times": 1}}],
+                 "retries": 1, "checkpoint_every": 10}}"#
+        ))
+        .unwrap();
+        let clean = BatchManifest::parse(&format!(r#"{{"jobs": [{flaky}]}}"#)).unwrap();
+        let recovered = run_batch(&faulted, 2);
+        let reference = run_batch(&clean, 2);
+        assert!(recovered.report.all_completed(), "{:?}", recovered.report);
+        let got = recovered.report.jobs[0].report.as_ref().unwrap();
+        let want = reference.report.jobs[0].report.as_ref().unwrap();
+        assert_eq!(got.final_hpwl().to_bits(), want.final_hpwl().to_bits());
+        assert_eq!(got.gp.modeled_ns, want.gp.modeled_ns);
+        assert_eq!(got.gp.iterations, want.gp.iterations);
+        let record = &recovered.report.jobs[0];
+        assert_eq!(record.retries, 1);
+        assert!(record.checkpoints > 0, "snapshots must have been saved");
+        assert!(!record.deadline_exceeded);
+        // The recovered trace is the resumed suffix: its tail must be a
+        // byte-exact suffix of the fault-free trace.
+        let full = reference.traces[0].as_deref().unwrap();
+        let resumed = recovered.traces[0].as_deref().unwrap();
+        let tail: Vec<&str> = resumed.lines().skip(1).collect();
+        let full_lines: Vec<&str> = full.lines().collect();
+        assert!(!tail.is_empty() && tail.len() < full_lines.len());
+        assert_eq!(&full_lines[full_lines.len() - tail.len()..], &tail[..]);
+    }
+
+    #[test]
+    fn sink_write_fault_is_retryable() {
+        // Attempt 0 hits the injected write fault after 2 KiB of trace;
+        // attempt 1 is fault-free and completes.
+        let torn = r#"{"name": "torn", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60}"#;
+        let m = BatchManifest::parse(&format!(
+            r#"{{"jobs": [{torn}],
+                 "faults": [{{"target": "torn", "kind": "sink_error",
+                              "after_bytes": 2048, "times": 1}}],
+                 "retries": 1}}"#
+        ))
+        .unwrap();
+        let batch = run_batch(&m, 2);
+        assert!(batch.report.all_completed(), "{:?}", batch.report);
+        assert_eq!(batch.report.jobs[0].retries, 1);
+        // Without a retry budget the same fault is terminal.
+        let mut exhausted = m.clone();
+        exhausted.retries = 0;
+        let batch = run_batch(&exhausted, 2);
+        assert_eq!(batch.report.failed(), 1);
+        assert!(
+            batch.report.jobs[0]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains(xplace_fault::INJECTED_WRITE_ERROR),
+            "{:?}",
+            batch.report.jobs[0].error
+        );
+    }
+
+    #[test]
+    fn poisoned_manifest_entry_fails_fatally_without_retries() {
+        let m = BatchManifest::parse(&format!(
+            r#"{{"jobs": [{TINY_A}],
+                 "faults": [{{"target": "a", "kind": "poison_manifest"}}],
+                 "retries": 3}}"#
+        ))
+        .unwrap();
+        let batch = run_batch(&m, 2);
+        assert_eq!(batch.report.failed(), 1);
+        let record = &batch.report.jobs[0];
+        assert_eq!(record.error.as_deref(), Some(POISONED_MSG));
+        assert_eq!(record.retries, 0, "poisoned jobs are never attempted");
+        assert_eq!(batch.cache_stats, (0, 0), "no design was ever loaded");
+    }
+
+    #[test]
+    fn stall_fault_blows_a_modeled_deadline() {
+        // The job itself would finish well under the deadline; the
+        // injected stall pushes the modeled cost past it.
+        let slow = r#"{"name": "slow", "synth": {"cells": 200, "nets": 210, "seed": 3},
+                "max_iters": 60}"#;
+        let m = BatchManifest::parse(&format!(
+            r#"{{"jobs": [{slow}],
+                 "faults": [{{"target": "slow", "kind": "stall",
+                              "modeled_ns": 1000000000000}}],
+                 "deadline_ns": 1000000000}}"#
+        ))
+        .unwrap();
+        let batch = run_batch(&m, 2);
+        assert_eq!(batch.report.failed(), 1);
+        let record = &batch.report.jobs[0];
+        assert!(record.deadline_exceeded);
+        assert!(
+            record.error.as_deref().unwrap().starts_with(DEADLINE_MSG),
+            "{:?}",
+            record.error
+        );
+        assert!(batch
+            .report
+            .to_json_string()
+            .contains("\"deadline_exceeded\":1"));
+        // Without the stall the same deadline is comfortably met.
+        let mut clean = m.clone();
+        clean.faults = xplace_fault::FaultPlan::none();
+        let batch = run_batch(&clean, 2);
+        assert!(batch.report.all_completed(), "{:?}", batch.report);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        assert_eq!(backoff_ns(0), 1_000_000);
+        assert_eq!(backoff_ns(1), 2_000_000);
+        assert_eq!(backoff_ns(5), 32_000_000);
+        assert_eq!(backoff_ns(6), 64_000_000);
+        assert_eq!(backoff_ns(60), 64_000_000);
     }
 
     #[test]
@@ -455,22 +821,21 @@ mod tests {
         // The submission path a network service uses: a manifest built
         // programmatically (no file, no JSON text) runs identically to
         // the same manifest parsed from disk-shaped text.
-        let built = BatchManifest {
-            jobs: vec![JobSpec {
-                name: "a".into(),
-                source: DesignSource::Synth {
-                    cells: 200,
-                    nets: 210,
-                    seed: 3,
-                    macros: 0,
-                },
-                max_iters: Some(60),
-                seed: None,
-                baseline: false,
-                grid: None,
-                fail_at: None,
-            }],
-        };
+        let built = BatchManifest::plain(vec![JobSpec {
+            name: "a".into(),
+            source: DesignSource::Synth {
+                cells: 200,
+                nets: 210,
+                seed: 3,
+                macros: 0,
+            },
+            max_iters: Some(60),
+            seed: None,
+            baseline: false,
+            grid: None,
+            deadline_ns: None,
+            checkpoint_every: None,
+        }]);
         let parsed = manifest(TINY_A);
         assert_eq!(built, parsed, "programmatic and parsed manifests agree");
         let from_built = run_batch(&built, 2);
@@ -517,6 +882,46 @@ mod tests {
             assert_eq!(record.error.as_deref(), Some(CANCELLED_MSG));
         }
         assert_eq!(outcome.cache_stats, (0, 0), "no design was ever loaded");
+    }
+
+    #[test]
+    fn departed_client_skips_unstarted_jobs_and_drains_the_in_flight_one() {
+        // Width 1 makes execution sequential: the client "disconnects"
+        // after job 0 completes, so job 0 must drain bit-identically and
+        // job 1 must be skipped with the disconnect message (distinct
+        // from CANCELLED_MSG — a sibling's drain is not a shutdown).
+        let m = manifest(&format!("{TINY_A}, {TINY_B}"));
+        let gone = AtomicBool::new(false);
+        let cache = DesignCache::new();
+        let observer = |event: BatchEvent<'_>| {
+            if let BatchEvent::JobDone { job: 0, .. } = event {
+                gone.store(true, Ordering::Release);
+            }
+        };
+        let session = BatchSession::new(1, &cache)
+            .with_client_gone(&gone)
+            .with_observer(&observer);
+        let outcome = run_batch_session(&m, &session);
+        assert_eq!(outcome.report.jobs[0].status, JobStatus::Completed);
+        assert_eq!(
+            outcome.report.jobs[1].error.as_deref(),
+            Some(DISCONNECTED_MSG),
+            "jobs after the disconnect must be skipped, not run for nobody"
+        );
+        let reference = run_batch(&m, 1);
+        assert_eq!(outcome.traces[0], reference.traces[0]);
+
+        // When both a drain and a disconnect are pending, the batch-wide
+        // cancel wins the skip message.
+        let cancel = AtomicBool::new(true);
+        let gone = AtomicBool::new(true);
+        let session = BatchSession::new(1, &cache)
+            .with_cancel(&cancel)
+            .with_client_gone(&gone);
+        let outcome = run_batch_session(&m, &session);
+        for record in &outcome.report.jobs {
+            assert_eq!(record.error.as_deref(), Some(CANCELLED_MSG));
+        }
     }
 
     #[test]

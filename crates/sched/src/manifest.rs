@@ -22,6 +22,7 @@
 use std::path::PathBuf;
 use xplace_core::XplaceConfig;
 use xplace_db::synthesis::SynthesisSpec;
+use xplace_fault::FaultPlan;
 use xplace_telemetry::{FromJson, Json, JsonError};
 
 /// Where a job's design comes from.
@@ -89,8 +90,13 @@ pub struct JobSpec {
     pub baseline: bool,
     /// Density-grid override (`"grid"`, power of two).
     pub grid: Option<usize>,
-    /// Test-only fault hook: panic at this GP iteration (`"fail_at"`).
-    pub fail_at: Option<usize>,
+    /// Modeled-ns deadline override for this job (`"deadline_ns"`).
+    /// Falls back to [`BatchManifest::deadline_ns`] when absent.
+    pub deadline_ns: Option<u64>,
+    /// Checkpoint cadence override for this job (`"checkpoint_every"`,
+    /// GP iterations between snapshots). Falls back to
+    /// [`BatchManifest::checkpoint_every`] when absent.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl JobSpec {
@@ -116,17 +122,46 @@ impl JobSpec {
         if let Some(g) = self.grid {
             cfg.grid = Some(g);
         }
-        cfg.fail_at_iteration = self.fail_at;
+        // The fault hook stays disarmed here: the scheduler resolves the
+        // batch's fault plan per attempt and arms `cfg.fault` itself.
         cfg.threads = threads.max(1);
         cfg
     }
 }
 
-/// The parsed batch manifest: a non-empty list of uniquely named jobs.
+/// The parsed batch manifest: a non-empty list of uniquely named jobs
+/// plus batch-wide robustness policy (fault plan, retry budget,
+/// deadlines, checkpoint cadence).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchManifest {
     /// Jobs in manifest order (the order of the batch report).
     pub jobs: Vec<JobSpec>,
+    /// Deterministic fault schedule (`"faults"` array, keyed by job
+    /// name). Empty by default.
+    pub faults: FaultPlan,
+    /// Retry budget per job (`"retries"`, default 0): how many times a
+    /// job that panicked or hit a sink I/O error is re-run.
+    pub retries: usize,
+    /// Batch-default modeled-ns deadline per job (`"deadline_ns"`).
+    /// `None` means no deadline.
+    pub deadline_ns: Option<u64>,
+    /// Batch-default checkpoint cadence in GP iterations
+    /// (`"checkpoint_every"`, 0 = disabled).
+    pub checkpoint_every: usize,
+}
+
+impl BatchManifest {
+    /// A manifest over `jobs` with no faults, retries, deadlines, or
+    /// checkpoints — the pre-robustness behavior.
+    pub fn plain(jobs: Vec<JobSpec>) -> Self {
+        BatchManifest {
+            jobs,
+            faults: FaultPlan::none(),
+            retries: 0,
+            deadline_ns: None,
+            checkpoint_every: 0,
+        }
+    }
 }
 
 impl BatchManifest {
@@ -192,7 +227,8 @@ impl FromJson for JobSpec {
             seed: opt_field(value, "seed")?,
             baseline: opt_field(value, "baseline")?.unwrap_or(false),
             grid: opt_field(value, "grid")?,
-            fail_at: opt_field(value, "fail_at")?,
+            deadline_ns: opt_field(value, "deadline_ns")?,
+            checkpoint_every: opt_field(value, "checkpoint_every")?,
             name,
         })
     }
@@ -210,7 +246,17 @@ impl FromJson for BatchManifest {
                 return Err(JsonError(format!("duplicate job name `{}`", job.name)));
             }
         }
-        Ok(BatchManifest { jobs })
+        let faults = match value.get("faults") {
+            None | Some(Json::Null) => FaultPlan::none(),
+            Some(v) => FaultPlan::from_json(v).map_err(|e| JsonError(format!("faults: {e}")))?,
+        };
+        Ok(BatchManifest {
+            jobs,
+            faults,
+            retries: opt_field(value, "retries")?.unwrap_or(0),
+            deadline_ns: opt_field(value, "deadline_ns")?,
+            checkpoint_every: opt_field(value, "checkpoint_every")?.unwrap_or(0),
+        })
     }
 }
 
@@ -222,8 +268,12 @@ mod tests {
         {"name": "tiny", "synth": {"cells": 300, "nets": 320, "seed": 3},
          "max_iters": 120, "seed": 7},
         {"name": "board", "aux": "bench/board.aux", "density": 0.8,
-         "baseline": true, "grid": 64, "fail_at": 5}
-    ]}"#;
+         "baseline": true, "grid": 64, "deadline_ns": 5000000,
+         "checkpoint_every": 25}
+    ],
+    "faults": [{"target": "board", "kind": "gp_panic", "iteration": 5,
+                "times": 1}],
+    "retries": 2, "checkpoint_every": 50}"#;
 
     #[test]
     fn good_manifest_parses_in_order() {
@@ -251,7 +301,35 @@ mod tests {
         );
         assert!(m.jobs[1].baseline);
         assert_eq!(m.jobs[1].grid, Some(64));
-        assert_eq!(m.jobs[1].fail_at, Some(5));
+        assert_eq!(m.jobs[1].deadline_ns, Some(5_000_000));
+        assert_eq!(m.jobs[1].checkpoint_every, Some(25));
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.deadline_ns, None);
+        assert_eq!(m.checkpoint_every, 50);
+        assert_eq!(m.faults.gp_fault("board", 0).panic_at, Some(5));
+        assert_eq!(m.faults.gp_fault("board", 1).panic_at, None);
+    }
+
+    #[test]
+    fn robustness_policy_defaults_to_off() {
+        let m =
+            BatchManifest::parse(r#"{"jobs": [{"name": "d", "synth": {"cells": 100}}]}"#).unwrap();
+        assert!(m.faults.is_empty());
+        assert_eq!(m.retries, 0);
+        assert_eq!(m.deadline_ns, None);
+        assert_eq!(m.checkpoint_every, 0);
+        assert_eq!(m, BatchManifest::plain(m.jobs.clone()));
+    }
+
+    #[test]
+    fn malformed_fault_plans_are_rejected_with_context() {
+        let err = BatchManifest::parse(
+            r#"{"jobs": [{"name": "a", "synth": {"cells": 10}}],
+                "faults": [{"target": "a", "kind": "nope"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("faults:"), "{err}");
+        assert!(err.to_string().contains("unknown fault kind"), "{err}");
     }
 
     #[test]
@@ -279,11 +357,12 @@ mod tests {
         assert_eq!(cfg.schedule.max_iterations, 120);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.threads, 4);
-        assert_eq!(cfg.fail_at_iteration, None);
+        assert_eq!(cfg.fault, xplace_fault::GpFault::NONE);
         let cfg = m.jobs[1].config(0);
         assert_eq!(cfg.framework, xplace_core::Framework::DreamplaceLike);
         assert_eq!(cfg.grid, Some(64));
-        assert_eq!(cfg.fail_at_iteration, Some(5));
+        // Faults are armed by the scheduler per attempt, never here.
+        assert_eq!(cfg.fault, xplace_fault::GpFault::NONE);
         assert_eq!(cfg.threads, 1);
     }
 

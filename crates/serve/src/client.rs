@@ -45,6 +45,7 @@ impl Submission {
 pub struct Client {
     addr: String,
     identity: Option<String>,
+    deadline_ns: Option<u64>,
 }
 
 impl Client {
@@ -54,7 +55,13 @@ impl Client {
         Client {
             addr: addr.into(),
             identity: None,
+            deadline_ns: None,
         }
+    }
+
+    /// The daemon address this client is bound to.
+    pub fn addr(&self) -> &str {
+        &self.addr
     }
 
     /// Sets the `X-Client` identity quotas and fairness key on.
@@ -63,10 +70,20 @@ impl Client {
         self
     }
 
+    /// Sets the `X-Deadline-Ns` per-request modeled-time deadline every
+    /// job of a submitted batch must finish within.
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
     fn request(&self, method: &str, target: &str, body: &[u8]) -> Request {
         let mut headers = vec![("Host".to_string(), self.addr.clone())];
         if let Some(identity) = &self.identity {
             headers.push(("X-Client".to_string(), identity.clone()));
+        }
+        if let Some(ns) = self.deadline_ns {
+            headers.push(("X-Deadline-Ns".to_string(), ns.to_string()));
         }
         Request {
             method: method.into(),
@@ -164,6 +181,22 @@ impl Client {
             return Err(invalid(format!("/stats returned {}: {body}", head.status)));
         }
         Json::parse(&body).map_err(|e| invalid(format!("bad /stats JSON: {e}")))
+    }
+
+    /// Fetches `GET /health` as parsed JSON (`status` is one of `ok`,
+    /// `draining`, `degraded`).
+    ///
+    /// # Errors
+    ///
+    /// Network failures, non-200 statuses, and malformed JSON.
+    pub fn health(&self) -> io::Result<Json> {
+        let request = self.request("GET", "/health", b"");
+        let (head, mut stream) = self.send(&request)?;
+        let body = read_sized_body(&head, &mut stream)?;
+        if head.status != 200 {
+            return Err(invalid(format!("/health returned {}: {body}", head.status)));
+        }
+        Json::parse(&body).map_err(|e| invalid(format!("bad /health JSON: {e}")))
     }
 
     /// Triggers graceful shutdown via `POST /shutdown`.

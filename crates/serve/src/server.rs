@@ -37,7 +37,7 @@ use crate::http::{
 use crate::wire::Frame;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -198,6 +198,7 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: &Shared) -> io
     match (request.method.as_str(), request.target.as_str()) {
         ("POST", "/batch") => handle_batch(&stream, peer, shared, &request),
         ("GET", "/stats") => handle_stats(&stream, shared),
+        ("GET", "/health") => handle_health(&stream, shared),
         ("POST", "/shutdown") => handle_shutdown(&stream, shared),
         (_, target) => write_response(
             &mut &stream,
@@ -287,7 +288,7 @@ fn handle_batch(
             )
         }
     };
-    let manifest = match BatchManifest::parse(body) {
+    let mut manifest = match BatchManifest::parse(body) {
         Ok(manifest) => manifest,
         Err(error) => {
             return write_response(
@@ -300,6 +301,30 @@ fn handle_batch(
             )
         }
     };
+    // A per-request modeled-time deadline caps every job of the batch
+    // (manifest- or job-level deadlines still win where tighter, since
+    // job-level overrides beat the manifest default in sched).
+    if let Some(raw) = request.header("x-deadline-ns") {
+        match raw.trim().parse::<u64>() {
+            Ok(ns) => {
+                manifest.deadline_ns = Some(match manifest.deadline_ns {
+                    Some(existing) => existing.min(ns),
+                    None => ns,
+                });
+            }
+            Err(_) => {
+                return write_response(
+                    &mut &*stream,
+                    400,
+                    "Bad Request",
+                    &[],
+                    "text/plain",
+                    format!("X-Deadline-Ns must be a non-negative integer, got {raw:?}\n")
+                        .as_bytes(),
+                )
+            }
+        }
+    }
     let client = client_identity(request, peer);
     let ticket = match shared.admission.try_enqueue(&client) {
         Ok(ticket) => ticket,
@@ -339,13 +364,28 @@ fn handle_batch(
     )?;
 
     // Frames go out under one lock so chunks never interleave
-    // mid-frame; a peer that vanished mid-stream flips `dead` and the
-    // batch finishes silently (results are still counted server-side).
+    // mid-frame. A peer that vanished mid-stream flips `dead`: in-flight
+    // jobs drain bit-identically (their results still count server-side
+    // and keep warming the caches), but this request's not-yet-started
+    // jobs are skipped — nobody is listening for them. Sibling requests
+    // have their own flag and are unaffected.
     let writer = Mutex::new(ChunkedWriter::new(stream));
     let dead = AtomicBool::new(false);
+    // A `drop_connection` fault targeting this client identity severs the
+    // stream after the scheduled frame count — the deterministic stand-in
+    // for a peer vanishing mid-stream (real RST timing is racy), driving
+    // the exact same skip/drain path below.
+    let drop_after = manifest.faults.drop_after_frames(&client, 0);
+    let sent = AtomicUsize::new(0);
     let send = |frame: &Frame| {
         if dead.load(Ordering::Relaxed) {
             return;
+        }
+        if let Some(limit) = drop_after {
+            if sent.fetch_add(1, Ordering::Relaxed) >= limit {
+                dead.store(true, Ordering::Relaxed);
+                return;
+            }
         }
         let mut line = frame.to_json_string();
         line.push('\n');
@@ -372,6 +412,7 @@ fn handle_batch(
     };
     let session = BatchSession::new(shared.config.threads, &shared.cache)
         .with_cancel(&shared.draining)
+        .with_client_gone(&dead)
         .with_observer(&observer);
     let outcome = run_batch_session(&manifest, &session);
 
@@ -425,6 +466,8 @@ fn handle_stats(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
                 ("hits", design_hits.to_json()),
                 ("misses", design_misses.to_json()),
                 ("entries", shared.cache.len().to_json()),
+                ("capacity", shared.cache.capacity().to_json()),
+                ("evictions", shared.cache.evictions().to_json()),
             ]),
         ),
         (
@@ -432,9 +475,43 @@ fn handle_stats(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
             Json::obj([
                 ("hits", plan_hits.to_json()),
                 ("misses", plan_misses.to_json()),
+                ("evictions", xplace_fft::plan_cache_evictions().to_json()),
             ]),
         ),
         ("threads", shared.config.threads.to_json()),
+    ]);
+    write_response(
+        &mut &*stream,
+        200,
+        "OK",
+        &[],
+        "application/json",
+        format!("{}\n", body.render()).as_bytes(),
+    )
+}
+
+/// `GET /health`: one of three states, always HTTP 200 so probes can
+/// distinguish "unhealthy" from "unreachable":
+///
+/// * `draining` — `POST /shutdown` was received; new batches are shed.
+/// * `degraded` — at least one job has failed since process start (the
+///   daemon still serves, but something needs attention).
+/// * `ok` — neither.
+fn handle_health(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
+    let jobs_failed = {
+        let c = shared.counters.lock().unwrap_or_else(|e| e.into_inner());
+        c.jobs_failed
+    };
+    let status = if shared.draining.load(Ordering::Acquire) {
+        "draining"
+    } else if jobs_failed > 0 {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let body = Json::obj([
+        ("status", Json::Str(status.to_string())),
+        ("jobs_failed", jobs_failed.to_json()),
     ]);
     write_response(
         &mut &*stream,

@@ -57,6 +57,12 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// The run summary; `None` for failed jobs.
     pub report: Option<RunReport>,
+    /// Retries the scheduler spent on this job (0 = first attempt won).
+    pub retries: usize,
+    /// Checkpoint snapshots saved across all attempts of this job.
+    pub checkpoints: usize,
+    /// Whether the job failed its modeled-ns deadline.
+    pub deadline_exceeded: bool,
 }
 
 impl JobRecord {
@@ -67,6 +73,9 @@ impl JobRecord {
             status: JobStatus::Completed,
             error: None,
             report: Some(report),
+            retries: 0,
+            checkpoints: 0,
+            deadline_exceeded: false,
         }
     }
 
@@ -77,7 +86,23 @@ impl JobRecord {
             status: JobStatus::Failed,
             error: Some(error.into()),
             report: None,
+            retries: 0,
+            checkpoints: 0,
+            deadline_exceeded: false,
         }
+    }
+
+    /// Attaches the scheduler's fault bookkeeping to this record.
+    pub fn with_fault_stats(
+        mut self,
+        retries: usize,
+        checkpoints: usize,
+        deadline_exceeded: bool,
+    ) -> Self {
+        self.retries = retries;
+        self.checkpoints = checkpoints;
+        self.deadline_exceeded = deadline_exceeded;
+        self
     }
 }
 
@@ -118,6 +143,16 @@ impl BatchReport {
         self.failed() == 0
     }
 
+    /// Number of jobs that needed at least one retry.
+    pub fn retried(&self) -> usize {
+        self.jobs.iter().filter(|j| j.retries > 0).count()
+    }
+
+    /// Number of jobs that blew their modeled-ns deadline.
+    pub fn deadline_exceeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.deadline_exceeded).count()
+    }
+
     /// Looks up a job record by name.
     pub fn job(&self, name: &str) -> Option<&JobRecord> {
         self.jobs.iter().find(|j| j.name == name)
@@ -131,6 +166,9 @@ impl ToJson for JobRecord {
             ("status", self.status.to_json()),
             ("error", self.error.to_json()),
             ("report", self.report.to_json()),
+            ("retries", self.retries.to_json()),
+            ("checkpoints", self.checkpoints.to_json()),
+            ("deadline_exceeded", self.deadline_exceeded.to_json()),
         ])
     }
 }
@@ -142,6 +180,20 @@ impl FromJson for JobRecord {
             status: JobStatus::from_json(value.field("status")?)?,
             error: Option::<String>::from_json(value.field("error")?)?,
             report: Option::<RunReport>::from_json(value.field("report")?)?,
+            // Fault bookkeeping arrived after the first baselines were
+            // captured; absent keys mean a pre-fault-plan record.
+            retries: match value.get("retries") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            checkpoints: match value.get("checkpoints") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            deadline_exceeded: match value.get("deadline_exceeded") {
+                Some(v) => bool::from_json(v)?,
+                None => false,
+            },
         })
     }
 }
@@ -153,6 +205,8 @@ impl ToJson for BatchReport {
             ("total", self.total().to_json()),
             ("completed", self.completed().to_json()),
             ("failed", self.failed().to_json()),
+            ("retried", self.retried().to_json()),
+            ("deadline_exceeded", self.deadline_exceeded().to_json()),
         ])
     }
 }
@@ -314,6 +368,30 @@ mod tests {
         let cmp = compare_batch_reports(&base, &cur, &Tolerances::default());
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("job set mismatch"));
+    }
+
+    #[test]
+    fn fault_stats_round_trip_and_summarize() {
+        let mut report = sample_batch();
+        report.jobs[1] = report.jobs[1].clone().with_fault_stats(2, 3, false);
+        report.jobs[2] = report.jobs[2].clone().with_fault_stats(1, 0, true);
+        assert_eq!(report.retried(), 2);
+        assert_eq!(report.deadline_exceeded(), 1);
+        let text = report.to_json_string();
+        assert!(text.contains("\"retried\":2"));
+        assert!(text.contains("\"deadline_exceeded\":1"));
+        let back = BatchReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn records_without_fault_stats_parse_with_defaults() {
+        // A baseline captured before the fault-plan fields existed.
+        let text = r#"{"name":"old","status":"failed","error":"boom","report":null}"#;
+        let record = JobRecord::from_json_str(text).unwrap();
+        assert_eq!(record.retries, 0);
+        assert_eq!(record.checkpoints, 0);
+        assert!(!record.deadline_exceeded);
     }
 
     #[test]

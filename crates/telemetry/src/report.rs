@@ -207,6 +207,12 @@ pub struct RunReport {
     /// Scaling bench (absent unless the run recorded it). Reports written
     /// before this field existed parse as `None`.
     pub scaling: Option<ScalingMetrics>,
+    /// A trace-sink I/O failure observed during the run (e.g. the disk
+    /// behind `--trace` filled up). The placement result is still valid
+    /// but the trace file is incomplete, so drivers must treat this as a
+    /// run failure. Reports written before this field existed parse as
+    /// `None`.
+    pub trace_error: Option<String>,
 }
 
 impl RunReport {
@@ -419,6 +425,7 @@ impl ToJson for RunReport {
             ("route", self.route.to_json()),
             ("spectral", self.spectral.to_json()),
             ("scaling", self.scaling.to_json()),
+            ("trace_error", self.trace_error.to_json()),
         ])
     }
 }
@@ -443,6 +450,11 @@ impl FromJson for RunReport {
             // Likewise tolerant of pre-scaling reports.
             scaling: match value.get("scaling") {
                 Some(v) => Option::<ScalingMetrics>::from_json(v)?,
+                None => None,
+            },
+            // Likewise tolerant of reports predating sticky-sink surfacing.
+            trace_error: match value.get("trace_error") {
+                Some(v) => Option::<String>::from_json(v)?,
                 None => None,
             },
         })
@@ -545,6 +557,7 @@ pub(crate) mod tests {
                     },
                 ],
             }),
+            trace_error: None,
         }
     }
 
@@ -612,6 +625,21 @@ pub(crate) mod tests {
         let text = report.to_json_string();
         let stripped = text.replace(",\"scaling\":null", "");
         assert_ne!(stripped, text, "fixture must contain the null key");
+        let back = RunReport::from_json_str(&stripped).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn trace_error_round_trips_and_old_reports_parse() {
+        let mut report = sample_report();
+        report.trace_error = Some("injected write fault".into());
+        let text = report.to_json_string();
+        assert!(text.contains("\"trace_error\":\"injected write fault\""));
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+        // Reports written before the field existed have no key at all.
+        report.trace_error = None;
+        let stripped = report.to_json_string().replace(",\"trace_error\":null", "");
         let back = RunReport::from_json_str(&stripped).unwrap();
         assert_eq!(back, report);
     }

@@ -59,8 +59,9 @@ fi
 cat > "$SMOKE/fail-suite.json" <<EOF
 {"jobs": [
   {"name": "fine",  "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120},
-  {"name": "crash", "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120, "fail_at": 5}
-]}
+  {"name": "crash", "aux": "$SMOKE/ci-smoke.aux", "max_iters": 120}
+],
+"faults": [{"target": "crash", "kind": "gp_panic", "iteration": 5}]}
 EOF
 if ./target/release/xplace batch "$SMOKE/fail-suite.json" --threads 2 \
     --report "$SMOKE/batch-fail.json" >"$SMOKE/batch-fail.out" 2>/dev/null; then
@@ -69,6 +70,30 @@ if ./target/release/xplace batch "$SMOKE/fail-suite.json" --threads 2 \
 fi
 grep -q "fine .*completed" "$SMOKE/batch-fail.out" \
     || { echo "FAIL: the healthy sibling did not complete" >&2; exit 1; }
+
+echo "==> resume determinism: checkpointed place resumes byte-identically (threads 1, 4)"
+for T in 1 4; do
+    ./target/release/xplace place "$SMOKE/ci-smoke.aux" --max-iters 120 --threads "$T" \
+        -o "$SMOKE/full-t$T.pl" --trace "$SMOKE/full-t$T.jsonl" \
+        --checkpoint-every 50 --checkpoint-file "$SMOKE/ckpt-t$T.json" >/dev/null
+    ./target/release/xplace place "$SMOKE/ci-smoke.aux" --max-iters 120 --threads "$T" \
+        -o "$SMOKE/resumed-t$T.pl" --trace "$SMOKE/resumed-t$T.jsonl" \
+        --resume-from "$SMOKE/ckpt-t$T.json" >/dev/null
+    # Contract: the resumed trace, minus its run_start line, is a byte-exact
+    # suffix of the uninterrupted trace, and the placement is identical.
+    tail -n +2 "$SMOKE/resumed-t$T.jsonl" > "$SMOKE/resumed-tail-t$T.jsonl"
+    N=$(wc -l < "$SMOKE/resumed-tail-t$T.jsonl")
+    tail -n "$N" "$SMOKE/full-t$T.jsonl" > "$SMOKE/full-tail-t$T.jsonl"
+    cmp "$SMOKE/resumed-tail-t$T.jsonl" "$SMOKE/full-tail-t$T.jsonl" \
+        || { echo "FAIL: resumed trace is not a suffix of the full trace (threads $T)" >&2; exit 1; }
+    cmp "$SMOKE/resumed-t$T.pl" "$SMOKE/full-t$T.pl" \
+        || { echo "FAIL: resumed placement differs from the full run (threads $T)" >&2; exit 1; }
+done
+cmp "$SMOKE/resumed-t1.jsonl" "$SMOKE/resumed-t4.jsonl" \
+    || { echo "FAIL: resumed traces differ across thread counts" >&2; exit 1; }
+
+echo "==> chaos soak: seeded fault injection, retry recovery, client-drop conservation"
+./target/release/chaos_soak --smoke
 
 echo "==> serve smoke: daemon round trip, wire-vs-batch parity, soak, graceful drain"
 ./target/release/xplace serve --addr 127.0.0.1:0 --threads 4 >"$SMOKE/serve.log" 2>&1 &

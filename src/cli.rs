@@ -87,6 +87,50 @@ pub fn parse_threads(args: &[String], default: usize) -> Result<usize, String> {
     Ok(threads)
 }
 
+/// Robustness flags of the `place` subcommand: checkpoint cadence and
+/// destination, a snapshot to resume from, and a modeled-ns deadline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlaceRobustArgs {
+    /// Checkpoint cadence in GP iterations (`--checkpoint-every`, 0 =
+    /// disabled).
+    pub checkpoint_every: usize,
+    /// Checkpoint file (`--checkpoint-file`); required when the cadence
+    /// is non-zero.
+    pub checkpoint_file: Option<std::path::PathBuf>,
+    /// Checkpoint file to resume from (`--resume-from`).
+    pub resume_from: Option<std::path::PathBuf>,
+    /// Modeled-ns budget for the GP run (`--deadline-ns`); exceeding it
+    /// is a run failure.
+    pub deadline_ns: Option<u64>,
+}
+
+/// Parses the `place` robustness flags (`--checkpoint-every N
+/// --checkpoint-file F`, `--resume-from F`, `--deadline-ns N`).
+///
+/// # Errors
+///
+/// A non-zero checkpoint cadence without `--checkpoint-file` is
+/// rejected, as are the usual flag-parsing failures.
+pub fn parse_place_robust_args(args: &[String]) -> Result<PlaceRobustArgs, String> {
+    let checkpoint_every: usize = parse_flag(args, "--checkpoint-every", 0)?;
+    let checkpoint_file = flag_value(args, "--checkpoint-file")?.map(std::path::PathBuf::from);
+    if checkpoint_every > 0 && checkpoint_file.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-file".into());
+    }
+    Ok(PlaceRobustArgs {
+        checkpoint_every,
+        checkpoint_file,
+        resume_from: flag_value(args, "--resume-from")?.map(std::path::PathBuf::from),
+        deadline_ns: match flag_value(args, "--deadline-ns")? {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|e| format!("invalid value '{v}' for --deadline-ns: {e}"))?,
+            ),
+        },
+    })
+}
+
 /// Parsed arguments of the `batch` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchArgs {
@@ -99,11 +143,14 @@ pub struct BatchArgs {
     pub trace_dir: Option<std::path::PathBuf>,
     /// Path to write the batch report JSON to, if requested.
     pub report: Option<std::path::PathBuf>,
+    /// Retry-budget override (`--retries`); `None` keeps the manifest's
+    /// value.
+    pub retries: Option<usize>,
 }
 
 /// Parses `batch <manifest.json> [--threads N] [--trace-dir DIR]
-/// [--report out.json]`. Returns `Ok(None)` when the manifest positional
-/// is missing (the caller prints usage).
+/// [--report out.json] [--retries N]`. Returns `Ok(None)` when the
+/// manifest positional is missing (the caller prints usage).
 ///
 /// # Errors
 ///
@@ -121,6 +168,13 @@ pub fn parse_batch_args(
         threads: parse_threads(args, default_threads)?,
         trace_dir: flag_value(args, "--trace-dir")?.map(std::path::PathBuf::from),
         report: flag_value(args, "--report")?.map(std::path::PathBuf::from),
+        retries: match flag_value(args, "--retries")? {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|e| format!("invalid value '{v}' for --retries: {e}"))?,
+            ),
+        },
     }))
 }
 
@@ -392,6 +446,52 @@ mod tests {
         assert_eq!(parsed.threads, 2);
         assert_eq!(parsed.trace_dir, Some(std::path::PathBuf::from("traces")));
         assert_eq!(parsed.report, Some(std::path::PathBuf::from("batch.json")));
+    }
+
+    #[test]
+    fn batch_retries_override_parses_and_rejects_garbage() {
+        let parsed = parse_batch_args(&argv(&["m.json"]), 4).unwrap().unwrap();
+        assert_eq!(parsed.retries, None);
+        let parsed = parse_batch_args(&argv(&["m.json", "--retries", "2"]), 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.retries, Some(2));
+        assert!(parse_batch_args(&argv(&["m.json", "--retries", "lots"]), 4).is_err());
+    }
+
+    #[test]
+    fn place_robust_args_parse_with_defaults_and_flags() {
+        let parsed = parse_place_robust_args(&argv(&[])).unwrap();
+        assert_eq!(parsed, PlaceRobustArgs::default());
+
+        let parsed = parse_place_robust_args(&argv(&[
+            "--checkpoint-every",
+            "25",
+            "--checkpoint-file",
+            "gp.ckpt",
+            "--resume-from",
+            "old.ckpt",
+            "--deadline-ns",
+            "5000000000",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.checkpoint_every, 25);
+        assert_eq!(
+            parsed.checkpoint_file,
+            Some(std::path::PathBuf::from("gp.ckpt"))
+        );
+        assert_eq!(
+            parsed.resume_from,
+            Some(std::path::PathBuf::from("old.ckpt"))
+        );
+        assert_eq!(parsed.deadline_ns, Some(5_000_000_000));
+    }
+
+    #[test]
+    fn checkpoint_cadence_without_a_file_is_rejected() {
+        let err = parse_place_robust_args(&argv(&["--checkpoint-every", "25"])).unwrap_err();
+        assert!(err.contains("requires --checkpoint-file"), "{err}");
+        assert!(parse_place_robust_args(&argv(&["--deadline-ns", "soon"])).is_err());
     }
 
     #[test]

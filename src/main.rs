@@ -37,10 +37,13 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use xplace::cli::{
-    flag_value, has_flag, load_manifest, parse_batch_args, parse_flag, parse_positional,
-    parse_serve_args, parse_servectl_args, parse_submit_args, parse_threads, positional, ServeCtl,
+    flag_value, has_flag, load_manifest, parse_batch_args, parse_flag, parse_place_robust_args,
+    parse_positional, parse_serve_args, parse_servectl_args, parse_submit_args, parse_threads,
+    positional, ServeCtl,
 };
-use xplace::core::{GlobalPlacer, XplaceConfig};
+use xplace::core::{
+    Checkpoint, CheckpointOptions, CheckpointStore, FileCheckpointStore, GlobalPlacer, XplaceConfig,
+};
 use xplace::db::synthesis::{synthesize, SynthesisSpec, Topology};
 use xplace::db::{bookshelf, DesignStats};
 use xplace::legal::{check_legality, detailed_place, legalize, DpConfig};
@@ -53,8 +56,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  xplace place <design.aux> [-o out.pl] [--density D] [--baseline] \
          [--max-iters N] [--seed N] [--threads N] [--multilevel] [--coarse-iters N] \
-         [--trace out.jsonl] [--report out.json]\n  \
-         xplace batch <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json]\n  \
+         [--trace out.jsonl] [--report out.json] [--checkpoint-every N \
+         --checkpoint-file F] [--resume-from F] [--deadline-ns N]\n  \
+         xplace batch <manifest.json> [--threads N] [--trace-dir DIR] [--report out.json] \
+         [--retries N]\n  \
          xplace serve [--addr HOST:PORT] [--threads N] [--queue-depth N] \
          [--max-inflight-per-client N]\n  \
          xplace submit <manifest.json> [--addr HOST:PORT] [--client NAME] \
@@ -95,6 +100,7 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| Path::new(aux).with_extension("placed.pl"));
     let trace_path = flag_value(args, "--trace")?.map(PathBuf::from);
     let report_path = flag_value(args, "--report")?.map(PathBuf::from);
+    let robust = parse_place_robust_args(args)?;
     let mut design = bookshelf::read_aux(Path::new(aux), density)?;
     println!("loaded {}", DesignStats::of(&design));
 
@@ -120,19 +126,62 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    let resume_cp: Option<Checkpoint> = match &robust.resume_from {
+        Some(p) => {
+            let cp = Checkpoint::load(p)?;
+            println!("resuming from {} (iteration {})", p.display(), cp.iteration);
+            Some(cp)
+        }
+        None => None,
+    };
+    let store: Option<FileCheckpointStore> = robust
+        .checkpoint_file
+        .as_ref()
+        .map(FileCheckpointStore::new);
+    let ckpt = CheckpointOptions {
+        every: robust.checkpoint_every,
+        store: store.as_ref().map(|s| s as &dyn CheckpointStore),
+        resume: resume_cp.as_ref(),
+    };
+
     // With --trace, events stream straight to disk as JSON-lines; without
-    // it the NullSink keeps the hot loop free of telemetry work.
+    // it the NullSink keeps the hot loop free of telemetry work. A trace
+    // I/O failure does not abort the run — the placement is still valid —
+    // but it is surfaced in the report and fails the exit code.
+    let mut trace_error: Option<String> = None;
     let gp = match &trace_path {
         Some(p) => {
             let mut sink = JsonLinesSink::new(BufWriter::new(File::create(p)?));
-            let gp = GlobalPlacer::new(config.clone()).place_traced(&mut design, &mut sink)?;
+            let gp = GlobalPlacer::new(config.clone()).place_traced_opts(
+                &mut design,
+                &mut sink,
+                ckpt,
+            )?;
             let written = sink.written();
-            sink.finish()?.into_inner().map_err(|e| e.into_error())?;
-            println!("trace written to {} ({written} events)", p.display());
+            let flushed = sink
+                .finish()
+                .and_then(|w| w.into_inner().map_err(|e| e.into_error()))
+                .and_then(|mut f| std::io::Write::flush(&mut f).map(|()| f));
+            match flushed {
+                Ok(_) => println!("trace written to {} ({written} events)", p.display()),
+                Err(e) => {
+                    eprintln!("warning: trace stream failed after {written} event(s): {e}");
+                    trace_error = Some(e.to_string());
+                }
+            }
             gp
         }
-        None => GlobalPlacer::new(config.clone()).place_traced(&mut design, &mut NullSink)?,
+        None => {
+            GlobalPlacer::new(config.clone()).place_traced_opts(&mut design, &mut NullSink, ckpt)?
+        }
     };
+    if let Some(s) = &store {
+        println!(
+            "checkpoints: {} snapshot(s) written to {}",
+            s.saves(),
+            s.path().display()
+        );
+    }
     println!(
         "GP: {} iterations, overflow {:.3} -> {:.3}, HPWL {:.0} -> {:.0}, \
          modeled GPU {:.3}s ({:.3} ms/iter), wall {:.2}s",
@@ -192,6 +241,7 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }),
             spectral: None,
             scaling: None,
+            trace_error: trace_error.clone(),
         };
         std::fs::write(p, report.to_json_string())?;
         println!("report written to {}", p.display());
@@ -199,13 +249,25 @@ fn cmd_place(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     bookshelf::write_pl(&design, &out)?;
     println!("placement written to {}", out.display());
+    if let Some(e) = trace_error {
+        return Err(format!("trace stream failed: {e}").into());
+    }
+    if let Some(deadline) = robust.deadline_ns {
+        let modeled = gp.profile.modeled_ns();
+        if modeled > deadline {
+            return Err(format!("deadline exceeded: {modeled} modeled ns > {deadline} ns").into());
+        }
+    }
     Ok(())
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let parsed =
         parse_batch_args(args, xplace::parallel::available_threads())?.unwrap_or_else(|| usage());
-    let manifest = load_manifest(&parsed.manifest)?;
+    let mut manifest = load_manifest(&parsed.manifest)?;
+    if let Some(retries) = parsed.retries {
+        manifest.retries = retries;
+    }
     println!(
         "batch: {} job(s) from {} on {} thread(s)",
         manifest.jobs.len(),

@@ -89,9 +89,10 @@ fn injected_failure_is_isolated_and_reported() {
     let broken = format!(
         r#"{{"jobs": [
             {{"name": "ok1", "synth": {{"cells": 260, "nets": 280, "seed": 4}}, "max_iters": {MAX_ITERS}, "seed": 104}},
-            {{"name": "doomed", "synth": {{"cells": 300, "nets": 320, "seed": 3}}, "max_iters": {MAX_ITERS}, "seed": 103, "fail_at": 7}},
+            {{"name": "doomed", "synth": {{"cells": 300, "nets": 320, "seed": 3}}, "max_iters": {MAX_ITERS}, "seed": 103}},
             {{"name": "ok2", "synth": {{"cells": 340, "nets": 360, "seed": 5}}, "max_iters": {MAX_ITERS}, "seed": 105}}
-        ]}}"#
+        ],
+        "faults": [{{"target": "doomed", "kind": "gp_panic", "iteration": 7}}]}}"#
     );
     let manifest = BatchManifest::parse(&broken).expect("manifest parses");
     let batch = run_batch(&manifest, 4);
@@ -233,8 +234,9 @@ fn batch_cli_exits_nonzero_when_a_job_fails() {
         &manifest_path,
         r#"{"jobs": [
             {"name": "fine",  "synth": {"cells": 200, "nets": 210, "seed": 3}, "max_iters": 60},
-            {"name": "crash", "synth": {"cells": 200, "nets": 210, "seed": 3}, "max_iters": 60, "fail_at": 4}
-        ]}"#,
+            {"name": "crash", "synth": {"cells": 200, "nets": 210, "seed": 3}, "max_iters": 60}
+        ],
+        "faults": [{"target": "crash", "kind": "gp_panic", "iteration": 4}]}"#,
     )
     .unwrap();
     let report_path = dir.join("batch.json");

@@ -19,8 +19,9 @@ fn parity_manifest() -> String {
         r#"{{"jobs": [
             {{"name": "job0", "synth": {{"cells": 300, "nets": 320, "seed": 3}}, "max_iters": {MAX_ITERS}, "seed": 103}},
             {{"name": "job1", "synth": {{"cells": 260, "nets": 280, "seed": 4}}, "max_iters": {MAX_ITERS}, "seed": 104}},
-            {{"name": "doomed", "synth": {{"cells": 340, "nets": 360, "seed": 5}}, "max_iters": {MAX_ITERS}, "seed": 105, "fail_at": 9}}
-        ]}}"#
+            {{"name": "doomed", "synth": {{"cells": 340, "nets": 360, "seed": 5}}, "max_iters": {MAX_ITERS}, "seed": 105}}
+        ],
+        "faults": [{{"target": "doomed", "kind": "gp_panic", "iteration": 9}}]}}"#
     )
 }
 
@@ -290,6 +291,206 @@ fn malformed_requests_get_contextual_rejections() {
     // No jobs ran; nothing was admitted.
     let stats = client.stats().unwrap();
     assert_eq!(stat(&stats, "admitted"), 0);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn health_reports_ok_then_degraded() {
+    let (client, handle) = serve(ServeConfig::default());
+    let health = client.health().expect("/health responds");
+    assert_eq!(
+        health.field("status").unwrap().as_str().unwrap(),
+        "ok",
+        "a fresh daemon is healthy"
+    );
+
+    // One failed job (the injected gp_panic) flips the daemon to
+    // degraded: it still serves, but something needs attention.
+    client
+        .submit(&parity_manifest())
+        .unwrap()
+        .expect_completed();
+    let health = client.health().unwrap();
+    assert_eq!(
+        health.field("status").unwrap().as_str().unwrap(),
+        "degraded"
+    );
+    assert_eq!(stat(&health, "jobs_failed"), 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn wire_deadline_header_caps_every_job_of_the_batch() {
+    let (client, handle) = serve(ServeConfig::default());
+
+    // A 1 ns modeled deadline is unmeetable: every job must fail with
+    // the deadline message, deterministically.
+    let strict = client.clone().with_deadline_ns(1);
+    let wire = strict
+        .submit(&tiny_manifest("rushed"))
+        .unwrap()
+        .expect_completed();
+    assert_eq!(wire.report.failed(), 1);
+    let record = wire.report.job("rushed").unwrap();
+    assert!(
+        record
+            .error
+            .as_deref()
+            .unwrap()
+            .starts_with(xplace::sched::DEADLINE_MSG),
+        "error was {:?}",
+        record.error
+    );
+    assert!(record.deadline_exceeded);
+
+    // A generous deadline changes nothing: bit-identical to no deadline.
+    let relaxed = client.clone().with_deadline_ns(u64::MAX / 2);
+    let capped = relaxed
+        .submit(&tiny_manifest("easy"))
+        .unwrap()
+        .expect_completed();
+    let free = client
+        .submit(&tiny_manifest("easy"))
+        .unwrap()
+        .expect_completed();
+    assert!(capped.report.all_completed());
+    assert_eq!(capped.traces, free.traces);
+
+    // A garbage header value is a 400 before any work starts.
+    let raw = format!(
+        "POST /batch HTTP/1.1\r\nHost: x\r\nX-Deadline-Ns: banana\r\nContent-Length: {}\r\n\r\n{}",
+        tiny_manifest("junk").len(),
+        tiny_manifest("junk")
+    );
+    let mut socket = std::net::TcpStream::connect(client.addr()).unwrap();
+    std::io::Write::write_all(&mut socket, raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut socket, &mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "expected 400, got: {}",
+        response.lines().next().unwrap_or("")
+    );
+    assert!(response.contains("X-Deadline-Ns"), "{response}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_stream_disconnect_skips_that_clients_remaining_jobs_only() {
+    // threads=1 serializes the disconnected batch's jobs; concurrency=2
+    // lets a sibling batch run at the same time to prove isolation.
+    let (client, handle) = serve(ServeConfig {
+        threads: 1,
+        concurrency: 2,
+        ..Default::default()
+    });
+    let manifest_text = format!(
+        r#"{{"jobs": [
+            {{"name": "inflight", "synth": {{"cells": 420, "nets": 450, "seed": 9}}, "max_iters": 900, "seed": 7}},
+            {{"name": "notstarted", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}}
+        ]}}"#
+    );
+
+    // Submit over a raw socket so the connection can be dropped the
+    // moment telemetry starts flowing (the high-level client blocks to
+    // completion). Keep reading until a trace frame proves the first job
+    // is in flight — dropping earlier races the response-head write and
+    // the server rightly treats that as a client that died before the
+    // batch started (nothing runs, nothing is counted).
+    let mut socket = std::net::TcpStream::connect(client.addr()).unwrap();
+    let raw = format!(
+        "POST /batch HTTP/1.1\r\nHost: x\r\nX-Client: quitter\r\nContent-Length: {}\r\n\r\n{manifest_text}",
+        manifest_text.len()
+    );
+    std::io::Write::write_all(&mut socket, raw.as_bytes()).unwrap();
+    let mut seen = Vec::new();
+    let mut buf = [0u8; 4096];
+    while !String::from_utf8_lossy(&seen).contains(r#""frame":"trace""#) {
+        let n = std::io::Read::read(&mut socket, &mut buf).unwrap();
+        assert!(n > 0, "the stream ended before the first trace frame");
+        seen.extend_from_slice(&buf[..n]);
+    }
+    drop(socket); // mid-stream disconnect
+
+    // A sibling client's batch, running concurrently, is unaffected —
+    // byte-identical to an undisturbed run.
+    let sibling = client
+        .clone()
+        .with_identity("steady")
+        .submit(&tiny_manifest("steady-job"))
+        .unwrap()
+        .expect_completed();
+    assert!(sibling.report.all_completed());
+    let reference = run_batch(
+        &BatchManifest::parse(&tiny_manifest("steady-job")).unwrap(),
+        1,
+    );
+    assert_eq!(sibling.traces, reference.traces);
+
+    // Server-side accounting: the quitter's in-flight job drains to
+    // completion (results keep warming the caches), its unstarted job is
+    // skipped as failed — exactly one completed + one failed beyond the
+    // sibling's.
+    let stats = wait_for_stats(&client, "the abandoned batch to finish", |s| {
+        stat(s, "batches_completed") == 2
+    });
+    assert_eq!(stat(&stats, "jobs_completed"), 2, "inflight + sibling");
+    assert_eq!(stat(&stats, "jobs_failed"), 1, "the skipped notstarted job");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn scheduled_drop_connection_fault_severs_the_stream_after_exact_frames() {
+    // The deterministic twin of the raw-socket disconnect test above: a
+    // `drop_connection` fault targeting the client identity severs the
+    // stream after exactly `after_frames` frames, no RST races involved.
+    let (client, handle) = serve(ServeConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let manifest_text = format!(
+        r#"{{"jobs": [
+            {{"name": "streamed", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}},
+            {{"name": "skipped", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}}
+        ],
+        "faults": [{{"target": "flaky", "kind": "drop_connection", "after_frames": 3}}]}}"#
+    );
+
+    let mut socket = std::net::TcpStream::connect(client.addr()).unwrap();
+    let raw = format!(
+        "POST /batch HTTP/1.1\r\nHost: x\r\nX-Client: flaky\r\nContent-Length: {}\r\n\r\n{manifest_text}",
+        manifest_text.len()
+    );
+    std::io::Write::write_all(&mut socket, raw.as_bytes()).unwrap();
+    let mut wire = Vec::new();
+    std::io::Read::read_to_end(&mut socket, &mut wire).unwrap();
+    let text = String::from_utf8_lossy(&wire);
+
+    // Every frame is one JSON line inside its own chunk, so `}\n` counts
+    // frames exactly (escaped newlines inside trace strings are `\\n`).
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    let frames = text.matches("}\n").count();
+    assert_eq!(frames, 3, "exactly after_frames frames reach the wire");
+    assert!(
+        !text.ends_with("0\r\n\r\n"),
+        "a severed stream must not carry the terminal chunk"
+    );
+
+    // Server side, the fault drives the same skip/drain path as a real
+    // disconnect: the in-flight job drains, the unstarted one is skipped.
+    let stats = wait_for_stats(&client, "the severed batch to finish", |s| {
+        stat(s, "batches_completed") == 1
+    });
+    assert_eq!(stat(&stats, "jobs_completed"), 1, "the draining job");
+    assert_eq!(stat(&stats, "jobs_failed"), 1, "the skipped job");
+
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
 }

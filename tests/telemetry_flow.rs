@@ -120,6 +120,7 @@ fn run_report_round_trips_through_testkit_json() {
         route: None,
         spectral: None,
         scaling: None,
+        trace_error: None,
     };
 
     let text = report.to_json_string();
@@ -150,6 +151,7 @@ fn comparator_passes_identical_runs_and_fails_injected_regressions() {
             route: None,
             spectral: None,
             scaling: None,
+            trace_error: None,
         }
     };
     let baseline = run();
