@@ -242,21 +242,30 @@ fn drop_random_clients(cfg: &ChaosConfig, chaos: &mut Chaos) {
 
     // Each submission is two jobs (one to be in flight at the drop, one
     // to be skipped); the seeded plan picks which submissions drop and
-    // after how many streamed lines.
+    // after how many streamed frames. Drops are injected *server-side*
+    // via `drop_connection` faults in the victim manifests: the fault
+    // counter arms on the first job's start ack, so the sever always
+    // lands while job 0 is streaming — no client-side read/close races.
     let total = cfg.clients * cfg.batches;
     let dropped = chaos.sample(total, cfg.drops.min(total.saturating_sub(1)));
-    let drop_after: Vec<usize> = dropped.iter().map(|_| 3 + chaos.pick(8)).collect();
-    let manifest_for = |c: usize, b: usize| {
+    let drop_after: Vec<usize> = dropped.iter().map(|_| 1 + chaos.pick(8)).collect();
+    let manifest_for = |c: usize, b: usize, drop_frames: Option<usize>| {
+        let faults = match drop_frames {
+            Some(frames) => format!(
+                r#", "faults": [{{"target": "chaos{c}", "kind": "drop_connection", "after_frames": {frames}}}]"#
+            ),
+            None => String::new(),
+        };
         format!(
             r#"{{"jobs": [
                 {{"name": "c{c}b{b}-first", "synth": {{"cells": {}, "nets": {}, "seed": {}}}, "max_iters": {}}},
                 {{"name": "c{c}b{b}-second", "synth": {{"cells": {}, "nets": {}, "seed": {}}}, "max_iters": {}}}
-            ]}}"#,
+            ]{faults}}}"#,
             cfg.cells,
             cfg.cells + 3,
             c + 1,
-            // Long enough that the first job is still streaming when the
-            // severed connection's write failure is detected.
+            // Many more trace frames than any scheduled `after_frames`,
+            // so the sever always lands while job 0 is mid-stream.
             cfg.iters * 10,
             cfg.cells,
             cfg.cells + 3,
@@ -275,16 +284,16 @@ fn drop_random_clients(cfg: &ChaosConfig, chaos: &mut Chaos) {
                     let mut survived = Vec::new();
                     for b in 0..cfg.batches {
                         let submission = c * cfg.batches + b;
-                        let manifest = manifest_for(c, b);
                         match dropped.iter().position(|&d| d == submission) {
                             Some(slot) => {
-                                // Sever the connection a few streamed
-                                // lines after the first trace frame —
-                                // mid-batch, on purpose. Severing before
-                                // a trace frame would race the response
-                                // head: the server treats a peer that
-                                // dies mid-head as gone before the batch
-                                // started and runs (and counts) nothing.
+                                // The manifest schedules its own sever:
+                                // the server drops the stream after the
+                                // planned frame count, arming on job 0's
+                                // start ack. The client just reads to
+                                // EOF and checks the sever landed
+                                // mid-stream (start ack delivered, no
+                                // terminal chunk).
+                                let manifest = manifest_for(c, b, Some(drop_after[slot]));
                                 let mut socket =
                                     std::net::TcpStream::connect(&addr).expect("connect");
                                 let raw = format!(
@@ -293,28 +302,22 @@ fn drop_random_clients(cfg: &ChaosConfig, chaos: &mut Chaos) {
                                 );
                                 std::io::Write::write_all(&mut socket, raw.as_bytes())
                                     .expect("submit");
-                                let mut lines = 0usize;
-                                let mut streaming = false;
-                                let mut seen = Vec::new();
-                                let mut buf = [0u8; 512];
-                                while !streaming || lines <= drop_after[slot] {
-                                    let n = std::io::Read::read(&mut socket, &mut buf)
-                                        .expect("stream flows before the drop");
-                                    if n == 0 {
-                                        break;
-                                    }
-                                    if streaming {
-                                        lines +=
-                                            buf[..n].iter().filter(|&&b| b == b'\n').count();
-                                    } else {
-                                        seen.extend_from_slice(&buf[..n]);
-                                        streaming = String::from_utf8_lossy(&seen)
-                                            .contains(r#""frame":"trace""#);
-                                    }
-                                }
-                                drop(socket);
+                                let mut wire = Vec::new();
+                                std::io::Read::read_to_end(&mut socket, &mut wire)
+                                    .expect("severed stream still reads to EOF");
+                                let text = String::from_utf8_lossy(&wire);
+                                assert!(
+                                    text.contains(r#""frame":"start""#),
+                                    "dropped batch c{c}b{b} never saw job 0's start ack"
+                                );
+                                assert!(
+                                    !text.contains(r#""frame":"batch""#)
+                                        && !text.ends_with("0\r\n\r\n"),
+                                    "dropped batch c{c}b{b} was not severed mid-stream"
+                                );
                             }
                             None => {
+                                let manifest = manifest_for(c, b, None);
                                 let batch = client
                                     .submit(&manifest)
                                     .expect("surviving submission flows")

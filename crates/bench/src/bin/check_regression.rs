@@ -9,28 +9,33 @@
 //! ```
 //!
 //! Single-run [`RunReport`]s, batch [`BatchReport`]s, bare spectral
-//! reports (`spectral_bench` output) and bare scaling reports
-//! (`scaling_bench` output) are accepted; the kind is auto-detected (a
-//! batch report is an object with a `jobs` array, a spectral report one
-//! with a top-level `grids` array, a scaling report one with a top-level
-//! `points` array). Both sides must be the same kind, except that a
-//! spectral or scaling *current* may be gated against the matching
-//! section of a run-report *baseline* — the CI smoke paths against
-//! `BENCH_baseline.json`. Deterministic quantities (final HPWL, modeled
-//! GP time, kernel launch count, iteration count, run structure — per
-//! job, for batches; per-grid modeled transform ns for spectral
-//! sections; per-cell modeled ns for scaling points) hard-fail beyond
-//! tolerance; wall-clock drift only warns. `--inject-hpwl-pct` inflates
-//! the current report's HPWL by X percent *after loading* (every
-//! completed job of a batch), `--inject-spectral-pct` does the same to
-//! the per-grid modeled transform times, and `--inject-scaling-pct` to
-//! the per-point modeled GP times — self-test hooks CI uses to prove
-//! the gate actually fails on a regression.
+//! reports (`spectral_bench` output), bare scaling reports
+//! (`scaling_bench` output) and bare explore reports (`explore_bench`
+//! output) are accepted; the kind is auto-detected (a batch report is
+//! an object with a `jobs` array, a spectral report one with a
+//! top-level `grids` array, a scaling report one with a top-level
+//! `points` array, an explore report one with a top-level
+//! `winner_lineage` array). Both sides must be the same kind, except
+//! that a spectral, scaling or explore *current* may be gated against
+//! the matching section of a run-report *baseline* — the CI smoke paths
+//! against `BENCH_baseline.json`. Deterministic quantities (final HPWL,
+//! modeled GP time, kernel launch count, iteration count, run structure
+//! — per job, for batches; per-grid modeled transform ns for spectral
+//! sections; per-cell modeled ns for scaling points; winner HPWL,
+//! lineage and total modeled cost for explore sections) hard-fail
+//! beyond tolerance; wall-clock drift only warns. `--inject-hpwl-pct`
+//! inflates the current report's HPWL by X percent *after loading*
+//! (every completed job of a batch), `--inject-spectral-pct` does the
+//! same to the per-grid modeled transform times,
+//! `--inject-scaling-pct` to the per-point modeled GP times, and
+//! `--inject-explore-pct` to the population winner's HPWL — self-test
+//! hooks CI uses to prove the gate actually fails on a regression.
 
 use xplace_bench::argv_parse;
 use xplace_telemetry::{
-    compare_batch_reports, compare_reports, compare_scaling, compare_spectral, BatchReport,
-    Comparison, FromJson, Json, RunReport, ScalingMetrics, SpectralMetrics, Tolerances,
+    compare_batch_reports, compare_explore, compare_reports, compare_scaling, compare_spectral,
+    BatchReport, Comparison, ExploreMetrics, FromJson, Json, RunReport, ScalingMetrics,
+    SpectralMetrics, Tolerances,
 };
 
 enum Loaded {
@@ -38,6 +43,7 @@ enum Loaded {
     Batch(BatchReport),
     Spectral(SpectralMetrics),
     Scaling(ScalingMetrics),
+    Explore(ExploreMetrics),
 }
 
 impl Loaded {
@@ -47,6 +53,7 @@ impl Loaded {
             Loaded::Batch(_) => "batch report",
             Loaded::Spectral(_) => "spectral report",
             Loaded::Scaling(_) => "scaling report",
+            Loaded::Explore(_) => "explore report",
         }
     }
 }
@@ -66,6 +73,8 @@ fn load(path: &str) -> Loaded {
         SpectralMetrics::from_json(&json).map(Loaded::Spectral)
     } else if json.get("points").is_some() {
         ScalingMetrics::from_json(&json).map(Loaded::Scaling)
+    } else if json.get("winner_lineage").is_some() {
+        ExploreMetrics::from_json(&json).map(Loaded::Explore)
     } else {
         RunReport::from_json(&json).map(Loaded::Run)
     };
@@ -103,6 +112,12 @@ fn inject_scaling(scaling: &mut ScalingMetrics, factor: f64) {
     }
 }
 
+/// Self-test hook for the explore gate: fake a population-quality
+/// regression on the winner's HPWL.
+fn inject_explore(explore: &mut ExploreMetrics, factor: f64) {
+    explore.winner_hpwl *= factor;
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positionals are the tokens that are neither flags nor flag values.
@@ -124,7 +139,7 @@ fn main() {
                 "usage: check_regression <baseline.json> <current.json> \
                  [--hpwl-pct X] [--time-pct X] [--launches-pct X] \
                  [--inject-hpwl-pct X] [--inject-spectral-pct X] \
-                 [--inject-scaling-pct X]"
+                 [--inject-scaling-pct X] [--inject-explore-pct X]"
             );
             std::process::exit(2)
         }
@@ -152,7 +167,7 @@ fn main() {
                     }
                 }
             }
-            Loaded::Spectral(_) | Loaded::Scaling(_) => {
+            Loaded::Spectral(_) | Loaded::Scaling(_) | Loaded::Explore(_) => {
                 eprintln!("error: --inject-hpwl-pct only applies to run and batch reports");
                 std::process::exit(2)
             }
@@ -172,7 +187,7 @@ fn main() {
                     std::process::exit(2)
                 }
             },
-            Loaded::Batch(_) | Loaded::Scaling(_) => {
+            Loaded::Batch(_) | Loaded::Scaling(_) | Loaded::Explore(_) => {
                 eprintln!("error: --inject-spectral-pct only applies to spectral and run reports");
                 std::process::exit(2)
             }
@@ -195,7 +210,7 @@ fn main() {
                     std::process::exit(2)
                 }
             },
-            Loaded::Batch(_) | Loaded::Spectral(_) => {
+            Loaded::Batch(_) | Loaded::Spectral(_) | Loaded::Explore(_) => {
                 eprintln!("error: --inject-scaling-pct only applies to scaling and run reports");
                 std::process::exit(2)
             }
@@ -203,6 +218,29 @@ fn main() {
         eprintln!(
             "(self-test: injected {inject_sc:+.1}% modeled GP time into the current \
              scaling report)"
+        );
+    }
+
+    let inject_ex: f64 = argv_parse("--inject-explore-pct", 0.0);
+    if inject_ex != 0.0 {
+        let f = 1.0 + inject_ex / 100.0;
+        match &mut current {
+            Loaded::Explore(explore) => inject_explore(explore, f),
+            Loaded::Run(report) => match report.explore.as_mut() {
+                Some(explore) => inject_explore(explore, f),
+                None => {
+                    eprintln!("error: current run report has no explore section to inject into");
+                    std::process::exit(2)
+                }
+            },
+            Loaded::Batch(_) | Loaded::Spectral(_) | Loaded::Scaling(_) => {
+                eprintln!("error: --inject-explore-pct only applies to explore and run reports");
+                std::process::exit(2)
+            }
+        }
+        eprintln!(
+            "(self-test: injected {inject_ex:+.1}% winner HPWL into the current \
+             explore report)"
         );
     }
 
@@ -243,6 +281,23 @@ fn main() {
             }
             None => {
                 eprintln!("error: baseline {baseline_path} has no scaling section to gate against");
+                std::process::exit(2)
+            }
+        },
+        (Loaded::Explore(b), Loaded::Explore(c)) => {
+            let mut cmp = Comparison::default();
+            compare_explore(b, c, &tol, &mut cmp);
+            cmp
+        }
+        // Same smoke path for a bare explore_bench report.
+        (Loaded::Run(b), Loaded::Explore(c)) => match b.explore.as_ref() {
+            Some(base) => {
+                let mut cmp = Comparison::default();
+                compare_explore(base, c, &tol, &mut cmp);
+                cmp
+            }
+            None => {
+                eprintln!("error: baseline {baseline_path} has no explore section to gate against");
                 std::process::exit(2)
             }
         },

@@ -1,0 +1,118 @@
+//! Gated exploration bench: `--explore 8` against a budget-matched
+//! single run, written as a gateable JSON report.
+//!
+//! ```text
+//! explore_bench [--smoke] [--threads N] [--out results/explore_bench.json]
+//! ```
+//!
+//! Runs the three-design suite of `xplace_bench::explore`: each design
+//! is placed by an 8-member population (4 generations, keep 4) and by
+//! one single run holding the population's whole iteration budget. The
+//! bench exits non-zero unless the population winner's HPWL is strictly
+//! better on at least 2 of the 3 designs and every comparison is
+//! budget-fair (the single run converged or outspent the population).
+//!
+//! The output is the committed case's bare [`ExploreMetrics`] section
+//! (`{"members":...,"winner_lineage":...}`), the same shape as the
+//! `explore` section of a `RunReport` baseline — `check_regression`
+//! accepts it directly against `BENCH_baseline.json`. `--smoke` runs
+//! the committed design sizes (the default in CI); without it the
+//! designs are grown for manual exploration and no longer match the
+//! committed section.
+
+use xplace_bench::explore::{measure_explore, suite_cases, EXPLORE_MEMBERS};
+use xplace_bench::{argv_flag, argv_parse, default_workers, fmt, TextTable};
+use xplace_telemetry::ToJson;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads: usize = argv_parse("--threads", default_workers());
+    let out = argv_flag("--out").unwrap_or_else(|| "results/explore_bench.json".to_string());
+    let cases = suite_cases(smoke);
+
+    eprintln!(
+        "explore bench: {} case(s), {EXPLORE_MEMBERS} members, {threads} worker(s){}",
+        cases.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut table = TextTable::new(&[
+        "design",
+        "single HPWL",
+        "explore HPWL",
+        "gain %",
+        "single ms",
+        "explore ms",
+        "winner",
+    ]);
+    let mut wins = 0usize;
+    let mut committed = None;
+    for (i, case) in cases.iter().enumerate() {
+        let comparison = measure_explore(case, threads).unwrap_or_else(|e| {
+            eprintln!("error: explore bench failed: {e}");
+            std::process::exit(1)
+        });
+        if !comparison.budget_fair() {
+            eprintln!(
+                "error: {}: single run stopped early without converging \
+                 ({} modeled ns < population's {})",
+                comparison.name, comparison.single_modeled_ns, comparison.metrics.total_modeled_ns
+            );
+            std::process::exit(1)
+        }
+        if !comparison.quality_fair() {
+            eprintln!(
+                "error: {}: winner stopped at overflow {:.3} vs the single run's {:.3} — \
+                 its HPWL is not comparable",
+                comparison.name,
+                comparison.winner_overflow(),
+                comparison.single_overflow
+            );
+            std::process::exit(1)
+        }
+        if comparison.population_wins() {
+            wins += 1;
+        }
+        let gain = 100.0 * (comparison.single_hpwl - comparison.metrics.winner_hpwl)
+            / comparison.single_hpwl;
+        table.row(vec![
+            comparison.name.clone(),
+            fmt(comparison.single_hpwl, 1),
+            fmt(comparison.metrics.winner_hpwl, 1),
+            fmt(gain, 2),
+            fmt(comparison.single_modeled_ns as f64 / 1e6, 2),
+            fmt(comparison.metrics.total_modeled_ns as f64 / 1e6, 2),
+            format!(
+                "{} via {:?}",
+                comparison.metrics.winner, comparison.metrics.winner_lineage
+            ),
+        ]);
+        if i == 0 {
+            committed = Some(comparison.metrics);
+        }
+    }
+    print!("{}", table.render());
+
+    if wins < 2 {
+        eprintln!(
+            "error: the population beat the single run on only {wins}/{} design(s) \
+             (needs at least 2)",
+            cases.len()
+        );
+        std::process::exit(1)
+    }
+    println!(
+        "explore bench: population won on {wins}/{} designs at equal total modeled budget",
+        cases.len()
+    );
+
+    let metrics = committed.expect("the committed case ran");
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(path, metrics.to_json().render()).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -11,13 +11,17 @@
 //! run_report [--out results/run_report.json] [--max-iters 400]
 //!            [--cells 500] [--nets 525] [--seed 20220714] [--threads N]
 //!            [--no-spectral] [--spectral-reps 3] [--no-scaling]
+//!            [--no-explore]
 //! ```
 //!
 //! The report also embeds the spectral microbench section (unless
 //! `--no-spectral`), so the committed baseline carries per-grid modeled
-//! transform times for the spectral regression gate, and the scaling
+//! transform times for the spectral regression gate; the scaling
 //! bench's smoke point set (unless `--no-scaling`), so the baseline
-//! carries per-cell modeled GP costs for the scaling regression gate.
+//! carries per-cell modeled GP costs for the scaling regression gate;
+//! and the exploration bench's committed case (unless `--no-explore`),
+//! so the baseline carries the population winner's HPWL, lineage and
+//! total modeled cost for the explore regression gate.
 //!
 //! Regenerating the committed baseline after an intentional change:
 //! `cargo run --release -p xplace-bench --bin run_report -- --out BENCH_baseline.json`
@@ -76,6 +80,21 @@ fn main() {
                 std::process::exit(1)
             }),
         );
+    }
+    if !std::env::args().any(|a| a == "--no-explore") {
+        let case = xplace_bench::explore::committed_case();
+        eprintln!(
+            "measuring the exploration bench ({}, {} members)...",
+            case.spec.name,
+            xplace_bench::explore::EXPLORE_MEMBERS
+        );
+        let comparison =
+            xplace_bench::explore::measure_explore(&case, xplace_bench::default_workers())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: exploration bench failed: {e}");
+                    std::process::exit(1)
+                });
+        report.explore = Some(comparison.metrics);
     }
     eprintln!(
         "GP {} iters, HPWL {:.1}, modeled {:.3}s, {} launches; final HPWL {:.1}",

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod scaling;
 pub mod spectral;
 
@@ -106,6 +107,7 @@ pub fn report_from_flow(config: &XplaceConfig, flow: &FlowResult) -> RunReport {
         }),
         spectral: None,
         scaling: None,
+        explore: None,
         trace_error: None,
     }
 }

@@ -398,6 +398,98 @@ impl Checkpoint {
         }
         Ok(())
     }
+
+    /// Re-homes this snapshot under another run configuration: a clone
+    /// whose config echo is `config.echo()`, so [`Checkpoint::validate`]
+    /// accepts it for a run using `config`. This is the branch primitive
+    /// of the exploration layer — a population member adopts the best
+    /// snapshot even though its own seed (and hence config echo) differs
+    /// from the member that saved it. Resumed positions come from the
+    /// snapshot, never from the seed's init jitter, so the adopted
+    /// trajectory is a deterministic function of the snapshot alone.
+    pub fn branch_for(&self, config: &XplaceConfig) -> Checkpoint {
+        let mut cp = self.clone();
+        cp.config = config.echo();
+        cp
+    }
+
+    /// Applies a seeded perturbation in place: movable positions receive
+    /// deterministic jitter (clamped into the snapshot's own position
+    /// bounding box — the resume path trusts snapshot positions and does
+    /// not re-clamp), λ is rescaled and ω offset, and the optimizer
+    /// momentum plus best-solution rollback state are reset so the
+    /// branched trajectory genuinely explores from the perturbed point
+    /// instead of being pulled back to the parent's. The cached
+    /// electrostatic field is invalidated so the first branched iteration
+    /// sees the perturbed density. Same snapshot + same `perturbation`
+    /// ⇒ bit-identical branched state.
+    pub fn perturb(&mut self, perturbation: &Perturbation) {
+        let unit = |i: usize, salt: u64| -> f64 {
+            let mut h = (i as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let seed = perturbation.seed;
+        if perturbation.position_frac > 0.0 && self.movable > 0 {
+            let bounds = |v: &[f64]| {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &p in v {
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+                (lo, hi)
+            };
+            let (min_x, max_x) = bounds(&self.x);
+            let (min_y, max_y) = bounds(&self.y);
+            let amp_x = (max_x - min_x) * perturbation.position_frac;
+            let amp_y = (max_y - min_y) * perturbation.position_frac;
+            for i in 0..self.movable.min(self.x.len()) {
+                self.x[i] = (self.x[i] + amp_x * unit(i, seed)).clamp(min_x, max_x);
+                self.y[i] = (self.y[i] + amp_y * unit(i, seed ^ 0xabcd)).clamp(min_y, max_y);
+            }
+        }
+        // λ rescale (multiplicative, strictly positive for frac < 2) and
+        // ω offset: nudge the schedule so the branch walks a different
+        // trade-off path than its parent.
+        self.params.lambda *= 1.0 + perturbation.lambda_frac * unit(0, seed ^ 0x1a3b);
+        self.omega =
+            (self.omega + perturbation.omega_shift * unit(1, seed ^ 0x5c7d)).clamp(0.0, 1.0);
+        // Fresh momentum, fresh rollback baseline, fresh field.
+        self.optimizer = None;
+        self.best_overflow = f64::INFINITY;
+        self.best_iter = self.iteration;
+        self.best_u = None;
+        self.engine.has_field = false;
+        self.engine.field_age = 0;
+    }
+}
+
+/// A seeded, deterministic perturbation applied to a branched
+/// [`Checkpoint`] — the exploration layer's diversification knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Seed deriving every jitter value (same seed ⇒ same perturbation).
+    pub seed: u64,
+    /// Position jitter amplitude as a fraction of the snapshot's movable
+    /// bounding-box span.
+    pub position_frac: f64,
+    /// Maximum relative λ rescale (`0.2` ⇒ factor in `[0.9, 1.1)`).
+    pub lambda_frac: f64,
+    /// Maximum absolute ω offset (result clamped to `[0, 1]`).
+    pub omega_shift: f64,
+}
+
+impl Perturbation {
+    /// The exploration default: noticeable but non-destructive diversity.
+    pub fn with_seed(seed: u64) -> Perturbation {
+        Perturbation {
+            seed,
+            position_frac: 0.02,
+            lambda_frac: 0.4,
+            omega_shift: 0.1,
+        }
+    }
 }
 
 /// Where checkpoints go. Implementations take `&self` (interior
@@ -512,6 +604,13 @@ pub struct CheckpointOptions<'a> {
     /// Resume point: restart the loop from this snapshot instead of
     /// iteration 0.
     pub resume: Option<&'a Checkpoint>,
+    /// Pause point: snapshot the loop state at the top of this iteration
+    /// into the store and stop there instead of running to completion
+    /// (requires a store). The paused run emits no `run_end` and skips
+    /// the best-solution rollback, so a later resume from the snapshot
+    /// continues the trace byte-identically — the exploration driver's
+    /// generation barrier.
+    pub stop_at: Option<usize>,
 }
 
 impl<'a> CheckpointOptions<'a> {

@@ -57,6 +57,7 @@ mod placer;
 
 pub use checkpoint::{
     Checkpoint, CheckpointOptions, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
+    Perturbation,
 };
 pub use config::{Framework, MultilevelConfig, OperatorConfig, ScheduleConfig, XplaceConfig};
 pub use engine::{seed_from_coarse, EngineState, EvalResult, GradientEngine};

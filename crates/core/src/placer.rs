@@ -30,6 +30,11 @@ pub struct PlacementReport {
     /// Whether the overflow target was reached (vs hitting the iteration
     /// cap or the plateau window).
     pub converged: bool,
+    /// Whether the run paused at [`CheckpointOptions::stop_at`] instead
+    /// of finishing: the loop state was snapshotted to the store, no
+    /// `run_end` was emitted, and the quality fields describe the paused
+    /// (not final) state.
+    pub paused: bool,
     /// Best overflow seen during the run (the reported placement is the
     /// snapshot at this point when the run did not converge).
     pub best_overflow: f64,
@@ -199,6 +204,11 @@ impl GlobalPlacer {
         if ckpt.every > 0 && ckpt.store.is_none() {
             return Err(PlaceError::InvalidConfig(
                 "checkpoint cadence set but no checkpoint store given".into(),
+            ));
+        }
+        if ckpt.stop_at.is_some() && ckpt.store.is_none() {
+            return Err(PlaceError::InvalidConfig(
+                "pause iteration set but no checkpoint store given".into(),
             ));
         }
         let ml = self.config.multilevel;
@@ -416,8 +426,13 @@ impl GlobalPlacer {
             start_iter = cp.iteration;
         }
 
+        let mut paused = false;
+
         for iter in start_iter..schedule.max_iterations {
-            if ckpt.every > 0 && iter > start_iter && iter.is_multiple_of(ckpt.every) {
+            let pause_here = ckpt.stop_at == Some(iter);
+            let cadence_save =
+                ckpt.every > 0 && iter > start_iter && iter.is_multiple_of(ckpt.every);
+            if pause_here || cadence_save {
                 if let Some(store) = ckpt.store {
                     let snapshot = self.snapshot(
                         design,
@@ -445,6 +460,13 @@ impl GlobalPlacer {
                         PlaceError::Checkpoint(format!("save at iteration {iter}: {e}"))
                     })?;
                 }
+            }
+            if pause_here {
+                // Generation barrier: the snapshot above carries the whole
+                // loop state; stop without rollback or `run_end` so a
+                // resume continues the trace byte-identically.
+                paused = true;
+                break;
             }
             if self.config.fault.panic_at == Some(iter) {
                 // Injected fault (resolved from a fault plan): simulates a
@@ -581,7 +603,7 @@ impl GlobalPlacer {
             let final_overflow = last_eval
                 .map(|e: crate::EvalResult| e.overflow)
                 .unwrap_or(1.0);
-            if !converged && final_overflow > best_overflow {
+            if !paused && !converged && final_overflow > best_overflow {
                 if let Some((ux, uy)) = best_u.as_ref() {
                     opt.set_u(ux, uy);
                     if tracing {
@@ -612,7 +634,7 @@ impl GlobalPlacer {
             p
         };
 
-        if tracing {
+        if tracing && !paused {
             sink.emit(&TelemetryEvent::RunEnd {
                 iterations,
                 converged,
@@ -636,6 +658,7 @@ impl GlobalPlacer {
             initial_overflow,
             final_overflow,
             converged,
+            paused,
             best_overflow,
             profile: total_profile,
             wall_seconds: start.elapsed().as_secs_f64(),
@@ -1038,6 +1061,7 @@ mod tests {
                         every,
                         store: if every > 0 { Some(&store) } else { None },
                         resume: None,
+                        stop_at: None,
                     },
                 )
                 .unwrap();
@@ -1071,6 +1095,7 @@ mod tests {
                     every: 20,
                     store: Some(&store),
                     resume: None,
+                    stop_at: None,
                 },
             )
             .unwrap();
@@ -1090,6 +1115,7 @@ mod tests {
                     every: 0,
                     store: None,
                     resume: Some(&checkpoint),
+                    stop_at: None,
                 },
             )
             .unwrap();
@@ -1142,6 +1168,7 @@ mod tests {
                     every: 10,
                     store: Some(&store),
                     resume: None,
+                    stop_at: None,
                 },
             )
             .unwrap();
@@ -1157,6 +1184,7 @@ mod tests {
                     every: 0,
                     store: None,
                     resume: Some(&checkpoint),
+                    stop_at: None,
                 },
             )
             .unwrap_err();
@@ -1172,6 +1200,7 @@ mod tests {
                     every: 0,
                     store: None,
                     resume: Some(&checkpoint),
+                    stop_at: None,
                 },
             )
             .unwrap_err();
@@ -1189,10 +1218,157 @@ mod tests {
                     every: 10,
                     store: None,
                     resume: None,
+                    stop_at: None,
                 },
             )
             .unwrap_err();
         assert!(matches!(err, PlaceError::InvalidConfig(_)));
+    }
+
+    /// The pause contract behind the exploration layer's generation
+    /// barriers: a run stopped at iteration N via `stop_at`, then resumed
+    /// from the pause snapshot, replays the identical remainder — so the
+    /// paused segment's trace plus the resumed trace (minus its repeated
+    /// `run_start`) are byte-for-byte the uninterrupted run's trace, and
+    /// the final placement is bit-identical.
+    #[test]
+    fn pause_and_resume_stitch_into_the_uninterrupted_trace() {
+        use crate::MemoryCheckpointStore;
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 90;
+
+        let mut full_design = small_design(61);
+        let mut full_sink = xplace_telemetry::VecSink::new();
+        let full_report = GlobalPlacer::new(cfg.clone())
+            .place_traced(&mut full_design, &mut full_sink)
+            .unwrap();
+        let full_trace = full_sink.to_jsonl();
+
+        let store = MemoryCheckpointStore::new();
+        let mut paused_design = small_design(61);
+        let mut paused_sink = xplace_telemetry::VecSink::new();
+        let paused_report = GlobalPlacer::new(cfg.clone())
+            .place_traced_opts(
+                &mut paused_design,
+                &mut paused_sink,
+                CheckpointOptions {
+                    every: 0,
+                    store: Some(&store),
+                    resume: None,
+                    stop_at: Some(40),
+                },
+            )
+            .unwrap();
+        assert!(paused_report.paused);
+        assert_eq!(paused_report.iterations, 40);
+        let (at, checkpoint) = store.latest().unwrap().unwrap();
+        assert_eq!(at, 40);
+
+        let mut resumed_design = small_design(61);
+        let mut resumed_sink = xplace_telemetry::VecSink::new();
+        let resumed_report = GlobalPlacer::new(cfg)
+            .place_traced_opts(
+                &mut resumed_design,
+                &mut resumed_sink,
+                CheckpointOptions {
+                    every: 0,
+                    store: None,
+                    resume: Some(&checkpoint),
+                    stop_at: None,
+                },
+            )
+            .unwrap();
+        assert!(!resumed_report.paused);
+
+        // Stitch: paused segment + resumed segment without its run_start.
+        let resumed_trace = resumed_sink.to_jsonl();
+        let resumed_lines: Vec<&str> = resumed_trace.lines().collect();
+        assert!(resumed_lines[0].contains("run_start"));
+        let mut stitched: Vec<String> = paused_sink
+            .to_jsonl()
+            .lines()
+            .map(|l| l.to_string())
+            .collect();
+        stitched.extend(resumed_lines[1..].iter().map(|l| l.to_string()));
+        let full_lines: Vec<String> = full_trace.lines().map(|l| l.to_string()).collect();
+        assert_eq!(
+            stitched, full_lines,
+            "stitched trace differs from the uninterrupted run"
+        );
+        assert_eq!(
+            full_report.final_hpwl.to_bits(),
+            resumed_report.final_hpwl.to_bits()
+        );
+        assert_eq!(full_design.positions(), resumed_design.positions());
+    }
+
+    #[test]
+    fn pause_without_a_store_is_rejected() {
+        let mut design = small_design(63);
+        let err = GlobalPlacer::new(XplaceConfig::xplace())
+            .place_traced_opts(
+                &mut design,
+                &mut NullSink,
+                CheckpointOptions {
+                    every: 0,
+                    store: None,
+                    resume: None,
+                    stop_at: Some(10),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidConfig(_)));
+    }
+
+    /// Branch determinism: two members branched from the same snapshot
+    /// with the same perturbation seed replay byte-identical traces, and
+    /// a different seed diverges.
+    #[test]
+    fn same_perturbation_seed_branches_byte_identically() {
+        use crate::{MemoryCheckpointStore, Perturbation};
+        let mut cfg = XplaceConfig::xplace();
+        cfg.schedule.max_iterations = 80;
+
+        let store = MemoryCheckpointStore::new();
+        let mut design = small_design(67);
+        GlobalPlacer::new(cfg.clone())
+            .place_traced_opts(
+                &mut design,
+                &mut NullSink,
+                CheckpointOptions {
+                    every: 0,
+                    store: Some(&store),
+                    resume: None,
+                    stop_at: Some(30),
+                },
+            )
+            .unwrap();
+        let (_, snapshot) = store.latest().unwrap().unwrap();
+
+        let branch_trace = |seed: u64| {
+            let mut cp = snapshot.branch_for(&cfg);
+            cp.perturb(&Perturbation::with_seed(seed));
+            let mut d = small_design(67);
+            let mut sink = xplace_telemetry::VecSink::new();
+            GlobalPlacer::new(cfg.clone())
+                .place_traced_opts(
+                    &mut d,
+                    &mut sink,
+                    CheckpointOptions {
+                        every: 0,
+                        store: None,
+                        resume: Some(&cp),
+                        stop_at: None,
+                    },
+                )
+                .unwrap();
+            sink.to_jsonl()
+        };
+        let a = branch_trace(77);
+        let b = branch_trace(77);
+        assert_eq!(a, b, "same perturbation seed produced different traces");
+        let c = branch_trace(78);
+        assert_ne!(a, c, "different perturbation seeds did not diversify");
     }
 
     #[test]

@@ -268,6 +268,19 @@ impl FromJson for FaultPlan {
             },
         };
         let faults = Vec::<Fault>::from_json(faults_value)?;
+        // An exact duplicate entry is never meaningful (distinct faults
+        // on one target — even of the same kind — are fine; the
+        // resolvers document how they combine) and always an authoring
+        // mistake, so reject it loudly instead of silently collapsing.
+        for (i, fault) in faults.iter().enumerate() {
+            if faults[..i].contains(fault) {
+                return Err(JsonError(format!(
+                    "duplicate fault entry for target `{}` kind `{}`",
+                    fault.target,
+                    fault.kind.name()
+                )));
+            }
+        }
         Ok(FaultPlan { faults })
     }
 }
@@ -384,14 +397,77 @@ mod tests {
     }
 
     #[test]
-    fn malformed_plans_are_rejected() {
-        assert!(FaultPlan::parse(r#"[{"target": "j", "kind": "gp_panic"}]"#).is_err());
-        assert!(FaultPlan::parse(r#"[{"target": "j", "kind": "nope"}]"#).is_err());
-        assert!(FaultPlan::parse(r#"[{"kind": "poison_manifest"}]"#).is_err());
-        assert!(FaultPlan::parse(r#"[{"target": "", "kind": "poison_manifest"}]"#).is_err());
-        assert!(
-            FaultPlan::parse(r#"[{"target": "j", "kind": "stall", "modeled_ns": -3}]"#).is_err()
-        );
+    fn malformed_plans_are_rejected_with_exact_messages() {
+        // Table-driven: each rejected plan must produce *exactly* this
+        // message — callers (CLI, manifests, CI logs) surface these
+        // strings verbatim, so wording drift is a breaking change.
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"[{"target": "j", "kind": "nope"}]"#,
+                "unknown fault kind `nope`",
+            ),
+            (
+                r#"[{"target": "j", "kind": "gp_panic"}]"#,
+                "missing field `iteration`",
+            ),
+            (
+                r#"[{"target": "j", "kind": "sink_error"}]"#,
+                "missing field `after_bytes`",
+            ),
+            (
+                r#"[{"target": "j", "kind": "drop_connection"}]"#,
+                "missing field `after_frames`",
+            ),
+            (r#"[{"kind": "poison_manifest"}]"#, "missing field `target`"),
+            (
+                r#"[{"target": "", "kind": "poison_manifest"}]"#,
+                "fault `target` must be non-empty",
+            ),
+            (
+                r#"[{"target": "j", "kind": "stall", "modeled_ns": -3}]"#,
+                "expected u64, got -3",
+            ),
+            (
+                r#"[{"target": "j", "kind": "gp_panic", "iteration": -1}]"#,
+                "expected unsigned integer, got -1",
+            ),
+            (
+                r#"[{"target": "j", "kind": "sink_error", "after_bytes": 1.5}]"#,
+                "expected unsigned integer, got 1.5",
+            ),
+            (
+                r#"[{"target": "j", "kind": "gp_panic", "iteration": 3, "times": -2}]"#,
+                "expected unsigned integer, got -2",
+            ),
+            (
+                r#"[{"target": "j", "kind": "gp_panic", "iteration": 3},
+                    {"target": "j", "kind": "gp_panic", "iteration": 3}]"#,
+                "duplicate fault entry for target `j` kind `gp_panic`",
+            ),
+            (
+                r#"[{"target": "c", "kind": "drop_connection", "after_frames": 2},
+                    {"target": "c", "kind": "drop_connection", "after_frames": 2}]"#,
+                "duplicate fault entry for target `c` kind `drop_connection`",
+            ),
+        ];
+        for (plan, want) in cases {
+            let err = FaultPlan::parse(plan).expect_err(plan);
+            assert_eq!(err.0, *want, "for plan {plan}");
+        }
+    }
+
+    #[test]
+    fn distinct_same_kind_faults_on_one_target_are_allowed() {
+        // Not a duplicate: same target and kind but different payloads —
+        // the resolvers combine them (earliest/smallest wins, stalls
+        // sum), which `earliest_gp_panic_wins_when_several_fire` pins.
+        let plan = FaultPlan::parse(
+            r#"[{"target": "j", "kind": "gp_panic", "iteration": 9},
+                {"target": "j", "kind": "gp_panic", "iteration": 4},
+                {"target": "j", "kind": "stall", "modeled_ns": 7}]"#,
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 3);
     }
 
     #[test]

@@ -35,8 +35,10 @@
 #![warn(missing_debug_implementations)]
 
 mod manifest;
+mod population;
 
 pub use manifest::{BatchManifest, DesignSource, JobSpec};
+pub use population::{run_population, PopulationOptions, PopulationOutcome};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -204,6 +206,7 @@ fn run_job_attempt(
         }),
         spectral: None,
         scaling: None,
+        explore: None,
         trace_error: None,
     };
     Ok(report)
@@ -214,6 +217,16 @@ fn run_job_attempt(
 /// it, the moment it is produced.
 #[derive(Debug)]
 pub enum BatchEvent<'a> {
+    /// Job `job` is about to start executing on a pool thread. Skipped
+    /// jobs (cancelled, disconnected) never emit this — a `JobStart` is
+    /// the positive ack that the job's trace stream is live, which is
+    /// what downstream fault injectors must arm on (a job can finish so
+    /// fast that waiting for its *first trace line* races its
+    /// completion).
+    JobStart {
+        /// Manifest index of the starting job.
+        job: usize,
+    },
     /// One rendered JSON trace line of job `job` (no trailing newline).
     /// Lines of a single job arrive in trace order; lines of different
     /// jobs interleave with pool scheduling.
@@ -367,6 +380,9 @@ pub fn run_batch_session(manifest: &BatchManifest, session: &BatchSession<'_>) -
         let (record, trace) = if let Some(reason) = session.skip_reason() {
             (JobRecord::failed(&job.name, reason), None)
         } else {
+            if let Some(observer) = session.observer {
+                observer(BatchEvent::JobStart { job: i });
+            }
             run_job_fenced(job, i, session, &policy)
         };
         if let Some(observer) = session.observer {
@@ -530,6 +546,7 @@ fn run_one_attempt(
             every: policy.checkpoint_every,
             store: Some(store),
             resume: resumed.as_ref().map(|(_, cp)| cp),
+            stop_at: None,
         }
     } else {
         CheckpointOptions::none()
@@ -957,9 +974,17 @@ mod tests {
         use std::sync::Mutex;
         let m = manifest(&format!("{TINY_A}, {TINY_B}"));
         let streamed: Mutex<Vec<String>> = Mutex::new(vec![String::new(), String::new()]);
+        let started: Mutex<Vec<bool>> = Mutex::new(vec![false, false]);
         let done: Mutex<Vec<bool>> = Mutex::new(vec![false, false]);
         let observer = |event: BatchEvent<'_>| match event {
+            BatchEvent::JobStart { job } => {
+                started.lock().unwrap()[job] = true;
+            }
             BatchEvent::TraceLine { job, line } => {
+                assert!(
+                    started.lock().unwrap()[job],
+                    "job {job}: trace lines must follow the start ack"
+                );
                 let mut s = streamed.lock().unwrap();
                 s[job].push_str(line);
                 s[job].push('\n');
@@ -973,6 +998,7 @@ mod tests {
         let session = BatchSession::new(4, &cache).with_observer(&observer);
         let outcome = run_batch_session(&m, &session);
         assert!(outcome.report.all_completed());
+        assert_eq!(*started.lock().unwrap(), vec![true, true]);
         assert_eq!(*done.lock().unwrap(), vec![true, true]);
         let streamed = streamed.lock().unwrap();
         for (i, trace) in outcome.traces.iter().enumerate() {

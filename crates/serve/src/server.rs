@@ -374,15 +374,19 @@ fn handle_batch(
     // A `drop_connection` fault targeting this client identity severs the
     // stream after the scheduled frame count — the deterministic stand-in
     // for a peer vanishing mid-stream (real RST timing is racy), driving
-    // the exact same skip/drain path below.
+    // the exact same skip/drain path below. The counter only arms on the
+    // first `JobStart` ack: counting from hello would race jobs that
+    // finish (or fail a deadline) before any work frame goes out, making
+    // which frame the sever lands on depend on pool timing.
     let drop_after = manifest.faults.drop_after_frames(&client, 0);
+    let armed = AtomicBool::new(false);
     let sent = AtomicUsize::new(0);
     let send = |frame: &Frame| {
         if dead.load(Ordering::Relaxed) {
             return;
         }
         if let Some(limit) = drop_after {
-            if sent.fetch_add(1, Ordering::Relaxed) >= limit {
+            if armed.load(Ordering::Relaxed) && sent.fetch_add(1, Ordering::Relaxed) >= limit {
                 dead.store(true, Ordering::Relaxed);
                 return;
             }
@@ -401,6 +405,13 @@ fn handle_batch(
     });
 
     let observer = |event: BatchEvent<'_>| match event {
+        BatchEvent::JobStart { job } => {
+            // Positive ack that this job's stream is live; arms the
+            // scheduled drop above (the ack itself is the first counted
+            // frame, so `after_frames: 0` severs right here).
+            armed.store(true, Ordering::Relaxed);
+            send(&Frame::Start { job });
+        }
         BatchEvent::TraceLine { job, line } => send(&Frame::Trace {
             job,
             line: line.to_string(),

@@ -9,6 +9,9 @@
 //!
 //! * [`Frame::Hello`] — first frame: the manifest's job names and the
 //!   server's kernel thread width.
+//! * [`Frame::Start`] — a job's attempt loop began; the positive ack
+//!   that its trace stream is live. Skipped (cached/poisoned) jobs
+//!   never emit it.
 //! * [`Frame::Trace`] — one rendered JSON-lines telemetry event of one
 //!   job (without its trailing newline; appending `'\n'` per line
 //!   reassembles the job's `--trace` file exactly).
@@ -31,6 +34,11 @@ pub enum Frame {
         jobs: Vec<String>,
         /// The kernel thread width jobs run with (config echo input).
         threads: usize,
+    },
+    /// Job `job` started running — its trace stream is now live.
+    Start {
+        /// Manifest index of the job.
+        job: usize,
     },
     /// One telemetry line of job `job` (no trailing newline).
     Trace {
@@ -63,6 +71,9 @@ impl ToJson for Frame {
                 ("jobs", jobs.to_json()),
                 ("threads", threads.to_json()),
             ]),
+            Frame::Start { job } => {
+                Json::obj([("frame", Json::str("start")), ("job", job.to_json())])
+            }
             Frame::Trace { job, line } => Json::obj([
                 ("frame", Json::str("trace")),
                 ("job", job.to_json()),
@@ -91,6 +102,9 @@ impl FromJson for Frame {
             "hello" => Ok(Frame::Hello {
                 jobs: Vec::<String>::from_json(value.field("jobs")?)?,
                 threads: usize::from_json(value.field("threads")?)?,
+            }),
+            "start" => Ok(Frame::Start {
+                job: usize::from_json(value.field("job")?)?,
             }),
             "trace" => Ok(Frame::Trace {
                 job: usize::from_json(value.field("job")?)?,
@@ -165,6 +179,7 @@ pub fn assemble(frames: &[Frame]) -> Result<WireBatch, String> {
     let n = jobs.len();
     let mut traces: Vec<String> = vec![String::new(); n];
     let mut records: Vec<Option<&JobRecord>> = vec![None; n];
+    let mut started: Vec<bool> = vec![false; n];
     let mut closing: Option<(&BatchReport, (usize, usize))> = None;
     for frame in iter {
         if closing.is_some() {
@@ -172,10 +187,22 @@ pub fn assemble(frames: &[Frame]) -> Result<WireBatch, String> {
         }
         match frame {
             Frame::Hello { .. } => return Err("duplicate hello frame".into()),
+            Frame::Start { job } => {
+                let flag = started
+                    .get_mut(*job)
+                    .ok_or_else(|| format!("start frame for out-of-range job {job}"))?;
+                if *flag {
+                    return Err(format!("duplicate start frame for job {job}"));
+                }
+                *flag = true;
+            }
             Frame::Trace { job, line } => {
                 let trace = traces
                     .get_mut(*job)
                     .ok_or_else(|| format!("trace frame for out-of-range job {job}"))?;
+                if !started[*job] {
+                    return Err(format!("trace frame for job {job} before its start frame"));
+                }
                 trace.push_str(line);
                 trace.push('\n');
             }
@@ -255,6 +282,8 @@ mod tests {
                 jobs: vec!["a".into(), "b".into()],
                 threads: 4,
             },
+            Frame::Start { job: 0 },
+            Frame::Start { job: 1 },
             Frame::Trace {
                 job: 0,
                 line: "{\"e\":1}".into(),
@@ -319,7 +348,7 @@ mod tests {
         assert!(assemble(&frames[1..]).unwrap_err().contains("hello"));
         // Missing terminal record.
         let mut missing = frames.clone();
-        missing.remove(4);
+        missing.remove(6);
         assert!(assemble(&missing)
             .unwrap_err()
             .contains("never reached a terminal state"));
@@ -329,12 +358,12 @@ mod tests {
             .contains("without a batch frame"));
         // Duplicate terminal record.
         let mut dup = frames.clone();
-        dup.insert(5, frames[4].clone());
+        dup.insert(7, frames[6].clone());
         assert!(assemble(&dup).unwrap_err().contains("duplicate terminal"));
         // Out-of-range trace index.
         let mut oob = frames.clone();
         oob.insert(
-            1,
+            3,
             Frame::Trace {
                 job: 9,
                 line: "{}".into(),
@@ -343,10 +372,28 @@ mod tests {
         assert!(assemble(&oob).unwrap_err().contains("out-of-range"));
         // Record disagreeing with the closing report.
         let mut liar = frames.clone();
-        liar[4] = Frame::Job {
+        liar[6] = Frame::Job {
             job: 1,
             record: record("b-lies", false),
         };
         assert!(assemble(&liar).unwrap_err().contains("disagrees"));
+        // Duplicate start ack.
+        let mut restart = frames.clone();
+        restart.insert(2, Frame::Start { job: 0 });
+        assert!(assemble(&restart)
+            .unwrap_err()
+            .contains("duplicate start frame for job 0"));
+        // Out-of-range start ack.
+        let mut wild = frames.clone();
+        wild.insert(1, Frame::Start { job: 9 });
+        assert!(assemble(&wild)
+            .unwrap_err()
+            .contains("start frame for out-of-range job 9"));
+        // Trace lines must follow the job's start ack.
+        let mut eager = frames.clone();
+        let start = eager.remove(1);
+        eager.push(start); // keep the stream shape otherwise valid
+        let err = assemble(&eager).unwrap_err();
+        assert!(err.contains("before its start frame"), "{err}");
     }
 }

@@ -52,10 +52,12 @@ mod sink;
 pub use batch::{compare_batch_reports, BatchReport, JobRecord, JobStatus};
 pub use event::{stage_of, ConfigEcho, IterationRecord, ProfileDelta, Stage, TelemetryEvent};
 pub use recorder::Recorder;
-pub use regression::{compare_reports, compare_scaling, compare_spectral, Comparison, Tolerances};
+pub use regression::{
+    compare_explore, compare_reports, compare_scaling, compare_spectral, Comparison, Tolerances,
+};
 pub use report::{
-    DpMetrics, GpMetrics, LgMetrics, RouteMetrics, RunReport, ScalingMetrics, ScalingPoint,
-    SpectralGrid, SpectralMetrics,
+    DpMetrics, ExploreGeneration, ExploreMember, ExploreMetrics, GpMetrics, LgMetrics,
+    RouteMetrics, RunReport, ScalingMetrics, ScalingPoint, SpectralGrid, SpectralMetrics,
 };
 pub use sink::{parse_trace, CallbackSink, JsonLinesSink, NullSink, TelemetrySink, VecSink};
 // Serialization traits re-exported so downstream binaries can render and

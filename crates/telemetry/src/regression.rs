@@ -5,7 +5,7 @@
 //! quantities hard-fail: there is no run-to-run noise to absorb. Only
 //! wall-clock times are machine-dependent, and those merely warn.
 
-use crate::{RunReport, ScalingMetrics, SpectralMetrics};
+use crate::{ExploreMetrics, RunReport, ScalingMetrics, SpectralMetrics};
 
 /// Relative tolerances, in percent, for the gated quantities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -194,6 +194,20 @@ pub fn compare_reports(baseline: &RunReport, current: &RunReport, tol: &Toleranc
         (None, None) => {}
     }
 
+    // --- Exploration (when the baseline recorded one). ---
+    match (&baseline.explore, &current.explore) {
+        (Some(base), Some(cur)) => compare_explore(base, cur, tol, &mut cmp),
+        (Some(_), None) => cmp.failures.push(
+            "exploration section missing from current report (baseline has one) — \
+             coverage was lost"
+                .into(),
+        ),
+        (None, Some(_)) => cmp
+            .notes
+            .push("exploration section added (baseline has none)".into()),
+        (None, None) => {}
+    }
+
     if cmp.passed() {
         cmp.notes.push(format!(
             "HPWL {:.1}, modeled GP {:.3}s, {} launches — within tolerance of baseline",
@@ -371,6 +385,85 @@ pub fn compare_scaling(
                 ));
             }
         }
+    }
+}
+
+/// Compares two exploration sections into `cmp`.
+///
+/// The population shape — member count, survivor count, generation count,
+/// winner index and winner lineage — is deterministic output of the seeded
+/// culling schedule and must match exactly (a shifted lineage means the
+/// population took a different trajectory). The winner's HPWL hard-gates at
+/// `tol.hpwl_pct` and the total modeled exploration cost at
+/// `tol.modeled_time_pct`; improvements are noted.
+pub fn compare_explore(
+    baseline: &ExploreMetrics,
+    current: &ExploreMetrics,
+    tol: &Tolerances,
+    cmp: &mut Comparison,
+) {
+    let base_shape = (
+        baseline.members,
+        baseline.keep,
+        baseline.generations.len(),
+        baseline.winner,
+        &baseline.winner_lineage,
+    );
+    let cur_shape = (
+        current.members,
+        current.keep,
+        current.generations.len(),
+        current.winner,
+        &current.winner_lineage,
+    );
+    if base_shape != cur_shape {
+        cmp.failures.push(format!(
+            "exploration structure changed: baseline {}m/keep{}/{}gen winner {} lineage {:?} \
+             vs current {}m/keep{}/{}gen winner {} lineage {:?} \
+             (re-record the baseline if intentional)",
+            baseline.members,
+            baseline.keep,
+            baseline.generations.len(),
+            baseline.winner,
+            baseline.winner_lineage,
+            current.members,
+            current.keep,
+            current.generations.len(),
+            current.winner,
+            current.winner_lineage,
+        ));
+        return;
+    }
+    let hpwl = pct_change(baseline.winner_hpwl, current.winner_hpwl);
+    if hpwl > tol.hpwl_pct {
+        cmp.failures.push(format!(
+            "exploration winner HPWL regressed {hpwl:+.2}% ({:.1} -> {:.1}), tolerance {}%",
+            baseline.winner_hpwl, current.winner_hpwl, tol.hpwl_pct
+        ));
+    } else if hpwl < -0.01 {
+        cmp.notes.push(format!(
+            "exploration winner HPWL improved {hpwl:+.2}% ({:.1} -> {:.1})",
+            baseline.winner_hpwl, current.winner_hpwl
+        ));
+    }
+    let modeled = pct_change(
+        baseline.total_modeled_ns as f64,
+        current.total_modeled_ns as f64,
+    );
+    if modeled > tol.modeled_time_pct {
+        cmp.failures.push(format!(
+            "exploration total modeled time regressed {modeled:+.2}% \
+             ({:.3}s -> {:.3}s), tolerance {}%",
+            baseline.total_modeled_ns as f64 / 1e9,
+            current.total_modeled_ns as f64 / 1e9,
+            tol.modeled_time_pct
+        ));
+    } else if modeled < -0.01 {
+        cmp.notes.push(format!(
+            "exploration total modeled time improved {modeled:+.2}% ({:.3}s -> {:.3}s)",
+            baseline.total_modeled_ns as f64 / 1e9,
+            current.total_modeled_ns as f64 / 1e9
+        ));
     }
 }
 
@@ -643,6 +736,96 @@ mod tests {
             "{:?}",
             cmp.failures
         );
+    }
+
+    #[test]
+    fn explore_winner_hpwl_regression_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.explore.as_mut().unwrap().winner_hpwl *= 1.10;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.failures
+                .iter()
+                .any(|f| f.contains("exploration winner HPWL regressed")),
+            "{:?}",
+            cmp.failures
+        );
+    }
+
+    #[test]
+    fn explore_improvement_is_a_note() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        {
+            let explore = cur.explore.as_mut().unwrap();
+            explore.winner_hpwl *= 0.9;
+            explore.total_modeled_ns = (explore.total_modeled_ns as f64 * 0.8) as u64;
+        }
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("exploration winner HPWL improved")));
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("exploration total modeled time improved")));
+    }
+
+    #[test]
+    fn explore_modeled_time_regression_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        let explore = cur.explore.as_mut().unwrap();
+        explore.total_modeled_ns = (explore.total_modeled_ns as f64 * 1.2) as u64;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("exploration total modeled time regressed")));
+    }
+
+    #[test]
+    fn explore_structure_change_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.explore.as_mut().unwrap().winner_lineage = vec![0, 1];
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("exploration structure changed")));
+    }
+
+    #[test]
+    fn dropping_the_explore_section_fails() {
+        let base = sample_report();
+        let mut cur = base.clone();
+        cur.explore = None;
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .failures
+            .iter()
+            .any(|f| f.contains("exploration section missing")));
+    }
+
+    #[test]
+    fn adding_an_explore_section_is_a_note() {
+        let mut base = sample_report();
+        base.explore = None;
+        let cur = sample_report();
+        let cmp = compare_reports(&base, &cur, &Tolerances::default());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("exploration section added")));
     }
 
     #[test]

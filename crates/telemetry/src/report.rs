@@ -176,6 +176,68 @@ impl ScalingMetrics {
     }
 }
 
+/// One population member's standing at an exploration generation
+/// barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreMember {
+    /// Member slot index (slot 0 carries the unperturbed base seed).
+    pub member: usize,
+    /// HPWL at the generation boundary — deterministic.
+    pub hpwl: f64,
+    /// Density overflow at the boundary — deterministic.
+    pub overflow: f64,
+    /// Selection score (lower is better); ties resolve to the lower
+    /// member index.
+    pub score: f64,
+    /// Whether this member was culled at this barrier.
+    pub culled: bool,
+    /// When this slot was refilled at the start of the generation: the
+    /// member whose snapshot it branched from.
+    pub branched_from: Option<usize>,
+    /// Perturbation seed of the branch (lineage replay needs it).
+    pub perturbation_seed: Option<u64>,
+}
+
+/// One generation of the exploration loop: the population evaluated at a
+/// fixed checkpoint barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreGeneration {
+    /// Generation number, 0-based.
+    pub generation: usize,
+    /// GP iteration of the barrier (members paused/finished here).
+    pub iteration: usize,
+    /// Every member's standing, ascending by slot index.
+    pub members: Vec<ExploreMember>,
+    /// Best member at this barrier.
+    pub best: usize,
+}
+
+/// The exploration section of a report: the full population history of a
+/// `--explore K` run. Everything here is deterministic (same seed ⇒ same
+/// lineage at any thread count), so the regression gate compares it
+/// hard. The lineage — which member branched from which snapshot with
+/// which perturbation seed at which generation — is replayable from
+/// this section alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreMetrics {
+    /// Population size K.
+    pub members: usize,
+    /// Survivors kept at each cull.
+    pub keep: usize,
+    /// Per-generation population history.
+    pub generations: Vec<ExploreGeneration>,
+    /// Winning member slot.
+    pub winner: usize,
+    /// The winner's ancestor slot at each generation, oldest first —
+    /// the trace-stitching path.
+    pub winner_lineage: Vec<usize>,
+    /// Final GP HPWL of the winner — deterministic, gated.
+    pub winner_hpwl: f64,
+    /// Total modeled device time across every member and generation —
+    /// the exploration budget actually spent, deterministic, gated.
+    pub total_modeled_ns: u64,
+}
+
 /// The single-JSON report of one full GP → LG → DP run: the artifact
 /// `xplace place --report` and the bench binaries write, and the unit
 /// `scripts/check_regression.sh` compares.
@@ -207,6 +269,9 @@ pub struct RunReport {
     /// Scaling bench (absent unless the run recorded it). Reports written
     /// before this field existed parse as `None`.
     pub scaling: Option<ScalingMetrics>,
+    /// Exploration section (absent unless the run used `--explore`).
+    /// Reports written before this field existed parse as `None`.
+    pub explore: Option<ExploreMetrics>,
     /// A trace-sink I/O failure observed during the run (e.g. the disk
     /// behind `--trace` filled up). The placement result is still valid
     /// but the trace file is incomplete, so drivers must treat this as a
@@ -411,6 +476,84 @@ impl FromJson for ScalingMetrics {
     }
 }
 
+impl ToJson for ExploreMember {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("member", self.member.to_json()),
+            ("hpwl", self.hpwl.to_json()),
+            ("overflow", self.overflow.to_json()),
+            ("score", self.score.to_json()),
+            ("culled", self.culled.to_json()),
+            ("branched_from", self.branched_from.to_json()),
+            ("perturbation_seed", self.perturbation_seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExploreMember {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ExploreMember {
+            member: usize::from_json(value.field("member")?)?,
+            hpwl: f64::from_json(value.field("hpwl")?)?,
+            overflow: f64::from_json(value.field("overflow")?)?,
+            score: f64::from_json(value.field("score")?)?,
+            culled: bool::from_json(value.field("culled")?)?,
+            branched_from: Option::<usize>::from_json(value.field("branched_from")?)?,
+            perturbation_seed: Option::<u64>::from_json(value.field("perturbation_seed")?)?,
+        })
+    }
+}
+
+impl ToJson for ExploreGeneration {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("generation", self.generation.to_json()),
+            ("iteration", self.iteration.to_json()),
+            ("members", self.members.to_json()),
+            ("best", self.best.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExploreGeneration {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ExploreGeneration {
+            generation: usize::from_json(value.field("generation")?)?,
+            iteration: usize::from_json(value.field("iteration")?)?,
+            members: Vec::<ExploreMember>::from_json(value.field("members")?)?,
+            best: usize::from_json(value.field("best")?)?,
+        })
+    }
+}
+
+impl ToJson for ExploreMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("members", self.members.to_json()),
+            ("keep", self.keep.to_json()),
+            ("generations", self.generations.to_json()),
+            ("winner", self.winner.to_json()),
+            ("winner_lineage", self.winner_lineage.to_json()),
+            ("winner_hpwl", self.winner_hpwl.to_json()),
+            ("total_modeled_ns", self.total_modeled_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExploreMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ExploreMetrics {
+            members: usize::from_json(value.field("members")?)?,
+            keep: usize::from_json(value.field("keep")?)?,
+            generations: Vec::<ExploreGeneration>::from_json(value.field("generations")?)?,
+            winner: usize::from_json(value.field("winner")?)?,
+            winner_lineage: Vec::<usize>::from_json(value.field("winner_lineage")?)?,
+            winner_hpwl: f64::from_json(value.field("winner_hpwl")?)?,
+            total_modeled_ns: u64::from_json(value.field("total_modeled_ns")?)?,
+        })
+    }
+}
+
 impl ToJson for RunReport {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -425,6 +568,7 @@ impl ToJson for RunReport {
             ("route", self.route.to_json()),
             ("spectral", self.spectral.to_json()),
             ("scaling", self.scaling.to_json()),
+            ("explore", self.explore.to_json()),
             ("trace_error", self.trace_error.to_json()),
         ])
     }
@@ -450,6 +594,11 @@ impl FromJson for RunReport {
             // Likewise tolerant of pre-scaling reports.
             scaling: match value.get("scaling") {
                 Some(v) => Option::<ScalingMetrics>::from_json(v)?,
+                None => None,
+            },
+            // Likewise tolerant of pre-exploration reports.
+            explore: match value.get("explore") {
+                Some(v) => Option::<ExploreMetrics>::from_json(v)?,
                 None => None,
             },
             // Likewise tolerant of reports predating sticky-sink surfacing.
@@ -557,6 +706,66 @@ pub(crate) mod tests {
                     },
                 ],
             }),
+            explore: Some(ExploreMetrics {
+                members: 4,
+                keep: 2,
+                generations: vec![
+                    ExploreGeneration {
+                        generation: 0,
+                        iteration: 100,
+                        members: vec![
+                            ExploreMember {
+                                member: 0,
+                                hpwl: 15000.0,
+                                overflow: 0.42,
+                                score: 21300.0,
+                                culled: false,
+                                branched_from: None,
+                                perturbation_seed: None,
+                            },
+                            ExploreMember {
+                                member: 1,
+                                hpwl: 15400.0,
+                                overflow: 0.55,
+                                score: 23870.0,
+                                culled: true,
+                                branched_from: None,
+                                perturbation_seed: None,
+                            },
+                        ],
+                        best: 0,
+                    },
+                    ExploreGeneration {
+                        generation: 1,
+                        iteration: 200,
+                        members: vec![
+                            ExploreMember {
+                                member: 0,
+                                hpwl: 14300.0,
+                                overflow: 0.25,
+                                score: 17875.0,
+                                culled: false,
+                                branched_from: None,
+                                perturbation_seed: None,
+                            },
+                            ExploreMember {
+                                member: 1,
+                                hpwl: 14200.0,
+                                overflow: 0.27,
+                                score: 18034.0,
+                                culled: false,
+                                branched_from: Some(0),
+                                perturbation_seed: Some(11),
+                            },
+                        ],
+                        best: 0,
+                    },
+                ],
+                winner: 0,
+                winner_lineage: vec![0, 0],
+                winner_hpwl: 14026.78,
+                total_modeled_ns: 3_950_617_284,
+            }),
             trace_error: None,
         }
     }
@@ -627,6 +836,36 @@ pub(crate) mod tests {
         assert_ne!(stripped, text, "fixture must contain the null key");
         let back = RunReport::from_json_str(&stripped).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_an_explore_key_still_parse() {
+        // Reports written before the exploration section existed have no
+        // "explore" key at all (not even null) — they must parse as None.
+        let mut report = sample_report();
+        report.explore = None;
+        let text = report.to_json_string();
+        let stripped = text.replace(",\"explore\":null", "");
+        assert_ne!(stripped, text, "fixture must contain the null key");
+        let back = RunReport::from_json_str(&stripped).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn explore_section_round_trips_with_lineage() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        let explore = back.explore.expect("fixture has an explore section");
+        assert_eq!(explore.members, 4);
+        assert_eq!(explore.generations.len(), 2);
+        assert_eq!(explore.generations[1].members[1].branched_from, Some(0));
+        assert_eq!(
+            explore.generations[1].members[1].perturbation_seed,
+            Some(11)
+        );
+        assert!(explore.generations[0].members[1].culled);
+        assert_eq!(explore.winner_lineage, vec![0, 0]);
     }
 
     #[test]

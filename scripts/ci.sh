@@ -154,6 +154,30 @@ if ./target/release/check_regression BENCH_baseline.json "$SMOKE/scaling.json" \
     exit 1
 fi
 
+echo "==> explore smoke: --explore 4 place, trace parity across thread counts"
+./target/release/xplace place "$SMOKE/ci-smoke.aux" --explore 4 --max-iters 120 --threads 1 \
+    -o "$SMOKE/ex1.pl" --trace "$SMOKE/ex1.jsonl" --report "$SMOKE/ex1.json" >/dev/null
+./target/release/xplace place "$SMOKE/ci-smoke.aux" --explore 4 --max-iters 120 --threads 4 \
+    -o "$SMOKE/ex4.pl" --trace "$SMOKE/ex4.jsonl" --report "$SMOKE/ex4.json" >/dev/null
+cmp "$SMOKE/ex1.jsonl" "$SMOKE/ex4.jsonl" \
+    || { echo "FAIL: explore traces differ across thread counts" >&2; exit 1; }
+cmp "$SMOKE/ex1.pl" "$SMOKE/ex4.pl" \
+    || { echo "FAIL: explore placements differ across thread counts" >&2; exit 1; }
+# The population report zeroes its wall-clock fields, so it is
+# byte-identical across thread counts, not merely equivalent.
+cmp "$SMOKE/ex1.json" "$SMOKE/ex4.json" \
+    || { echo "FAIL: explore reports differ across thread counts" >&2; exit 1; }
+
+echo "==> explore bench gate: smoke population vs the baseline's explore section"
+./target/release/explore_bench --smoke --out "$SMOKE/explore.json"
+./target/release/check_regression BENCH_baseline.json "$SMOKE/explore.json"
+echo "==> explore gate self-test: injected winner-HPWL regression must fail"
+if ./target/release/check_regression BENCH_baseline.json "$SMOKE/explore.json" \
+    --inject-explore-pct 10 >/dev/null 2>&1; then
+    echo "FAIL: the explore gate passed an injected +10% winner-HPWL regression" >&2
+    exit 1
+fi
+
 echo "==> multilevel smoke: 100k-cell place, trace parity across thread counts"
 ./target/release/xplace synth ci-ml 100000 --seed 11 --topology systolic \
     --out "$SMOKE" >/dev/null

@@ -397,11 +397,13 @@ fn mid_stream_disconnect_skips_that_clients_remaining_jobs_only() {
     );
 
     // Submit over a raw socket so the connection can be dropped the
-    // moment telemetry starts flowing (the high-level client blocks to
-    // completion). Keep reading until a trace frame proves the first job
-    // is in flight — dropping earlier races the response-head write and
-    // the server rightly treats that as a client that died before the
-    // batch started (nothing runs, nothing is counted).
+    // moment work starts (the high-level client blocks to completion).
+    // Keep reading until the first job's start ack — the positive signal
+    // that it is committed to run. Dropping earlier races the
+    // response-head write and the server rightly treats that as a client
+    // that died before the batch started (nothing runs, nothing is
+    // counted); waiting for a *trace* frame instead would race jobs fast
+    // enough to finish before any telemetry reaches the socket.
     let mut socket = std::net::TcpStream::connect(client.addr()).unwrap();
     let raw = format!(
         "POST /batch HTTP/1.1\r\nHost: x\r\nX-Client: quitter\r\nContent-Length: {}\r\n\r\n{manifest_text}",
@@ -410,9 +412,9 @@ fn mid_stream_disconnect_skips_that_clients_remaining_jobs_only() {
     std::io::Write::write_all(&mut socket, raw.as_bytes()).unwrap();
     let mut seen = Vec::new();
     let mut buf = [0u8; 4096];
-    while !String::from_utf8_lossy(&seen).contains(r#""frame":"trace""#) {
+    while !String::from_utf8_lossy(&seen).contains(r#""frame":"start""#) {
         let n = std::io::Read::read(&mut socket, &mut buf).unwrap();
-        assert!(n > 0, "the stream ended before the first trace frame");
+        assert!(n > 0, "the stream ended before the first start ack");
         seen.extend_from_slice(&buf[..n]);
     }
     drop(socket); // mid-stream disconnect
@@ -475,9 +477,13 @@ fn scheduled_drop_connection_fault_severs_the_stream_after_exact_frames() {
 
     // Every frame is one JSON line inside its own chunk, so `}\n` counts
     // frames exactly (escaped newlines inside trace strings are `\\n`).
+    // The fault counter arms on the first job's start ack, so the wire
+    // carries the hello (pre-arm, always delivered) plus exactly
+    // `after_frames` counted frames: the start ack and two trace lines.
     assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
     let frames = text.matches("}\n").count();
-    assert_eq!(frames, 3, "exactly after_frames frames reach the wire");
+    assert_eq!(frames, 4, "hello + after_frames counted frames");
+    assert!(text.contains(r#""frame":"start""#), "{text}");
     assert!(
         !text.ends_with("0\r\n\r\n"),
         "a severed stream must not carry the terminal chunk"
@@ -490,6 +496,66 @@ fn scheduled_drop_connection_fault_severs_the_stream_after_exact_frames() {
     });
     assert_eq!(stat(&stats, "jobs_completed"), 1, "the draining job");
     assert_eq!(stat(&stats, "jobs_failed"), 1, "the skipped job");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn drop_fault_lands_deterministically_even_when_the_job_fails_instantly() {
+    // Regression guard for the fast-finish interleaving: a job that dies
+    // the moment it starts (a stall fault blowing an unmeetable wire
+    // deadline) emits its start ack and terminal record nearly
+    // back-to-back. Arming the drop counter on the start ack — not "the
+    // first trace frame" — keeps the sever landing on the exact same
+    // frame no matter how quickly the job collapses.
+    let (client, handle) = serve(ServeConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let manifest_text = format!(
+        r#"{{"jobs": [
+            {{"name": "doomed", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}},
+            {{"name": "skipped", "synth": {{"cells": 200, "nets": 210, "seed": 3}}, "max_iters": 60}}
+        ],
+        "faults": [
+            {{"target": "doomed", "kind": "stall", "modeled_ns": 4000000000000}},
+            {{"target": "hasty", "kind": "drop_connection", "after_frames": 1}}
+        ]}}"#
+    );
+    let mut socket = std::net::TcpStream::connect(client.addr()).unwrap();
+    let raw = format!(
+        "POST /batch HTTP/1.1\r\nHost: x\r\nX-Client: hasty\r\nX-Deadline-Ns: 1000\r\nContent-Length: {}\r\n\r\n{manifest_text}",
+        manifest_text.len()
+    );
+    std::io::Write::write_all(&mut socket, raw.as_bytes()).unwrap();
+    let mut wire = Vec::new();
+    std::io::Read::read_to_end(&mut socket, &mut wire).unwrap();
+    let text = String::from_utf8_lossy(&wire);
+
+    // Exactly hello + the start ack, every time: the ack is counted
+    // frame 0 (delivered), and whatever follows it — a trace line or the
+    // instant terminal record — is counted frame 1 and severed.
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    let frames = text.matches("}\n").count();
+    assert_eq!(frames, 2, "hello + the start ack, nothing else: {text}");
+    assert!(text.contains(r#""frame":"start""#), "{text}");
+    assert!(
+        !text.ends_with("0\r\n\r\n"),
+        "a severed stream must not carry the terminal chunk"
+    );
+
+    // The doomed job still runs to its deadline failure server-side; the
+    // second job is skipped because the client is gone.
+    let stats = wait_for_stats(&client, "the severed batch to finish", |s| {
+        stat(s, "batches_completed") == 1
+    });
+    assert_eq!(stat(&stats, "jobs_completed"), 0);
+    assert_eq!(
+        stat(&stats, "jobs_failed"),
+        2,
+        "the deadline-doomed job + the skipped job"
+    );
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();

@@ -120,6 +120,7 @@ fn run_report_round_trips_through_testkit_json() {
         route: None,
         spectral: None,
         scaling: None,
+        explore: None,
         trace_error: None,
     };
 
@@ -151,6 +152,7 @@ fn comparator_passes_identical_runs_and_fails_injected_regressions() {
             route: None,
             spectral: None,
             scaling: None,
+            explore: None,
             trace_error: None,
         }
     };
